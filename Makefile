@@ -1,0 +1,42 @@
+GO ?= go
+
+.PHONY: all build vet test test-race cover bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./... && $(GO) tool cover -func=coverage.out | tail -1
+
+# One benchmark per table/figure of the paper, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure/table at paper scale (takes a few minutes).
+experiments:
+	$(GO) run ./cmd/pmvbench -sim-div 1 -rounds 500
+
+# Quick pass over every figure (seconds).
+experiments-quick:
+	$(GO) run ./cmd/pmvbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/callcenter
+	$(GO) run ./examples/tpcr
+	$(GO) run ./examples/adaptivity
+	$(GO) run ./examples/nested
+
+clean:
+	rm -f coverage.out test_output.txt bench_output.txt

@@ -1,0 +1,248 @@
+// Repository-root benchmarks: one per table/figure of the paper's
+// evaluation. Each delegates to internal/experiments (or internal/sim
+// and internal/costmodel) with reduced iteration counts so `go test
+// -bench=.` completes in minutes; cmd/pmvbench runs the full-scale
+// versions and EXPERIMENTS.md records paper-vs-measured values.
+package pmv_test
+
+import (
+	"testing"
+
+	"pmv/internal/cache"
+	"pmv/internal/costmodel"
+	"pmv/internal/experiments"
+	"pmv/internal/sim"
+)
+
+// BenchmarkFigure6 reproduces the "number of bcps" simulation: hit
+// probability vs h for CLOCK and 2Q at α ∈ {1.07, 1.01}. The metric of
+// record is the hit probability, reported per cell.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := sim.Figure6(20) // 50K warm-up + 50K measured per cell
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rs {
+				b.Logf("%s", r)
+			}
+			b.ReportMetric(rs[len(rs)-1].HitProb, "hit@clock,a1.01,h5")
+		}
+	}
+}
+
+// BenchmarkFigure7 reproduces the "PMV size" simulation: hit
+// probability vs N at α = 1.07, h = 2.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := sim.Figure7(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rs {
+				b.Logf("%s", r)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1 loads the TPC-R-like dataset and reports tuple
+// counts and bytes per relation.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(b.TempDir(), 0.001)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-10s %8d tuples %10d bytes", r.Relation, r.Tuples, r.Bytes)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure8 measures PMV overhead vs F (1..5) on T1 and T2.
+func BenchmarkFigure8(b *testing.B) {
+	env, err := experiments.Setup(b.TempDir(), 0.002)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure8(env, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("F=%d T1=%v T2=%v", r.F, r.OverheadT1, r.OverheadT2)
+			}
+			b.ReportMetric(float64(rows[len(rows)-1].OverheadT2.Nanoseconds()), "ns-overhead@F5,T2")
+		}
+	}
+}
+
+// BenchmarkFigure9 measures PMV overhead vs combination factor h.
+func BenchmarkFigure9(b *testing.B) {
+	env, err := experiments.Setup(b.TempDir(), 0.002)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure9(env, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("h=%d T1=%v T2=%v", r.H, r.OverheadT1, r.OverheadT2)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure10 sweeps the database scale factor, comparing query
+// execution time against PMV overhead.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure10(b.TempDir(), []float64{0.0005, 0.001}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("s=%g T1 exec=%v overhead=%v | T2 exec=%v overhead=%v",
+					r.Scale, r.ExecT1, r.OverheadT1, r.ExecT2, r.OverheadT2)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure11 evaluates the analytical maintenance model (total
+// workload for MV vs PMV across insert fractions).
+func BenchmarkFigure11(b *testing.B) {
+	m := costmodel.Default()
+	for i := 0; i < b.N; i++ {
+		pts := m.Sweep(20)
+		if i == 0 {
+			b.Logf("p=0%%: MV=%.0f PMV=%.1f | p=100%%: MV=%.0f PMV=%.1f",
+				pts[0].MVIO, pts[0].PMVIO, pts[len(pts)-1].MVIO, pts[len(pts)-1].PMVIO)
+			b.ReportMetric(pts[0].MVIO/pts[0].PMVIO, "mv/pmv@p0")
+		}
+	}
+}
+
+// BenchmarkFigure12 evaluates the analytical speedup curve.
+func BenchmarkFigure12(b *testing.B) {
+	m := costmodel.Default()
+	for i := 0; i < b.N; i++ {
+		pts := m.Sweep(20)
+		if i == 0 {
+			b.Logf("speedup: p=0%%: %.0fx, p=50%%: %.0fx, p=95%%: %.0fx",
+				pts[0].Speedup, pts[10].Speedup, pts[19].Speedup)
+			b.ReportMetric(pts[19].Speedup, "speedup@p95")
+		}
+	}
+}
+
+// BenchmarkAblationPolicy compares CLOCK/2Q/LRU live hit rates.
+func BenchmarkAblationPolicy(b *testing.B) {
+	env, err := experiments.Setup(b.TempDir(), 0.002)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.PolicyAblation(env, 64, 300, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-6s hit=%.3f partial/query=%.2f", r.Policy, r.HitProb, r.Partial)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMaint compares delete maintenance via delta join vs
+// the in-memory maintenance index.
+func BenchmarkAblationMaint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.MaintAblation(b.TempDir(), 0.002, 30, 13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%-11s per-op=%v", r.Strategy, r.PerOp)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationF explores the F trade-off under a fixed byte
+// budget.
+func BenchmarkAblationF(b *testing.B) {
+	env, err := experiments.Setup(b.TempDir(), 0.002)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FAblation(env, 16<<10, 300, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("F=%d entries=%d hit=%.3f partial/hit=%.2f", r.F, r.MaxEntries, r.HitProb, r.PartialAvg)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPlanner measures the ANALYZE-driven driver choice.
+func BenchmarkAblationPlanner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env, err := experiments.Setup(b.TempDir(), 0.002)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := experiments.PlannerAblation(env, 10)
+		env.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("stats=%v median=%v", r.Stats, r.Median)
+			}
+			b.ReportMetric(float64(rows[0].Median)/float64(rows[1].Median), "speedup")
+		}
+	}
+}
+
+// BenchmarkSimulationStep isolates the per-query cost of the
+// Section 4.1 simulator's inner loop (a microbenchmark, not a figure).
+func BenchmarkSimulationStep(b *testing.B) {
+	for _, pol := range []cache.PolicyKind{cache.PolicyCLOCK, cache.Policy2Q} {
+		b.Run(string(pol), func(b *testing.B) {
+			_, err := sim.Run(sim.Config{
+				Alpha: 1.07, H: 2, N: 5000, BCPs: 100000,
+				Policy: pol, Warmup: b.N, Measure: 1, Seed: 3,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

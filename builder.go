@@ -1,0 +1,158 @@
+package pmv
+
+import (
+	"fmt"
+	"strings"
+
+	"pmv/internal/expr"
+	"pmv/internal/value"
+)
+
+// TemplateBuilder assembles a query template fluently. Column
+// references are written "relation.column".
+type TemplateBuilder struct {
+	tpl *expr.Template
+	err error
+}
+
+// NewTemplate starts a template named name.
+func NewTemplate(name string) *TemplateBuilder {
+	return &TemplateBuilder{tpl: &expr.Template{Name: name}}
+}
+
+func (b *TemplateBuilder) ref(s string) expr.ColumnRef {
+	parts := strings.SplitN(s, ".", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		if b.err == nil {
+			b.err = fmt.Errorf("pmv: column reference %q is not relation.column", s)
+		}
+		return expr.ColumnRef{}
+	}
+	return expr.ColumnRef{Rel: parts[0], Col: parts[1]}
+}
+
+// From lists the base relations R1..Rn in plan (driver-first) order.
+func (b *TemplateBuilder) From(relations ...string) *TemplateBuilder {
+	b.tpl.Relations = append(b.tpl.Relations, relations...)
+	return b
+}
+
+// Select appends columns to the select list Ls.
+func (b *TemplateBuilder) Select(cols ...string) *TemplateBuilder {
+	for _, c := range cols {
+		b.tpl.Select = append(b.tpl.Select, b.ref(c))
+	}
+	return b
+}
+
+// Join adds an equi-join predicate left = right.
+func (b *TemplateBuilder) Join(left, right string) *TemplateBuilder {
+	b.tpl.Join = append(b.tpl.Join, expr.JoinPred{Left: b.ref(left), Right: b.ref(right)})
+	return b
+}
+
+// Fixed adds a parameterless predicate (part of Cjoin), e.g.
+// Fixed("orders.totalprice", ">", pmv.Float(100)).
+func (b *TemplateBuilder) Fixed(col, op string, v Value) *TemplateBuilder {
+	var cop expr.CompareOp
+	switch op {
+	case "=":
+		cop = expr.OpEq
+	case "<>", "!=":
+		cop = expr.OpNe
+	case "<":
+		cop = expr.OpLt
+	case "<=":
+		cop = expr.OpLe
+	case ">":
+		cop = expr.OpGt
+	case ">=":
+		cop = expr.OpGe
+	default:
+		if b.err == nil {
+			b.err = fmt.Errorf("pmv: unknown operator %q", op)
+		}
+	}
+	b.tpl.Fixed = append(b.tpl.Fixed, expr.FixedPred{Col: b.ref(col), Op: cop, Val: v})
+	return b
+}
+
+// WhereEq adds an equality-form selection condition template on col
+// (instances supply one or more values).
+func (b *TemplateBuilder) WhereEq(col string) *TemplateBuilder {
+	b.tpl.Conds = append(b.tpl.Conds, expr.CondTemplate{Col: b.ref(col), Form: expr.EqualityForm})
+	return b
+}
+
+// WhereInterval adds an interval-form selection condition template on
+// col (instances supply one or more disjoint intervals).
+func (b *TemplateBuilder) WhereInterval(col string) *TemplateBuilder {
+	b.tpl.Conds = append(b.tpl.Conds, expr.CondTemplate{Col: b.ref(col), Form: expr.IntervalForm})
+	return b
+}
+
+// Build validates and returns the template.
+func (b *TemplateBuilder) Build() (*Template, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.tpl.Validate(); err != nil {
+		return nil, err
+	}
+	return b.tpl, nil
+}
+
+// MustBuild is Build that panics on error (for tests and examples).
+func (b *TemplateBuilder) MustBuild() *Template {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// QueryBuilder binds parameters to a template's conditions.
+type QueryBuilder struct {
+	q *expr.Query
+}
+
+// NewQuery starts a query over tpl with empty condition instances.
+func NewQuery(tpl *Template) *QueryBuilder {
+	return &QueryBuilder{q: &expr.Query{
+		Template: tpl,
+		Conds:    make([]expr.CondInstance, len(tpl.Conds)),
+	}}
+}
+
+// In supplies equality values for condition index i.
+func (b *QueryBuilder) In(i int, vals ...Value) *QueryBuilder {
+	b.q.Conds[i].Values = append(b.q.Conds[i].Values, vals...)
+	return b
+}
+
+// Between supplies the closed-open interval [lo, hi) for condition i.
+func (b *QueryBuilder) Between(i int, lo, hi Value) *QueryBuilder {
+	b.q.Conds[i].Intervals = append(b.q.Conds[i].Intervals, expr.Interval{
+		Lo: lo, Hi: hi, LoIncl: true, HiIncl: false,
+	})
+	return b
+}
+
+// Range supplies an arbitrary interval for condition i.
+func (b *QueryBuilder) Range(i int, iv Interval) *QueryBuilder {
+	b.q.Conds[i].Intervals = append(b.q.Conds[i].Intervals, iv)
+	return b
+}
+
+// Query validates nothing eagerly; callers get binding errors from
+// execution. It returns the bound query.
+func (b *QueryBuilder) Query() *Query { return b.q }
+
+// Ival builds an interval with explicit bounds; use Null() for an
+// unbounded side.
+func Ival(lo, hi Value, loIncl, hiIncl bool) Interval {
+	return expr.Interval{Lo: lo, Hi: hi, LoIncl: loIncl, HiIncl: hiIncl}
+}
+
+// Values builds a Tuple from values (convenience for tests).
+func Values(vs ...Value) Tuple { return value.Tuple(vs) }

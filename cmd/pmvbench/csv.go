@@ -1,0 +1,39 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// csvOut, when non-empty, receives one CSV file per figure so the
+// series can be plotted directly.
+var csvOut string
+
+// writeCSV emits rows (first row = header) to <csvOut>/<name>.csv.
+// It is a no-op when -csv was not given.
+func writeCSV(name string, rows [][]string) error {
+	if csvOut == "" {
+		return nil
+	}
+	path := filepath.Join(csvOut, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("  (wrote %s)\n", path)
+	return nil
+}
+
+func f64(v float64) string { return fmt.Sprintf("%g", v) }
+func i64(v int64) string   { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,288 @@
+// Command pmvcli is a small interactive shell over a pmv database
+// directory (as created by pmvload or the examples).
+//
+//	pmvcli -dir ./db
+//
+// Commands:
+//
+//	tables                     list relations
+//	schema <rel>               show a relation's columns and indexes
+//	count <rel>                live tuple count
+//	peek <rel> [n]             print the first n tuples (default 5)
+//	views                      list partial materialized views
+//	partial <view> <c0> <c1>…  run a query through a view; each <ci>
+//	                           binds condition i: comma-separated
+//	                           values (42 | 2026-01-04 | text) for
+//	                           equality conditions, lo..hi ranges for
+//	                           interval conditions
+//	analyze                    recompute optimizer statistics
+//	checkpoint                 flush pages and truncate the WAL
+//	stats                      buffer pool and I/O counters
+//	help / quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pmv"
+	"pmv/internal/expr"
+	"pmv/internal/heap"
+	"pmv/internal/storage"
+	"pmv/internal/value"
+)
+
+func main() {
+	dir := flag.String("dir", "pmvdata", "database directory")
+	flag.Parse()
+
+	db, err := pmv.Open(*dir, pmv.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	eng := db.Engine()
+
+	fmt.Printf("pmvcli: %s (type 'help')\n", *dir)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("pmv> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit", "\\q":
+			return
+		case "help":
+			fmt.Println("tables | schema <rel> | count <rel> | peek <rel> [n] | views |")
+			fmt.Println("partial <view> <cond0> <cond1> ... | analyze | checkpoint | stats | quit")
+		case "tables":
+			for _, r := range eng.Catalog().Relations() {
+				fmt.Printf("  %s (%d columns, %d indexes, %d tuples)\n",
+					r.Name, r.Schema.Arity(), len(r.Indexes), r.Heap.Count())
+			}
+		case "schema":
+			cmdSchema(db, fields)
+		case "count":
+			if len(fields) < 2 {
+				fmt.Println("usage: count <rel>")
+				continue
+			}
+			r, err := eng.Catalog().GetRelation(fields[1])
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			fmt.Println(" ", r.Heap.Count())
+		case "peek":
+			cmdPeek(db, fields)
+		case "views":
+			for _, v := range db.Views() {
+				cfg := v.Config()
+				fmt.Printf("  %s over %s: %d/%d entries, F=%d, policy=%s, %d tuples (~%d KiB)\n",
+					v.Name(), cfg.Template.Name, v.Len(), cfg.MaxEntries,
+					cfg.TuplesPerBCP, cfg.Policy, v.TupleCount(), v.SizeBytes()/1024)
+			}
+		case "partial":
+			cmdPartial(db, fields)
+		case "analyze":
+			if err := db.Analyze(); err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Println("  statistics refreshed")
+			}
+		case "checkpoint":
+			if err := db.Checkpoint(); err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Println("  checkpointed")
+			}
+		case "stats":
+			hits, misses := eng.Pool().Stats()
+			reads, writes := eng.IOStats()
+			fmt.Printf("  buffer pool: %d frames, %d hits, %d misses\n", eng.Pool().Size(), hits, misses)
+			fmt.Printf("  physical io: %d reads, %d writes\n", reads, writes)
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
+		}
+	}
+}
+
+func cmdSchema(db *pmv.DB, fields []string) {
+	if len(fields) < 2 {
+		fmt.Println("usage: schema <rel>")
+		return
+	}
+	r, err := db.Engine().Catalog().GetRelation(fields[1])
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, c := range r.Schema.Columns {
+		fmt.Printf("  %-16s %s\n", c.Name, c.Type)
+	}
+	for _, ix := range r.Indexes {
+		names := make([]string, len(ix.Cols))
+		for i, ci := range ix.Cols {
+			names[i] = r.Schema.Columns[ci].Name
+		}
+		fmt.Printf("  index %s on (%s)\n", ix.Name, strings.Join(names, ", "))
+	}
+}
+
+func cmdPeek(db *pmv.DB, fields []string) {
+	if len(fields) < 2 {
+		fmt.Println("usage: peek <rel> [n]")
+		return
+	}
+	n := 5
+	if len(fields) >= 3 {
+		if v, err := strconv.Atoi(fields[2]); err == nil {
+			n = v
+		}
+	}
+	r, err := db.Engine().Catalog().GetRelation(fields[1])
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	shown := 0
+	err = r.Heap.Scan(func(rid storage.RID, t value.Tuple) error {
+		fmt.Printf("  %v %v\n", rid, t)
+		shown++
+		if shown >= n {
+			return heap.ErrStopScan
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+}
+
+// cmdPartial parses per-condition arguments against the view's
+// template and runs the PMV protocol, printing partial results (with
+// latency) ahead of the remaining ones.
+func cmdPartial(db *pmv.DB, fields []string) {
+	if len(fields) < 3 {
+		fmt.Println("usage: partial <view> <cond0> <cond1> ...")
+		return
+	}
+	v, ok := db.ViewByName(fields[1])
+	if !ok {
+		fmt.Printf("no view %q (try 'views')\n", fields[1])
+		return
+	}
+	tpl := v.Config().Template
+	args := fields[2:]
+	if len(args) != len(tpl.Conds) {
+		fmt.Printf("template %s has %d conditions, got %d arguments\n",
+			tpl.Name, len(tpl.Conds), len(args))
+		return
+	}
+	qb := pmv.NewQuery(tpl)
+	for i, arg := range args {
+		ct := tpl.Conds[i]
+		typ := condType(db, tpl, ct)
+		if ct.Form == expr.IntervalForm {
+			for _, part := range strings.Split(arg, ",") {
+				lohi := strings.SplitN(part, "..", 2)
+				if len(lohi) != 2 {
+					fmt.Printf("condition %d (%s) is interval-form: use lo..hi\n", i, ct.Col)
+					return
+				}
+				lo, err1 := parseValue(lohi[0], typ)
+				hi, err2 := parseValue(lohi[1], typ)
+				if err1 != nil || err2 != nil {
+					fmt.Printf("condition %d: bad bounds %q\n", i, part)
+					return
+				}
+				qb.Between(i, lo, hi)
+			}
+			continue
+		}
+		for _, tok := range strings.Split(arg, ",") {
+			val, err := parseValue(tok, typ)
+			if err != nil {
+				fmt.Printf("condition %d: %v\n", i, err)
+				return
+			}
+			qb.In(i, val)
+		}
+	}
+
+	start := time.Now()
+	partials, total := 0, 0
+	rep, err := v.ExecutePartial(qb.Query(), func(r pmv.Result) error {
+		total++
+		tag := "      "
+		if r.Partial {
+			partials++
+			tag = "cached"
+		}
+		if total <= 20 {
+			fmt.Printf("  [%s] %v\n", tag, r.Tuple)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if total > 20 {
+		fmt.Printf("  ... %d more rows\n", total-20)
+	}
+	fmt.Printf("  %d rows (%d from cache in %v); total %v; hit=%v\n",
+		total, partials, rep.PartialLatency, time.Since(start), rep.Hit)
+}
+
+// condType resolves the column type of a condition attribute.
+func condType(db *pmv.DB, tpl *pmv.Template, ct expr.CondTemplate) value.Type {
+	r, err := db.Engine().Catalog().GetRelation(ct.Col.Rel)
+	if err != nil {
+		return value.TypeString
+	}
+	if ci := r.Schema.ColIndex(ct.Col.Col); ci >= 0 {
+		return r.Schema.Columns[ci].Type
+	}
+	return value.TypeString
+}
+
+func parseValue(tok string, typ value.Type) (pmv.Value, error) {
+	tok = strings.TrimSpace(tok)
+	switch typ {
+	case value.TypeInt:
+		n, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return pmv.Null(), fmt.Errorf("bad integer %q", tok)
+		}
+		return pmv.Int(n), nil
+	case value.TypeFloat:
+		f, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return pmv.Null(), fmt.Errorf("bad float %q", tok)
+		}
+		return pmv.Float(f), nil
+	case value.TypeDate:
+		return pmv.DateFromString(tok)
+	case value.TypeBool:
+		b, err := strconv.ParseBool(tok)
+		if err != nil {
+			return pmv.Null(), fmt.Errorf("bad bool %q", tok)
+		}
+		return pmv.Bool(b), nil
+	default:
+		return pmv.Str(tok), nil
+	}
+}

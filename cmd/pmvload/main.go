@@ -1,0 +1,77 @@
+// Command pmvload generates the TPC-R-like dataset of Section 4.2 into
+// a database directory, prints Table 1 style statistics, and (with
+// -views) defines persisted partial materialized views for the T1 and
+// T2 templates so pmvcli can query them.
+//
+//	pmvload -dir ./db -scale 0.002 -views
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"pmv"
+	"pmv/internal/storage"
+	"pmv/internal/value"
+	"pmv/internal/workload"
+)
+
+func main() {
+	dir := flag.String("dir", "pmvdata", "database directory to create")
+	scale := flag.Float64("scale", 0.002, "scale factor s (paper: 0.5..2; milli-scales load in seconds)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	views := flag.Bool("views", true, "define PMVs for the T1/T2 templates")
+	flag.Parse()
+
+	db, err := pmv.Open(*dir, pmv.Options{BufferPoolPages: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	eng := db.Engine()
+
+	start := time.Now()
+	if _, err := workload.LoadTPCR(eng, workload.TPCRConfig{ScaleFactor: *scale, Seed: *seed}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded s=%g in %v\n", *scale, time.Since(start))
+	fmt.Println("Table 1 (measured):")
+	for _, rel := range []string{"customer", "orders", "lineitem"} {
+		r, err := eng.Catalog().GetRelation(rel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var bytes int64
+		err = r.Heap.Scan(func(_ storage.RID, t value.Tuple) error {
+			bytes += int64(value.EncodedSize(t))
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s %10d tuples %12d bytes (%.0f B/tuple, %d heap pages)\n",
+			rel, r.Heap.Count(), bytes, float64(bytes)/float64(r.Heap.Count()), r.Heap.NumPages())
+	}
+
+	if err := db.Analyze(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("statistics collected")
+
+	if *views {
+		for _, tpl := range []*pmv.Template{workload.TemplateT1(), workload.TemplateT2()} {
+			if _, err := db.CreatePartialView(tpl, pmv.ViewOptions{
+				MaxEntries:   20000,
+				TuplesPerBCP: 3,
+			}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("created view pmv_%s\n", tpl.Name)
+		}
+	}
+
+	reads, writes := eng.IOStats()
+	fmt.Printf("physical I/O: %d reads, %d writes\n", reads, writes)
+}

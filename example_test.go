@@ -1,0 +1,82 @@
+package pmv_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pmv"
+)
+
+// Example demonstrates the full PMV lifecycle: schema, template, view,
+// and the two-phase partial/remaining delivery.
+func Example() {
+	dir, err := os.MkdirTemp("", "pmv-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := pmv.Open(dir, pmv.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.CreateRelation("product",
+		pmv.Col("pid", pmv.TypeInt),
+		pmv.Col("category", pmv.TypeInt)))
+	must(db.CreateRelation("sale",
+		pmv.Col("pid", pmv.TypeInt),
+		pmv.Col("discount", pmv.TypeInt)))
+	must(db.CreateIndex("product", "category"))
+	must(db.CreateIndex("sale", "pid"))
+
+	for pid := int64(0); pid < 100; pid++ {
+		must(db.Insert("product", pmv.Int(pid), pmv.Int(pid%4)))
+		must(db.Insert("sale", pmv.Int(pid), pmv.Int(pid%30)))
+	}
+
+	tpl := pmv.NewTemplate("deals").
+		From("product", "sale").
+		Select("product.pid", "sale.discount").
+		Join("product.pid", "sale.pid").
+		WhereEq("product.category").
+		MustBuild()
+	view, err := db.CreatePartialView(tpl, pmv.ViewOptions{MaxEntries: 100, TuplesPerBCP: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := pmv.NewQuery(tpl).In(0, pmv.Int(2)).Query()
+	// First run: cold cache, everything comes from execution.
+	n := 0
+	_, err = view.ExecutePartial(q, func(r pmv.Result) error {
+		n++
+		return nil
+	})
+	must(err)
+	fmt.Printf("cold: %d rows\n", n)
+
+	// Second run: the hottest results arrive from the view first.
+	partial := 0
+	n = 0
+	rep, err := view.ExecutePartial(q, func(r pmv.Result) error {
+		n++
+		if r.Partial {
+			partial++
+		}
+		return nil
+	})
+	must(err)
+	fmt.Printf("warm: %d rows, %d from cache, hit=%v\n", n, partial, rep.Hit)
+	// Output:
+	// cold: 25 rows
+	// warm: 25 rows, 2 from cache, hit=true
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

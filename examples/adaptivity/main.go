@@ -1,0 +1,128 @@
+// Adaptivity demonstrates Section 3.2's design goal that a PMV tracks
+// a drifting query pattern: the hot set of basic condition parts
+// changes abruptly mid-run, and the view's CLOCK/2Q management evicts
+// the stale entries and re-fills with the new hot set — no manual
+// invalidation, no maintenance process.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"pmv"
+	"pmv/internal/cache"
+)
+
+const (
+	categories = 50
+	regions    = 50
+	viewCap    = 16 // deliberately tight: forces replacement
+	phaseLen   = 300
+)
+
+func main() {
+	for _, policy := range []cache.PolicyKind{pmv.PolicyCLOCK, pmv.Policy2Q} {
+		run(policy)
+	}
+}
+
+func run(policy cache.PolicyKind) {
+	dir, err := os.MkdirTemp("", "pmv-adaptivity")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := pmv.Open(dir, pmv.Options{})
+	check(err)
+	defer db.Close()
+
+	check(db.CreateRelation("listing",
+		pmv.Col("id", pmv.TypeInt),
+		pmv.Col("category", pmv.TypeInt),
+		pmv.Col("region", pmv.TypeInt),
+		pmv.Col("price", pmv.TypeFloat),
+	))
+	check(db.CreateIndex("listing", "category"))
+	check(db.CreateIndex("listing", "region"))
+
+	rng := rand.New(rand.NewSource(5))
+	for id := 0; id < 20000; id++ {
+		check(db.Insert("listing",
+			pmv.Int(int64(id)),
+			pmv.Int(rng.Int63n(categories)),
+			pmv.Int(rng.Int63n(regions)),
+			pmv.Float(rng.Float64()*1000),
+		))
+	}
+
+	tpl := pmv.NewTemplate("browse").
+		From("listing").
+		Select("listing.id", "listing.price").
+		WhereEq("listing.category").
+		WhereEq("listing.region").
+		MustBuild()
+
+	view, err := db.CreatePartialView(tpl, pmv.ViewOptions{
+		MaxEntries:   viewCap,
+		TuplesPerBCP: 2,
+		Policy:       policy,
+	})
+	check(err)
+
+	// Two disjoint hot sets of (category, region) pairs.
+	hotA := hotPairs(rng, 0)
+	hotB := hotPairs(rng, 25)
+
+	fmt.Printf("--- policy %s: hot set A for %d queries, then hot set B ---\n", policy, phaseLen)
+	window := 0
+	windowHits := 0
+	for i := 0; i < 2*phaseLen; i++ {
+		hot := hotA
+		if i >= phaseLen {
+			hot = hotB
+		}
+		pair := hot[rng.Intn(len(hot))]
+		q := pmv.NewQuery(tpl).
+			In(0, pmv.Int(pair[0])).
+			In(1, pmv.Int(pair[1])).
+			Query()
+		rep, err := view.ExecutePartial(q, func(pmv.Result) error { return nil })
+		check(err)
+		if rep.Hit {
+			windowHits++
+		}
+		window++
+		if window == 50 {
+			phase := "A"
+			if i >= phaseLen {
+				phase = "B"
+			}
+			fmt.Printf("  queries %4d-%4d (phase %s): hit rate %.2f\n", i-49, i, phase, float64(windowHits)/50)
+			window, windowHits = 0, 0
+		}
+	}
+	st := view.Stats()
+	fmt.Printf("  overall: hit=%.2f entries-evicted=%d\n\n", st.HitProbability(), st.EntriesEvicted)
+}
+
+// hotPairs returns 20 (category, region) pairs drawn from a band of
+// the pair space, offset to make the two phases disjoint.
+func hotPairs(rng *rand.Rand, offset int64) [][2]int64 {
+	out := make([][2]int64, 20)
+	for i := range out {
+		out[i] = [2]int64{
+			(offset + rng.Int63n(20)) % categories,
+			(offset + rng.Int63n(20)) % regions,
+		}
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Quickstart: define two relations, a query template, and a partial
+// materialized view; watch the second execution of a query deliver
+// partial results from cache in microseconds while the full answer
+// streams behind it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pmv"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "pmv-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := pmv.Open(dir, pmv.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Schema: products and their current sale discounts.
+	check(db.CreateRelation("product",
+		pmv.Col("pid", pmv.TypeInt),
+		pmv.Col("category", pmv.TypeInt),
+		pmv.Col("name", pmv.TypeString),
+	))
+	check(db.CreateRelation("sale",
+		pmv.Col("pid", pmv.TypeInt),
+		pmv.Col("store", pmv.TypeInt),
+		pmv.Col("discount", pmv.TypeInt),
+	))
+	check(db.CreateIndex("product", "pid"))
+	check(db.CreateIndex("product", "category"))
+	check(db.CreateIndex("sale", "pid"))
+	check(db.CreateIndex("sale", "store"))
+
+	// Data: 2000 products in 20 categories; sales in 10 stores.
+	for pid := 0; pid < 2000; pid++ {
+		check(db.Insert("product",
+			pmv.Int(int64(pid)), pmv.Int(int64(pid%20)), pmv.Str(fmt.Sprintf("product-%04d", pid))))
+		check(db.Insert("sale",
+			pmv.Int(int64(pid)), pmv.Int(int64((pid/20)%10)), pmv.Int(int64(5+pid%45))))
+	}
+
+	// Template: products of given categories on sale in given stores.
+	tpl := pmv.NewTemplate("on_sale").
+		From("product", "sale").
+		Select("product.name", "sale.discount").
+		Join("product.pid", "sale.pid").
+		WhereEq("product.category").
+		WhereEq("sale.store").
+		MustBuild()
+
+	view, err := db.CreatePartialView(tpl, pmv.ViewOptions{
+		MaxEntries:   1000,
+		TuplesPerBCP: 3,
+	})
+	check(err)
+
+	q := pmv.NewQuery(tpl).
+		In(0, pmv.Int(3), pmv.Int(7)). // categories
+		In(1, pmv.Int(2), pmv.Int(5)). // stores
+		Query()
+
+	for run := 1; run <= 2; run++ {
+		fmt.Printf("--- run %d ---\n", run)
+		partial, total := 0, 0
+		rep, err := view.ExecutePartial(q, func(r pmv.Result) error {
+			total++
+			if r.Partial {
+				partial++
+				if partial <= 3 {
+					fmt.Printf("  partial (from PMV): %v\n", r.Tuple)
+				}
+			}
+			return nil
+		})
+		check(err)
+		fmt.Printf("  hit=%v  partial=%d/%d tuples  partial-latency=%v  exec=%v  overhead=%v\n",
+			rep.Hit, partial, total, rep.PartialLatency, rep.ExecLatency, rep.Overhead)
+	}
+
+	st := view.Stats()
+	fmt.Printf("view: %d entries, %d cached tuples, hit probability %.2f\n",
+		view.Len(), view.TupleCount(), st.HitProbability())
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Tpcr runs the paper's Section 4.2 workload end to end: it loads the
+// TPC-R-like customer/orders/lineitem dataset, builds PMVs for the T1
+// and T2 templates, replays a skewed query stream, and reports hit
+// probability, partial-result latency, and PMV overhead versus query
+// execution time.
+//
+//	go run ./examples/tpcr [-scale 0.002] [-queries 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pmv"
+	"pmv/internal/core"
+	"pmv/internal/engine"
+	"pmv/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.002, "TPC-R-like scale factor")
+	queries := flag.Int("queries", 200, "queries per template")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "pmv-tpcr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	eng, err := engine.Open(dir, engine.Options{BufferPoolPages: 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	fmt.Printf("loading TPC-R-like data at s=%g...\n", *scale)
+	start := time.Now()
+	cfg, err := workload.LoadTPCR(eng, workload.TPCRConfig{ScaleFactor: *scale, Seed: 1})
+	check(err)
+	fmt.Printf("loaded %d customers, %d orders, %d lineitems in %v\n",
+		cfg.Customers(), cfg.Orders(), cfg.Lineitems(), time.Since(start))
+
+	t1 := workload.TemplateT1()
+	t2 := workload.TemplateT2()
+	v1, err := core.NewView(eng, core.Config{Template: t1, MaxEntries: 20000, TuplesPerBCP: 3})
+	check(err)
+	v2, err := core.NewView(eng, core.Config{Template: t2, MaxEntries: 20000, TuplesPerBCP: 3})
+	check(err)
+
+	gen := workload.NewQueryGen(cfg, 99, 0.05)
+
+	type agg struct {
+		partialLat, overhead, exec time.Duration
+		partials, totals           int
+	}
+	replay := func(v *core.View, mk func(hot bool) *pmv.Query) agg {
+		var a agg
+		for i := 0; i < *queries; i++ {
+			rep, err := v.ExecutePartial(mk(true), func(core.Result) error { return nil })
+			check(err)
+			a.partialLat += rep.PartialLatency
+			a.overhead += rep.Overhead
+			a.exec += rep.ExecLatency
+			a.partials += rep.PartialTuples
+			a.totals += rep.TotalTuples
+		}
+		return a
+	}
+
+	fmt.Printf("\nreplaying %d T1 queries (h=4: 2 dates x 2 suppliers)...\n", *queries)
+	a1 := replay(v1, func(hot bool) *pmv.Query { return gen.T1Query(t1, 2, 2, hot) })
+	report("T1", v1, a1.partials, a1.totals, a1.partialLat, a1.overhead, a1.exec, *queries)
+
+	fmt.Printf("\nreplaying %d T2 queries (h=4: 2 dates x 2 suppliers x 1 nation)...\n", *queries)
+	a2 := replay(v2, func(hot bool) *pmv.Query { return gen.T2Query(t2, 2, 2, 1, hot) })
+	report("T2", v2, a2.partials, a2.totals, a2.partialLat, a2.overhead, a2.exec, *queries)
+}
+
+func report(name string, v *core.View, partials, totals int, pl, oh, ex time.Duration, n int) {
+	st := v.Stats()
+	div := time.Duration(n)
+	fmt.Printf("%s: hit=%.2f  partial tuples=%d/%d  avg partial-latency=%v  avg overhead=%v  avg exec=%v (overhead is %.4f%% of exec)\n",
+		name, st.HitProbability(), partials, totals, pl/div, oh/div, ex/div,
+		100*float64(oh)/float64(ex))
+	fmt.Printf("%s view: %d entries, %d tuples, ~%d KiB\n",
+		name, v.Len(), v.TupleCount(), v.SizeBytes()/1024)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

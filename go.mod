@@ -1,0 +1,3 @@
+module pmv
+
+go 1.22

@@ -1,0 +1,28 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchPolicy(b *testing.B, p Policy) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bcp-%08d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[int(float64(len(keys))*rng.Float64()*rng.Float64())] // mild skew
+		if !p.Lookup(k) {
+			p.RequestAdmit(k)
+		}
+	}
+}
+
+func BenchmarkClock(b *testing.B)    { benchPolicy(b, NewClock(512)) }
+func BenchmarkTwoQueue(b *testing.B) { benchPolicy(b, NewTwoQueue(512, 256)) }
+func BenchmarkLRU(b *testing.B)      { benchPolicy(b, NewLRU(512)) }

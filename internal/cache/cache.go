@@ -1,0 +1,61 @@
+// Package cache implements the replacement policies that manage which
+// basic condition parts a PMV keeps: CLOCK (Section 3.2), a simplified
+// 2Q (Section 3.5 / Section 4.1), and LRU as an extra baseline. The
+// same policies drive both the live PMV store and the hit-probability
+// simulator, so simulated and measured hit rates are comparable.
+package cache
+
+import "fmt"
+
+// Policy decides which keys stay in the main cache. The PMV store
+// calls Lookup when a query references a bcp (Operation O1/O2) and
+// RequestAdmit when it has result tuples to cache for one (Operation
+// O3); evicted keys have their tuples dropped.
+type Policy interface {
+	// Lookup records a reference and reports whether key is in the
+	// main cache.
+	Lookup(key string) bool
+	// RequestAdmit asks to place key in the main cache. It reports
+	// whether the key was admitted and which keys were evicted to make
+	// room. Policies with an admission filter (2Q) may decline.
+	RequestAdmit(key string) (admitted bool, evicted []string)
+	// Remove drops key from all internal structures (PMV maintenance
+	// purges entries whose cached tuples were invalidated).
+	Remove(key string)
+	// Contains reports main-cache membership without recording a
+	// reference.
+	Contains(key string) bool
+	// Len returns the number of keys in the main cache.
+	Len() int
+	// Cap returns the main cache capacity.
+	Cap() int
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// PolicyKind selects a policy implementation.
+type PolicyKind string
+
+// Supported policies.
+const (
+	PolicyCLOCK PolicyKind = "clock"
+	Policy2Q    PolicyKind = "2q"
+	PolicyLRU   PolicyKind = "lru"
+)
+
+// New constructs a policy of the given kind and main-cache capacity.
+// For 2Q, the A1 admission queue gets 50% of capacity extra, matching
+// Section 4.1's setup where a bcp-only entry costs 4% of a full entry
+// (the experiment harness adjusts capacities for equal byte budgets).
+func New(kind PolicyKind, capacity int) (Policy, error) {
+	switch kind {
+	case PolicyCLOCK:
+		return NewClock(capacity), nil
+	case Policy2Q:
+		return NewTwoQueue(capacity, capacity/2), nil
+	case PolicyLRU:
+		return NewLRU(capacity), nil
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %q", kind)
+	}
+}

@@ -1,0 +1,235 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestNewFactory(t *testing.T) {
+	for _, kind := range []PolicyKind{PolicyCLOCK, Policy2Q, PolicyLRU} {
+		p, err := New(kind, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if p.Cap() < 1 {
+			t.Errorf("%s: cap %d", kind, p.Cap())
+		}
+	}
+	if _, err := New("bogus", 10); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// policies under test, with a fresh instance per case.
+func allPolicies(capacity int) []Policy {
+	return []Policy{NewClock(capacity), NewTwoQueue(capacity, capacity/2), NewLRU(capacity)}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	for _, p := range allPolicies(8) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 2000; i++ {
+			k := fmt.Sprintf("k%d", rng.Intn(100))
+			if !p.Lookup(k) {
+				p.RequestAdmit(k)
+			}
+			if p.Len() > p.Cap() {
+				t.Fatalf("%s: len %d > cap %d", p.Name(), p.Len(), p.Cap())
+			}
+		}
+	}
+}
+
+func TestAdmitThenLookup(t *testing.T) {
+	for _, p := range allPolicies(4) {
+		adm, _ := p.RequestAdmit("a")
+		if _, isTQ := p.(*TwoQueue); isTQ {
+			if adm {
+				t.Errorf("%s: first sighting admitted", p.Name())
+			}
+			// Second sighting promotes.
+			adm, _ = p.RequestAdmit("a")
+		}
+		if !adm {
+			t.Errorf("%s: admission failed", p.Name())
+		}
+		if !p.Lookup("a") || !p.Contains("a") {
+			t.Errorf("%s: admitted key not found", p.Name())
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	for _, p := range allPolicies(4) {
+		p.RequestAdmit("a")
+		p.RequestAdmit("a") // promote for 2Q
+		p.Remove("a")
+		if p.Contains("a") || p.Lookup("a") {
+			t.Errorf("%s: removed key still present", p.Name())
+		}
+		if p.Len() != 0 {
+			t.Errorf("%s: len %d after remove", p.Name(), p.Len())
+		}
+		// Removing a missing key is a no-op.
+		p.Remove("ghost")
+	}
+}
+
+func TestEvictionReportsVictims(t *testing.T) {
+	for _, p := range []Policy{NewClock(3), NewLRU(3)} {
+		var evicted []string
+		for i := 0; i < 10; i++ {
+			_, ev := p.RequestAdmit(fmt.Sprintf("k%d", i))
+			evicted = append(evicted, ev...)
+		}
+		if len(evicted) != 7 {
+			t.Errorf("%s: %d evictions for 10 admits into 3 slots", p.Name(), len(evicted))
+		}
+		// Evicted keys are gone.
+		for _, k := range evicted {
+			if p.Contains(k) {
+				t.Errorf("%s: evicted %q still present", p.Name(), k)
+			}
+		}
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	l := NewLRU(2)
+	l.RequestAdmit("a")
+	l.RequestAdmit("b")
+	l.Lookup("a") // a is now most recent
+	_, ev := l.RequestAdmit("c")
+	if len(ev) != 1 || ev[0] != "b" {
+		t.Errorf("evicted %v, want [b]", ev)
+	}
+	if !l.Contains("a") || !l.Contains("c") || l.Contains("b") {
+		t.Error("LRU state wrong")
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	c := NewClock(2)
+	c.RequestAdmit("a")
+	c.RequestAdmit("b")
+	// Admitting c sweeps: both a and b lose their reference bits; a is
+	// evicted (hand order). b survives with ref cleared.
+	c.RequestAdmit("c")
+	if c.Contains("a") {
+		t.Error("a survived")
+	}
+	// Touch c; then admitting d must evict b (ref cleared), not c.
+	c.Lookup("c")
+	_, ev := c.RequestAdmit("d")
+	if len(ev) != 1 || ev[0] != "b" {
+		t.Errorf("evicted %v, want [b]", ev)
+	}
+	if !c.Contains("c") {
+		t.Error("referenced entry evicted")
+	}
+}
+
+func TestClockReusesRemovedSlots(t *testing.T) {
+	c := NewClock(3)
+	c.RequestAdmit("a")
+	c.RequestAdmit("b")
+	c.RequestAdmit("c")
+	c.Remove("b")
+	_, ev := c.RequestAdmit("d")
+	if len(ev) != 0 {
+		t.Errorf("eviction despite free slot: %v", ev)
+	}
+	if c.Len() != 3 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func Test2QAdmissionFilter(t *testing.T) {
+	q := NewTwoQueue(4, 2)
+	// One-hit wonders never enter Am.
+	for i := 0; i < 10; i++ {
+		adm, _ := q.RequestAdmit(fmt.Sprintf("once%d", i))
+		if adm {
+			t.Fatal("single-sighting key admitted")
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Am holds %d one-hit wonders", q.Len())
+	}
+	// A repeated key is admitted on its second sighting while in A1.
+	q.RequestAdmit("hot")
+	adm, _ := q.RequestAdmit("hot")
+	if !adm || !q.Contains("hot") {
+		t.Error("repeated key not promoted")
+	}
+}
+
+func Test2QA1IsFIFOAndBounded(t *testing.T) {
+	q := NewTwoQueue(4, 2)
+	q.RequestAdmit("a") // A1: [a]
+	q.RequestAdmit("b") // A1: [a b]
+	q.RequestAdmit("c") // A1: [b c] (a fell off)
+	if q.InA1("a") {
+		t.Error("A1 exceeded its bound")
+	}
+	// "a" fell out of A1: seeing it again does NOT promote.
+	adm, _ := q.RequestAdmit("a")
+	if adm {
+		t.Error("key promoted after falling out of A1")
+	}
+}
+
+func Test2QPromotionClearsA1(t *testing.T) {
+	q := NewTwoQueue(4, 4)
+	q.RequestAdmit("x")
+	if !q.InA1("x") {
+		t.Fatal("x not in A1")
+	}
+	q.RequestAdmit("x")
+	if q.InA1("x") {
+		t.Error("promoted key still in A1")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewClock(1).Name() != "CLOCK" || NewTwoQueue(1, 1).Name() != "2Q" || NewLRU(1).Name() != "LRU" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestSkewedWorkloadHitRates(t *testing.T) {
+	// Under a skewed workload with a working set larger than the
+	// cache, 2Q's admission filter should beat plain CLOCK.
+	run := func(p Policy) float64 {
+		rng := rand.New(rand.NewSource(42))
+		hits, total := 0, 0
+		for i := 0; i < 60000; i++ {
+			var k string
+			if rng.Intn(100) < 60 {
+				k = fmt.Sprintf("hot%d", rng.Intn(50)) // hot set of 50
+			} else {
+				k = fmt.Sprintf("cold%d", rng.Intn(100000)) // huge cold tail
+			}
+			if i > 20000 { // measure after warm-up
+				total++
+				if p.Lookup(k) {
+					hits++
+					continue
+				}
+			} else if p.Lookup(k) {
+				continue
+			}
+			p.RequestAdmit(k)
+		}
+		return float64(hits) / float64(total)
+	}
+	clock := run(NewClock(102))
+	twoq := run(NewTwoQueue(100, 50))
+	if twoq <= clock {
+		t.Errorf("2Q (%.3f) did not beat CLOCK (%.3f) on scan-polluted workload", twoq, clock)
+	}
+	if twoq < 0.5 {
+		t.Errorf("2Q hit rate %.3f suspiciously low", twoq)
+	}
+}

@@ -1,0 +1,104 @@
+package cache
+
+// Clock is the CLOCK (second-chance) policy of Section 3.2: a circular
+// buffer of entries with reference bits; the hand sweeps, clearing bits,
+// and evicts the first unreferenced entry.
+type Clock struct {
+	capacity int
+	slots    []clockSlot
+	index    map[string]int
+	hand     int
+	used     int
+}
+
+type clockSlot struct {
+	key   string
+	ref   bool
+	valid bool
+}
+
+// NewClock returns a CLOCK policy with the given capacity.
+func NewClock(capacity int) *Clock {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Clock{
+		capacity: capacity,
+		slots:    make([]clockSlot, capacity),
+		index:    make(map[string]int, capacity),
+	}
+}
+
+// Name implements Policy.
+func (c *Clock) Name() string { return "CLOCK" }
+
+// Lookup implements Policy: a hit sets the reference bit.
+func (c *Clock) Lookup(key string) bool {
+	if i, ok := c.index[key]; ok {
+		c.slots[i].ref = true
+		return true
+	}
+	return false
+}
+
+// Contains implements Policy.
+func (c *Clock) Contains(key string) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+// RequestAdmit implements Policy: CLOCK always admits, evicting the
+// hand's victim when full.
+func (c *Clock) RequestAdmit(key string) (bool, []string) {
+	if i, ok := c.index[key]; ok {
+		c.slots[i].ref = true
+		return true, nil
+	}
+	var evicted []string
+	if c.used < c.capacity {
+		// Find a free slot (holes left by Remove are reused).
+		for range c.slots {
+			if !c.slots[c.hand].valid {
+				break
+			}
+			c.hand = (c.hand + 1) % c.capacity
+		}
+	} else {
+		// Sweep: clear reference bits until an unreferenced victim.
+		for {
+			s := &c.slots[c.hand]
+			if s.valid && s.ref {
+				s.ref = false
+				c.hand = (c.hand + 1) % c.capacity
+				continue
+			}
+			if s.valid {
+				evicted = append(evicted, s.key)
+				delete(c.index, s.key)
+				s.valid = false
+				c.used--
+			}
+			break
+		}
+	}
+	c.slots[c.hand] = clockSlot{key: key, ref: true, valid: true}
+	c.index[key] = c.hand
+	c.hand = (c.hand + 1) % c.capacity
+	c.used++
+	return true, evicted
+}
+
+// Remove implements Policy.
+func (c *Clock) Remove(key string) {
+	if i, ok := c.index[key]; ok {
+		c.slots[i] = clockSlot{}
+		delete(c.index, key)
+		c.used--
+	}
+}
+
+// Len implements Policy.
+func (c *Clock) Len() int { return c.used }
+
+// Cap implements Policy.
+func (c *Clock) Cap() int { return c.capacity }

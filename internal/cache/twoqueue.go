@@ -1,0 +1,149 @@
+package cache
+
+import "container/list"
+
+// TwoQueue is the simplified 2Q of Section 4.1: the main cache Am is a
+// CLOCK of N entries holding bcps with their cached tuples; A1 is a
+// FIFO of N′ = 50%·N bcp-only entries. A bcp's first appearance puts it
+// in A1; a second appearance while still in A1 promotes it to Am. Only
+// Am serves partial results.
+type TwoQueue struct {
+	am      *Clock
+	a1      *list.List // FIFO of keys; front = oldest
+	a1Index map[string]*list.Element
+	a1Cap   int
+}
+
+// NewTwoQueue returns a 2Q policy with Am capacity amCap and A1
+// capacity a1Cap.
+func NewTwoQueue(amCap, a1Cap int) *TwoQueue {
+	if a1Cap < 1 {
+		a1Cap = 1
+	}
+	return &TwoQueue{
+		am:      NewClock(amCap),
+		a1:      list.New(),
+		a1Index: make(map[string]*list.Element, a1Cap),
+		a1Cap:   a1Cap,
+	}
+}
+
+// Name implements Policy.
+func (q *TwoQueue) Name() string { return "2Q" }
+
+// Lookup implements Policy: only Am counts as a hit.
+func (q *TwoQueue) Lookup(key string) bool { return q.am.Lookup(key) }
+
+// Contains implements Policy.
+func (q *TwoQueue) Contains(key string) bool { return q.am.Contains(key) }
+
+// InA1 reports whether key currently sits in the admission queue
+// (exported for tests and stats).
+func (q *TwoQueue) InA1(key string) bool {
+	_, ok := q.a1Index[key]
+	return ok
+}
+
+// RequestAdmit implements Policy. First sighting → A1, not admitted;
+// sighting while in A1 → promoted to Am (admitted); already in Am →
+// admitted (reference recorded).
+func (q *TwoQueue) RequestAdmit(key string) (bool, []string) {
+	if q.am.Contains(key) {
+		q.am.Lookup(key)
+		return true, nil
+	}
+	if el, ok := q.a1Index[key]; ok {
+		q.a1.Remove(el)
+		delete(q.a1Index, key)
+		return q.am.RequestAdmit(key)
+	}
+	// First sighting: enqueue in A1, evicting its oldest if full.
+	if q.a1.Len() >= q.a1Cap {
+		oldest := q.a1.Front()
+		q.a1.Remove(oldest)
+		delete(q.a1Index, oldest.Value.(string))
+	}
+	q.a1Index[key] = q.a1.PushBack(key)
+	return false, nil
+}
+
+// Remove implements Policy.
+func (q *TwoQueue) Remove(key string) {
+	q.am.Remove(key)
+	if el, ok := q.a1Index[key]; ok {
+		q.a1.Remove(el)
+		delete(q.a1Index, key)
+	}
+}
+
+// Len implements Policy (main cache only).
+func (q *TwoQueue) Len() int { return q.am.Len() }
+
+// Cap implements Policy (main cache only).
+func (q *TwoQueue) Cap() int { return q.am.Cap() }
+
+// LRU is a classic least-recently-used policy, included as an extra
+// baseline beyond the paper's CLOCK/2Q comparison.
+type LRU struct {
+	capacity int
+	ll       *list.List // front = most recent
+	index    map[string]*list.Element
+}
+
+// NewLRU returns an LRU policy with the given capacity.
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU{capacity: capacity, ll: list.New(), index: make(map[string]*list.Element, capacity)}
+}
+
+// Name implements Policy.
+func (l *LRU) Name() string { return "LRU" }
+
+// Lookup implements Policy.
+func (l *LRU) Lookup(key string) bool {
+	if el, ok := l.index[key]; ok {
+		l.ll.MoveToFront(el)
+		return true
+	}
+	return false
+}
+
+// Contains implements Policy.
+func (l *LRU) Contains(key string) bool {
+	_, ok := l.index[key]
+	return ok
+}
+
+// RequestAdmit implements Policy: always admits, evicting the LRU tail.
+func (l *LRU) RequestAdmit(key string) (bool, []string) {
+	if el, ok := l.index[key]; ok {
+		l.ll.MoveToFront(el)
+		return true, nil
+	}
+	var evicted []string
+	if l.ll.Len() >= l.capacity {
+		tail := l.ll.Back()
+		l.ll.Remove(tail)
+		k := tail.Value.(string)
+		delete(l.index, k)
+		evicted = append(evicted, k)
+	}
+	l.index[key] = l.ll.PushFront(key)
+	return true, evicted
+}
+
+// Remove implements Policy.
+func (l *LRU) Remove(key string) {
+	if el, ok := l.index[key]; ok {
+		l.ll.Remove(el)
+		delete(l.index, key)
+	}
+}
+
+// Len implements Policy.
+func (l *LRU) Len() int { return l.ll.Len() }
+
+// Cap implements Policy.
+func (l *LRU) Cap() int { return l.capacity }

@@ -1,0 +1,102 @@
+package catalog
+
+import (
+	"testing"
+
+	"pmv/internal/value"
+)
+
+func TestCollectStats(t *testing.T) {
+	c, _, _ := newCatalog(t)
+	r, _ := c.CreateRelation("items", itemsSchema())
+	for i := 0; i < 100; i++ {
+		name := value.Str("x")
+		if i%10 == 0 {
+			name = value.Null()
+		}
+		r.Heap.Insert(value.Tuple{value.Int(int64(i % 25)), name, value.Float(float64(i))})
+	}
+	st, err := c.Analyze("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RowCount != 100 {
+		t.Errorf("rows = %d", st.RowCount)
+	}
+	if st.Cols[0].NDistinct != 25 {
+		t.Errorf("id distinct = %d", st.Cols[0].NDistinct)
+	}
+	if st.Cols[1].NDistinct != 1 || st.Cols[1].NullCount != 10 {
+		t.Errorf("name stats: distinct=%d nulls=%d", st.Cols[1].NDistinct, st.Cols[1].NullCount)
+	}
+	if st.Cols[2].Min.Float64() != 0 || st.Cols[2].Max.Float64() != 99 {
+		t.Errorf("price bounds: %v..%v", st.Cols[2].Min, st.Cols[2].Max)
+	}
+	// Stats hang off the relation after Analyze.
+	if r.Stats == nil || r.Stats.RowCount != 100 {
+		t.Error("stats not attached to relation")
+	}
+}
+
+func TestAnalyzeMissingRelation(t *testing.T) {
+	c, _, _ := newCatalog(t)
+	if _, err := c.Analyze("ghost"); err == nil {
+		t.Error("analyze of missing relation succeeded")
+	}
+}
+
+func TestStatsPersist(t *testing.T) {
+	dir := t.TempDir()
+	{
+		c, _, pool := newCatalogAt(t, dir)
+		r, _ := c.CreateRelation("items", itemsSchema())
+		for i := 0; i < 30; i++ {
+			r.Heap.Insert(value.Tuple{value.Int(int64(i)), value.Str("s"), value.Float(1)})
+		}
+		if _, err := c.Analyze("items"); err != nil {
+			t.Fatal(err)
+		}
+		pool.FlushAll()
+	}
+	c2, _, _ := newCatalogAt(t, dir)
+	r, err := c2.GetRelation("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats == nil || r.Stats.RowCount != 30 || r.Stats.Cols[0].NDistinct != 30 {
+		t.Errorf("stats lost across reopen: %+v", r.Stats)
+	}
+	if r.Stats.Cols[0].Min.Int64() != 0 || r.Stats.Cols[0].Max.Int64() != 29 {
+		t.Errorf("min/max lost: %v..%v", r.Stats.Cols[0].Min, r.Stats.Cols[0].Max)
+	}
+}
+
+func TestSelectivityEstimates(t *testing.T) {
+	c, _, _ := newCatalog(t)
+	r, _ := c.CreateRelation("items", itemsSchema())
+	for i := 0; i < 200; i++ {
+		r.Heap.Insert(value.Tuple{value.Int(int64(i % 50)), value.Str("s"), value.Float(float64(i % 100))})
+	}
+	c.Analyze("items")
+	if got := r.EqSelectivity(0, 5); got != 0.1 {
+		t.Errorf("eq selectivity = %f, want 0.1", got)
+	}
+	if got := r.EqSelectivity(0, 100); got != 1 {
+		t.Errorf("clamped eq selectivity = %f", got)
+	}
+	got := r.RangeSelectivity(2, value.Int(0), value.Int(49))
+	if got < 0.45 || got > 0.55 {
+		t.Errorf("range selectivity = %f, want ~0.5", got)
+	}
+	if got := r.RangeSelectivity(2, value.Int(200), value.Int(300)); got != 0 {
+		t.Errorf("out-of-range selectivity = %f", got)
+	}
+	if got := r.RangeSelectivity(1, value.Null(), value.Null()); got != 1 {
+		t.Errorf("string range selectivity = %f, want 1 (no span)", got)
+	}
+	// Without stats, everything is 1.
+	r2, _ := c.CreateRelation("fresh", itemsSchema())
+	if r2.EqSelectivity(0, 1) != 1 || r2.RangeSelectivity(0, value.Null(), value.Null()) != 1 {
+		t.Error("missing stats should yield selectivity 1")
+	}
+}

@@ -1,0 +1,306 @@
+// Package core implements the paper's contribution: the partial
+// materialized view (PMV). A PMV caches, per hot basic condition part
+// (bcp), at most F result tuples of a query template, bounded to UB
+// entries, managed by a pluggable replacement policy, probed before
+// query execution (Operations O1/O2) and refilled for free during it
+// (Operation O3), with deferred maintenance on base-relation change
+// (Section 3.4).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pmv/internal/expr"
+	"pmv/internal/keycodec"
+	"pmv/internal/value"
+)
+
+// Discretizer turns one interval-form condition's domain into basic
+// intervals via sorted dividing values d0 < d1 < ... < dk (Section
+// 3.1). Basic interval ids:
+//
+//	id 0:   (-inf, d0)
+//	id i:   [d(i-1), d(i))   for 1 <= i <= k
+//	id k+1: [dk, +inf)
+//
+// Every attribute value maps to exactly one basic interval, and the
+// basic intervals cover the entire range — the paper's requirement.
+type Discretizer struct {
+	dividers []value.Value
+}
+
+// NewDiscretizer builds a discretizer from dividing values, which are
+// sorted and deduplicated.
+func NewDiscretizer(dividers []value.Value) *Discretizer {
+	ds := make([]value.Value, len(dividers))
+	copy(ds, dividers)
+	sort.Slice(ds, func(i, j int) bool { return value.Compare(ds[i], ds[j]) < 0 })
+	out := ds[:0]
+	for i, d := range ds {
+		if i == 0 || !value.Equal(d, out[len(out)-1]) {
+			out = append(out, d)
+		}
+	}
+	return &Discretizer{dividers: out}
+}
+
+// NumIntervals returns the number of basic intervals (k+2 for k+1
+// dividers, or 1 when there are no dividers).
+func (d *Discretizer) NumIntervals() int { return len(d.dividers) + 1 }
+
+// IDOf returns the basic interval id containing v.
+func (d *Discretizer) IDOf(v value.Value) int {
+	// First divider strictly greater than v bounds v's interval above;
+	// sort.Search returns the count of dividers <= v.
+	return sort.Search(len(d.dividers), func(i int) bool {
+		return value.Compare(d.dividers[i], v) > 0
+	})
+}
+
+// IntervalOf returns basic interval id as an expr.Interval
+// ([lo, hi), unbounded at the ends).
+func (d *Discretizer) IntervalOf(id int) expr.Interval {
+	var iv expr.Interval
+	if id > 0 {
+		iv.Lo = d.dividers[id-1]
+		iv.LoIncl = true
+	}
+	if id < len(d.dividers) {
+		iv.Hi = d.dividers[id]
+		iv.HiIncl = false
+	}
+	return iv
+}
+
+// Overlapping returns the ids of every basic interval overlapping iv,
+// in ascending order.
+func (d *Discretizer) Overlapping(iv expr.Interval) []int {
+	lo := 0
+	if !iv.Lo.IsNull() {
+		// IDOf returns the basic interval containing the bound itself;
+		// an open lower bound sitting exactly on a divider still starts
+		// inside [divider, next), so no adjustment is needed.
+		lo = d.IDOf(iv.Lo)
+	}
+	hi := len(d.dividers)
+	if !iv.Hi.IsNull() {
+		hi = d.IDOf(iv.Hi)
+		// If the upper bound is exclusive and sits exactly on a
+		// divider, the basic interval starting at that divider is not
+		// touched.
+		if !iv.HiIncl && hi > 0 && value.Equal(iv.Hi, d.dividers[hi-1]) {
+			hi--
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	out := make([]int, 0, hi-lo+1)
+	for id := lo; id <= hi; id++ {
+		out = append(out, id)
+	}
+	return out
+}
+
+// LearnDividers derives dividing values from a trace of query
+// intervals, mirroring the paper's observation that form-based
+// applications expose from/to value lists: every distinct bound that
+// appears becomes a divider. This is the "learn dividing values from
+// query traces" fallback of Section 3.1.
+func LearnDividers(trace []expr.Interval) []value.Value {
+	var vals []value.Value
+	for _, iv := range trace {
+		if !iv.Lo.IsNull() {
+			vals = append(vals, iv.Lo)
+		}
+		if !iv.Hi.IsNull() {
+			vals = append(vals, iv.Hi)
+		}
+	}
+	return NewDiscretizer(vals).dividers
+}
+
+// condComponent is one coordinate of a condition part: either an
+// equality value or a (sub-)interval with its containing basic
+// interval id.
+type condComponent struct {
+	// equality form
+	val value.Value
+	// interval form
+	iv      expr.Interval
+	basicID int
+
+	isEquality bool
+	// exact is true when the component equals its containing basic
+	// component (so cached tuples need no re-checking against it).
+	exact bool
+}
+
+// ConditionPart is one non-overlapping piece of a query's Cselect
+// produced by Operation O1, together with its containing basic
+// condition part.
+type ConditionPart struct {
+	comps []condComponent
+	// BCPKey is the encoded containing basic condition part.
+	BCPKey string
+	// Exact reports whether the part *is* its containing bcp (every
+	// component exact), in which case any tuple belonging to the bcp
+	// belongs to the part.
+	Exact bool
+}
+
+// Matches reports whether the values of the condition attributes
+// (ordered as the template's conditions) satisfy this condition part.
+func (cp *ConditionPart) Matches(condVals []value.Value) bool {
+	for i, c := range cp.comps {
+		v := condVals[i]
+		if c.isEquality {
+			if !value.Equal(v, c.val) {
+				return false
+			}
+		} else if !c.iv.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the part for diagnostics.
+func (cp *ConditionPart) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, c := range cp.comps {
+		if i > 0 {
+			sb.WriteString(" & ")
+		}
+		if c.isEquality {
+			fmt.Fprintf(&sb, "=%s", c.val)
+		} else {
+			fmt.Fprintf(&sb, "%s@bi%d", c.iv, c.basicID)
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// bcpCoder maps between attribute values and encoded bcp keys for one
+// view: equality-form conditions contribute their value, interval-form
+// conditions contribute the id of the containing basic interval
+// (Section 3.1's storage rule).
+type bcpCoder struct {
+	forms []expr.CondForm
+	discs []*Discretizer // nil for equality-form conditions
+}
+
+// keyFromComponents encodes the containing bcp of a component vector.
+func (bc *bcpCoder) keyFromComponents(comps []condComponent) string {
+	buf := make([]byte, 0, 16*len(comps))
+	for i, c := range comps {
+		if bc.forms[i] == expr.EqualityForm {
+			buf = keycodec.AppendValue(buf, c.val)
+		} else {
+			buf = keycodec.AppendValue(buf, value.Int(int64(c.basicID)))
+		}
+	}
+	return string(buf)
+}
+
+// KeyFromCondValues encodes the containing bcp of a result tuple given
+// the values of its condition attributes — this is how Operation O3
+// and maintenance recover the "conceptual" bcp from the stored
+// attributes ats.
+func (bc *bcpCoder) KeyFromCondValues(condVals []value.Value) string {
+	buf := make([]byte, 0, 16*len(condVals))
+	for i, v := range condVals {
+		if bc.forms[i] == expr.EqualityForm {
+			buf = keycodec.AppendValue(buf, v)
+		} else {
+			buf = keycodec.AppendValue(buf, value.Int(int64(bc.discs[i].IDOf(v))))
+		}
+	}
+	return string(buf)
+}
+
+// ErrTooManyParts is returned by BreakConditions when the cartesian
+// product of per-condition components exceeds the cap; the caller
+// falls back to plain execution (no PMV probe) for that query.
+var ErrTooManyParts = fmt.Errorf("core: query breaks into too many condition parts")
+
+// BreakConditions is Operation O1: break a query's Cselect into
+// non-overlapping condition parts, each with its containing basic
+// condition part. maxParts caps the cartesian-product size.
+func (bc *bcpCoder) BreakConditions(q *expr.Query, maxParts int) ([]ConditionPart, error) {
+	m := len(q.Conds)
+	sets := make([][]condComponent, m)
+	total := 1
+	for i := 0; i < m; i++ {
+		var comps []condComponent
+		if bc.forms[i] == expr.EqualityForm {
+			for _, v := range q.Conds[i].Values {
+				comps = append(comps, condComponent{val: v, isEquality: true, exact: true})
+			}
+		} else {
+			disc := bc.discs[i]
+			for _, iv := range q.Conds[i].Intervals {
+				for _, id := range disc.Overlapping(iv) {
+					basic := disc.IntervalOf(id)
+					inter := iv.Intersect(basic)
+					exact := intervalsEqual(inter, basic)
+					comps = append(comps, condComponent{iv: inter, basicID: id, exact: exact})
+				}
+			}
+		}
+		if len(comps) == 0 {
+			return nil, fmt.Errorf("core: condition %d of query has no disjuncts", i)
+		}
+		sets[i] = comps
+		total *= len(comps)
+		if maxParts > 0 && total > maxParts {
+			return nil, ErrTooManyParts
+		}
+	}
+
+	parts := make([]ConditionPart, 0, total)
+	idx := make([]int, m)
+	for {
+		comps := make([]condComponent, m)
+		exact := true
+		for i := 0; i < m; i++ {
+			comps[i] = sets[i][idx[i]]
+			exact = exact && comps[i].exact
+		}
+		parts = append(parts, ConditionPart{
+			comps:  comps,
+			BCPKey: bc.keyFromComponents(comps),
+			Exact:  exact,
+		})
+		// Advance the mixed-radix counter.
+		j := m - 1
+		for ; j >= 0; j-- {
+			idx[j]++
+			if idx[j] < len(sets[j]) {
+				break
+			}
+			idx[j] = 0
+		}
+		if j < 0 {
+			break
+		}
+	}
+	return parts, nil
+}
+
+func intervalsEqual(a, b expr.Interval) bool {
+	boundEq := func(x, y value.Value, xi, yi bool) bool {
+		if x.IsNull() != y.IsNull() {
+			return false
+		}
+		if x.IsNull() {
+			return true
+		}
+		return value.Equal(x, y) && xi == yi
+	}
+	return boundEq(a.Lo, b.Lo, a.LoIncl, b.LoIncl) && boundEq(a.Hi, b.Hi, a.HiIncl, b.HiIncl)
+}

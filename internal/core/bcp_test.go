@@ -1,0 +1,292 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmv/internal/expr"
+	"pmv/internal/value"
+)
+
+func ints(vs ...int64) []value.Value {
+	out := make([]value.Value, len(vs))
+	for i, v := range vs {
+		out[i] = value.Int(v)
+	}
+	return out
+}
+
+func TestDiscretizerBasics(t *testing.T) {
+	d := NewDiscretizer(ints(10, 20, 30))
+	if d.NumIntervals() != 4 {
+		t.Fatalf("NumIntervals = %d", d.NumIntervals())
+	}
+	cases := []struct {
+		v    int64
+		want int
+	}{{-5, 0}, {9, 0}, {10, 1}, {15, 1}, {19, 1}, {20, 2}, {29, 2}, {30, 3}, {1000, 3}}
+	for _, c := range cases {
+		if got := d.IDOf(value.Int(c.v)); got != c.want {
+			t.Errorf("IDOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDiscretizerDedupAndSort(t *testing.T) {
+	d := NewDiscretizer(ints(30, 10, 20, 10, 30))
+	if d.NumIntervals() != 4 {
+		t.Errorf("duplicates not removed: %d intervals", d.NumIntervals())
+	}
+}
+
+func TestDiscretizerIntervalOfConsistent(t *testing.T) {
+	d := NewDiscretizer(ints(0, 100, 200, 300))
+	// Property: every value's id's interval contains the value.
+	f := func(v int16) bool {
+		val := value.Int(int64(v))
+		id := d.IDOf(val)
+		return d.IntervalOf(id).Contains(val)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Property: intervals partition — adjacent intervals share a
+	// boundary where the right one is closed and the left open.
+	for id := 0; id < d.NumIntervals()-1; id++ {
+		a, b := d.IntervalOf(id), d.IntervalOf(id+1)
+		if a.Overlaps(b) {
+			t.Errorf("intervals %d and %d overlap: %v %v", id, id+1, a, b)
+		}
+		if !value.Equal(a.Hi, b.Lo) {
+			t.Errorf("gap between intervals %d and %d", id, id+1)
+		}
+	}
+}
+
+func TestDiscretizerOverlapping(t *testing.T) {
+	d := NewDiscretizer(ints(10, 20, 30))
+	iv := func(lo, hi int64) expr.Interval {
+		return expr.Interval{Lo: value.Int(lo), Hi: value.Int(hi), LoIncl: true, HiIncl: false}
+	}
+	cases := []struct {
+		in   expr.Interval
+		want []int
+	}{
+		{iv(0, 5), []int{0}},
+		{iv(5, 15), []int{0, 1}},
+		{iv(10, 20), []int{1}},
+		{iv(15, 35), []int{1, 2, 3}},
+		{iv(30, 99), []int{3}},
+		{expr.Interval{}, []int{0, 1, 2, 3}},                          // unbounded
+		{expr.Interval{Lo: value.Int(25), LoIncl: true}, []int{2, 3}}, // [25, +inf)
+		{expr.Interval{Hi: value.Int(10), HiIncl: false}, []int{0}},   // (-inf, 10)
+		{expr.Interval{Hi: value.Int(10), HiIncl: true}, []int{0, 1}}, // (-inf, 10]
+	}
+	for _, c := range cases {
+		got := d.Overlapping(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("Overlapping(%v) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Overlapping(%v) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestDiscretizerOverlappingProperty(t *testing.T) {
+	d := NewDiscretizer(ints(0, 50, 100, 150, 200))
+	// Property: id ∈ Overlapping(iv) iff IntervalOf(id) overlaps iv.
+	f := func(a, b int16) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		iv := expr.Interval{Lo: value.Int(lo), Hi: value.Int(hi + 1), LoIncl: true, HiIncl: false}
+		got := map[int]bool{}
+		for _, id := range d.Overlapping(iv) {
+			got[id] = true
+		}
+		for id := 0; id < d.NumIntervals(); id++ {
+			if got[id] != d.IntervalOf(id).Overlaps(iv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLearnDividers(t *testing.T) {
+	trace := []expr.Interval{
+		{Lo: value.Int(10), Hi: value.Int(20), LoIncl: true},
+		{Lo: value.Int(20), Hi: value.Int(40), LoIncl: true},
+		{Lo: value.Int(10), Hi: value.Int(40)}, // repeats
+		{Hi: value.Int(5)},                     // unbounded low
+	}
+	got := LearnDividers(trace)
+	want := []int64{5, 10, 20, 40}
+	if len(got) != len(want) {
+		t.Fatalf("dividers %v", got)
+	}
+	for i := range got {
+		if got[i].Int64() != want[i] {
+			t.Fatalf("dividers %v, want %v", got, want)
+		}
+	}
+}
+
+func newCoder(forms []expr.CondForm, dividers map[int][]value.Value) *bcpCoder {
+	bc := &bcpCoder{forms: forms, discs: make([]*Discretizer, len(forms))}
+	for i, f := range forms {
+		if f == expr.IntervalForm {
+			bc.discs[i] = NewDiscretizer(dividers[i])
+		}
+	}
+	return bc
+}
+
+func eqIntervalTemplate() *expr.Template {
+	return &expr.Template{
+		Name:      "mix",
+		Relations: []string{"r"},
+		Select:    []expr.ColumnRef{{Rel: "r", Col: "x"}},
+		Conds: []expr.CondTemplate{
+			{Col: expr.ColumnRef{Rel: "r", Col: "f"}, Form: expr.EqualityForm},
+			{Col: expr.ColumnRef{Rel: "r", Col: "g"}, Form: expr.IntervalForm},
+		},
+	}
+}
+
+func TestBreakConditionsPartition(t *testing.T) {
+	tpl := eqIntervalTemplate()
+	bc := newCoder(
+		[]expr.CondForm{expr.EqualityForm, expr.IntervalForm},
+		map[int][]value.Value{1: ints(10, 20, 30)},
+	)
+	q := &expr.Query{
+		Template: tpl,
+		Conds: []expr.CondInstance{
+			{Values: ints(1, 2)},
+			{Intervals: []expr.Interval{
+				{Lo: value.Int(5), Hi: value.Int(25), LoIncl: true, HiIncl: false},
+			}},
+		},
+	}
+	parts, err := bc.BreakConditions(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval [5,25) crosses basic intervals 0, 1, 2 → 2 values × 3 = 6.
+	if len(parts) != 6 {
+		t.Fatalf("parts = %d, want 6", len(parts))
+	}
+
+	// Partition property over a sample grid: every (f, g) satisfying
+	// the query matches exactly one part, and non-satisfying points
+	// match none.
+	for f := int64(0); f < 4; f++ {
+		for g := int64(0); g < 40; g++ {
+			vals := []value.Value{value.Int(f), value.Int(g)}
+			matches := 0
+			for pi := range parts {
+				if parts[pi].Matches(vals) {
+					matches++
+				}
+			}
+			inQuery := (f == 1 || f == 2) && g >= 5 && g < 25
+			want := 0
+			if inQuery {
+				want = 1
+			}
+			if matches != want {
+				t.Errorf("(f=%d,g=%d): %d matching parts, want %d", f, g, matches, want)
+			}
+		}
+	}
+}
+
+func TestBreakConditionsExactFlag(t *testing.T) {
+	bc := newCoder(
+		[]expr.CondForm{expr.EqualityForm, expr.IntervalForm},
+		map[int][]value.Value{1: ints(10, 20)},
+	)
+	tpl := eqIntervalTemplate()
+	// Query exactly covering basic interval [10,20): part is exact.
+	q := &expr.Query{Template: tpl, Conds: []expr.CondInstance{
+		{Values: ints(1)},
+		{Intervals: []expr.Interval{{Lo: value.Int(10), Hi: value.Int(20), LoIncl: true, HiIncl: false}}},
+	}}
+	parts, err := bc.BreakConditions(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || !parts[0].Exact {
+		t.Errorf("expected one exact part, got %+v", parts)
+	}
+	// Sub-interval [12,15): contained, not exact.
+	q.Conds[1].Intervals[0] = expr.Interval{Lo: value.Int(12), Hi: value.Int(15), LoIncl: true, HiIncl: false}
+	parts, err = bc.BreakConditions(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || parts[0].Exact {
+		t.Errorf("expected one inexact part, got %+v", parts)
+	}
+}
+
+func TestBreakConditionsCap(t *testing.T) {
+	bc := newCoder([]expr.CondForm{expr.EqualityForm, expr.EqualityForm}, nil)
+	tpl := &expr.Template{
+		Name:      "ee",
+		Relations: []string{"r"},
+		Select:    []expr.ColumnRef{{Rel: "r", Col: "x"}},
+		Conds: []expr.CondTemplate{
+			{Col: expr.ColumnRef{Rel: "r", Col: "a"}, Form: expr.EqualityForm},
+			{Col: expr.ColumnRef{Rel: "r", Col: "b"}, Form: expr.EqualityForm},
+		},
+	}
+	q := &expr.Query{Template: tpl, Conds: []expr.CondInstance{
+		{Values: ints(1, 2, 3)},
+		{Values: ints(4, 5, 6)},
+	}}
+	if _, err := bc.BreakConditions(q, 4); err == nil {
+		t.Error("cap not enforced")
+	}
+	parts, err := bc.BreakConditions(q, 9)
+	if err != nil || len(parts) != 9 {
+		t.Errorf("at cap: %d parts, err %v", len(parts), err)
+	}
+}
+
+func TestBCPKeyStability(t *testing.T) {
+	bc := newCoder(
+		[]expr.CondForm{expr.EqualityForm, expr.IntervalForm},
+		map[int][]value.Value{1: ints(10, 20)},
+	)
+	// A tuple's bcp key must equal the probing key of the condition
+	// part covering it — O2/O3 agreement.
+	tpl := eqIntervalTemplate()
+	q := &expr.Query{Template: tpl, Conds: []expr.CondInstance{
+		{Values: ints(7)},
+		{Intervals: []expr.Interval{{Lo: value.Int(12), Hi: value.Int(18), LoIncl: true, HiIncl: false}}},
+	}}
+	parts, err := bc.BreakConditions(q, 0)
+	if err != nil || len(parts) != 1 {
+		t.Fatalf("parts: %v %v", parts, err)
+	}
+	tupleKey := bc.KeyFromCondValues([]value.Value{value.Int(7), value.Int(15)})
+	if tupleKey != parts[0].BCPKey {
+		t.Error("tuple bcp key does not match condition-part key")
+	}
+	// Different basic interval → different key.
+	otherKey := bc.KeyFromCondValues([]value.Value{value.Int(7), value.Int(25)})
+	if otherKey == tupleKey {
+		t.Error("distinct basic intervals share a key")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pmv/internal/value"
+)
+
+// TestMaintenanceWaitsForQuery verifies the Section 3.6 protocol: a
+// query holds an S lock on the view from Operation O2 through O3, so a
+// concurrent delete's X-locked maintenance cannot purge cached tuples
+// between the partial results being emitted and the full execution —
+// the reader sees a consistent snapshot.
+func TestMaintenanceWaitsForQuery(t *testing.T) {
+	eng, tpl := testDB(t)
+	loadFig1(t, eng, 4, 4, 3)
+	v, err := NewView(eng, Config{Template: tpl, MaxEntries: 50, TuplesPerBCP: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := eqQuery(tpl, []int64{1}, []int64{2})
+	runPartial(t, v, q) // warm: partial results exist
+
+	queryInO2 := make(chan struct{})
+	releaseQuery := make(chan struct{})
+	var deleteDone atomic.Bool
+	deleteFinished := make(chan error, 1)
+
+	go func() {
+		first := true
+		_, err := v.ExecutePartial(q, func(r Result) error {
+			if r.Partial && first {
+				first = false
+				close(queryInO2) // we are inside O2 holding the S lock
+				<-releaseQuery   // stall the query mid-protocol
+			}
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+
+	<-queryInO2
+	go func() {
+		// This delete invalidates cached tuples for (f=1, g=2); its
+		// maintenance needs the X lock and must wait for the query.
+		_, err := eng.DeleteWhere("R", func(tu value.Tuple) bool {
+			return tu[1].Int64() == 1002
+		})
+		deleteDone.Store(true)
+		deleteFinished <- err
+	}()
+
+	// Give the delete a moment: it must NOT complete while the query
+	// holds its S lock.
+	time.Sleep(100 * time.Millisecond)
+	if deleteDone.Load() {
+		t.Fatal("maintenance completed while a query held the S lock")
+	}
+	close(releaseQuery)
+	select {
+	case err := <-deleteFinished:
+		if err != nil {
+			t.Fatalf("delete after query release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delete never completed after the query released its lock")
+	}
+
+	// Post-conditions: the view serves no stale tuples.
+	got, rep := runPartial(t, v, q)
+	want := runFull(t, eng, tpl, q)
+	if !equalStrings(got, want) {
+		t.Fatalf("post-protocol mismatch: got %v want %v", got, want)
+	}
+	if rep.PartialTuples != 0 {
+		t.Errorf("stale partials after delete: %d", rep.PartialTuples)
+	}
+}
+
+// TestConcurrentReadersShareLock verifies that two queries can hold
+// the view's S lock simultaneously (readers do not serialize).
+func TestConcurrentReadersShareLock(t *testing.T) {
+	eng, tpl := testDB(t)
+	loadFig1(t, eng, 3, 3, 2)
+	v, err := NewView(eng, Config{Template: tpl, MaxEntries: 50, TuplesPerBCP: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := eqQuery(tpl, []int64{1}, []int64{1})
+	runPartial(t, v, q)
+
+	bothInside := make(chan struct{}, 2)
+	release := make(chan struct{})
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			first := true
+			_, err := v.ExecutePartial(q, func(r Result) error {
+				if r.Partial && first {
+					first = false
+					bothInside <- struct{}{}
+					<-release
+				}
+				return nil
+			})
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-bothInside:
+		case <-time.After(3 * time.Second):
+			t.Fatal("readers serialized: second query blocked on the first's S lock")
+		}
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pmv/internal/cache"
+	"pmv/internal/engine"
+	"pmv/internal/expr"
+	"pmv/internal/lock"
+	"pmv/internal/value"
+)
+
+// Config defines one partial materialized view (Section 3.2's
+// "create partial materialized view ... with selection condition
+// template Cselect").
+type Config struct {
+	// Name identifies the view (also the lock-manager resource).
+	Name string
+	// Template is the query template qt the view serves.
+	Template *expr.Template
+	// MaxEntries is the bound L on stored basic condition parts,
+	// derived from the storage budget UB (L ≤ UB/(F·At)).
+	MaxEntries int
+	// TuplesPerBCP is F: at most this many result tuples are cached
+	// per basic condition part.
+	TuplesPerBCP int
+	// Policy selects the entry replacement policy (CLOCK by default;
+	// Section 3.5 suggests 2Q).
+	Policy cache.PolicyKind
+	// Dividers supplies the dividing values for each interval-form
+	// condition, keyed by condition index.
+	Dividers map[int][]value.Value
+	// MaxConditionParts caps Operation O1's cartesian product; queries
+	// exceeding it skip the PMV probe (guarding against pathological
+	// h). Zero means the default of 4096.
+	MaxConditionParts int
+	// UseMaintIndex enables the full-version [25] optimization:
+	// in-memory secondary indices on the PMV's per-relation attributes
+	// let deletes purge cached tuples without computing ΔR ⋈ rest.
+	UseMaintIndex bool
+}
+
+func (c *Config) fill() error {
+	if c.Template == nil {
+		return errors.New("core: config needs a template")
+	}
+	if err := c.Template.Validate(); err != nil {
+		return err
+	}
+	if c.Name == "" {
+		c.Name = "pmv_" + c.Template.Name
+	}
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 10000
+	}
+	if c.TuplesPerBCP <= 0 {
+		c.TuplesPerBCP = 2
+	}
+	if c.Policy == "" {
+		c.Policy = cache.PolicyCLOCK
+	}
+	if c.MaxConditionParts <= 0 {
+		c.MaxConditionParts = 4096
+	}
+	for i, ct := range c.Template.Conds {
+		if ct.Form == expr.IntervalForm && len(c.Dividers[i]) == 0 {
+			return fmt.Errorf("core: interval-form condition %d (%s) needs dividing values", i, ct.Col)
+		}
+	}
+	return nil
+}
+
+// entry is one PMV entry: a basic condition part with its cached
+// result tuples (rows over the expanded select list Ls′) and the
+// popularity counter used by the ranking extension.
+type entry struct {
+	tuples   []value.Tuple
+	accesses int64
+}
+
+// View is one live partial materialized view.
+type View struct {
+	cfg        Config
+	eng        *engine.Engine
+	coder      bcpCoder
+	selectPlus []expr.ColumnRef // Ls′
+	nUserCols  int              // |Ls|: prefix of Ls′ shown to users
+	condPos    []int            // per condition: its attribute's slot in Ls′ rows
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	policy  cache.Policy
+	maint   *maintIndex // nil unless UseMaintIndex
+
+	stats Stats
+}
+
+// NewView builds a PMV over eng from cfg and registers it for change
+// notifications (deferred maintenance).
+func NewView(eng *engine.Engine, cfg Config) (*View, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	tpl := cfg.Template
+
+	// Expanded select list Ls′: Ls plus every Cselect attribute
+	// (Section 3.2) — the search procedure needs them to recover the
+	// conceptual bcp from a stored tuple.
+	selectPlus := append([]expr.ColumnRef(nil), tpl.Select...)
+	pos := func(ref expr.ColumnRef) int {
+		for i, c := range selectPlus {
+			if c == ref {
+				return i
+			}
+		}
+		return -1
+	}
+	condPos := make([]int, len(tpl.Conds))
+	for i, ct := range tpl.Conds {
+		p := pos(ct.Col)
+		if p < 0 {
+			selectPlus = append(selectPlus, ct.Col)
+			p = len(selectPlus) - 1
+		}
+		condPos[i] = p
+	}
+
+	coder := bcpCoder{
+		forms: make([]expr.CondForm, len(tpl.Conds)),
+		discs: make([]*Discretizer, len(tpl.Conds)),
+	}
+	for i, ct := range tpl.Conds {
+		coder.forms[i] = ct.Form
+		if ct.Form == expr.IntervalForm {
+			coder.discs[i] = NewDiscretizer(cfg.Dividers[i])
+		}
+	}
+
+	pol, err := cache.New(cfg.Policy, cfg.MaxEntries)
+	if err != nil {
+		return nil, err
+	}
+
+	v := &View{
+		cfg:        cfg,
+		eng:        eng,
+		coder:      coder,
+		selectPlus: selectPlus,
+		nUserCols:  len(tpl.Select),
+		condPos:    condPos,
+		entries:    make(map[string]*entry),
+		policy:     pol,
+	}
+	if cfg.UseMaintIndex {
+		v.maint = newMaintIndex(tpl, selectPlus)
+	}
+	eng.RegisterObserver(v)
+	return v, nil
+}
+
+// Name returns the view's name.
+func (v *View) Name() string { return v.cfg.Name }
+
+// Drop detaches the view from the engine's change notifications and
+// releases its cached content. The view must not be used afterwards.
+func (v *View) Drop() {
+	v.eng.UnregisterObserver(v)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.entries = make(map[string]*entry)
+	v.maint = nil
+}
+
+// Config returns the (filled) configuration.
+func (v *View) Config() Config { return v.cfg }
+
+// SelectPlus returns the expanded select list Ls′.
+func (v *View) SelectPlus() []expr.ColumnRef {
+	return append([]expr.ColumnRef(nil), v.selectPlus...)
+}
+
+func (v *View) lockRes() string { return "pmv:" + v.cfg.Name }
+
+// condValues extracts the condition-attribute values from an Ls′ row.
+func (v *View) condValues(t value.Tuple) []value.Value {
+	out := make([]value.Value, len(v.condPos))
+	for i, p := range v.condPos {
+		out[i] = t[p]
+	}
+	return out
+}
+
+// userTuple projects an Ls′ row down to the user-visible Ls columns.
+func (v *View) userTuple(t value.Tuple) value.Tuple {
+	return t[:v.nUserCols]
+}
+
+// Result is one delivered result tuple.
+type Result struct {
+	// Tuple holds the Ls columns the user asked for.
+	Tuple value.Tuple
+	// Partial is true when the tuple came from the PMV in Operation
+	// O2 (before query execution).
+	Partial bool
+}
+
+// QueryReport summarizes one ExecutePartial call.
+type QueryReport struct {
+	// Hit is true when any probed basic condition part was present in
+	// the view (the paper's "partial hit" definition, Section 4.1).
+	Hit bool
+	// ConditionParts is the number of parts O1 produced (h).
+	ConditionParts int
+	// PartialTuples is the number of tuples served from the PMV.
+	PartialTuples int
+	// TotalTuples is the total result size.
+	TotalTuples int
+	// PartialLatency is the time to produce all partial results
+	// (Operations O1+O2) — the paper's "within a millisecond" claim.
+	PartialLatency time.Duration
+	// Overhead is the extra work attributable to the PMV method:
+	// O1+O2 plus O3's per-tuple DS checks and view refill bookkeeping.
+	Overhead time.Duration
+	// ExecLatency is the time spent executing the query itself.
+	ExecLatency time.Duration
+	// Skipped is true when the query bypassed the PMV (O1 blew the
+	// condition-part cap).
+	Skipped bool
+}
+
+// ExecutePartial answers q with the PMV protocol: Operation O1 breaks
+// Cselect into condition parts, O2 serves cached partial results
+// immediately, O3 executes the query, suppresses already-delivered
+// tuples via the DS multiset, and refreshes the view for free. emit
+// receives every result exactly once.
+func (v *View) ExecutePartial(q *expr.Query, emit func(Result) error) (QueryReport, error) {
+	if err := q.Validate(); err != nil {
+		return QueryReport{}, err
+	}
+	if q.Template != v.cfg.Template && q.Template.Name != v.cfg.Template.Name {
+		return QueryReport{}, fmt.Errorf("core: query template %q does not match view template %q",
+			q.Template.Name, v.cfg.Template.Name)
+	}
+	var rep QueryReport
+
+	// Section 3.6 protocol: S lock from O2 through O3.
+	txn := v.eng.NewTxnID()
+	if err := v.eng.Locks().Acquire(txn, v.lockRes(), lock.Shared, 0); err != nil {
+		return rep, err
+	}
+	defer v.eng.Locks().ReleaseAll(txn)
+
+	start := time.Now()
+
+	// --- Operation O1 ---
+	parts, err := v.coder.BreakConditions(q, v.cfg.MaxConditionParts)
+	if errors.Is(err, ErrTooManyParts) {
+		rep.Skipped = true
+		parts = nil
+	} else if err != nil {
+		return rep, err
+	}
+	rep.ConditionParts = len(parts)
+
+	// --- Operation O2 ---
+	// DS: the temporary in-memory multiset of delivered tuples.
+	ds := make(map[string]int)
+	admitDecided := make(map[string]bool) // per-query admission memo (2Q)
+	v.mu.Lock()
+	for pi := range parts {
+		cp := &parts[pi]
+		e, ok := v.entries[cp.BCPKey]
+		if ok {
+			v.policy.Lookup(cp.BCPKey)
+			e.accesses++
+		} else if !v.policy.Lookup(cp.BCPKey) {
+			// Record the reference for admission-filtered policies
+			// (2Q's A1); CLOCK/LRU admit lazily in O3 instead.
+			if _, done := admitDecided[cp.BCPKey]; !done {
+				if _, isTQ := v.policy.(*cache.TwoQueue); isTQ {
+					adm, evicted := v.policy.RequestAdmit(cp.BCPKey)
+					v.dropEntriesLocked(evicted)
+					admitDecided[cp.BCPKey] = adm
+				}
+			}
+			continue
+		}
+		rep.Hit = true
+		if e == nil {
+			continue // bcp tracked by policy but currently tupleless
+		}
+		for _, t := range e.tuples {
+			// A cached tuple belongs to the bcp; if the part is not
+			// exact it may still fall outside the query — re-check.
+			if !cp.Exact && !cp.Matches(v.condValues(t)) {
+				continue
+			}
+			key := string(value.EncodeTuple(nil, t))
+			ds[key]++
+			rep.PartialTuples++
+			v.mu.Unlock()
+			err := emit(Result{Tuple: v.userTuple(t), Partial: true})
+			v.mu.Lock()
+			if err != nil {
+				v.mu.Unlock()
+				return rep, err
+			}
+		}
+	}
+	v.statsO2Locked(&rep)
+	v.mu.Unlock()
+	rep.PartialLatency = time.Since(start)
+
+	// --- Operation O3 ---
+	execStart := time.Now()
+	var o3Overhead time.Duration
+	err = v.eng.ExecuteProject(q, v.selectPlus, func(t value.Tuple) error {
+		tupStart := time.Now()
+		key := string(value.EncodeTuple(nil, t))
+		if n := ds[key]; n > 0 {
+			// Already delivered in O2: consume one DS token so
+			// duplicate result tuples are still delivered the right
+			// number of times (the paper's multiset argument).
+			if n == 1 {
+				delete(ds, key)
+			} else {
+				ds[key] = n - 1
+			}
+			o3Overhead += time.Since(tupStart)
+			return nil
+		}
+		v.fill(t, admitDecided)
+		o3Overhead += time.Since(tupStart)
+		rep.TotalTuples++
+		return emit(Result{Tuple: v.userTuple(t), Partial: false})
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.TotalTuples += rep.PartialTuples
+	rep.ExecLatency = time.Since(execStart)
+	rep.Overhead = rep.PartialLatency + o3Overhead
+
+	// After O3, every DS token must have been consumed: the partial
+	// results were a subset of the full results (serializability held).
+	if len(ds) != 0 {
+		return rep, fmt.Errorf("core: %d partial tuples not found during execution (consistency violation)", len(ds))
+	}
+
+	v.mu.Lock()
+	v.statsQueryLocked(&rep)
+	v.mu.Unlock()
+	return rep, nil
+}
+
+// fill implements Operation O3's view refresh: cache t under its
+// containing bcp, bounded by F per entry, with policy admission.
+// Entries exist only for bcps the policy currently tracks; a bcp
+// admitted earlier in this query but already evicted again (a query
+// with more hot parts than the view has entries) is simply not cached.
+func (v *View) fill(t value.Tuple, admitDecided map[string]bool) {
+	key := v.coder.KeyFromCondValues(v.condValues(t))
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.policy.Contains(key) {
+		if _, decided := admitDecided[key]; decided {
+			// Either the policy declined (2Q first sighting), or the
+			// key was admitted and evicted again within this query.
+			return
+		}
+		adm, evicted := v.policy.RequestAdmit(key)
+		v.dropEntriesLocked(evicted)
+		admitDecided[key] = adm
+		if !adm {
+			return
+		}
+	}
+	e, ok := v.entries[key]
+	if !ok {
+		e = &entry{}
+		v.entries[key] = e
+		v.stats.EntriesCreated++
+	}
+	if len(e.tuples) >= v.cfg.TuplesPerBCP {
+		return // the F bound (cj ≥ F)
+	}
+	ct := t.Clone()
+	e.tuples = append(e.tuples, ct)
+	v.stats.TuplesCached++
+	if v.maint != nil {
+		v.maint.add(key, ct)
+	}
+}
+
+// dropEntriesLocked removes evicted bcps' cached tuples.
+func (v *View) dropEntriesLocked(keys []string) {
+	for _, k := range keys {
+		if e, ok := v.entries[k]; ok {
+			v.stats.EntriesEvicted++
+			v.stats.TuplesEvicted += int64(len(e.tuples))
+			delete(v.entries, k)
+			if v.maint != nil {
+				v.maint.dropEntry(k)
+			}
+		}
+	}
+}
+
+// Len returns the number of entries currently holding tuples.
+func (v *View) Len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.entries)
+}
+
+// TupleCount returns the total number of cached tuples.
+func (v *View) TupleCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, e := range v.entries {
+		n += len(e.tuples)
+	}
+	return n
+}
+
+// SizeBytes estimates the view's storage footprint (Section 3.2's
+// UB ≥ L·F·At accounting): cached tuple bytes plus per-entry key
+// overhead.
+func (v *View) SizeBytes() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for k, e := range v.entries {
+		n += len(k)
+		for _, t := range e.tuples {
+			n += value.EncodedSize(t)
+		}
+	}
+	return n
+}

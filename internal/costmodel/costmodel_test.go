@@ -1,0 +1,104 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperQualitativeFacts(t *testing.T) {
+	m := Default()
+	for p := 0.0; p < 1.0; p += 0.05 {
+		mv, pmv := m.MVWorkload(p), m.PMVWorkload(p)
+		// "maintaining VPM is at least two orders of magnitude cheaper
+		// than maintaining VM" (Figure 11).
+		if mv/pmv < 100 {
+			t.Errorf("p=%.2f: MV/PMV = %.1f < 100", p, mv/pmv)
+		}
+	}
+	// PMV needs no maintenance at p = 100%.
+	if m.PMVWorkload(1.0) != 0 {
+		t.Errorf("PMV workload at p=1 is %f, want 0", m.PMVWorkload(1.0))
+	}
+	// Inserting into VM is cheaper than deleting from VM.
+	if m.MVWorkload(1.0) >= m.MVWorkload(0.0) {
+		t.Error("MV insert-heavy workload not cheaper than delete-heavy")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	m := Default()
+	for p := 0.0; p < 0.95; p += 0.05 {
+		if m.MVWorkload(p+0.05) >= m.MVWorkload(p) {
+			t.Errorf("MV workload not decreasing at p=%.2f", p)
+		}
+		if m.PMVWorkload(p+0.05) >= m.PMVWorkload(p) {
+			t.Errorf("PMV workload not decreasing at p=%.2f", p)
+		}
+		if m.Speedup(p+0.05) <= m.Speedup(p) {
+			t.Errorf("speedup not increasing at p=%.2f", p)
+		}
+	}
+}
+
+func TestSpeedupRange(t *testing.T) {
+	m := Default()
+	// Figure 12's range: roughly 100x at p=0 rising toward several
+	// hundred near p=1.
+	if s := m.Speedup(0); s < 50 || s > 300 {
+		t.Errorf("speedup at p=0: %.0f, expected ~100", s)
+	}
+	if s := m.Speedup(0.95); s < 300 || s > 1000 {
+		t.Errorf("speedup at p=0.95: %.0f, expected several hundred", s)
+	}
+	if s := m.Speedup(1.0); s < 1e300 {
+		t.Errorf("speedup at p=1 should be effectively infinite, got %f", s)
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	m := Default()
+	// The figure's log y-axis spans 1..10000: both curves must fit.
+	for _, pt := range m.Sweep(10) {
+		if pt.MVIO > 10000 || pt.MVIO < 1000 {
+			t.Errorf("p=%.1f: MV = %.0f outside the figure's visual band", pt.P, pt.MVIO)
+		}
+		if pt.P < 1 && (pt.PMVIO < 1 || pt.PMVIO > 100) {
+			t.Errorf("p=%.1f: PMV = %.1f outside the figure's visual band", pt.P, pt.PMVIO)
+		}
+	}
+}
+
+func TestSweepGrid(t *testing.T) {
+	m := Default()
+	pts := m.Sweep(4)
+	if len(pts) != 5 {
+		t.Fatalf("sweep size %d", len(pts))
+	}
+	if pts[0].P != 0 || pts[4].P != 1 {
+		t.Error("grid endpoints wrong")
+	}
+	if got := m.Sweep(0); len(got) != 11 {
+		t.Errorf("default grid size %d", len(got))
+	}
+}
+
+func TestWorkloadScalesWithDeltaR(t *testing.T) {
+	a := Default()
+	b := Default()
+	b.DeltaR = 2 * a.DeltaR
+	if math.Abs(b.MVWorkload(0.5)-2*a.MVWorkload(0.5)) > 1e-9 {
+		t.Error("MV workload not linear in |ΔR|")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	m := Default()
+	pts := m.Sweep(1)
+	if pts[0].String() == "" || pts[1].String() == "" {
+		t.Error("empty point rendering")
+	}
+	// p=1 renders the infinite speedup specially.
+	if got := pts[1].String(); got == "" {
+		t.Error("p=1 point not rendered")
+	}
+}

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"testing"
+
+	"pmv/internal/catalog"
+	"pmv/internal/value"
+)
+
+func benchEngine(b *testing.B, opts Options) *Engine {
+	b.Helper()
+	e, err := Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e.Close() })
+	if _, err := e.CreateRelation("kv", catalog.NewSchema(
+		catalog.Col("k", value.TypeInt), catalog.Col("v", value.TypeString))); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.CreateIndex("", "kv", "k"); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkInsertNoWAL(b *testing.B) {
+	e := benchEngine(b, Options{BufferPoolPages: 256})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Insert("kv", value.Tuple{value.Int(int64(i)), value.Str("payload-payload")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertWALBuffered(b *testing.B) {
+	e := benchEngine(b, Options{BufferPoolPages: 256, EnableWAL: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Insert("kv", value.Tuple{value.Int(int64(i)), value.Str("payload-payload")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertWALSyncEveryOp(b *testing.B) {
+	e := benchEngine(b, Options{BufferPoolPages: 256, EnableWAL: true, SyncEveryOp: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Insert("kv", value.Tuple{value.Int(int64(i)), value.Str("payload-payload")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,466 @@
+// Package engine is the embedded relational engine the PMV layer runs
+// inside: it owns the disk manager, buffer pool, catalog, and lock
+// manager, and exposes DDL, DML (with secondary-index maintenance and
+// change notification), and template-query execution.
+//
+// The engine substitutes for the paper's PostgreSQL 7.3.4 host: it
+// provides the same ingredients the PMV method needs — blocking
+// index-driven plans, a page buffer pool, and hooks on every base-
+// relation change for deferred view maintenance.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmv/internal/buffer"
+	"pmv/internal/catalog"
+	"pmv/internal/exec"
+	"pmv/internal/expr"
+	"pmv/internal/lock"
+	"pmv/internal/storage"
+	"pmv/internal/value"
+	"pmv/internal/wal"
+)
+
+// Options configures an engine instance.
+type Options struct {
+	// BufferPoolPages is the number of 8 KiB frames. The default (1000)
+	// matches the paper's PostgreSQL setting.
+	BufferPoolPages int
+	// LockTimeout bounds lock waits (deadlock resolution by timeout).
+	LockTimeout time.Duration
+	// EnableWAL turns on write-ahead logging and crash recovery for
+	// heap data (see internal/engine/wal.go for the guarantees).
+	EnableWAL bool
+	// SyncEveryOp fsyncs the log after every statement (durable on
+	// return). Off, durability is batched at page write-back,
+	// checkpoint, and Close.
+	SyncEveryOp bool
+	// CheckpointEvery starts a background checkpointer with the given
+	// period (0 = checkpoint only on Close). Requires EnableWAL.
+	CheckpointEvery time.Duration
+}
+
+func (o *Options) fill() {
+	if o.BufferPoolPages <= 0 {
+		o.BufferPoolPages = 1000
+	}
+	if o.LockTimeout <= 0 {
+		o.LockTimeout = 5 * time.Second
+	}
+}
+
+// ChangeObserver receives base-relation change notifications. The PMV
+// manager registers one to implement Section 3.4 deferred maintenance.
+type ChangeObserver interface {
+	// OnInsert is called after t is inserted into rel.
+	OnInsert(rel string, t value.Tuple) error
+	// OnDelete is called after t is deleted from rel.
+	OnDelete(rel string, t value.Tuple) error
+	// OnUpdate is called after old is replaced by new in rel.
+	OnUpdate(rel string, old, new value.Tuple) error
+}
+
+// ChangeBarrier is implemented by observers that must serialize
+// destructive base-relation changes against their own readers — the
+// paper's Section 3.6 protocol, where a transaction that would have to
+// update a PMV acquires the view's X lock before its change becomes
+// visible. The engine calls BeforeChange before the first heap
+// modification of a delete/update statement and invokes the returned
+// release after the last notification. (Inserts need no barrier: they
+// cannot invalidate results a reader has already received.)
+type ChangeBarrier interface {
+	BeforeChange(rel string) (release func(), err error)
+}
+
+// changeBarrier acquires every registered observer's barrier for rel,
+// returning a combined release.
+func (e *Engine) changeBarrier(rel string) (func(), error) {
+	e.obsMu.RLock()
+	obs := e.observers
+	e.obsMu.RUnlock()
+	var releases []func()
+	for _, o := range obs {
+		cb, ok := o.(ChangeBarrier)
+		if !ok {
+			continue
+		}
+		rel, err := cb.BeforeChange(rel)
+		if err != nil {
+			for _, r := range releases {
+				r()
+			}
+			return nil, err
+		}
+		if rel != nil {
+			releases = append(releases, rel)
+		}
+	}
+	return func() {
+		for _, r := range releases {
+			r()
+		}
+	}, nil
+}
+
+// Engine is one open database.
+type Engine struct {
+	dir   string
+	mgr   *storage.Manager
+	pool  *buffer.Pool
+	cat   *catalog.Catalog
+	locks *lock.Manager
+	opts  Options
+
+	obsMu     sync.RWMutex
+	observers []ChangeObserver
+
+	nextTxn atomic.Uint64
+
+	wal       *wal.Log
+	opSeq     atomic.Uint64
+	recovered int
+
+	// chkMu quiesces writers during a checkpoint: DML holds the read
+	// side, Checkpoint the write side, so FlushAll never races a page
+	// mutation.
+	chkMu   sync.RWMutex
+	stopChk chan struct{}
+	chkWG   sync.WaitGroup
+}
+
+// Open opens (creating if needed) a database directory.
+func Open(dir string, opts Options) (*Engine, error) {
+	opts.fill()
+	mgr, err := storage.NewManager(dir)
+	if err != nil {
+		return nil, err
+	}
+	pool := buffer.NewPool(mgr, opts.BufferPoolPages)
+	cat, err := catalog.Open(dir, pool, mgr)
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	lm := lock.New()
+	lm.DefaultTimeout = opts.LockTimeout
+	e := &Engine{dir: dir, mgr: mgr, pool: pool, cat: cat, locks: lm, opts: opts}
+	if opts.EnableWAL {
+		if err := e.initWAL(); err != nil {
+			mgr.Close()
+			return nil, err
+		}
+		if opts.CheckpointEvery > 0 {
+			e.startCheckpointer(opts.CheckpointEvery)
+		}
+	}
+	return e, nil
+}
+
+// Close checkpoints (flushing dirty pages and truncating the WAL) and
+// releases files.
+func (e *Engine) Close() error {
+	if e.stopChk != nil {
+		close(e.stopChk)
+		e.chkWG.Wait()
+		e.stopChk = nil
+	}
+	if err := e.Checkpoint(); err != nil {
+		e.mgr.Close()
+		return err
+	}
+	if e.wal != nil {
+		if err := e.wal.Close(); err != nil {
+			e.mgr.Close()
+			return err
+		}
+	}
+	return e.mgr.Close()
+}
+
+// Dir returns the database directory.
+func (e *Engine) Dir() string { return e.dir }
+
+// Catalog exposes the metadata root.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Locks exposes the lock manager (used by the PMV layer for the
+// Section 3.6 S/X protocol).
+func (e *Engine) Locks() *lock.Manager { return e.locks }
+
+// Pool exposes the buffer pool for statistics.
+func (e *Engine) Pool() *buffer.Pool { return e.pool }
+
+// IOStats returns cumulative physical reads and writes.
+func (e *Engine) IOStats() (reads, writes int64) { return e.mgr.Stats.Snapshot() }
+
+// NewTxnID allocates a transaction identifier for the lock manager.
+func (e *Engine) NewTxnID() uint64 { return e.nextTxn.Add(1) }
+
+// RegisterObserver adds a change observer.
+func (e *Engine) RegisterObserver(obs ChangeObserver) {
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
+	e.observers = append(e.observers, obs)
+}
+
+// UnregisterObserver removes a previously registered observer (used
+// when a view is dropped).
+func (e *Engine) UnregisterObserver(obs ChangeObserver) {
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
+	for i, o := range e.observers {
+		if o == obs {
+			e.observers = append(e.observers[:i], e.observers[i+1:]...)
+			return
+		}
+	}
+}
+
+func (e *Engine) eachObserver(fn func(ChangeObserver) error) error {
+	e.obsMu.RLock()
+	obs := e.observers
+	e.obsMu.RUnlock()
+	for _, o := range obs {
+		if err := fn(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateRelation defines a relation.
+func (e *Engine) CreateRelation(name string, schema catalog.Schema) (*catalog.Relation, error) {
+	return e.cat.CreateRelation(name, schema)
+}
+
+// CreateIndex builds a secondary index named rel_col1_col2... if name
+// is empty.
+func (e *Engine) CreateIndex(name, rel string, cols ...string) (*catalog.Index, error) {
+	if name == "" {
+		name = rel
+		for _, c := range cols {
+			name += "_" + c
+		}
+	}
+	return e.cat.CreateIndex(name, rel, cols...)
+}
+
+// Insert adds t to rel, maintains its indexes, and notifies observers.
+func (e *Engine) Insert(rel string, t value.Tuple) error {
+	e.chkMu.RLock()
+	defer e.chkMu.RUnlock()
+	r, err := e.cat.GetRelation(rel)
+	if err != nil {
+		return err
+	}
+	if len(t) != r.Schema.Arity() {
+		return fmt.Errorf("engine: insert into %s: got %d values, want %d", rel, len(t), r.Schema.Arity())
+	}
+	rid, err := e.heapInsert(rel, r, t)
+	if err != nil {
+		return err
+	}
+	for _, ix := range r.Indexes {
+		if err := ix.Insert(t, rid); err != nil {
+			return fmt.Errorf("engine: index %s: %w", ix.Name, err)
+		}
+	}
+	return e.eachObserver(func(o ChangeObserver) error { return o.OnInsert(rel, t) })
+}
+
+// heapInsert routes through the WAL when enabled.
+func (e *Engine) heapInsert(rel string, r *catalog.Relation, t value.Tuple) (storage.RID, error) {
+	if e.wal != nil {
+		return e.walInsert(rel, r.Heap, t)
+	}
+	return r.Heap.Insert(t)
+}
+
+// InsertBulk loads many tuples without per-row observer dispatch
+// overhead (observers are still notified once per tuple, but the
+// relation lookup is amortized). Used by the data generators.
+func (e *Engine) InsertBulk(rel string, tuples []value.Tuple, notify bool) error {
+	e.chkMu.RLock()
+	defer e.chkMu.RUnlock()
+	r, err := e.cat.GetRelation(rel)
+	if err != nil {
+		return err
+	}
+	for _, t := range tuples {
+		rid, err := e.heapInsert(rel, r, t)
+		if err != nil {
+			return err
+		}
+		for _, ix := range r.Indexes {
+			if err := ix.Insert(t, rid); err != nil {
+				return fmt.Errorf("engine: index %s: %w", ix.Name, err)
+			}
+		}
+		if notify {
+			if err := e.eachObserver(func(o ChangeObserver) error { return o.OnInsert(rel, t) }); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DeleteWhere removes every tuple of rel satisfying pred, returning the
+// deleted tuples. Observers are notified per tuple after removal.
+func (e *Engine) DeleteWhere(rel string, pred func(value.Tuple) bool) ([]value.Tuple, error) {
+	e.chkMu.RLock()
+	defer e.chkMu.RUnlock()
+	r, err := e.cat.GetRelation(rel)
+	if err != nil {
+		return nil, err
+	}
+	type victim struct {
+		rid storage.RID
+		t   value.Tuple
+	}
+	var victims []victim
+	err = r.Heap.Scan(func(rid storage.RID, t value.Tuple) error {
+		if pred(t) {
+			victims = append(victims, victim{rid, t})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(victims) > 0 {
+		release, err := e.changeBarrier(rel)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
+	deleted := make([]value.Tuple, 0, len(victims))
+	for _, v := range victims {
+		var err error
+		if e.wal != nil {
+			err = e.walDelete(rel, r.Heap, v.rid)
+		} else {
+			err = r.Heap.Delete(v.rid)
+		}
+		if err != nil {
+			return deleted, err
+		}
+		for _, ix := range r.Indexes {
+			if err := ix.Delete(v.t, v.rid); err != nil {
+				return deleted, fmt.Errorf("engine: index %s: %w", ix.Name, err)
+			}
+		}
+		deleted = append(deleted, v.t)
+		if err := e.eachObserver(func(o ChangeObserver) error { return o.OnDelete(rel, v.t) }); err != nil {
+			return deleted, err
+		}
+	}
+	return deleted, nil
+}
+
+// UpdateWhere replaces tuples satisfying pred with apply(t), returning
+// the number updated.
+func (e *Engine) UpdateWhere(rel string, pred func(value.Tuple) bool, apply func(value.Tuple) value.Tuple) (int, error) {
+	e.chkMu.RLock()
+	defer e.chkMu.RUnlock()
+	r, err := e.cat.GetRelation(rel)
+	if err != nil {
+		return 0, err
+	}
+	type hit struct {
+		rid storage.RID
+		t   value.Tuple
+	}
+	var hits []hit
+	err = r.Heap.Scan(func(rid storage.RID, t value.Tuple) error {
+		if pred(t) {
+			hits = append(hits, hit{rid, t.Clone()})
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(hits) > 0 {
+		release, err := e.changeBarrier(rel)
+		if err != nil {
+			return 0, err
+		}
+		defer release()
+	}
+	for i, h := range hits {
+		newT := apply(h.t.Clone())
+		if len(newT) != r.Schema.Arity() {
+			return i, fmt.Errorf("engine: update of %s produced %d values, want %d", rel, len(newT), r.Schema.Arity())
+		}
+		var newRID storage.RID
+		if e.wal != nil {
+			newRID, err = e.walUpdate(rel, r.Heap, h.rid, newT)
+		} else {
+			newRID, err = r.Heap.Update(h.rid, newT)
+		}
+		if err != nil {
+			return i, err
+		}
+		for _, ix := range r.Indexes {
+			if err := ix.Delete(h.t, h.rid); err != nil {
+				return i, fmt.Errorf("engine: index %s: %w", ix.Name, err)
+			}
+			if err := ix.Insert(newT, newRID); err != nil {
+				return i, fmt.Errorf("engine: index %s: %w", ix.Name, err)
+			}
+		}
+		if err := e.eachObserver(func(o ChangeObserver) error { return o.OnUpdate(rel, h.t, newT) }); err != nil {
+			return i, err
+		}
+	}
+	return len(hits), nil
+}
+
+// Analyze recomputes optimizer statistics for one relation.
+func (e *Engine) Analyze(rel string) error {
+	_, err := e.cat.Analyze(rel)
+	return err
+}
+
+// AnalyzeAll recomputes optimizer statistics for every relation, like
+// the paper's "statistics collection program" run before experiments.
+func (e *Engine) AnalyzeAll() error { return e.cat.AnalyzeAll() }
+
+// Plan compiles a bound template query.
+func (e *Engine) Plan(q *expr.Query) (*exec.Plan, error) {
+	return exec.PlanQuery(e.cat, q)
+}
+
+// Execute runs q and streams the full concatenated rows to fn. The
+// expanded select list of the PMV layer (Ls′) is applied by the caller.
+func (e *Engine) Execute(q *expr.Query, fn func(value.Tuple) error) error {
+	plan, err := e.Plan(q)
+	if err != nil {
+		return err
+	}
+	return exec.ForEach(plan.Root, fn)
+}
+
+// ExecuteProject runs q projecting the given column refs.
+func (e *Engine) ExecuteProject(q *expr.Query, cols []expr.ColumnRef, fn func(value.Tuple) error) error {
+	plan, err := e.Plan(q)
+	if err != nil {
+		return err
+	}
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		p, err := plan.Schema.MustIndex(c)
+		if err != nil {
+			return err
+		}
+		positions[i] = p
+	}
+	proj := &exec.Project{Child: plan.Root, Cols: positions}
+	return exec.ForEach(proj, fn)
+}

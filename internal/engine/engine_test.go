@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"pmv/internal/catalog"
+	"pmv/internal/expr"
+	"pmv/internal/storage"
+	"pmv/internal/value"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := Open(t.TempDir(), Options{BufferPoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func simpleRel(t *testing.T, e *Engine) {
+	t.Helper()
+	_, err := e.CreateRelation("kv", catalog.NewSchema(
+		catalog.Col("k", value.TypeInt), catalog.Col("v", value.TypeString)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateIndex("", "kv", "k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertMaintainsIndexes(t *testing.T) {
+	e := newEngine(t)
+	simpleRel(t, e)
+	for i := 0; i < 100; i++ {
+		if err := e.Insert("kv", value.Tuple{value.Int(int64(i % 10)), value.Str("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, _ := e.Catalog().GetRelation("kv")
+	n, err := r.Indexes[0].Tree.Count()
+	if err != nil || n != 100 {
+		t.Errorf("index entries = %d (%v)", n, err)
+	}
+}
+
+func TestInsertArityChecked(t *testing.T) {
+	e := newEngine(t)
+	simpleRel(t, e)
+	if err := e.Insert("kv", value.Tuple{value.Int(1)}); err == nil {
+		t.Error("short tuple accepted")
+	}
+	if err := e.Insert("ghost", value.Tuple{value.Int(1)}); err == nil {
+		t.Error("insert into missing relation accepted")
+	}
+}
+
+func TestDeleteWhereMaintainsIndexes(t *testing.T) {
+	e := newEngine(t)
+	simpleRel(t, e)
+	for i := 0; i < 50; i++ {
+		e.Insert("kv", value.Tuple{value.Int(int64(i)), value.Str("x")})
+	}
+	deleted, err := e.DeleteWhere("kv", func(tu value.Tuple) bool { return tu[0].Int64() < 20 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 20 {
+		t.Errorf("deleted %d", len(deleted))
+	}
+	r, _ := e.Catalog().GetRelation("kv")
+	if r.Heap.Count() != 30 {
+		t.Errorf("heap count %d", r.Heap.Count())
+	}
+	n, _ := r.Indexes[0].Tree.Count()
+	if n != 30 {
+		t.Errorf("index count %d", n)
+	}
+}
+
+func TestUpdateWhereMaintainsIndexes(t *testing.T) {
+	e := newEngine(t)
+	simpleRel(t, e)
+	for i := 0; i < 10; i++ {
+		e.Insert("kv", value.Tuple{value.Int(int64(i)), value.Str("old")})
+	}
+	n, err := e.UpdateWhere("kv",
+		func(tu value.Tuple) bool { return tu[0].Int64() == 3 },
+		func(tu value.Tuple) value.Tuple {
+			out := tu.Clone()
+			out[0] = value.Int(300)
+			out[1] = value.Str("new")
+			return out
+		})
+	if err != nil || n != 1 {
+		t.Fatalf("updated %d (%v)", n, err)
+	}
+	// Index reflects the new key and not the old one.
+	r, _ := e.Catalog().GetRelation("kv")
+	ix := r.Indexes[0]
+	count := func(k int64) int {
+		c := 0
+		ix.LookupEq(ix.KeyFor(value.Tuple{value.Int(k)}), func(storage.RID) error {
+			c++
+			return nil
+		})
+		return c
+	}
+	if count(3) != 0 || count(300) != 1 {
+		t.Errorf("index keys: old=%d new=%d", count(3), count(300))
+	}
+}
+
+type recordingObserver struct {
+	inserts, deletes, updates int
+}
+
+func (o *recordingObserver) OnInsert(string, value.Tuple) error { o.inserts++; return nil }
+func (o *recordingObserver) OnDelete(string, value.Tuple) error { o.deletes++; return nil }
+func (o *recordingObserver) OnUpdate(string, value.Tuple, value.Tuple) error {
+	o.updates++
+	return nil
+}
+
+func TestObserverNotifications(t *testing.T) {
+	e := newEngine(t)
+	simpleRel(t, e)
+	obs := &recordingObserver{}
+	e.RegisterObserver(obs)
+	for i := 0; i < 5; i++ {
+		e.Insert("kv", value.Tuple{value.Int(int64(i)), value.Str("x")})
+	}
+	e.UpdateWhere("kv",
+		func(tu value.Tuple) bool { return tu[0].Int64() == 1 },
+		func(tu value.Tuple) value.Tuple { return tu })
+	e.DeleteWhere("kv", func(tu value.Tuple) bool { return tu[0].Int64() < 2 })
+	if obs.inserts != 5 || obs.updates != 1 || obs.deletes != 2 {
+		t.Errorf("observer saw i=%d u=%d d=%d", obs.inserts, obs.updates, obs.deletes)
+	}
+	e.UnregisterObserver(obs)
+	e.Insert("kv", value.Tuple{value.Int(99), value.Str("x")})
+	if obs.inserts != 5 {
+		t.Error("unregistered observer still notified")
+	}
+}
+
+func TestInsertBulkNotifyFlag(t *testing.T) {
+	e := newEngine(t)
+	simpleRel(t, e)
+	obs := &recordingObserver{}
+	e.RegisterObserver(obs)
+	rows := []value.Tuple{
+		{value.Int(1), value.Str("a")},
+		{value.Int(2), value.Str("b")},
+	}
+	if err := e.InsertBulk("kv", rows, false); err != nil {
+		t.Fatal(err)
+	}
+	if obs.inserts != 0 {
+		t.Error("silent bulk load notified observers")
+	}
+	if err := e.InsertBulk("kv", rows[:1], true); err != nil {
+		t.Fatal(err)
+	}
+	if obs.inserts != 1 {
+		t.Error("notifying bulk load did not notify")
+	}
+}
+
+func TestExecuteProject(t *testing.T) {
+	e := newEngine(t)
+	_, err := e.CreateRelation("a", catalog.NewSchema(
+		catalog.Col("x", value.TypeInt), catalog.Col("y", value.TypeInt)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.CreateIndex("", "a", "x")
+	for i := 0; i < 10; i++ {
+		e.Insert("a", value.Tuple{value.Int(int64(i % 3)), value.Int(int64(i))})
+	}
+	tpl := &expr.Template{
+		Name:      "single",
+		Relations: []string{"a"},
+		Select:    []expr.ColumnRef{{Rel: "a", Col: "y"}},
+		Conds: []expr.CondTemplate{
+			{Col: expr.ColumnRef{Rel: "a", Col: "x"}, Form: expr.EqualityForm},
+		},
+	}
+	q := &expr.Query{Template: tpl, Conds: []expr.CondInstance{
+		{Values: []value.Value{value.Int(1)}},
+	}}
+	var ys []int64
+	err = e.ExecuteProject(q, tpl.Select, func(tu value.Tuple) error {
+		ys = append(ys, tu[0].Int64())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	want := []int64{1, 4, 7}
+	if len(ys) != 3 || ys[0] != want[0] || ys[1] != want[1] || ys[2] != want[2] {
+		t.Errorf("ys = %v", ys)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.CreateRelation("kv", catalog.NewSchema(
+		catalog.Col("k", value.TypeInt), catalog.Col("v", value.TypeString)))
+	e.CreateIndex("", "kv", "k")
+	for i := 0; i < 20; i++ {
+		e.Insert("kv", value.Tuple{value.Int(int64(i)), value.Str("persist")})
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	r, err := e2.Catalog().GetRelation("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Heap.Count() != 20 {
+		t.Errorf("recovered %d tuples", r.Heap.Count())
+	}
+	n, _ := r.Indexes[0].Tree.Count()
+	if n != 20 {
+		t.Errorf("recovered %d index entries", n)
+	}
+}
+
+func TestIOStatsAdvance(t *testing.T) {
+	e := newEngine(t)
+	simpleRel(t, e)
+	for i := 0; i < 1000; i++ {
+		e.Insert("kv", value.Tuple{value.Int(int64(i)), value.Str("padding-padding-padding")})
+	}
+	_, w := e.IOStats()
+	if w == 0 {
+		t.Error("no writes counted")
+	}
+}

@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"sort"
+	"testing"
+
+	"pmv/internal/catalog"
+	"pmv/internal/expr"
+	"pmv/internal/value"
+)
+
+// baseScanRel walks a plan tree to the driving access path's relation.
+func baseScanRel(t *testing.T, it Iterator) string {
+	t.Helper()
+	for {
+		switch op := it.(type) {
+		case *Filter:
+			it = op.Child
+		case *IndexJoin:
+			it = op.Outer
+		case *NestedLoopJoin:
+			it = op.Left
+		case *IndexScan:
+			return op.Rel.Name
+		case *SeqScan:
+			return op.Rel.Name
+		default:
+			t.Fatalf("unexpected operator %T", it)
+		}
+	}
+}
+
+// driverDB: big(id, k, tag) has 2000 rows and a weak condition (2
+// distinct tags); small(k, code) has 100 rows and a selective condition
+// (100 distinct codes). The template declares big first; statistics
+// should flip the driver to small.
+func driverDB(t *testing.T) (*catalog.Catalog, *expr.Template) {
+	t.Helper()
+	c := testCatalog(t)
+	big, _ := c.CreateRelation("big", catalog.NewSchema(
+		catalog.Col("id", value.TypeInt), catalog.Col("k", value.TypeInt), catalog.Col("tag", value.TypeInt)))
+	small, _ := c.CreateRelation("small", catalog.NewSchema(
+		catalog.Col("k", value.TypeInt), catalog.Col("code", value.TypeInt)))
+	for i := 0; i < 2000; i++ {
+		big.Heap.Insert(value.Tuple{value.Int(int64(i)), value.Int(int64(i % 100)), value.Int(int64(i % 2))})
+	}
+	for i := 0; i < 100; i++ {
+		small.Heap.Insert(value.Tuple{value.Int(int64(i)), value.Int(int64(i))})
+	}
+	c.CreateIndex("", "big", "k")
+	c.CreateIndex("", "big", "tag")
+	c.CreateIndex("", "small", "k")
+	c.CreateIndex("", "small", "code")
+	tpl := &expr.Template{
+		Name:      "skew",
+		Relations: []string{"big", "small"},
+		Select:    []expr.ColumnRef{{Rel: "big", Col: "id"}},
+		Join: []expr.JoinPred{{
+			Left:  expr.ColumnRef{Rel: "big", Col: "k"},
+			Right: expr.ColumnRef{Rel: "small", Col: "k"},
+		}},
+		Conds: []expr.CondTemplate{
+			{Col: expr.ColumnRef{Rel: "big", Col: "tag"}, Form: expr.EqualityForm},
+			{Col: expr.ColumnRef{Rel: "small", Col: "code"}, Form: expr.EqualityForm},
+		},
+	}
+	return c, tpl
+}
+
+func skewQuery(tpl *expr.Template) *expr.Query {
+	return &expr.Query{Template: tpl, Conds: []expr.CondInstance{
+		{Values: []value.Value{value.Int(1)}}, // tag=1: half of big
+		{Values: []value.Value{value.Int(7)}}, // code=7: 1 of small
+	}}
+}
+
+func TestDriverChoiceWithoutStats(t *testing.T) {
+	c, tpl := driverDB(t)
+	plan, err := PlanQuery(c, skewQuery(tpl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := baseScanRel(t, plan.Root); got != "big" {
+		t.Errorf("without stats, driver = %s, want template order (big)", got)
+	}
+}
+
+func TestDriverChoiceWithStats(t *testing.T) {
+	c, tpl := driverDB(t)
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanQuery(c, skewQuery(tpl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := baseScanRel(t, plan.Root); got != "small" {
+		t.Errorf("with stats, driver = %s, want small (100x more selective)", got)
+	}
+}
+
+func TestDriverChoicePreservesResults(t *testing.T) {
+	c, tpl := driverDB(t)
+	q := skewQuery(tpl)
+	collect := func() []string {
+		plan, err := PlanQuery(c, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos, err := plan.Schema.MustIndex(expr.ColumnRef{Rel: "big", Col: "id"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		ForEach(&Project{Child: plan.Root, Cols: []int{pos}}, func(tp value.Tuple) error {
+			out = append(out, tp.String())
+			return nil
+		})
+		sort.Strings(out)
+		return out
+	}
+	before := collect()
+	if err := c.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	after := collect()
+	if len(before) == 0 {
+		t.Fatal("query empty; fixture broken")
+	}
+	if !eqStrs(before, after) {
+		t.Fatalf("driver choice changed results: %d vs %d rows", len(before), len(after))
+	}
+}
+
+func TestDriverChoiceFasterOnSkew(t *testing.T) {
+	c, tpl := driverDB(t)
+	q := skewQuery(tpl)
+	countTuples := func() int {
+		// Count the rows flowing out of the driving scan by draining
+		// the full plan; the small-driver plan touches ~20 big rows vs
+		// ~1000 for the big-driver plan, observable via buffer stats —
+		// here we just assert both plans agree and are planable.
+		plan, err := PlanQuery(c, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := Collect(plan.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(rows)
+	}
+	n1 := countTuples()
+	c.AnalyzeAll()
+	n2 := countTuples()
+	if n1 != n2 {
+		t.Fatalf("row counts differ: %d vs %d", n1, n2)
+	}
+}

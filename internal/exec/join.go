@@ -1,0 +1,192 @@
+package exec
+
+import (
+	"pmv/internal/catalog"
+	"pmv/internal/keycodec"
+	"pmv/internal/storage"
+	"pmv/internal/value"
+)
+
+// IndexJoin is an index nested-loop join: for each outer row it probes
+// the inner relation's index on the join column and concatenates
+// matches — the access path the paper's Eqt plan uses ("the index on
+// S.d is used to search S for matching tuples").
+type IndexJoin struct {
+	Outer    Iterator
+	OuterCol int // position of the join attribute in outer rows
+	Inner    *catalog.Relation
+	InnerIdx *catalog.Index // single-column index on the inner join attribute
+	Residual Pred           // optional filter on the concatenated row
+
+	cur     value.Tuple
+	matches []value.Tuple
+	mpos    int
+}
+
+// Open opens the outer input.
+func (j *IndexJoin) Open() error {
+	j.cur = nil
+	j.matches = nil
+	j.mpos = 0
+	return j.Outer.Open()
+}
+
+// Next produces the next concatenated (outer ++ inner) row.
+func (j *IndexJoin) Next() (value.Tuple, bool, error) {
+	for {
+		for j.mpos < len(j.matches) {
+			inner := j.matches[j.mpos]
+			j.mpos++
+			row := make(value.Tuple, 0, len(j.cur)+len(inner))
+			row = append(row, j.cur...)
+			row = append(row, inner...)
+			if j.Residual == nil || j.Residual(row) {
+				return row, true, nil
+			}
+		}
+		outer, ok, err := j.Outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.cur = outer
+		j.matches = j.matches[:0]
+		j.mpos = 0
+		key := keycodec.AppendValue(nil, outer[j.OuterCol])
+		err = j.InnerIdx.LookupEq(key, func(rid storage.RID) error {
+			t, err := j.Inner.Heap.Get(rid)
+			if err != nil {
+				return err
+			}
+			j.matches = append(j.matches, t)
+			return nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// Close closes the outer input.
+func (j *IndexJoin) Close() error { return j.Outer.Close() }
+
+// HashJoin builds the right input into a hash table on its join column
+// and probes it with left rows. Used for delta joins in PMV
+// maintenance, where the delta side is small and has no index.
+type HashJoin struct {
+	Left     Iterator
+	LeftCol  int
+	Right    Iterator
+	RightCol int
+	Residual Pred
+
+	table   map[string][]value.Tuple
+	cur     value.Tuple
+	matches []value.Tuple
+	mpos    int
+}
+
+// Open builds the hash table from the right input.
+func (j *HashJoin) Open() error {
+	j.table = make(map[string][]value.Tuple)
+	j.cur = nil
+	j.matches = nil
+	j.mpos = 0
+	if err := ForEach(j.Right, func(t value.Tuple) error {
+		k := string(keycodec.AppendValue(nil, t[j.RightCol]))
+		j.table[k] = append(j.table[k], t)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return j.Left.Open()
+}
+
+// Next produces the next (left ++ right) match.
+func (j *HashJoin) Next() (value.Tuple, bool, error) {
+	for {
+		for j.mpos < len(j.matches) {
+			right := j.matches[j.mpos]
+			j.mpos++
+			row := make(value.Tuple, 0, len(j.cur)+len(right))
+			row = append(row, j.cur...)
+			row = append(row, right...)
+			if j.Residual == nil || j.Residual(row) {
+				return row, true, nil
+			}
+		}
+		left, ok, err := j.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.cur = left
+		k := string(keycodec.AppendValue(nil, left[j.LeftCol]))
+		j.matches = j.table[k]
+		j.mpos = 0
+	}
+}
+
+// Close closes the left input and drops the table.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	return j.Left.Close()
+}
+
+// NestedLoopJoin is the fallback join for predicates with no usable
+// index: it re-scans the (materialized) right side per left row.
+type NestedLoopJoin struct {
+	Left  Iterator
+	Right Iterator
+	On    Pred // evaluated over the concatenated row; nil = cross join
+
+	rightRows []value.Tuple
+	cur       value.Tuple
+	rpos      int
+	done      bool
+}
+
+// Open materializes the right input.
+func (j *NestedLoopJoin) Open() error {
+	rows, err := Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	j.rightRows = rows
+	j.cur = nil
+	j.rpos = 0
+	j.done = false
+	return j.Left.Open()
+}
+
+// Next produces the next concatenated row satisfying On.
+func (j *NestedLoopJoin) Next() (value.Tuple, bool, error) {
+	for {
+		if j.cur == nil {
+			left, ok, err := j.Left.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return nil, false, nil
+			}
+			j.cur = left
+			j.rpos = 0
+		}
+		for j.rpos < len(j.rightRows) {
+			right := j.rightRows[j.rpos]
+			j.rpos++
+			row := make(value.Tuple, 0, len(j.cur)+len(right))
+			row = append(row, j.cur...)
+			row = append(row, right...)
+			if j.On == nil || j.On(row) {
+				return row, true, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+// Close closes the left input and drops the buffer.
+func (j *NestedLoopJoin) Close() error {
+	j.rightRows = nil
+	return j.Left.Close()
+}

@@ -1,0 +1,347 @@
+package exec
+
+import (
+	"fmt"
+
+	"pmv/internal/catalog"
+	"pmv/internal/expr"
+	"pmv/internal/value"
+)
+
+// Plan is a compiled query: a root iterator producing rows of the
+// concatenated base-relation schema (every column of every relation in
+// template order, qualified).
+type Plan struct {
+	Root   Iterator
+	Schema RowSchema
+}
+
+// PlanQuery compiles a bound template query into the index-driven plan
+// the paper describes: index access on the driving relation's selection
+// attribute, index nested-loop joins in template order, residual
+// filters for everything else. Falling back to sequential scans and
+// in-memory joins when an index is missing keeps the planner total.
+func PlanQuery(cat *catalog.Catalog, q *expr.Query) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	tpl := q.Template
+
+	rels := make([]*catalog.Relation, len(tpl.Relations))
+	for i, name := range tpl.Relations {
+		r, err := cat.GetRelation(name)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+
+	// Per-relation predicate lists.
+	condsOf := func(relName string) []int {
+		var out []int
+		for i, c := range tpl.Conds {
+			if c.Col.Rel == relName {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	fixedOf := func(relName string) []expr.FixedPred {
+		var out []expr.FixedPred
+		for _, f := range tpl.Fixed {
+			if f.Col.Rel == relName {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+
+	// Driver choice: with statistics (ANALYZE), start from the
+	// relation whose bound conditions leave the fewest expected rows;
+	// without statistics, keep the template's declared order.
+	driverIdx := chooseDriver(tpl, q, rels, condsOf)
+	driver := rels[driverIdx]
+	driverName := tpl.Relations[driverIdx]
+	schema := qualify(driver, driverName)
+	var root Iterator
+	usedCond := -1
+	for _, ci := range condsOf(driverName) {
+		colIdx := driver.Schema.ColIndex(tpl.Conds[ci].Col.Col)
+		if colIdx < 0 {
+			return nil, fmt.Errorf("exec: %s has no column %s", driverName, tpl.Conds[ci].Col.Col)
+		}
+		ix := driver.IndexOn(colIdx)
+		if ix == nil {
+			continue
+		}
+		root = &IndexScan{Rel: driver, Index: ix, Ranges: rangesFor(tpl.Conds[ci].Form, q.Conds[ci])}
+		usedCond = ci
+		break
+	}
+	if root == nil {
+		root = &SeqScan{Rel: driver}
+	}
+	// Residual predicates on the driver.
+	var preds []Pred
+	for _, ci := range condsOf(driverName) {
+		if ci == usedCond {
+			continue
+		}
+		p, err := condPred(schema, tpl.Conds[ci], q.Conds[ci])
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+	}
+	for _, f := range fixedOf(driverName) {
+		p, err := fixedPredFn(schema, f)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+	}
+	root = applyPreds(root, preds)
+
+	// Join the remaining relations, preferring ones reachable from the
+	// joined set through a join predicate (template order breaks ties).
+	joined := map[string]bool{driverName: true}
+	usedJoin := make([]bool, len(tpl.Join))
+	remaining := make([]int, 0, len(rels)-1)
+	for i := range rels {
+		if i != driverIdx {
+			remaining = append(remaining, i)
+		}
+	}
+	for len(remaining) > 0 {
+		pick := 0
+		for pi, ri := range remaining {
+			if connectsTo(tpl, usedJoin, joined, tpl.Relations[ri]) {
+				pick = pi
+				break
+			}
+		}
+		ri := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		relName := tpl.Relations[ri]
+		rel := rels[ri]
+		relSchema := qualify(rel, relName)
+		newSchema := schema.Concat(relSchema)
+
+		// Find a join predicate linking the joined set to rel.
+		linkIdx := -1
+		var outerRef, innerRef expr.ColumnRef
+		for ji, jp := range tpl.Join {
+			if usedJoin[ji] {
+				continue
+			}
+			switch {
+			case joined[jp.Left.Rel] && jp.Right.Rel == relName:
+				linkIdx, outerRef, innerRef = ji, jp.Left, jp.Right
+			case joined[jp.Right.Rel] && jp.Left.Rel == relName:
+				linkIdx, outerRef, innerRef = ji, jp.Right, jp.Left
+			}
+			if linkIdx >= 0 {
+				break
+			}
+		}
+
+		// Residuals for this relation: its conditions, fixed predicates,
+		// and any further join predicates now fully bound.
+		var resid []Pred
+		for _, ci := range condsOf(relName) {
+			p, err := condPred(newSchema, tpl.Conds[ci], q.Conds[ci])
+			if err != nil {
+				return nil, err
+			}
+			resid = append(resid, p)
+		}
+		for _, f := range fixedOf(relName) {
+			p, err := fixedPredFn(newSchema, f)
+			if err != nil {
+				return nil, err
+			}
+			resid = append(resid, p)
+		}
+		for ji, jp := range tpl.Join {
+			if usedJoin[ji] || ji == linkIdx {
+				continue
+			}
+			if (joined[jp.Left.Rel] || jp.Left.Rel == relName) &&
+				(joined[jp.Right.Rel] || jp.Right.Rel == relName) {
+				p, err := joinPredFn(newSchema, jp)
+				if err != nil {
+					return nil, err
+				}
+				resid = append(resid, p)
+				usedJoin[ji] = true
+			}
+		}
+		residPred := andPreds(resid)
+
+		if linkIdx >= 0 {
+			usedJoin[linkIdx] = true
+			outerPos, err := schema.MustIndex(outerRef)
+			if err != nil {
+				return nil, err
+			}
+			innerCol := rel.Schema.ColIndex(innerRef.Col)
+			if innerCol < 0 {
+				return nil, fmt.Errorf("exec: %s has no column %s", relName, innerRef.Col)
+			}
+			if ix := rel.IndexOn(innerCol); ix != nil {
+				root = &IndexJoin{
+					Outer: root, OuterCol: outerPos,
+					Inner: rel, InnerIdx: ix,
+					Residual: residPred,
+				}
+			} else {
+				jpPred, err := joinPredFn(newSchema, expr.JoinPred{Left: outerRef, Right: innerRef})
+				if err != nil {
+					return nil, err
+				}
+				root = &NestedLoopJoin{
+					Left: root, Right: &SeqScan{Rel: rel},
+					On: andPreds(append([]Pred{jpPred}, resid...)),
+				}
+			}
+		} else {
+			// No join predicate reaches rel yet: cross join + residuals.
+			root = &NestedLoopJoin{Left: root, Right: &SeqScan{Rel: rel}, On: residPred}
+		}
+		schema = newSchema
+		joined[relName] = true
+	}
+
+	return &Plan{Root: root, Schema: schema}, nil
+}
+
+// connectsTo reports whether an unused join predicate links relName to
+// the already-joined set.
+func connectsTo(tpl *expr.Template, usedJoin []bool, joined map[string]bool, relName string) bool {
+	for ji, jp := range tpl.Join {
+		if usedJoin[ji] {
+			continue
+		}
+		if (joined[jp.Left.Rel] && jp.Right.Rel == relName) ||
+			(joined[jp.Right.Rel] && jp.Left.Rel == relName) {
+			return true
+		}
+	}
+	return false
+}
+
+// chooseDriver scores each relation by its expected driving-row count
+// (row count × the combined selectivity of its bound conditions, per
+// ANALYZE statistics) and returns the index of the cheapest. Relations
+// without statistics score by template position, so an un-analyzed
+// database keeps the declared order.
+func chooseDriver(tpl *expr.Template, q *expr.Query, rels []*catalog.Relation,
+	condsOf func(string) []int) int {
+	for _, rel := range rels {
+		if rel.Stats == nil {
+			return 0 // incomplete statistics: keep the declared order
+		}
+	}
+	best, bestScore := 0, -1.0
+	for i, rel := range rels {
+		conds := condsOf(tpl.Relations[i])
+		if len(conds) == 0 {
+			continue // nothing to drive with
+		}
+		sel := 1.0
+		for _, ci := range conds {
+			colIdx := rel.Schema.ColIndex(tpl.Conds[ci].Col.Col)
+			if colIdx < 0 {
+				continue
+			}
+			switch tpl.Conds[ci].Form {
+			case expr.EqualityForm:
+				sel *= rel.EqSelectivity(colIdx, len(q.Conds[ci].Values))
+			case expr.IntervalForm:
+				s := 0.0
+				for _, iv := range q.Conds[ci].Intervals {
+					s += rel.RangeSelectivity(colIdx, iv.Lo, iv.Hi)
+				}
+				if s > 1 {
+					s = 1
+				}
+				sel *= s
+			}
+		}
+		score := float64(rel.Stats.RowCount) * sel
+		if bestScore < 0 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// rangesFor converts one bound condition into index key ranges.
+func rangesFor(form expr.CondForm, ci expr.CondInstance) []KeyRange {
+	var out []KeyRange
+	if form == expr.EqualityForm {
+		for _, v := range ci.Values {
+			out = append(out, EqKeyRange(v))
+		}
+		return out
+	}
+	for _, iv := range ci.Intervals {
+		out = append(out, IntervalKeyRange(iv))
+	}
+	return out
+}
+
+// condPred compiles one bound selection condition against a schema.
+func condPred(schema RowSchema, ct expr.CondTemplate, ci expr.CondInstance) (Pred, error) {
+	pos, err := schema.MustIndex(ct.Col)
+	if err != nil {
+		return nil, err
+	}
+	form := ct.Form
+	return func(t value.Tuple) bool { return ci.Matches(form, t[pos]) }, nil
+}
+
+func fixedPredFn(schema RowSchema, f expr.FixedPred) (Pred, error) {
+	pos, err := schema.MustIndex(f.Col)
+	if err != nil {
+		return nil, err
+	}
+	return func(t value.Tuple) bool { return f.Op.Eval(t[pos], f.Val) }, nil
+}
+
+func joinPredFn(schema RowSchema, jp expr.JoinPred) (Pred, error) {
+	l, err := schema.MustIndex(jp.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := schema.MustIndex(jp.Right)
+	if err != nil {
+		return nil, err
+	}
+	return func(t value.Tuple) bool { return value.Equal(t[l], t[r]) }, nil
+}
+
+func andPreds(ps []Pred) Pred {
+	switch len(ps) {
+	case 0:
+		return nil
+	case 1:
+		return ps[0]
+	default:
+		return func(t value.Tuple) bool {
+			for _, p := range ps {
+				if !p(t) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+}
+
+func applyPreds(it Iterator, ps []Pred) Iterator {
+	if p := andPreds(ps); p != nil {
+		return &Filter{Child: it, Pred: p}
+	}
+	return it
+}

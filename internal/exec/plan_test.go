@@ -1,0 +1,294 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pmv/internal/catalog"
+	"pmv/internal/expr"
+	"pmv/internal/value"
+)
+
+func ivOf(lo, hi int64) expr.Interval {
+	return expr.Interval{Lo: value.Int(lo), Hi: value.Int(hi), LoIncl: true, HiIncl: false}
+}
+
+// planDB builds R(a, c, f), S(d, e, g) with indexes, deterministic
+// contents, and a brute-force oracle.
+type planDB struct {
+	cat   *catalog.Catalog
+	rRows []value.Tuple
+	sRows []value.Tuple
+	tpl   *expr.Template
+}
+
+func newPlanDB(t *testing.T, withIndexes bool) *planDB {
+	t.Helper()
+	c := testCatalog(t)
+	r, _ := c.CreateRelation("R", catalog.NewSchema(
+		catalog.Col("a", value.TypeInt), catalog.Col("c", value.TypeInt), catalog.Col("f", value.TypeInt)))
+	s, _ := c.CreateRelation("S", catalog.NewSchema(
+		catalog.Col("d", value.TypeInt), catalog.Col("e", value.TypeInt), catalog.Col("g", value.TypeInt)))
+	db := &planDB{cat: c}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		tup := value.Tuple{value.Int(int64(i)), value.Int(rng.Int63n(40)), value.Int(rng.Int63n(8))}
+		r.Heap.Insert(tup)
+		db.rRows = append(db.rRows, tup)
+	}
+	for i := 0; i < 120; i++ {
+		tup := value.Tuple{value.Int(rng.Int63n(40)), value.Int(int64(1000 + i)), value.Int(rng.Int63n(8))}
+		s.Heap.Insert(tup)
+		db.sRows = append(db.sRows, tup)
+	}
+	if withIndexes {
+		c.CreateIndex("", "R", "c")
+		c.CreateIndex("r_f", "R", "f")
+		c.CreateIndex("s_d", "S", "d")
+		c.CreateIndex("s_g", "S", "g")
+	}
+	db.tpl = &expr.Template{
+		Name:      "eqt",
+		Relations: []string{"R", "S"},
+		Select:    []expr.ColumnRef{{Rel: "R", Col: "a"}, {Rel: "S", Col: "e"}},
+		Join: []expr.JoinPred{{
+			Left:  expr.ColumnRef{Rel: "R", Col: "c"},
+			Right: expr.ColumnRef{Rel: "S", Col: "d"},
+		}},
+		Conds: []expr.CondTemplate{
+			{Col: expr.ColumnRef{Rel: "R", Col: "f"}, Form: expr.EqualityForm},
+			{Col: expr.ColumnRef{Rel: "S", Col: "g"}, Form: expr.IntervalForm},
+		},
+	}
+	return db
+}
+
+// oracle computes the join brute-force.
+func (db *planDB) oracle(q *expr.Query) []string {
+	var out []string
+	for _, rt := range db.rRows {
+		if !q.Conds[0].Matches(expr.EqualityForm, rt[2]) {
+			continue
+		}
+		for _, st := range db.sRows {
+			if !value.Equal(rt[1], st[0]) {
+				continue
+			}
+			if !q.Conds[1].Matches(expr.IntervalForm, st[2]) {
+				continue
+			}
+			out = append(out, value.Tuple{rt[0], st[1]}.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runPlan(t *testing.T, cat *catalog.Catalog, q *expr.Query) []string {
+	t.Helper()
+	plan, err := PlanQuery(cat, q)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	aPos, err := plan.Schema.MustIndex(expr.ColumnRef{Rel: "R", Col: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePos, err := plan.Schema.MustIndex(expr.ColumnRef{Rel: "S", Col: "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	err = ForEach(&Project{Child: plan.Root, Cols: []int{aPos, ePos}}, func(tp value.Tuple) error {
+		out = append(out, tp.String())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func eqStrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPlannerMatchesOracle(t *testing.T) {
+	for _, withIdx := range []bool{true, false} {
+		name := "indexed"
+		if !withIdx {
+			name = "scans-only"
+		}
+		t.Run(name, func(t *testing.T) {
+			db := newPlanDB(t, withIdx)
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 30; i++ {
+				var fs []value.Value
+				seen := map[int64]bool{}
+				for n := 0; n < 1+rng.Intn(3); n++ {
+					v := rng.Int63n(8)
+					if seen[v] {
+						continue
+					}
+					seen[v] = true
+					fs = append(fs, value.Int(v))
+				}
+				lo := rng.Int63n(8)
+				q := &expr.Query{
+					Template: db.tpl,
+					Conds: []expr.CondInstance{
+						{Values: fs},
+						{Intervals: []expr.Interval{ivOf(lo, lo+1+rng.Int63n(4))}},
+					},
+				}
+				got := runPlan(t, db.cat, q)
+				want := db.oracle(q)
+				if !eqStrs(got, want) {
+					t.Fatalf("query %d: got %d rows, oracle %d rows", i, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+func TestPlannerMultipleIntervals(t *testing.T) {
+	db := newPlanDB(t, true)
+	q := &expr.Query{
+		Template: db.tpl,
+		Conds: []expr.CondInstance{
+			{Values: []value.Value{value.Int(1), value.Int(3), value.Int(5)}},
+			{Intervals: []expr.Interval{ivOf(0, 2), ivOf(5, 7)}},
+		},
+	}
+	if got, want := runPlan(t, db.cat, q), db.oracle(q); !eqStrs(got, want) {
+		t.Fatalf("got %d rows, oracle %d", len(got), len(want))
+	}
+}
+
+func TestPlannerFixedPredicates(t *testing.T) {
+	db := newPlanDB(t, true)
+	db.tpl.Fixed = []expr.FixedPred{{
+		Col: expr.ColumnRef{Rel: "R", Col: "a"}, Op: expr.OpLt, Val: value.Int(100),
+	}}
+	q := &expr.Query{
+		Template: db.tpl,
+		Conds: []expr.CondInstance{
+			{Values: []value.Value{value.Int(2)}},
+			{Intervals: []expr.Interval{ivOf(0, 8)}},
+		},
+	}
+	got := runPlan(t, db.cat, q)
+	// Oracle with the fixed predicate applied by hand.
+	var want []string
+	for _, rt := range db.rRows {
+		if rt[0].Int64() >= 100 || rt[2].Int64() != 2 {
+			continue
+		}
+		for _, st := range db.sRows {
+			if value.Equal(rt[1], st[0]) && st[2].Int64() >= 0 && st[2].Int64() < 8 {
+				want = append(want, value.Tuple{rt[0], st[1]}.String())
+			}
+		}
+	}
+	sort.Strings(want)
+	if !eqStrs(got, want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+}
+
+func TestPlannerThreeWayJoin(t *testing.T) {
+	db := newPlanDB(t, true)
+	// Add a third relation U(k, m) joined on S.e = U.k.
+	u, _ := db.cat.CreateRelation("U", catalog.NewSchema(
+		catalog.Col("k", value.TypeInt), catalog.Col("m", value.TypeInt)))
+	var uRows []value.Tuple
+	for i := 0; i < 60; i++ {
+		tup := value.Tuple{value.Int(int64(1000 + i*2)), value.Int(int64(i))}
+		u.Heap.Insert(tup)
+		uRows = append(uRows, tup)
+	}
+	// Index after load: CreateIndex backfills from the heap.
+	db.cat.CreateIndex("u_k", "U", "k")
+	tpl := &expr.Template{
+		Name:      "three",
+		Relations: []string{"R", "S", "U"},
+		Select:    []expr.ColumnRef{{Rel: "R", Col: "a"}, {Rel: "U", Col: "m"}},
+		Join: []expr.JoinPred{
+			{Left: expr.ColumnRef{Rel: "R", Col: "c"}, Right: expr.ColumnRef{Rel: "S", Col: "d"}},
+			{Left: expr.ColumnRef{Rel: "S", Col: "e"}, Right: expr.ColumnRef{Rel: "U", Col: "k"}},
+		},
+		Conds: []expr.CondTemplate{
+			{Col: expr.ColumnRef{Rel: "R", Col: "f"}, Form: expr.EqualityForm},
+		},
+	}
+	q := &expr.Query{Template: tpl, Conds: []expr.CondInstance{
+		{Values: []value.Value{value.Int(1), value.Int(4)}},
+	}}
+	plan, err := PlanQuery(db.cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	aPos, _ := plan.Schema.MustIndex(expr.ColumnRef{Rel: "R", Col: "a"})
+	mPos, _ := plan.Schema.MustIndex(expr.ColumnRef{Rel: "U", Col: "m"})
+	ForEach(&Project{Child: plan.Root, Cols: []int{aPos, mPos}}, func(tp value.Tuple) error {
+		got = append(got, tp.String())
+		return nil
+	})
+	sort.Strings(got)
+
+	var want []string
+	for _, rt := range db.rRows {
+		if rt[2].Int64() != 1 && rt[2].Int64() != 4 {
+			continue
+		}
+		for _, st := range db.sRows {
+			if !value.Equal(rt[1], st[0]) {
+				continue
+			}
+			for _, ut := range uRows {
+				if value.Equal(st[1], ut[0]) {
+					want = append(want, value.Tuple{rt[0], ut[1]}.String())
+				}
+			}
+		}
+	}
+	sort.Strings(want)
+	if !eqStrs(got, want) {
+		t.Fatalf("three-way: got %d rows, want %d", len(got), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatal("three-way oracle empty; test data bad")
+	}
+}
+
+func TestPlannerRejectsInvalidQuery(t *testing.T) {
+	db := newPlanDB(t, true)
+	bad := &expr.Query{Template: db.tpl, Conds: []expr.CondInstance{{Values: []value.Value{value.Int(1)}}}}
+	if _, err := PlanQuery(db.cat, bad); err == nil {
+		t.Error("invalid query planned")
+	}
+}
+
+func TestPlannerUnknownRelation(t *testing.T) {
+	db := newPlanDB(t, true)
+	tpl := *db.tpl
+	tpl.Relations = []string{"R", "GHOST"}
+	q := &expr.Query{Template: &tpl, Conds: []expr.CondInstance{
+		{Values: []value.Value{value.Int(1)}},
+		{Intervals: []expr.Interval{ivOf(0, 1)}},
+	}}
+	if _, err := PlanQuery(db.cat, q); err == nil {
+		t.Error("unknown relation planned")
+	}
+}

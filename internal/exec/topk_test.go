@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"testing"
+
+	"pmv/internal/catalog"
+	"pmv/internal/expr"
+	"pmv/internal/value"
+)
+
+// TestTopKComposition exercises the Sort+Limit composition used for
+// top-k delivery over template queries.
+func TestTopKComposition(t *testing.T) {
+	rows := make([]value.Tuple, 0, 50)
+	for i := int64(0); i < 50; i++ {
+		rows = append(rows, value.Tuple{value.Int(i), value.Float(float64((i * 37) % 100))})
+	}
+	topk := &Limit{
+		Child: &Sort{Child: NewSliceIter(rows), Keys: []SortKey{{Col: 1, Desc: true}}},
+		N:     5,
+	}
+	got := drain(t, topk)
+	if len(got) != 5 {
+		t.Fatalf("top-5 returned %d rows", len(got))
+	}
+	prev := got[0][1].Float64()
+	for _, r := range got[1:] {
+		if r[1].Float64() > prev {
+			t.Fatalf("not descending: %v", got)
+		}
+		prev = r[1].Float64()
+	}
+	if got[0][1].Float64() != 99 {
+		t.Errorf("max = %v, want 99", got[0][1])
+	}
+}
+
+func TestUnboundedIntervalRanges(t *testing.T) {
+	// Unbounded interval bounds translate to open key ranges.
+	kr := IntervalKeyRange(expr.Interval{}) // (-inf, +inf)
+	if kr.Lo != nil || kr.Hi != nil {
+		t.Errorf("unbounded interval produced bounds: %v", kr)
+	}
+	lo := IntervalKeyRange(expr.Interval{Lo: value.Int(5), LoIncl: true})
+	if lo.Lo == nil || lo.Hi != nil {
+		t.Errorf("[5,+inf) range wrong: %+v", lo)
+	}
+	// Open lower bound excludes the boundary value.
+	open := IntervalKeyRange(expr.Interval{Lo: value.Int(5), LoIncl: false, Hi: value.Int(9), HiIncl: true})
+	eq5 := EqKeyRange(value.Int(5))
+	if string(open.Lo) == string(eq5.Lo) {
+		t.Error("open bound did not advance past the boundary")
+	}
+}
+
+func TestIndexScanOverDates(t *testing.T) {
+	c := testCatalog(t)
+	r, _ := c.CreateRelation("ev", newDateSchema())
+	for d := int64(0); d < 30; d++ {
+		r.Heap.Insert(value.Tuple{value.Date(20000 + d), value.Int(d)})
+	}
+	ix, err := c.CreateIndex("ev_d", "ev", "day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := expr.Interval{Lo: value.Date(20010), Hi: value.Date(20020), LoIncl: true, HiIncl: false}
+	is := &IndexScan{Rel: r, Index: ix, Ranges: []KeyRange{IntervalKeyRange(iv)}}
+	got := drain(t, is)
+	if len(got) != 10 {
+		t.Fatalf("date range returned %d rows, want 10", len(got))
+	}
+	for _, tp := range got {
+		d := tp[0].Int64()
+		if d < 20010 || d >= 20020 {
+			t.Errorf("date %d outside range", d)
+		}
+	}
+}
+
+func newDateSchema() catalog.Schema {
+	return catalog.NewSchema(
+		catalog.Col("day", value.TypeDate),
+		catalog.Col("n", value.TypeInt),
+	)
+}

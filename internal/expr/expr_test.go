@@ -1,0 +1,243 @@
+package expr
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"pmv/internal/value"
+)
+
+func iv(lo, hi int64) Interval {
+	return Interval{Lo: value.Int(lo), Hi: value.Int(hi), LoIncl: true, HiIncl: false}
+}
+
+func TestCompareOpEval(t *testing.T) {
+	two, three := value.Int(2), value.Int(3)
+	cases := []struct {
+		op   CompareOp
+		a, b value.Value
+		want bool
+	}{
+		{OpEq, two, two, true},
+		{OpEq, two, three, false},
+		{OpNe, two, three, true},
+		{OpLt, two, three, true},
+		{OpLe, two, two, true},
+		{OpGt, three, two, true},
+		{OpGe, two, three, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v %s %v = %v", c.a, c.op, c.b, got)
+		}
+	}
+	// NULL comparisons are always false.
+	for _, op := range []CompareOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		if op.Eval(value.Null(), two) || op.Eval(two, value.Null()) {
+			t.Errorf("NULL %s x = true", op)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	x := iv(10, 20)
+	for _, c := range []struct {
+		v    int64
+		want bool
+	}{{9, false}, {10, true}, {15, true}, {19, true}, {20, false}} {
+		if got := x.Contains(value.Int(c.v)); got != c.want {
+			t.Errorf("[10,20).Contains(%d) = %v", c.v, got)
+		}
+	}
+	open := Interval{Lo: value.Int(10), Hi: value.Int(20)}
+	if open.Contains(value.Int(10)) || open.Contains(value.Int(20)) {
+		t.Error("open interval contains its bounds")
+	}
+	unbounded := Interval{}
+	if !unbounded.Contains(value.Int(1 << 60)) {
+		t.Error("(-inf,+inf) rejects values")
+	}
+	if unbounded.Contains(value.Null()) {
+		t.Error("interval contains NULL")
+	}
+	loOnly := Interval{Lo: value.Int(5), LoIncl: true}
+	if loOnly.Contains(value.Int(4)) || !loOnly.Contains(value.Int(1<<50)) {
+		t.Error("[5, +inf) misbehaves")
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{iv(0, 10), iv(10, 20), false}, // half-open adjacency
+		{iv(0, 11), iv(10, 20), true},
+		{iv(10, 20), iv(0, 10), false},
+		{iv(0, 100), iv(40, 50), true},
+		{Interval{}, iv(5, 6), true},
+		{
+			Interval{Lo: value.Int(0), Hi: value.Int(10), LoIncl: true, HiIncl: true},
+			Interval{Lo: value.Int(10), Hi: value.Int(20), LoIncl: true, HiIncl: false},
+			true, // closed meets closed at 10
+		},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v overlaps %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("overlap not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestIntervalOverlapsQuick(t *testing.T) {
+	// Overlap iff some integer point is in both (dense enough grid).
+	f := func(a1, a2, b1, b2 int8) bool {
+		lo1, hi1 := minmax(int64(a1), int64(a2))
+		lo2, hi2 := minmax(int64(b1), int64(b2))
+		x := iv(lo1, hi1+1)
+		y := iv(lo2, hi2+1)
+		brute := false
+		for v := lo1; v <= hi1; v++ {
+			if y.Contains(value.Int(v)) {
+				brute = true
+				break
+			}
+		}
+		return x.Overlaps(y) == brute
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func minmax(a, b int64) (int64, int64) {
+	if a < b {
+		return a, b
+	}
+	return b, a
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	got := iv(0, 100).Intersect(iv(50, 200))
+	if got.Lo.Int64() != 50 || got.Hi.Int64() != 100 {
+		t.Errorf("intersect = %v", got)
+	}
+	// Intersection with unbounded keeps the bounded side.
+	got = Interval{}.Intersect(iv(1, 2))
+	if got.Lo.Int64() != 1 || got.Hi.Int64() != 2 {
+		t.Errorf("unbounded intersect = %v", got)
+	}
+	// Open vs closed bound at the same point: the stricter (open) wins.
+	a := Interval{Lo: value.Int(5), LoIncl: true, Hi: value.Int(10), HiIncl: true}
+	b := Interval{Lo: value.Int(5), LoIncl: false, Hi: value.Int(10), HiIncl: false}
+	got = a.Intersect(b)
+	if got.LoIncl || got.HiIncl {
+		t.Errorf("strictness lost: %v", got)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	s := Interval{Lo: value.Int(1), LoIncl: true}.String()
+	if s != "[1, +inf)" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func testTemplate() *Template {
+	return &Template{
+		Name:      "t",
+		Relations: []string{"r", "s"},
+		Select:    []ColumnRef{{Rel: "r", Col: "a"}},
+		Join:      []JoinPred{{Left: ColumnRef{Rel: "r", Col: "k"}, Right: ColumnRef{Rel: "s", Col: "k"}}},
+		Conds: []CondTemplate{
+			{Col: ColumnRef{Rel: "r", Col: "f"}, Form: EqualityForm},
+			{Col: ColumnRef{Rel: "s", Col: "g"}, Form: IntervalForm},
+		},
+	}
+}
+
+func TestTemplateValidate(t *testing.T) {
+	if err := testTemplate().Validate(); err != nil {
+		t.Fatalf("valid template rejected: %v", err)
+	}
+	bad := testTemplate()
+	bad.Relations = nil
+	if err := bad.Validate(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("no relations: %v", err)
+	}
+	bad = testTemplate()
+	bad.Relations = []string{"r", "r"}
+	if err := bad.Validate(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("duplicate relation: %v", err)
+	}
+	bad = testTemplate()
+	bad.Select = []ColumnRef{{Rel: "zzz", Col: "a"}}
+	if err := bad.Validate(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("unknown relation in select: %v", err)
+	}
+	bad = testTemplate()
+	bad.Conds = nil
+	if err := bad.Validate(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("no conditions: %v", err)
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	tpl := testTemplate()
+	ok := &Query{Template: tpl, Conds: []CondInstance{
+		{Values: []value.Value{value.Int(1)}},
+		{Intervals: []Interval{iv(0, 10), iv(20, 30)}},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	if h := ok.CombinationFactor(); h != 2 {
+		t.Errorf("combination factor = %d", h)
+	}
+
+	bad := &Query{Template: tpl, Conds: []CondInstance{
+		{Values: []value.Value{value.Int(1)}},
+	}}
+	if err := bad.Validate(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("arity mismatch: %v", err)
+	}
+	bad = &Query{Template: tpl, Conds: []CondInstance{
+		{Intervals: []Interval{iv(0, 1)}}, // equality condition got intervals
+		{Intervals: []Interval{iv(0, 10)}},
+	}}
+	if err := bad.Validate(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("wrong form: %v", err)
+	}
+	bad = &Query{Template: tpl, Conds: []CondInstance{
+		{Values: []value.Value{value.Int(1)}},
+		{Intervals: []Interval{iv(0, 10), iv(5, 15)}}, // overlapping
+	}}
+	if err := bad.Validate(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("overlapping intervals: %v", err)
+	}
+	if err := (&Query{}).Validate(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("nil template: %v", err)
+	}
+}
+
+func TestCondInstanceMatches(t *testing.T) {
+	eq := CondInstance{Values: []value.Value{value.Int(1), value.Int(5)}}
+	if !eq.Matches(EqualityForm, value.Int(5)) || eq.Matches(EqualityForm, value.Int(2)) {
+		t.Error("equality matching broken")
+	}
+	ivs := CondInstance{Intervals: []Interval{iv(0, 10), iv(20, 30)}}
+	if !ivs.Matches(IntervalForm, value.Int(25)) || ivs.Matches(IntervalForm, value.Int(15)) {
+		t.Error("interval matching broken")
+	}
+}
+
+func TestTemplateString(t *testing.T) {
+	s := testTemplate().String()
+	if s == "" {
+		t.Error("empty template string")
+	}
+}

@@ -1,0 +1,41 @@
+package expr
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pmv/internal/value"
+)
+
+// Templates persist in catalog/views metadata; the JSON roundtrip must
+// preserve every field including fixed-predicate values.
+func TestTemplateJSONRoundtrip(t *testing.T) {
+	tpl := testTemplate()
+	tpl.Fixed = []FixedPred{{
+		Col: ColumnRef{Rel: "r", Col: "price"},
+		Op:  OpGe,
+		Val: value.Float(9.5),
+	}}
+	data, err := json.Marshal(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Template
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tpl.Name || len(got.Relations) != 2 || len(got.Select) != 1 ||
+		len(got.Join) != 1 || len(got.Conds) != 2 {
+		t.Fatalf("structure lost: %+v", got)
+	}
+	if len(got.Fixed) != 1 || got.Fixed[0].Op != OpGe ||
+		value.Compare(got.Fixed[0].Val, value.Float(9.5)) != 0 {
+		t.Errorf("fixed predicate lost: %+v", got.Fixed)
+	}
+	if got.Conds[1].Form != IntervalForm {
+		t.Error("condition form lost")
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("roundtripped template invalid: %v", err)
+	}
+}

@@ -1,0 +1,27 @@
+package keycodec
+
+import (
+	"testing"
+
+	"pmv/internal/value"
+)
+
+var benchKeyTuple = value.Tuple{value.Int(42), value.Str("supplier-key"), value.Date(20454)}
+
+func BenchmarkEncode(b *testing.B) {
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendTuple(buf[:0], benchKeyTuple)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	enc := Encode(benchKeyTuple)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeTuple(enc, len(benchKeyTuple)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package sim reproduces the Section 4.1 simulation study: queries
+// drawn from a Zipfian distribution over 1M basic condition parts
+// probe a PMV managed by CLOCK or 2Q, and the hit probability — the
+// chance that at least one of a query's h bcps is cached — is measured
+// after a warm-up phase.
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"pmv/internal/cache"
+	"pmv/internal/workload"
+)
+
+// Config is one simulation cell.
+type Config struct {
+	// BCPs is the size of the basic-condition-part space (paper: 1M).
+	BCPs int
+	// Alpha is the Zipfian skew (paper: 1.07 high, 1.01 moderate).
+	Alpha float64
+	// H is the number of bcps per query's Cselect.
+	H int
+	// N sizes the cache: for 2Q, Am = N and A1 = N/2; for CLOCK (and
+	// LRU), capacity = 1.02·N so both see the same byte budget UB
+	// (a bcp-only A1 entry costs 4% of a full entry — Section 4.1).
+	N int
+	// Policy selects CLOCK, 2Q, or LRU.
+	Policy cache.PolicyKind
+	// Warmup and Measure are query counts for the two phases
+	// (paper: 1M each).
+	Warmup, Measure int
+	// Seed fixes the run.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.BCPs <= 0 {
+		c.BCPs = 1_000_000
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.07
+	}
+	if c.H <= 0 {
+		c.H = 2
+	}
+	if c.N <= 0 {
+		c.N = 20_000
+	}
+	if c.Policy == "" {
+		c.Policy = cache.PolicyCLOCK
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 1_000_000
+	}
+	if c.Measure <= 0 {
+		c.Measure = 1_000_000
+	}
+}
+
+// Result reports one simulation cell.
+type Result struct {
+	Config  Config
+	HitProb float64
+	// PartHitProb is the per-bcp hit rate (a traditional "full hit"
+	// cache metric, for comparison against the paper's partial-hit
+	// definition).
+	PartHitProb float64
+}
+
+// String renders the cell for harness output.
+func (r Result) String() string {
+	return fmt.Sprintf("policy=%-5s alpha=%.2f h=%d N=%d -> hit=%.4f (per-bcp %.4f)",
+		r.Config.Policy, r.Config.Alpha, r.Config.H, r.Config.N, r.HitProb, r.PartHitProb)
+}
+
+// capacityFor applies the equal-byte-budget rule.
+func capacityFor(kind cache.PolicyKind, n int) (cache.Policy, error) {
+	switch kind {
+	case cache.Policy2Q:
+		return cache.NewTwoQueue(n, n/2), nil
+	case cache.PolicyCLOCK:
+		return cache.NewClock(n + n/50), nil // 1.02·N
+	case cache.PolicyLRU:
+		return cache.NewLRU(n + n/50), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown policy %q", kind)
+	}
+}
+
+// Run simulates one cell and returns its hit probability.
+func Run(cfg Config) (Result, error) {
+	cfg.fill()
+	pol, err := capacityFor(cfg.Policy, cfg.N)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := workload.NewZipf(rng, cfg.BCPs, cfg.Alpha)
+
+	var key [4]byte
+	keyOf := func(id int) string {
+		binary.BigEndian.PutUint32(key[:], uint32(id))
+		return string(key[:])
+	}
+
+	runPhase := func(n int, count bool) (hits, partHits, parts int) {
+		for q := 0; q < n; q++ {
+			queryHit := false
+			for j := 0; j < cfg.H; j++ {
+				k := keyOf(zipf.Draw())
+				if pol.Lookup(k) {
+					queryHit = true
+					partHits++
+				} else {
+					// The query's execution would cache this bcp's
+					// results (Operation O3) subject to admission.
+					pol.RequestAdmit(k)
+				}
+				parts++
+			}
+			if queryHit {
+				hits++
+			}
+		}
+		return hits, partHits, parts
+	}
+
+	runPhase(cfg.Warmup, false)
+	hits, partHits, parts := runPhase(cfg.Measure, true)
+
+	return Result{
+		Config:      cfg,
+		HitProb:     float64(hits) / float64(cfg.Measure),
+		PartHitProb: float64(partHits) / float64(parts),
+	}, nil
+}
+
+// Figure6 sweeps h = 1..5 for both policies at both skews with
+// N = 20K, reproducing the paper's Figure 6 series. scale divides the
+// paper's 1M warm-up/measure counts for quick runs (1 = full).
+func Figure6(scale int) ([]Result, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	var out []Result
+	for _, alpha := range []float64{1.07, 1.01} {
+		for _, pol := range []cache.PolicyKind{cache.Policy2Q, cache.PolicyCLOCK} {
+			for h := 1; h <= 5; h++ {
+				r, err := Run(Config{
+					Alpha: alpha, H: h, N: 20_000, Policy: pol,
+					Warmup: 1_000_000 / scale, Measure: 1_000_000 / scale,
+					Seed: 7,
+				})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PolicySweep compares CLOCK, 2Q, and LRU at one simulation cell —
+// the paper leaves "other algorithms that perform better than both
+// CLOCK and 2Q" as future work; this is the harness for trying them.
+func PolicySweep(scale int) ([]Result, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	var out []Result
+	for _, pol := range []cache.PolicyKind{cache.PolicyCLOCK, cache.Policy2Q, cache.PolicyLRU} {
+		r, err := Run(Config{
+			Alpha: 1.07, H: 2, N: 20_000, Policy: pol,
+			Warmup: 1_000_000 / scale, Measure: 1_000_000 / scale,
+			Seed: 7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Figure7 sweeps N = 10K..30K at alpha = 1.07, h = 2 for both
+// policies, reproducing the paper's Figure 7 series.
+func Figure7(scale int) ([]Result, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	var out []Result
+	for _, pol := range []cache.PolicyKind{cache.Policy2Q, cache.PolicyCLOCK} {
+		for _, n := range []int{10_000, 15_000, 20_000, 25_000, 30_000} {
+			r, err := Run(Config{
+				Alpha: 1.07, H: 2, N: n, Policy: pol,
+				Warmup: 1_000_000 / scale, Measure: 1_000_000 / scale,
+				Seed: 7,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

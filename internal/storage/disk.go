@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Sentinel errors for the storage layer.
+var (
+	ErrPageFull = errors.New("storage: page full")
+	ErrBadSlot  = errors.New("storage: bad slot")
+	ErrClosed   = errors.New("storage: file closed")
+)
+
+// IOStats counts physical page transfers. The Section 4.3 cost model is
+// expressed in I/Os, so every read/write that reaches the OS is counted
+// here; the experiment harness reads these counters.
+type IOStats struct {
+	Reads  atomic.Int64
+	Writes atomic.Int64
+}
+
+// Snapshot returns the current counters.
+func (s *IOStats) Snapshot() (reads, writes int64) {
+	return s.Reads.Load(), s.Writes.Load()
+}
+
+// File is one page-addressed file on disk.
+type File struct {
+	mu    sync.Mutex
+	f     *os.File
+	pages int64 // allocated page count
+	stats *IOStats
+}
+
+// OpenFile opens (creating if needed) a page file at path.
+func OpenFile(path string, stats *IOStats) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	if info.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s size %d not page-aligned", path, info.Size())
+	}
+	return &File{f: f, pages: info.Size() / PageSize, stats: stats}, nil
+}
+
+// NumPages returns the number of allocated pages.
+func (fl *File) NumPages() PageID {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return PageID(fl.pages)
+}
+
+// Allocate extends the file by one zero page and returns its id.
+func (fl *File) Allocate() (PageID, error) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.f == nil {
+		return InvalidPageID, ErrClosed
+	}
+	id := PageID(fl.pages)
+	var zero [PageSize]byte
+	if _, err := fl.f.WriteAt(zero[:], int64(id)*PageSize); err != nil {
+		return InvalidPageID, fmt.Errorf("storage: allocate page %d: %w", id, err)
+	}
+	fl.pages++
+	if fl.stats != nil {
+		fl.stats.Writes.Add(1)
+	}
+	return id, nil
+}
+
+// ReadPage fills buf (PageSize bytes) with page id's contents.
+func (fl *File) ReadPage(id PageID, buf []byte) error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.f == nil {
+		return ErrClosed
+	}
+	if int64(id) >= fl.pages {
+		return fmt.Errorf("storage: read page %d of %d", id, fl.pages)
+	}
+	if _, err := fl.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	if fl.stats != nil {
+		fl.stats.Reads.Add(1)
+	}
+	return nil
+}
+
+// WritePage persists buf as page id.
+func (fl *File) WritePage(id PageID, buf []byte) error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.f == nil {
+		return ErrClosed
+	}
+	if int64(id) >= fl.pages {
+		return fmt.Errorf("storage: write page %d of %d", id, fl.pages)
+	}
+	if _, err := fl.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	if fl.stats != nil {
+		fl.stats.Writes.Add(1)
+	}
+	return nil
+}
+
+// Sync flushes the file to stable storage.
+func (fl *File) Sync() error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.f == nil {
+		return ErrClosed
+	}
+	return fl.f.Sync()
+}
+
+// Close releases the handle.
+func (fl *File) Close() error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.f == nil {
+		return nil
+	}
+	err := fl.f.Close()
+	fl.f = nil
+	return err
+}
+
+// Manager owns all page files under one directory, keyed by a logical
+// name ("heap.orders", "idx.orders.custkey", ...).
+type Manager struct {
+	dir   string
+	mu    sync.Mutex
+	files map[string]*File
+	Stats IOStats
+}
+
+// NewManager creates a disk manager rooted at dir, creating dir if
+// necessary.
+func NewManager(dir string) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir %s: %w", dir, err)
+	}
+	return &Manager{dir: dir, files: make(map[string]*File)}, nil
+}
+
+// Dir returns the root directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Open returns the page file for name, opening it on first use.
+func (m *Manager) Open(name string) (*File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		return f, nil
+	}
+	f, err := OpenFile(filepath.Join(m.dir, name+".pg"), &m.Stats)
+	if err != nil {
+		return nil, err
+	}
+	m.files[name] = f
+	return f, nil
+}
+
+// Remove closes and deletes the page file for name.
+func (m *Manager) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		f.Close()
+		delete(m.files, name)
+	}
+	err := os.Remove(filepath.Join(m.dir, name+".pg"))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Close closes every open file.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var first error
+	for name, f := range m.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(m.files, name)
+	}
+	return first
+}

@@ -1,0 +1,287 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var osWriteFile = os.WriteFile
+
+func newPage() *SlottedPage {
+	p := NewSlottedPage(make([]byte, PageSize))
+	p.Init()
+	return p
+}
+
+func TestSlottedPageInsertRead(t *testing.T) {
+	p := newPage()
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte(""), bytes.Repeat([]byte{7}, 100)}
+	var slots []uint16
+	for _, r := range recs {
+		s, err := p.Insert(r)
+		if err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		slots = append(slots, s)
+	}
+	for i, s := range slots {
+		if got := p.Read(s); !bytes.Equal(got, recs[i]) {
+			t.Errorf("slot %d: got %v want %v", s, got, recs[i])
+		}
+	}
+	if p.NumSlots() != uint16(len(recs)) {
+		t.Errorf("NumSlots = %d, want %d", p.NumSlots(), len(recs))
+	}
+}
+
+func TestSlottedPageDelete(t *testing.T) {
+	p := newPage()
+	s, _ := p.Insert([]byte("doomed"))
+	if err := p.Delete(s); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if p.Read(s) != nil {
+		t.Error("dead slot still readable")
+	}
+	if err := p.Delete(s); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("double delete: %v", err)
+	}
+	if err := p.Delete(99); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("out-of-range delete: %v", err)
+	}
+}
+
+func TestSlottedPageUpdateInPlace(t *testing.T) {
+	p := newPage()
+	s, _ := p.Insert([]byte("longest-record"))
+	if err := p.Update(s, []byte("short")); err != nil {
+		t.Fatalf("shrinking update: %v", err)
+	}
+	if got := p.Read(s); string(got) != "short" {
+		t.Errorf("after update: %q", got)
+	}
+	if err := p.Update(s, bytes.Repeat([]byte{1}, 200)); !errors.Is(err, ErrPageFull) {
+		t.Errorf("growing update: %v", err)
+	}
+}
+
+func TestSlottedPageFull(t *testing.T) {
+	p := newPage()
+	rec := bytes.Repeat([]byte{9}, 100)
+	inserted := 0
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		inserted++
+	}
+	// 8 KiB page, 100 B records + 4 B slots: expect ~78 records.
+	if inserted < 70 || inserted > 81 {
+		t.Errorf("inserted %d records before full", inserted)
+	}
+	// All still readable after fill.
+	for s := uint16(0); s < p.NumSlots(); s++ {
+		if p.Read(s) == nil {
+			t.Errorf("slot %d unreadable", s)
+		}
+	}
+}
+
+func TestSlottedPageFreeSpaceMonotonic(t *testing.T) {
+	p := newPage()
+	prev := p.FreeSpace()
+	for i := 0; i < 20; i++ {
+		if _, err := p.Insert([]byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+		cur := p.FreeSpace()
+		if cur >= prev {
+			t.Errorf("free space did not shrink: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestSlottedPageNextLink(t *testing.T) {
+	p := newPage()
+	if p.NextPage() != InvalidPageID {
+		t.Error("fresh page has a next link")
+	}
+	p.SetNextPage(42)
+	if p.NextPage() != 42 {
+		t.Error("next link not persisted")
+	}
+}
+
+func TestSlottedPageSurvivesSerialization(t *testing.T) {
+	buf := make([]byte, PageSize)
+	p := NewSlottedPage(buf)
+	p.Init()
+	s1, _ := p.Insert([]byte("persist me"))
+	p.Delete(s1)
+	s2, _ := p.Insert([]byte("keep me"))
+
+	// Re-wrap the same bytes: state must be identical.
+	q := NewSlottedPage(buf)
+	if q.Read(s1) != nil {
+		t.Error("deleted record resurrected")
+	}
+	if string(q.Read(s2)) != "keep me" {
+		t.Error("record lost across re-wrap")
+	}
+}
+
+func TestRIDCompare(t *testing.T) {
+	a := RID{Page: 1, Slot: 2}
+	b := RID{Page: 1, Slot: 3}
+	c := RID{Page: 2, Slot: 0}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 || b.Compare(c) != -1 {
+		t.Error("RID ordering broken")
+	}
+	if a.String() != "(1,2)" {
+		t.Errorf("RID.String() = %q", a.String())
+	}
+}
+
+func TestFileAllocateReadWrite(t *testing.T) {
+	var stats IOStats
+	f, err := OpenFile(filepath.Join(t.TempDir(), "x.pg"), &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	id0, err := f.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := f.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id0 != 0 || id1 != 1 {
+		t.Errorf("ids %d, %d", id0, id1)
+	}
+	buf := make([]byte, PageSize)
+	rand.New(rand.NewSource(1)).Read(buf)
+	if err := f.WritePage(id1, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := f.ReadPage(id1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Error("page contents corrupted")
+	}
+	if err := f.ReadPage(5, got); err == nil {
+		t.Error("read of unallocated page succeeded")
+	}
+	r, w := stats.Snapshot()
+	if r == 0 || w == 0 {
+		t.Errorf("io not counted: r=%d w=%d", r, w)
+	}
+}
+
+func TestFileClosedOps(t *testing.T) {
+	f, err := OpenFile(filepath.Join(t.TempDir(), "y.pg"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := f.Allocate(); !errors.Is(err, ErrClosed) {
+		t.Errorf("allocate after close: %v", err)
+	}
+	buf := make([]byte, PageSize)
+	if err := f.WritePage(0, buf); !errors.Is(err, ErrClosed) {
+		t.Errorf("write after close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestFilePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "z.pg")
+	f, err := OpenFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := f.Allocate()
+	buf := bytes.Repeat([]byte{0xAB}, PageSize)
+	f.WritePage(id, buf)
+	f.Close()
+
+	f2, err := OpenFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.NumPages() != 1 {
+		t.Errorf("NumPages after reopen = %d", f2.NumPages())
+	}
+	got := make([]byte, PageSize)
+	f2.ReadPage(id, got)
+	if !bytes.Equal(buf, got) {
+		t.Error("contents lost across reopen")
+	}
+}
+
+func TestManagerOpenRemove(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	f1, err := m.Open("heap.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := m.Open("heap.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Error("Open is not idempotent")
+	}
+	if _, err := f1.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("heap.a"); err != nil {
+		t.Fatal(err)
+	}
+	f3, err := m.Open("heap.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.NumPages() != 0 {
+		t.Error("Remove did not delete data")
+	}
+	if err := m.Remove("no.such"); err != nil {
+		t.Errorf("Remove of missing file: %v", err)
+	}
+}
+
+func TestManagerNonAlignedFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := NewManager(dir)
+	defer m.Close()
+	// Create a garbage file not page-aligned.
+	if err := writeFileHelper(filepath.Join(dir, "bad.pg"), []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open("bad"); err == nil {
+		t.Error("non-aligned file accepted")
+	}
+}
+
+func writeFileHelper(path string, data []byte) error {
+	return osWriteFile(path, data, 0o644)
+}

@@ -1,0 +1,34 @@
+package value
+
+import "testing"
+
+var benchTuple = Tuple{
+	Int(123456789), Str("a-medium-length-string-payload"), Float(3.14159),
+	Date(20454), Bool(true), Null(),
+}
+
+func BenchmarkEncodeTuple(b *testing.B) {
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = EncodeTuple(buf[:0], benchTuple)
+	}
+}
+
+func BenchmarkDecodeTuple(b *testing.B) {
+	enc := EncodeTuple(nil, benchTuple)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeTuple(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompareTuples(b *testing.B) {
+	other := benchTuple.Clone()
+	other[0] = Int(123456790)
+	for i := 0; i < b.N; i++ {
+		CompareTuples(benchTuple, other)
+	}
+}

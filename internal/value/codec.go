@@ -1,0 +1,121 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Tuple wire format (used by heap pages and the PMV store):
+//
+//	u16 column count
+//	per column: u8 type tag, then payload
+//	  int/date: 8-byte big-endian two's complement
+//	  bool:     1 byte
+//	  float:    8-byte big-endian IEEE 754
+//	  string:   u32 length + bytes
+//	  null:     nothing
+//
+// The format is self-describing so heap tuples survive schema evolution
+// of the reading code, and compact enough that Table 1 style size
+// accounting is meaningful.
+
+// EncodeTuple appends the wire encoding of t to dst and returns the
+// extended slice.
+func EncodeTuple(dst []byte, t Tuple) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(t)))
+	for _, v := range t {
+		dst = append(dst, byte(v.typ))
+		switch v.typ {
+		case TypeNull:
+		case TypeInt, TypeDate:
+			dst = binary.BigEndian.AppendUint64(dst, uint64(v.i))
+		case TypeBool:
+			dst = append(dst, byte(v.i))
+		case TypeFloat:
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.f))
+		case TypeString:
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.s)))
+			dst = append(dst, v.s...)
+		default:
+			panic(fmt.Sprintf("value: encode unknown type %d", v.typ))
+		}
+	}
+	return dst
+}
+
+// DecodeTuple parses one tuple from the front of b, returning the tuple
+// and the number of bytes consumed.
+func DecodeTuple(b []byte) (Tuple, int, error) {
+	if len(b) < 2 {
+		return nil, 0, fmt.Errorf("value: short tuple header")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	off := 2
+	t := make(Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		if off >= len(b) {
+			return nil, 0, fmt.Errorf("value: truncated tuple at column %d", i)
+		}
+		typ := Type(b[off])
+		off++
+		switch typ {
+		case TypeNull:
+			t = append(t, Null())
+		case TypeInt, TypeDate:
+			if off+8 > len(b) {
+				return nil, 0, fmt.Errorf("value: truncated int at column %d", i)
+			}
+			u := binary.BigEndian.Uint64(b[off:])
+			off += 8
+			if typ == TypeInt {
+				t = append(t, Int(int64(u)))
+			} else {
+				t = append(t, Date(int64(u)))
+			}
+		case TypeBool:
+			if off+1 > len(b) {
+				return nil, 0, fmt.Errorf("value: truncated bool at column %d", i)
+			}
+			t = append(t, Bool(b[off] != 0))
+			off++
+		case TypeFloat:
+			if off+8 > len(b) {
+				return nil, 0, fmt.Errorf("value: truncated float at column %d", i)
+			}
+			t = append(t, Float(math.Float64frombits(binary.BigEndian.Uint64(b[off:]))))
+			off += 8
+		case TypeString:
+			if off+4 > len(b) {
+				return nil, 0, fmt.Errorf("value: truncated string length at column %d", i)
+			}
+			l := int(binary.BigEndian.Uint32(b[off:]))
+			off += 4
+			if off+l > len(b) {
+				return nil, 0, fmt.Errorf("value: truncated string at column %d", i)
+			}
+			t = append(t, Str(string(b[off:off+l])))
+			off += l
+		default:
+			return nil, 0, fmt.Errorf("value: unknown type tag %d at column %d", typ, i)
+		}
+	}
+	return t, off, nil
+}
+
+// EncodedSize returns the wire size of t without encoding it.
+func EncodedSize(t Tuple) int {
+	n := 2
+	for _, v := range t {
+		n++
+		switch v.typ {
+		case TypeInt, TypeDate, TypeFloat:
+			n += 8
+		case TypeBool:
+			n++
+		case TypeString:
+			n += 4 + len(v.s)
+		}
+	}
+	return n
+}

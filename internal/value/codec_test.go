@@ -1,0 +1,130 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundtrip(t *testing.T, tup Tuple) {
+	t.Helper()
+	enc := EncodeTuple(nil, tup)
+	if len(enc) != EncodedSize(tup) {
+		t.Errorf("EncodedSize(%v) = %d, actual %d", tup, EncodedSize(tup), len(enc))
+	}
+	dec, n, err := DecodeTuple(enc)
+	if err != nil {
+		t.Fatalf("decode %v: %v", tup, err)
+	}
+	if n != len(enc) {
+		t.Errorf("decode consumed %d of %d bytes", n, len(enc))
+	}
+	if CompareTuples(tup, dec) != 0 {
+		t.Errorf("roundtrip: %v -> %v", tup, dec)
+	}
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	cases := []Tuple{
+		{},
+		{Int(0)},
+		{Int(-1), Int(1 << 62), Int(math.MinInt64)},
+		{Float(0), Float(-1.5), Float(math.Inf(1)), Float(math.SmallestNonzeroFloat64)},
+		{Str(""), Str("hello"), Str("with\x00zero")},
+		{Bool(true), Bool(false)},
+		{Date(0), Date(-365), Date(40000)},
+		{Null(), Int(1), Null()},
+		{Int(1), Float(2.5), Str("mixed"), Bool(true), Date(3), Null()},
+	}
+	for _, c := range cases {
+		roundtrip(t, c)
+	}
+}
+
+func TestCodecRoundtripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	randValue := func() Value {
+		switch rng.Intn(6) {
+		case 0:
+			return Null()
+		case 1:
+			return Int(rng.Int63() - rng.Int63())
+		case 2:
+			return Float(rng.NormFloat64() * 1e6)
+		case 3:
+			b := make([]byte, rng.Intn(40))
+			rng.Read(b)
+			return Str(string(b))
+		case 4:
+			return Bool(rng.Intn(2) == 0)
+		default:
+			return Date(rng.Int63n(100000) - 50000)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		tup := make(Tuple, rng.Intn(8))
+		for j := range tup {
+			tup[j] = randValue()
+		}
+		roundtrip(t, tup)
+	}
+}
+
+func TestCodecConcatenatedTuples(t *testing.T) {
+	a := Tuple{Int(1), Str("a")}
+	b := Tuple{Float(2.5)}
+	buf := EncodeTuple(nil, a)
+	buf = EncodeTuple(buf, b)
+	da, n, err := DecodeTuple(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := DecodeTuple(buf[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CompareTuples(a, da) != 0 || CompareTuples(b, db) != 0 {
+		t.Error("concatenated decode broken")
+	}
+}
+
+func TestCodecTruncationErrors(t *testing.T) {
+	enc := EncodeTuple(nil, Tuple{Int(1), Str("hello"), Float(2.5)})
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeTuple(enc[:cut]); err == nil && cut < len(enc) {
+			// A shorter prefix may still decode if it happens to form a
+			// valid tuple; but cutting the header must fail.
+			if cut < 2 {
+				t.Errorf("decode of %d-byte prefix succeeded", cut)
+			}
+		}
+	}
+}
+
+func TestCodecGarbageTag(t *testing.T) {
+	buf := []byte{0, 1, 0xEE} // one column with unknown tag
+	if _, _, err := DecodeTuple(buf); err == nil {
+		t.Error("unknown tag accepted")
+	}
+}
+
+func TestEncodedSizeQuick(t *testing.T) {
+	f := func(i int64, s string, b bool) bool {
+		tup := Tuple{Int(i), Str(s), Bool(b), Null()}
+		return EncodedSize(tup) == len(EncodeTuple(nil, tup))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	tup := Tuple{Int(5), Str("x"), Float(1.25)}
+	a := EncodeTuple(nil, tup)
+	b := EncodeTuple(nil, tup)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("encoding is not deterministic")
+	}
+}

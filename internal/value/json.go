@@ -1,0 +1,95 @@
+package value
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON encoding for values: a tagged object {"t": "...", "v": ...}.
+// Used by the catalog to persist view definitions (dividing values,
+// fixed predicates) across database restarts.
+
+type jsonValue struct {
+	T string          `json:"t"`
+	V json.RawMessage `json:"v,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) {
+	var jv jsonValue
+	var err error
+	enc := func(x any) (json.RawMessage, error) {
+		b, err := json.Marshal(x)
+		return json.RawMessage(b), err
+	}
+	switch v.typ {
+	case TypeNull:
+		jv.T = "null"
+	case TypeInt:
+		jv.T = "int"
+		jv.V, err = enc(v.i)
+	case TypeFloat:
+		jv.T = "float"
+		jv.V, err = enc(v.f)
+	case TypeString:
+		jv.T = "string"
+		jv.V, err = enc(v.s)
+	case TypeDate:
+		jv.T = "date"
+		jv.V, err = enc(v.i)
+	case TypeBool:
+		jv.T = "bool"
+		jv.V, err = enc(v.i != 0)
+	default:
+		return nil, fmt.Errorf("value: marshal unknown type %d", v.typ)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jv)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var jv jsonValue
+	if err := json.Unmarshal(data, &jv); err != nil {
+		return err
+	}
+	switch jv.T {
+	case "null":
+		*v = Null()
+	case "int":
+		var i int64
+		if err := json.Unmarshal(jv.V, &i); err != nil {
+			return err
+		}
+		*v = Int(i)
+	case "float":
+		var f float64
+		if err := json.Unmarshal(jv.V, &f); err != nil {
+			return err
+		}
+		*v = Float(f)
+	case "string":
+		var s string
+		if err := json.Unmarshal(jv.V, &s); err != nil {
+			return err
+		}
+		*v = Str(s)
+	case "date":
+		var i int64
+		if err := json.Unmarshal(jv.V, &i); err != nil {
+			return err
+		}
+		*v = Date(i)
+	case "bool":
+		var b bool
+		if err := json.Unmarshal(jv.V, &b); err != nil {
+			return err
+		}
+		*v = Bool(b)
+	default:
+		return fmt.Errorf("value: unmarshal unknown type %q", jv.T)
+	}
+	return nil
+}

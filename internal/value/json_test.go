@@ -1,0 +1,52 @@
+package value
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestJSONRoundtrip(t *testing.T) {
+	vals := []Value{
+		Null(), Int(-42), Float(2.5), Str("hello \"quoted\""), Date(20454), Bool(true),
+	}
+	for _, v := range vals {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got Value
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if Compare(v, got) != 0 || v.Type() != got.Type() {
+			t.Errorf("roundtrip %v -> %s -> %v", v, data, got)
+		}
+	}
+}
+
+func TestJSONInsideStructures(t *testing.T) {
+	type wrapper struct {
+		Vals map[int][]Value `json:"vals"`
+	}
+	w := wrapper{Vals: map[int][]Value{1: {Int(10), Int(20)}, 3: {Str("x")}}}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got wrapper
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vals[1]) != 2 || got.Vals[1][1].Int64() != 20 || got.Vals[3][0].Str() != "x" {
+		t.Errorf("structure roundtrip: %+v", got)
+	}
+}
+
+func TestJSONBadInput(t *testing.T) {
+	var v Value
+	for _, bad := range []string{`{"t":"alien","v":1}`, `{"t":"int","v":"nope"}`, `[1,2]`} {
+		if err := json.Unmarshal([]byte(bad), &v); err == nil {
+			t.Errorf("accepted %s", bad)
+		}
+	}
+}

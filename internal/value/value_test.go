@@ -1,0 +1,195 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TypeNull:   "NULL",
+		TypeInt:    "BIGINT",
+		TypeFloat:  "DOUBLE",
+		TypeString: "VARCHAR",
+		TypeDate:   "DATE",
+		TypeBool:   "BOOLEAN",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := Int(42); v.Type() != TypeInt || v.Int64() != 42 {
+		t.Errorf("Int: %v", v)
+	}
+	if v := Float(2.5); v.Type() != TypeFloat || v.Float64() != 2.5 {
+		t.Errorf("Float: %v", v)
+	}
+	if v := Str("abc"); v.Type() != TypeString || v.Str() != "abc" {
+		t.Errorf("Str: %v", v)
+	}
+	if v := Bool(true); v.Type() != TypeBool || !v.BoolVal() {
+		t.Errorf("Bool: %v", v)
+	}
+	if v := Date(10); v.Type() != TypeDate || v.Int64() != 10 {
+		t.Errorf("Date: %v", v)
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+}
+
+func TestDateParsing(t *testing.T) {
+	v, err := DateFromString("2026-07-04")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := v.String(); got != "2026-07-04" {
+		t.Errorf("roundtrip: %q", got)
+	}
+	if _, err := DateFromString("not-a-date"); err == nil {
+		t.Error("bad date accepted")
+	}
+	day := time.Date(1970, 1, 2, 12, 0, 0, 0, time.UTC)
+	if got := DateFromTime(day).Int64(); got != 1 {
+		t.Errorf("DateFromTime = %d, want 1", got)
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Int64 on string", func() { Str("x").Int64() })
+	mustPanic("Str on int", func() { Int(1).Str() })
+	mustPanic("BoolVal on int", func() { Int(1).BoolVal() })
+	mustPanic("Float64 on string", func() { Str("x").Float64() })
+}
+
+func TestCompareWithinTypes(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Float(2.5), -1},
+		{Str("a"), Str("b"), -1},
+		{Str("aa"), Str("a"), 1},
+		{Bool(false), Bool(true), -1},
+		{Date(1), Date(2), -1},
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareCrossTypes(t *testing.T) {
+	// NULL sorts before everything.
+	for _, v := range []Value{Int(-1 << 62), Float(math.Inf(-1)), Str(""), Bool(false)} {
+		if Compare(Null(), v) >= 0 {
+			t.Errorf("NULL not before %v", v)
+		}
+	}
+	// Int and Float compare numerically across the boundary.
+	if Compare(Int(2), Float(2.5)) != -1 || Compare(Float(2.5), Int(2)) != 1 {
+		t.Error("numeric cross-type comparison broken")
+	}
+	if Compare(Int(2), Float(2.0)) != 0 {
+		t.Error("equal numerics across types should compare 0")
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := Float(math.NaN())
+	if Compare(nan, nan) != 0 {
+		t.Error("NaN != NaN under total order")
+	}
+	if Compare(nan, Float(0)) != -1 || Compare(Float(0), nan) != 1 {
+		t.Error("NaN should sort before numbers")
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	vals := []Value{Null(), Int(1), Int(5), Float(1.5), Str("x"), Bool(true), Date(3)}
+	for _, a := range vals {
+		for _, b := range vals {
+			if Compare(a, b) != -Compare(b, a) {
+				t.Errorf("antisymmetry violated for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestTupleCloneIndependence(t *testing.T) {
+	orig := Tuple{Int(1), Str("a")}
+	cl := orig.Clone()
+	cl[0] = Int(99)
+	if orig[0].Int64() != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestCompareTuples(t *testing.T) {
+	a := Tuple{Int(1), Int(2)}
+	b := Tuple{Int(1), Int(3)}
+	if CompareTuples(a, b) != -1 || CompareTuples(b, a) != 1 || CompareTuples(a, a) != 0 {
+		t.Error("tuple comparison broken")
+	}
+	// Prefix sorts first.
+	if CompareTuples(Tuple{Int(1)}, a) != -1 {
+		t.Error("shorter prefix should sort first")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	got := Tuple{Int(1), Str("x"), Null()}.String()
+	if got != "(1, x, NULL)" {
+		t.Errorf("Tuple.String() = %q", got)
+	}
+}
+
+func TestCompareIntTransitivityQuick(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		x, y, z := Int(a), Int(b), Int(c)
+		if Compare(x, y) <= 0 && Compare(y, z) <= 0 {
+			return Compare(x, z) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareStringsMatchesGo(t *testing.T) {
+	f := func(a, b string) bool {
+		got := Compare(Str(a), Str(b))
+		switch {
+		case a < b:
+			return got == -1
+		case a > b:
+			return got == 1
+		default:
+			return got == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

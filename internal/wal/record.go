@@ -1,0 +1,82 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pmv/internal/storage"
+	"pmv/internal/value"
+)
+
+// OpKind distinguishes logged heap operations.
+type OpKind byte
+
+// Logged operations. Updates that cannot be applied in place are
+// logged as a delete followed by an insert.
+const (
+	OpInsert OpKind = 1
+	OpDelete OpKind = 2
+	OpUpdate OpKind = 3
+)
+
+// Record is one logged heap operation.
+type Record struct {
+	// Seq is the operation sequence number; heap pages are stamped
+	// with it (the redo guard).
+	Seq uint64
+	Op  OpKind
+	Rel string
+	RID storage.RID
+	// Tuple is the inserted/new tuple (empty for deletes).
+	Tuple value.Tuple
+}
+
+// Encode renders the record payload:
+//
+//	u64 seq | u8 op | u16 len(rel) | rel | u32 page | u16 slot | tuple
+func (r *Record) Encode() []byte {
+	buf := make([]byte, 0, 32+len(r.Rel))
+	buf = binary.BigEndian.AppendUint64(buf, r.Seq)
+	buf = append(buf, byte(r.Op))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Rel)))
+	buf = append(buf, r.Rel...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(r.RID.Page))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(r.RID.Slot))
+	if r.Op != OpDelete {
+		buf = value.EncodeTuple(buf, r.Tuple)
+	}
+	return buf
+}
+
+// DecodeRecord parses one record payload.
+func DecodeRecord(b []byte) (*Record, error) {
+	if len(b) < 8+1+2 {
+		return nil, fmt.Errorf("wal: record too short (%d bytes)", len(b))
+	}
+	r := &Record{}
+	r.Seq = binary.BigEndian.Uint64(b)
+	r.Op = OpKind(b[8])
+	n := int(binary.BigEndian.Uint16(b[9:]))
+	off := 11
+	if off+n+6 > len(b) {
+		return nil, fmt.Errorf("wal: truncated record body")
+	}
+	r.Rel = string(b[off : off+n])
+	off += n
+	r.RID.Page = storage.PageID(binary.BigEndian.Uint32(b[off:]))
+	r.RID.Slot = binary.BigEndian.Uint16(b[off+4:])
+	off += 6
+	if r.Op != OpDelete {
+		t, _, err := value.DecodeTuple(b[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wal: record tuple: %w", err)
+		}
+		r.Tuple = t
+	}
+	switch r.Op {
+	case OpInsert, OpDelete, OpUpdate:
+	default:
+		return nil, fmt.Errorf("wal: unknown op %d", r.Op)
+	}
+	return r, nil
+}

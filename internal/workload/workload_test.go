@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmv/internal/engine"
+	"pmv/internal/storage"
+	"pmv/internal/value"
+)
+
+func TestZipfMassOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 1000, 1.07)
+	counts := make([]int, 1000)
+	for i := 0; i < 200000; i++ {
+		counts[z.Draw()]++
+	}
+	// Rank 0 must dominate rank 100, which must dominate rank 900.
+	if counts[0] <= counts[100] || counts[100] <= counts[900] {
+		t.Errorf("mass not decreasing: %d %d %d", counts[0], counts[100], counts[900])
+	}
+}
+
+func TestZipfPaperCalibration(t *testing.T) {
+	// The paper: at α=1.07, 10% of 1M bcps get ~90% of the mass; at
+	// α=1.01, 21% get ~90%.
+	rng := rand.New(rand.NewSource(1))
+	z107 := NewZipf(rng, 1_000_000, 1.07)
+	if m := z107.MassOfTop(100_000); m < 0.85 || m > 0.95 {
+		t.Errorf("α=1.07: top 10%% mass = %.3f, paper says ~0.90", m)
+	}
+	z101 := NewZipf(rng, 1_000_000, 1.01)
+	if m := z101.MassOfTop(210_000); m < 0.85 || m > 0.95 {
+		t.Errorf("α=1.01: top 21%% mass = %.3f, paper says ~0.90", m)
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := NewZipf(rng, 10, 1.5)
+	for i := 0; i < 10000; i++ {
+		if d := z.Draw(); d < 0 || d >= 10 {
+			t.Fatalf("draw %d out of range", d)
+		}
+	}
+	if z.N() != 10 {
+		t.Errorf("N = %d", z.N())
+	}
+	if z.MassOfTop(0) != 0 || z.MassOfTop(10) != 1 || z.MassOfTop(99) != 1 {
+		t.Error("MassOfTop edge cases broken")
+	}
+}
+
+func TestPermutedZipfScatters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewPermutedZipf(rng, 1000, 1.2)
+	counts := make(map[int]int)
+	for i := 0; i < 50000; i++ {
+		counts[p.Draw()]++
+	}
+	// The most frequent id should usually NOT be id 0 (permutation
+	// scatters hot ranks).
+	best, bestID := 0, -1
+	for id, c := range counts {
+		if c > best {
+			best, bestID = c, id
+		}
+	}
+	if bestID == 0 {
+		t.Log("hot rank landed on id 0 (possible but unlikely); permutation may be identity")
+	}
+	if p.N() != 1000 {
+		t.Errorf("N = %d", p.N())
+	}
+}
+
+func TestTPCRCardinalities(t *testing.T) {
+	cfg := TPCRConfig{ScaleFactor: 0.001}
+	cfg.fill()
+	if cfg.Customers() != 150 || cfg.Orders() != 1500 || cfg.Lineitems() != 6000 {
+		t.Errorf("cardinalities: %d/%d/%d", cfg.Customers(), cfg.Orders(), cfg.Lineitems())
+	}
+}
+
+func loadSmall(t *testing.T, cfg TPCRConfig) (*engine.Engine, TPCRConfig) {
+	t.Helper()
+	eng, err := engine.Open(t.TempDir(), engine.Options{BufferPoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	out, err := LoadTPCR(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, out
+}
+
+func TestLoadTPCRCounts(t *testing.T) {
+	eng, cfg := loadSmall(t, TPCRConfig{ScaleFactor: 0.0005, Seed: 1})
+	for rel, want := range map[string]int64{
+		"customer": int64(cfg.Customers()),
+		"orders":   int64(cfg.Orders()),
+		"lineitem": int64(cfg.Lineitems()),
+	} {
+		r, err := eng.Catalog().GetRelation(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Heap.Count() != want {
+			t.Errorf("%s: %d tuples, want %d", rel, r.Heap.Count(), want)
+		}
+	}
+}
+
+func TestLoadTPCRReferentialIntegrity(t *testing.T) {
+	eng, cfg := loadSmall(t, TPCRConfig{ScaleFactor: 0.0005, Seed: 1})
+	orders, _ := eng.Catalog().GetRelation("orders")
+	perCust := make(map[int64]int)
+	err := orders.Heap.Scan(func(_ storage.RID, tu value.Tuple) error {
+		ck := tu[1].Int64()
+		if ck < 0 || ck >= int64(cfg.Customers()) {
+			t.Fatalf("orders.custkey %d out of range", ck)
+		}
+		perCust[ck]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ck, n := range perCust {
+		if n != 10 {
+			t.Errorf("customer %d has %d orders, want 10", ck, n)
+		}
+	}
+	lineitem, _ := eng.Catalog().GetRelation("lineitem")
+	perOrder := make(map[int64]int)
+	lineitem.Heap.Scan(func(_ storage.RID, tu value.Tuple) error {
+		perOrder[tu[0].Int64()]++
+		return nil
+	})
+	for ok, n := range perOrder {
+		if n != 4 {
+			t.Errorf("order %d has %d lineitems, want 4", ok, n)
+		}
+	}
+}
+
+func TestLoadTPCRDeterministicSeed(t *testing.T) {
+	eng1, _ := loadSmall(t, TPCRConfig{ScaleFactor: 0.0002, Seed: 7})
+	eng2, _ := loadSmall(t, TPCRConfig{ScaleFactor: 0.0002, Seed: 7})
+	r1, _ := eng1.Catalog().GetRelation("customer")
+	r2, _ := eng2.Catalog().GetRelation("customer")
+	var rows1, rows2 []string
+	r1.Heap.Scan(func(_ storage.RID, tu value.Tuple) error {
+		rows1 = append(rows1, tu.String())
+		return nil
+	})
+	r2.Heap.Scan(func(_ storage.RID, tu value.Tuple) error {
+		rows2 = append(rows2, tu.String())
+		return nil
+	})
+	if len(rows1) != len(rows2) {
+		t.Fatal("sizes differ")
+	}
+	for i := range rows1 {
+		if rows1[i] != rows2[i] {
+			t.Fatalf("row %d differs between same-seed loads", i)
+		}
+	}
+}
+
+func TestCorrelatedSuppliers(t *testing.T) {
+	eng, cfg := loadSmall(t, TPCRConfig{
+		ScaleFactor: 0.0005, Seed: 1, Nations: 5, Suppliers: 25,
+		CorrelatedSupp: true, Deterministic: true,
+	})
+	// Every lineitem's supplier must belong to its customer's nation's
+	// block.
+	customers, _ := eng.Catalog().GetRelation("customer")
+	nationOf := make(map[int64]int64)
+	customers.Heap.Scan(func(_ storage.RID, tu value.Tuple) error {
+		nationOf[tu[0].Int64()] = tu[1].Int64()
+		return nil
+	})
+	orders, _ := eng.Catalog().GetRelation("orders")
+	orderCust := make(map[int64]int64)
+	orders.Heap.Scan(func(_ storage.RID, tu value.Tuple) error {
+		orderCust[tu[0].Int64()] = tu[1].Int64()
+		return nil
+	})
+	lineitem, _ := eng.Catalog().GetRelation("lineitem")
+	bad := 0
+	lineitem.Heap.Scan(func(_ storage.RID, tu value.Tuple) error {
+		supp := int(tu[1].Int64())
+		wantNation := nationOf[orderCust[tu[0].Int64()]]
+		if int64(cfg.NationOfSupplier(supp)) != wantNation {
+			bad++
+		}
+		return nil
+	})
+	if bad != 0 {
+		t.Errorf("%d lineitems violate supplier-nation correlation", bad)
+	}
+}
+
+func TestTemplates(t *testing.T) {
+	if err := TemplateT1().Validate(); err != nil {
+		t.Errorf("T1: %v", err)
+	}
+	if err := TemplateT2().Validate(); err != nil {
+		t.Errorf("T2: %v", err)
+	}
+	if len(TemplateT2().Relations) != 3 || len(TemplateT2().Conds) != 3 {
+		t.Error("T2 shape wrong")
+	}
+}
+
+func TestQueryGenProducesValidQueries(t *testing.T) {
+	cfg := TPCRConfig{ScaleFactor: 0.001}
+	cfg.fill()
+	gen := NewQueryGen(cfg, 5, 0.1)
+	t1, t2 := TemplateT1(), TemplateT2()
+	for i := 0; i < 200; i++ {
+		q1 := gen.T1Query(t1, 2, 3, i%2 == 0)
+		if err := q1.Validate(); err != nil {
+			t.Fatalf("T1 query %d: %v", i, err)
+		}
+		if q1.CombinationFactor() != 6 {
+			t.Fatalf("T1 h = %d", q1.CombinationFactor())
+		}
+		q2 := gen.T2Query(t2, 2, 2, 2, true)
+		if err := q2.Validate(); err != nil {
+			t.Fatalf("T2 query %d: %v", i, err)
+		}
+		if q2.CombinationFactor() != 8 {
+			t.Fatalf("T2 h = %d", q2.CombinationFactor())
+		}
+	}
+}

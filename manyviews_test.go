@@ -1,0 +1,124 @@
+package pmv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pmv"
+)
+
+// TestManyViewsFitInMemory validates Section 3.2's sizing argument: with
+// L entries of F tuples each, a PMV's footprint is bounded by
+// L·F·At — "the memory can hold many PMVs". We create one view per
+// (template) department over the same base data, warm them all, and
+// check the aggregate footprint stays near the analytical bound.
+func TestManyViewsFitInMemory(t *testing.T) {
+	db := openDB(t)
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(db.CreateRelation("item",
+		pmv.Col("id", pmv.TypeInt),
+		pmv.Col("dept", pmv.TypeInt),
+		pmv.Col("kind", pmv.TypeInt),
+		pmv.Col("price", pmv.TypeFloat)))
+	check(db.CreateIndex("item", "dept"))
+	check(db.CreateIndex("item", "kind"))
+	for i := int64(0); i < 3000; i++ {
+		check(db.Insert("item",
+			pmv.Int(i), pmv.Int(i%20), pmv.Int((i/20)%50), pmv.Float(float64(i))))
+	}
+
+	// One template (hence one PMV) per department — the paper's
+	// motivating deployment keeps "a separate Rsale for each store or
+	// each department", so each gets its own template and view.
+	const nViews = 20
+	const L, F = 50, 2
+	views := make([]*pmv.View, 0, nViews)
+	for d := 0; d < nViews; d++ {
+		tpl := pmv.NewTemplate(fmt.Sprintf("dept%02d", d)).
+			From("item").
+			Select("item.id", "item.price").
+			Fixed("item.dept", "=", pmv.Int(int64(d))).
+			WhereEq("item.kind").
+			MustBuild()
+		v, err := db.CreatePartialView(tpl, pmv.ViewOptions{MaxEntries: L, TuplesPerBCP: F})
+		check(err)
+		views = append(views, v)
+	}
+
+	// Warm every view across its full kind domain.
+	for d, v := range views {
+		tpl := v.Config().Template
+		for k := int64(0); k < 50; k++ {
+			q := pmv.NewQuery(tpl).In(0, pmv.Int(k)).Query()
+			if _, err := v.ExecutePartial(q, func(pmv.Result) error { return nil }); err != nil {
+				t.Fatalf("view %d kind %d: %v", d, k, err)
+			}
+		}
+	}
+
+	// Aggregate footprint: each tuple is ~60 B encoded; bound per view
+	// is L·F·At plus key overhead. Allow 2x slack for keys/overheads.
+	total := 0
+	for _, v := range views {
+		sz := v.SizeBytes()
+		total += sz
+		if v.Len() > L {
+			t.Fatalf("view %s has %d entries > L=%d", v.Name(), v.Len(), L)
+		}
+	}
+	const perViewBound = L * F * 60 * 2
+	if total > nViews*perViewBound {
+		t.Errorf("aggregate footprint %d B exceeds bound %d B", total, nViews*perViewBound)
+	}
+	t.Logf("%d views, %d bytes total (%.1f KiB/view)", nViews, total, float64(total)/float64(nViews)/1024)
+
+	// All views stay live: replaying hot queries hits everywhere.
+	hits := 0
+	for _, v := range views {
+		tpl := v.Config().Template
+		q := pmv.NewQuery(tpl).In(0, pmv.Int(7)).Query()
+		rep, err := v.ExecutePartial(q, func(pmv.Result) error { return nil })
+		check(err)
+		if rep.Hit {
+			hits++
+		}
+	}
+	if hits < nViews*9/10 {
+		t.Errorf("only %d/%d views hit on hot re-query", hits, nViews)
+	}
+}
+
+func TestDBStats(t *testing.T) {
+	db := openDB(t)
+	tpl := storefront(t, db)
+	v, err := db.CreatePartialView(tpl, pmv.ViewOptions{MaxEntries: 50, TuplesPerBCP: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pmv.NewQuery(tpl).In(0, pmv.Int(1)).In(1, pmv.Int(2)).Query()
+	v.ExecutePartial(q, func(pmv.Result) error { return nil })
+	v.ExecutePartial(q, func(pmv.Result) error { return nil })
+
+	st := db.Stats()
+	if len(st.Views) != 1 {
+		t.Fatalf("views in stats: %d", len(st.Views))
+	}
+	vs := st.Views[0]
+	if vs.Name != v.Name() || vs.Entries == 0 || vs.Tuples == 0 || vs.Bytes == 0 {
+		t.Errorf("view summary empty: %+v", vs)
+	}
+	if vs.HitProb != 0.5 {
+		t.Errorf("hit prob = %v, want 0.5 (1 hit of 2 queries)", vs.HitProb)
+	}
+	if st.ViewBytes != vs.Bytes {
+		t.Errorf("aggregate bytes %d != view bytes %d", st.ViewBytes, vs.Bytes)
+	}
+	if st.PhysicalWrites == 0 && st.BufferMisses == 0 {
+		t.Error("engine counters all zero; plumbing broken")
+	}
+}

@@ -1,0 +1,280 @@
+// Package pmv is an embedded relational engine with partial
+// materialized views, reproducing "Partial Materialized Views"
+// (Gang Luo, ICDE 2007).
+//
+// A partial materialized view (PMV) caches the hottest results of a
+// parameterized query template, keyed by basic condition part. When a
+// query arrives, cached partial results are delivered immediately
+// (typically in microseconds); the full query then executes and the
+// remaining results follow, each result delivered exactly once. The
+// view refreshes itself for free from query results, needs no work on
+// base-relation inserts, and purges invalidated entries on deletes and
+// updates.
+//
+// Quick start:
+//
+//	db, _ := pmv.Open(dir, pmv.Options{})
+//	db.CreateRelation("orders", pmv.Col("orderkey", pmv.TypeInt), ...)
+//	db.CreateIndex("orders", "orderdate")
+//	tpl, _ := pmv.NewTemplate("t1").
+//		From("orders", "lineitem").
+//		Select("orders.orderkey", "lineitem.suppkey").
+//		Join("orders.orderkey", "lineitem.orderkey").
+//		WhereEq("orders.orderdate").
+//		WhereEq("lineitem.suppkey").
+//		Build()
+//	view, _ := db.CreatePartialView(tpl, pmv.ViewOptions{MaxEntries: 20000, TuplesPerBCP: 3})
+//	q := pmv.NewQuery(tpl).In(0, pmv.Date(d1), pmv.Date(d2)).In(1, pmv.Int(7)).Query()
+//	view.ExecutePartial(q, func(r pmv.Result) error { ... })
+package pmv
+
+import (
+	"fmt"
+	"time"
+
+	"pmv/internal/cache"
+	"pmv/internal/catalog"
+	"pmv/internal/core"
+	"pmv/internal/engine"
+	"pmv/internal/exec"
+	"pmv/internal/expr"
+	"pmv/internal/value"
+)
+
+// Re-exported value types and constructors.
+type (
+	// Value is one typed scalar.
+	Value = value.Value
+	// Tuple is one row.
+	Tuple = value.Tuple
+	// Type is a column type.
+	Type = value.Type
+	// Column describes a relation attribute.
+	Column = catalog.Column
+)
+
+// Column type constants.
+const (
+	TypeInt    = value.TypeInt
+	TypeFloat  = value.TypeFloat
+	TypeString = value.TypeString
+	TypeDate   = value.TypeDate
+	TypeBool   = value.TypeBool
+)
+
+// Value constructors.
+var (
+	// Int builds an integer value.
+	Int = value.Int
+	// Float builds a floating-point value.
+	Float = value.Float
+	// Str builds a string value.
+	Str = value.Str
+	// Bool builds a boolean value.
+	Bool = value.Bool
+	// Date builds a date value from days since the Unix epoch.
+	Date = value.Date
+	// DateFromString parses a YYYY-MM-DD date.
+	DateFromString = value.DateFromString
+	// Null is the NULL value.
+	Null = value.Null
+	// Col builds a Column.
+	Col = catalog.Col
+)
+
+// Core re-exports.
+type (
+	// Template is a parameterized query template (qt in the paper).
+	Template = expr.Template
+	// Query is a bound template instance.
+	Query = expr.Query
+	// Interval is one selection interval.
+	Interval = expr.Interval
+	// View is a live partial materialized view.
+	View = core.View
+	// Result is one delivered result tuple (Partial marks tuples
+	// served from the view before execution).
+	Result = core.Result
+	// QueryReport summarizes one partial execution.
+	QueryReport = core.QueryReport
+	// ViewStats is a view's cumulative counters.
+	ViewStats = core.Stats
+	// GroupResult is one partial/final aggregate group.
+	GroupResult = core.GroupResult
+	// AggSpec selects an aggregate function and column.
+	AggSpec = exec.AggSpec
+	// SortKey is one ORDER BY term.
+	SortKey = exec.SortKey
+)
+
+// Aggregate functions.
+const (
+	Count = exec.AggCount
+	Sum   = exec.AggSum
+	Min   = exec.AggMin
+	Max   = exec.AggMax
+	Avg   = exec.AggAvg
+)
+
+// Policy names for ViewOptions.
+const (
+	// PolicyCLOCK is the paper's default entry management (Section 3.2).
+	PolicyCLOCK = cache.PolicyCLOCK
+	// Policy2Q is the simplified 2Q of Section 3.5.
+	Policy2Q = cache.Policy2Q
+	// PolicyLRU is an extra baseline.
+	PolicyLRU = cache.PolicyLRU
+)
+
+// Options configures Open.
+type Options struct {
+	// BufferPoolPages sizes the page cache (default 1000 frames of
+	// 8 KiB, matching the paper's PostgreSQL setup).
+	BufferPoolPages int
+	// LockTimeout bounds lock waits (default 5s).
+	LockTimeout time.Duration
+	// EnableWAL turns on write-ahead logging: heap data survives
+	// crashes (replayed on the next Open), at the cost of logging every
+	// statement. PMV contents are a cache and are rebuilt from queries
+	// either way.
+	EnableWAL bool
+	// SyncEveryOp makes each statement durable before it returns
+	// (fsync per statement). Requires EnableWAL.
+	SyncEveryOp bool
+	// CheckpointEvery runs a background checkpoint (flush + WAL
+	// truncation) on this period; 0 checkpoints only on Close.
+	// Requires EnableWAL.
+	CheckpointEvery time.Duration
+}
+
+// DB is one open database.
+type DB struct {
+	eng   *engine.Engine
+	views map[string]*View
+}
+
+// Open opens (creating if needed) a database directory.
+func Open(dir string, opts Options) (*DB, error) {
+	eng, err := engine.Open(dir, engine.Options{
+		BufferPoolPages: opts.BufferPoolPages,
+		LockTimeout:     opts.LockTimeout,
+		EnableWAL:       opts.EnableWAL,
+		SyncEveryOp:     opts.SyncEveryOp,
+		CheckpointEvery: opts.CheckpointEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{eng: eng, views: make(map[string]*View)}
+	if err := db.loadViews(); err != nil {
+		eng.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Engine exposes the underlying engine for advanced use (experiment
+// harnesses, statistics).
+func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// CreateRelation defines a base relation.
+func (db *DB) CreateRelation(name string, cols ...Column) error {
+	_, err := db.eng.CreateRelation(name, catalog.NewSchema(cols...))
+	return err
+}
+
+// CreateIndex builds a secondary index on the given columns.
+func (db *DB) CreateIndex(rel string, cols ...string) error {
+	_, err := db.eng.CreateIndex("", rel, cols...)
+	return err
+}
+
+// Insert adds one tuple.
+func (db *DB) Insert(rel string, vals ...Value) error {
+	return db.eng.Insert(rel, Tuple(vals))
+}
+
+// Delete removes tuples satisfying pred, returning how many.
+func (db *DB) Delete(rel string, pred func(Tuple) bool) (int, error) {
+	deleted, err := db.eng.DeleteWhere(rel, pred)
+	return len(deleted), err
+}
+
+// Update rewrites tuples satisfying pred, returning how many.
+func (db *DB) Update(rel string, pred func(Tuple) bool, apply func(Tuple) Tuple) (int, error) {
+	return db.eng.UpdateWhere(rel, pred, apply)
+}
+
+// Checkpoint makes all data durable and truncates the write-ahead log.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// Analyze recomputes optimizer statistics for every relation; run it
+// after bulk loads so the planner can pick the most selective driving
+// relation.
+func (db *DB) Analyze() error { return db.eng.AnalyzeAll() }
+
+// Execute runs a bound query without any PMV involvement, streaming
+// the template's select list.
+func (db *DB) Execute(q *Query, fn func(Tuple) error) error {
+	return db.eng.ExecuteProject(q, q.Template.Select, fn)
+}
+
+// ViewOptions configures CreatePartialView.
+type ViewOptions struct {
+	// MaxEntries bounds stored basic condition parts (L). Default
+	// 10000.
+	MaxEntries int
+	// TuplesPerBCP is F: cached result tuples per basic condition
+	// part. Default 2.
+	TuplesPerBCP int
+	// Policy selects entry replacement (default CLOCK).
+	Policy cache.PolicyKind
+	// Dividers supplies dividing values per interval-form condition
+	// index (required for interval-form conditions).
+	Dividers map[int][]Value
+	// UseMaintIndex enables in-memory maintenance indices so deletes
+	// avoid delta joins (the full-version [25] optimization).
+	UseMaintIndex bool
+	// MaxConditionParts caps Operation O1 (default 4096).
+	MaxConditionParts int
+}
+
+// CreatePartialView defines a PMV over the template and registers it
+// for automatic deferred maintenance.
+func (db *DB) CreatePartialView(tpl *Template, opts ViewOptions) (*View, error) {
+	v, err := core.NewView(db.eng, core.Config{
+		Name:              "pmv_" + tpl.Name,
+		Template:          tpl,
+		MaxEntries:        opts.MaxEntries,
+		TuplesPerBCP:      opts.TuplesPerBCP,
+		Policy:            opts.Policy,
+		Dividers:          opts.Dividers,
+		UseMaintIndex:     opts.UseMaintIndex,
+		MaxConditionParts: opts.MaxConditionParts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := db.views[v.Name()]; dup {
+		v.Drop()
+		return nil, fmt.Errorf("pmv: view %q already exists", v.Name())
+	}
+	db.views[v.Name()] = v
+	if err := db.saveViews(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// ViewByName returns a previously created view.
+func (db *DB) ViewByName(name string) (*View, bool) {
+	v, ok := db.views[name]
+	return v, ok
+}
+
+// LearnDividers derives interval dividing values from a trace of query
+// intervals (Section 3.1's discretization-from-traces fallback).
+var LearnDividers = core.LearnDividers

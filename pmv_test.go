@@ -1,0 +1,239 @@
+package pmv_test
+
+import (
+	"sort"
+	"testing"
+
+	"pmv"
+)
+
+func openDB(t *testing.T) *pmv.DB {
+	t.Helper()
+	db, err := pmv.Open(t.TempDir(), pmv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// storefront builds the quickstart-style schema used across the public
+// API tests.
+func storefront(t *testing.T, db *pmv.DB) *pmv.Template {
+	t.Helper()
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(db.CreateRelation("product",
+		pmv.Col("pid", pmv.TypeInt),
+		pmv.Col("category", pmv.TypeInt),
+		pmv.Col("name", pmv.TypeString)))
+	check(db.CreateRelation("sale",
+		pmv.Col("pid", pmv.TypeInt),
+		pmv.Col("store", pmv.TypeInt),
+		pmv.Col("discount", pmv.TypeInt)))
+	check(db.CreateIndex("product", "pid"))
+	check(db.CreateIndex("product", "category"))
+	check(db.CreateIndex("sale", "pid"))
+	check(db.CreateIndex("sale", "store"))
+	for pid := int64(0); pid < 400; pid++ {
+		check(db.Insert("product", pmv.Int(pid), pmv.Int(pid%8), pmv.Str("p")))
+		check(db.Insert("sale", pmv.Int(pid), pmv.Int((pid/8)%5), pmv.Int(pid%50)))
+	}
+	return pmv.NewTemplate("on_sale").
+		From("product", "sale").
+		Select("product.pid", "sale.discount").
+		Join("product.pid", "sale.pid").
+		WhereEq("product.category").
+		WhereEq("sale.store").
+		MustBuild()
+}
+
+func TestPublicAPIRoundtrip(t *testing.T) {
+	db := openDB(t)
+	tpl := storefront(t, db)
+	view, err := db.CreatePartialView(tpl, pmv.ViewOptions{MaxEntries: 50, TuplesPerBCP: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pmv.NewQuery(tpl).In(0, pmv.Int(1), pmv.Int(2)).In(1, pmv.Int(3)).Query()
+
+	collect := func() []string {
+		var out []string
+		_, err := view.ExecutePartial(q, func(r pmv.Result) error {
+			out = append(out, r.Tuple.String())
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(out)
+		return out
+	}
+	cold := collect()
+	hot := collect()
+	if len(cold) == 0 {
+		t.Fatal("query returned nothing; fixture broken")
+	}
+	if len(cold) != len(hot) {
+		t.Errorf("cold %d rows, hot %d rows", len(cold), len(hot))
+	}
+	for i := range cold {
+		if cold[i] != hot[i] {
+			t.Fatalf("row %d differs between runs", i)
+		}
+	}
+	if view.Stats().QueryHits == 0 {
+		t.Error("second run did not hit the view")
+	}
+	// Execute without the view gives the same multiset.
+	var direct []string
+	if err := db.Execute(q, func(tu pmv.Tuple) error {
+		direct = append(direct, tu.String())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(direct)
+	if len(direct) != len(cold) {
+		t.Errorf("direct execution: %d rows, view path %d", len(direct), len(cold))
+	}
+}
+
+func TestPublicDML(t *testing.T) {
+	db := openDB(t)
+	tpl := storefront(t, db)
+	view, err := db.CreatePartialView(tpl, pmv.ViewOptions{MaxEntries: 50, TuplesPerBCP: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pmv.NewQuery(tpl).In(0, pmv.Int(1)).In(1, pmv.Int(0)).Query()
+	view.ExecutePartial(q, func(pmv.Result) error { return nil })
+
+	n, err := db.Delete("sale", func(tu pmv.Tuple) bool { return tu[1].Int64() == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing deleted")
+	}
+	count := 0
+	if _, err := view.ExecutePartial(q, func(pmv.Result) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Errorf("%d rows for store 0 after deleting all its sales", count)
+	}
+	// Updates route through too.
+	if _, err := db.Update("sale",
+		func(tu pmv.Tuple) bool { return tu[1].Int64() == 1 },
+		func(tu pmv.Tuple) pmv.Tuple {
+			out := tu.Clone()
+			out[2] = pmv.Int(tu[2].Int64() + 1)
+			return out
+		}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTemplateBuilderErrors(t *testing.T) {
+	if _, err := pmv.NewTemplate("x").From("a").Select("noqualifier").WhereEq("a.f").Build(); err == nil {
+		t.Error("bad column ref accepted")
+	}
+	if _, err := pmv.NewTemplate("x").Select("a.b").Build(); err == nil {
+		t.Error("template without relations accepted")
+	}
+	if _, err := pmv.NewTemplate("x").From("a").Select("a.b").
+		Fixed("a.b", "~", pmv.Int(1)).WhereEq("a.f").Build(); err == nil {
+		t.Error("bad operator accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic")
+		}
+	}()
+	pmv.NewTemplate("x").MustBuild()
+}
+
+func TestQueryBuilderIntervals(t *testing.T) {
+	db := openDB(t)
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(db.CreateRelation("m", pmv.Col("k", pmv.TypeInt), pmv.Col("v", pmv.TypeInt)))
+	check(db.CreateIndex("m", "v"))
+	for i := int64(0); i < 100; i++ {
+		check(db.Insert("m", pmv.Int(i), pmv.Int(i)))
+	}
+	tpl := pmv.NewTemplate("range").
+		From("m").
+		Select("m.k").
+		WhereInterval("m.v").
+		MustBuild()
+	view, err := db.CreatePartialView(tpl, pmv.ViewOptions{
+		MaxEntries: 20, TuplesPerBCP: 30,
+		Dividers: map[int][]pmv.Value{0: {pmv.Int(25), pmv.Int(50), pmv.Int(75)}},
+	})
+	check(err)
+	q := pmv.NewQuery(tpl).Between(0, pmv.Int(30), pmv.Int(60)).Query()
+	n := 0
+	_, err = view.ExecutePartial(q, func(pmv.Result) error {
+		n++
+		return nil
+	})
+	check(err)
+	if n != 30 {
+		t.Errorf("range [30,60) returned %d rows", n)
+	}
+	// Ival helper builds open/unbounded intervals.
+	iv := pmv.Ival(pmv.Int(90), pmv.Null(), false, false)
+	q2 := pmv.NewQuery(tpl).Range(0, iv).Query()
+	n = 0
+	_, err = view.ExecutePartial(q2, func(pmv.Result) error {
+		n++
+		return nil
+	})
+	check(err)
+	if n != 9 { // 91..99
+		t.Errorf("(90, +inf) returned %d rows", n)
+	}
+}
+
+func TestViewByName(t *testing.T) {
+	db := openDB(t)
+	tpl := storefront(t, db)
+	v, err := db.CreatePartialView(tpl, pmv.ViewOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := db.ViewByName(v.Name())
+	if !ok || got != v {
+		t.Error("ViewByName lookup failed")
+	}
+	if _, err := db.CreatePartialView(tpl, pmv.ViewOptions{}); err == nil {
+		t.Error("duplicate view name accepted")
+	}
+	if _, ok := db.ViewByName("ghost"); ok {
+		t.Error("phantom view found")
+	}
+}
+
+func TestLearnDividersExported(t *testing.T) {
+	trace := []pmv.Interval{
+		pmv.Ival(pmv.Int(0), pmv.Int(10), true, false),
+		pmv.Ival(pmv.Int(10), pmv.Int(30), true, false),
+	}
+	ds := pmv.LearnDividers(trace)
+	if len(ds) != 3 {
+		t.Errorf("learned %d dividers, want 3", len(ds))
+	}
+}

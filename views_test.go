@@ -1,0 +1,116 @@
+package pmv_test
+
+import (
+	"testing"
+
+	"pmv"
+)
+
+func TestViewDefinitionsPersistAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := pmv.Open(dir, pmv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := storefront(t, db)
+	// A view exercising every persisted knob: policy, dividers, fixed
+	// predicates, maintenance index.
+	tpl2 := pmv.NewTemplate("discounted").
+		From("product", "sale").
+		Select("product.name").
+		Join("product.pid", "sale.pid").
+		Fixed("sale.discount", ">=", pmv.Int(10)).
+		WhereEq("product.category").
+		WhereInterval("sale.discount").
+		MustBuild()
+	if _, err := db.CreatePartialView(tpl, pmv.ViewOptions{
+		MaxEntries: 77, TuplesPerBCP: 4, Policy: pmv.Policy2Q,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreatePartialView(tpl2, pmv.ViewOptions{
+		MaxEntries:    33,
+		TuplesPerBCP:  2,
+		UseMaintIndex: true,
+		Dividers:      map[int][]pmv.Value{1: {pmv.Int(10), pmv.Int(25)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := pmv.Open(dir, pmv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	views := db2.Views()
+	if len(views) != 2 {
+		t.Fatalf("recovered %d views", len(views))
+	}
+	v, ok := db2.ViewByName("pmv_on_sale")
+	if !ok {
+		t.Fatal("pmv_on_sale lost")
+	}
+	cfg := v.Config()
+	if cfg.MaxEntries != 77 || cfg.TuplesPerBCP != 4 || cfg.Policy != pmv.Policy2Q {
+		t.Errorf("config lost: %+v", cfg)
+	}
+	v2, ok := db2.ViewByName("pmv_discounted")
+	if !ok {
+		t.Fatal("pmv_discounted lost")
+	}
+	c2 := v2.Config()
+	if !c2.UseMaintIndex || len(c2.Dividers[1]) != 2 {
+		t.Errorf("interval view config lost: %+v", c2)
+	}
+	if len(c2.Template.Fixed) != 1 || c2.Template.Fixed[0].Val.Int64() != 10 {
+		t.Errorf("fixed predicate lost: %+v", c2.Template.Fixed)
+	}
+
+	// The recovered view is empty but functional: queries run, refill,
+	// and hit on repetition.
+	q := pmv.NewQuery(c2.Template).
+		In(0, pmv.Int(1)).
+		Between(1, pmv.Int(10), pmv.Int(25)).
+		Query()
+	n := 0
+	if _, err := v2.ExecutePartial(q, func(pmv.Result) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := v2.ExecutePartial(q, func(pmv.Result) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 0 && !rep.Hit {
+		t.Error("recovered view did not refill")
+	}
+}
+
+func TestDropPartialView(t *testing.T) {
+	db := openDB(t)
+	tpl := storefront(t, db)
+	v, err := db.CreatePartialView(tpl, pmv.ViewOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropPartialView(v.Name()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.ViewByName(v.Name()); ok {
+		t.Error("dropped view still registered")
+	}
+	if err := db.DropPartialView("ghost"); err == nil {
+		t.Error("dropping missing view succeeded")
+	}
+	// A dropped view no longer receives maintenance: deletes must not
+	// fail even though the view was detached.
+	if _, err := db.Delete("sale", func(tu pmv.Tuple) bool { return tu[0].Int64() == 1 }); err != nil {
+		t.Fatal(err)
+	}
+	// And it can be recreated under the same name.
+	if _, err := db.CreatePartialView(tpl, pmv.ViewOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
