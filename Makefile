@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench experiments examples clean
+.PHONY: all build vet test test-race cover bench experiments examples torture clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,11 @@ experiments:
 # Quick pass over every figure (seconds).
 experiments-quick:
 	$(GO) run ./cmd/pmvbench
+
+# Crash-recovery torture sweep: random fault-injected workloads, crash,
+# reopen, verify against the oracle (see cmd/pmvtorture).
+torture:
+	$(GO) run ./cmd/pmvtorture -seeds 50 -v
 
 examples:
 	$(GO) run ./examples/quickstart

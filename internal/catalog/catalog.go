@@ -159,7 +159,7 @@ type Catalog struct {
 func Open(dir string, pool *buffer.Pool, mgr *storage.Manager) (*Catalog, error) {
 	c := &Catalog{dir: dir, pool: pool, mgr: mgr, relations: make(map[string]*Relation)}
 	path := c.metaPath()
-	data, err := os.ReadFile(path)
+	data, err := mgr.FS().ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return c, nil
 	}
@@ -203,7 +203,7 @@ func (c *Catalog) saveLocked() error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(c.metaPath(), data, 0o644)
+	return c.mgr.FS().WriteFile(c.metaPath(), data)
 }
 
 // CreateRelation defines a new base relation.

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pmv/internal/engine"
+	"pmv/internal/lock"
+)
+
+// TestDegradedModeOnLockTimeout pins down graceful degradation: when
+// the view's S lock cannot be had even after the engine's bounded
+// retries (a wedged maintainer holding X), ExecutePartial must still
+// answer the query — complete and correct, just without early partial
+// results — and the degradation must be visible in both the query
+// report and the engine/view statistics.
+func TestDegradedModeOnLockTimeout(t *testing.T) {
+	eng, tpl := testDBOpts(t, engine.Options{
+		BufferPoolPages:  64,
+		LockTimeout:      20 * time.Millisecond,
+		LockAttempts:     2,
+		LockRetryBackoff: time.Millisecond,
+	})
+	loadFig1(t, eng, 3, 3, 2)
+	v, err := NewView(eng, Config{Template: tpl, MaxEntries: 50, TuplesPerBCP: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := eqQuery(tpl, []int64{1}, []int64{2})
+	want := runFull(t, eng, tpl, q)
+
+	// Healthy baseline: same results, not degraded.
+	got, rep := runPartial(t, v, q)
+	if rep.Degraded {
+		t.Fatal("uncontended query reported degraded")
+	}
+	if !equalStrings(got, want) {
+		t.Fatalf("healthy run mismatch: got %v want %v", got, want)
+	}
+
+	// A stuck "maintainer" wedges the view's X lock for the duration.
+	blocker := eng.NewTxnID()
+	if err := eng.Locks().Acquire(blocker, v.lockRes(), lock.Exclusive, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	got, rep = runPartial(t, v, q)
+	if !rep.Degraded {
+		t.Fatal("query under wedged X lock did not degrade")
+	}
+	if rep.PartialTuples != 0 {
+		t.Fatalf("degraded run served %d partial tuples", rep.PartialTuples)
+	}
+	if !equalStrings(got, want) {
+		t.Fatalf("degraded run incomplete or wrong: got %v want %v", got, want)
+	}
+
+	es := eng.Stats()
+	if es.DegradedQueries != 1 {
+		t.Errorf("engine DegradedQueries = %d, want 1", es.DegradedQueries)
+	}
+	if es.LockTimeouts < 1 {
+		t.Errorf("engine LockTimeouts = %d, want >= 1", es.LockTimeouts)
+	}
+	if es.LockRetries < 1 {
+		t.Errorf("engine LockRetries = %d, want >= 1", es.LockRetries)
+	}
+	if vs := v.Stats(); vs.DegradedQueries != 1 {
+		t.Errorf("view DegradedQueries = %d, want 1", vs.DegradedQueries)
+	}
+
+	// Release the wedged lock: service returns to normal.
+	eng.Locks().ReleaseAll(blocker)
+	got, rep = runPartial(t, v, q)
+	if rep.Degraded {
+		t.Fatal("query after release still degraded")
+	}
+	if !equalStrings(got, want) {
+		t.Fatalf("post-release mismatch: got %v want %v", got, want)
+	}
+}

@@ -152,8 +152,11 @@ func (v *View) BeforeChange(rel string) (func(), error) {
 	if !v.inTemplate(rel) {
 		return nil, nil
 	}
+	// The X lock goes through the engine's retrying acquire but cannot
+	// degrade: maintenance that skipped the purge would leave the view
+	// serving deleted tuples, so exhaustion propagates as an error.
 	txn := v.eng.NewTxnID()
-	if err := v.eng.Locks().Acquire(txn, v.lockRes(), lock.Exclusive, 0); err != nil {
+	if err := v.eng.AcquireLock(txn, v.lockRes(), lock.Exclusive); err != nil {
 		return nil, err
 	}
 	return func() { v.eng.Locks().ReleaseAll(txn) }, nil

@@ -229,6 +229,11 @@ type QueryReport struct {
 	// Skipped is true when the query bypassed the PMV (O1 blew the
 	// condition-part cap).
 	Skipped bool
+	// Degraded is true when the view's S lock could not be acquired
+	// (even after the engine's retries) and the query was answered by
+	// plain execution instead: results are complete and correct, but
+	// nothing was served early and the view was not refreshed.
+	Degraded bool
 }
 
 // ExecutePartial answers q with the PMV protocol: Operation O1 breaks
@@ -246,9 +251,15 @@ func (v *View) ExecutePartial(q *expr.Query, emit func(Result) error) (QueryRepo
 	}
 	var rep QueryReport
 
-	// Section 3.6 protocol: S lock from O2 through O3.
+	// Section 3.6 protocol: S lock from O2 through O3. When the lock
+	// cannot be had even after the engine's retries (a wedged or
+	// long-running maintainer), degrade instead of failing: the query
+	// is still answerable without the view.
 	txn := v.eng.NewTxnID()
-	if err := v.eng.Locks().Acquire(txn, v.lockRes(), lock.Shared, 0); err != nil {
+	if err := v.eng.AcquireLock(txn, v.lockRes(), lock.Shared); err != nil {
+		if errors.Is(err, lock.ErrTimeout) {
+			return v.executeDegraded(q, emit)
+		}
 		return rep, err
 	}
 	defer v.eng.Locks().ReleaseAll(txn)
@@ -356,6 +367,30 @@ func (v *View) ExecutePartial(q *expr.Query, emit func(Result) error) (QueryRepo
 	return rep, nil
 }
 
+// executeDegraded answers q without touching the view: no partial
+// results, no DS bookkeeping, no refill (filling without the S lock
+// could cache tuples a concurrent maintainer is about to invalidate).
+// The result set is identical to a healthy run's — only the early
+// delivery and the free refresh are lost.
+func (v *View) executeDegraded(q *expr.Query, emit func(Result) error) (QueryReport, error) {
+	rep := QueryReport{Skipped: true, Degraded: true}
+	start := time.Now()
+	err := v.eng.ExecuteProject(q, v.selectPlus, func(t value.Tuple) error {
+		rep.TotalTuples++
+		return emit(Result{Tuple: v.userTuple(t)})
+	})
+	rep.ExecLatency = time.Since(start)
+	if err != nil {
+		return rep, err
+	}
+	v.eng.NoteDegraded()
+	v.mu.Lock()
+	v.stats.Queries++
+	v.stats.DegradedQueries++
+	v.mu.Unlock()
+	return rep, nil
+}
+
 // fill implements Operation O3's view refresh: cache t under its
 // containing bcp, bounded by F per entry, with policy admission.
 // Entries exist only for bcps the policy currently tracks; a bcp
@@ -425,6 +460,37 @@ func (v *View) TupleCount() int {
 		n += len(e.tuples)
 	}
 	return n
+}
+
+// CheckInvariants verifies the view's structural invariants
+// (DESIGN.md Section 4, invariant 3): no more than L entries, no more
+// than F tuples per entry, every cached tuple encodes back to its
+// entry's basic condition part, and every entry is tracked by the
+// replacement policy. The torture harness calls it after recovery and
+// after every workload phase.
+func (v *View) CheckInvariants() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.entries) > v.cfg.MaxEntries {
+		return fmt.Errorf("core: %d entries exceed MaxEntries %d", len(v.entries), v.cfg.MaxEntries)
+	}
+	for key, e := range v.entries {
+		if len(e.tuples) > v.cfg.TuplesPerBCP {
+			return fmt.Errorf("core: entry %q holds %d tuples, F=%d", key, len(e.tuples), v.cfg.TuplesPerBCP)
+		}
+		for _, t := range e.tuples {
+			if len(t) != len(v.selectPlus) {
+				return fmt.Errorf("core: cached tuple arity %d, want %d", len(t), len(v.selectPlus))
+			}
+			if got := v.coder.KeyFromCondValues(v.condValues(t)); got != key {
+				return fmt.Errorf("core: cached tuple under bcp %q encodes to %q", key, got)
+			}
+		}
+		if !v.policy.Contains(key) {
+			return fmt.Errorf("core: entry %q not tracked by the replacement policy", key)
+		}
+	}
+	return nil
 }
 
 // SizeBytes estimates the view's storage footprint (Section 3.2's

@@ -16,7 +16,14 @@ import (
 // R.c = S.d, selection attributes R.f and S.g.
 func testDB(t testing.TB) (*engine.Engine, *expr.Template) {
 	t.Helper()
-	eng, err := engine.Open(t.TempDir(), engine.Options{BufferPoolPages: 64})
+	return testDBOpts(t, engine.Options{BufferPoolPages: 64})
+}
+
+// testDBOpts is testDB with caller-chosen engine options (lock
+// timeouts, fault-injecting filesystems, ...).
+func testDBOpts(t testing.TB, opts engine.Options) (*engine.Engine, *expr.Template) {
+	t.Helper()
+	eng, err := engine.Open(t.TempDir(), opts)
 	if err != nil {
 		t.Fatalf("open engine: %v", err)
 	}

@@ -10,7 +10,9 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,8 +24,15 @@ import (
 	"pmv/internal/lock"
 	"pmv/internal/storage"
 	"pmv/internal/value"
+	"pmv/internal/vfs"
 	"pmv/internal/wal"
 )
+
+// ErrCorrupt wraps persistent-state corruption detected while reading
+// back durable data: WAL records that fail to decode, and page
+// checksum mismatches surfaced during recovery. Callers distinguish it
+// from transient I/O errors with errors.Is.
+var ErrCorrupt = errors.New("engine: persistent state corrupted")
 
 // Options configures an engine instance.
 type Options struct {
@@ -42,6 +51,17 @@ type Options struct {
 	// CheckpointEvery starts a background checkpointer with the given
 	// period (0 = checkpoint only on Close). Requires EnableWAL.
 	CheckpointEvery time.Duration
+	// FS routes every persisted byte (page files, WAL, JSON metadata)
+	// through an alternate filesystem. Nil means the real OS; the
+	// torture harness installs a fault-injecting vfs here.
+	FS vfs.FS
+	// LockAttempts bounds how many times AcquireLock tries before
+	// giving up (each attempt waits up to LockTimeout). Default 3.
+	LockAttempts int
+	// LockRetryBackoff is the base delay between lock attempts; actual
+	// delays grow exponentially with up to 100% random jitter. Default
+	// 2ms.
+	LockRetryBackoff time.Duration
 }
 
 func (o *Options) fill() {
@@ -51,6 +71,27 @@ func (o *Options) fill() {
 	if o.LockTimeout <= 0 {
 		o.LockTimeout = 5 * time.Second
 	}
+	if o.LockAttempts <= 0 {
+		o.LockAttempts = 3
+	}
+	if o.LockRetryBackoff <= 0 {
+		o.LockRetryBackoff = 2 * time.Millisecond
+	}
+}
+
+// Stats is a snapshot of the engine's robustness counters.
+type Stats struct {
+	// LockRetries counts lock attempts that timed out and were retried
+	// after backoff; LockTimeouts counts acquisitions that exhausted
+	// every attempt.
+	LockRetries  int64
+	LockTimeouts int64
+	// DegradedQueries counts queries answered without the PMV because
+	// its lock could not be acquired in time (graceful degradation).
+	DegradedQueries int64
+	// TornPageRepairs counts torn trailing partial pages truncated when
+	// a page file was opened after a crash.
+	TornPageRepairs int64
 }
 
 // ChangeObserver receives base-relation change notifications. The PMV
@@ -124,6 +165,10 @@ type Engine struct {
 	opSeq     atomic.Uint64
 	recovered int
 
+	lockRetries  atomic.Int64
+	lockTimeouts atomic.Int64
+	degraded     atomic.Int64
+
 	// chkMu quiesces writers during a checkpoint: DML holds the read
 	// side, Checkpoint the write side, so FlushAll never races a page
 	// mutation.
@@ -135,7 +180,7 @@ type Engine struct {
 // Open opens (creating if needed) a database directory.
 func Open(dir string, opts Options) (*Engine, error) {
 	opts.fill()
-	mgr, err := storage.NewManager(dir)
+	mgr, err := storage.NewManagerFS(dir, opts.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -161,24 +206,24 @@ func Open(dir string, opts Options) (*Engine, error) {
 }
 
 // Close checkpoints (flushing dirty pages and truncating the WAL) and
-// releases files.
+// releases files. Every handle is closed even when the checkpoint
+// fails (e.g. after an injected crash); the first error is returned.
 func (e *Engine) Close() error {
 	if e.stopChk != nil {
 		close(e.stopChk)
 		e.chkWG.Wait()
 		e.stopChk = nil
 	}
-	if err := e.Checkpoint(); err != nil {
-		e.mgr.Close()
-		return err
-	}
+	first := e.Checkpoint()
 	if e.wal != nil {
-		if err := e.wal.Close(); err != nil {
-			e.mgr.Close()
-			return err
+		if err := e.wal.Close(); err != nil && first == nil {
+			first = err
 		}
 	}
-	return e.mgr.Close()
+	if err := e.mgr.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // Dir returns the database directory.
@@ -196,6 +241,51 @@ func (e *Engine) Pool() *buffer.Pool { return e.pool }
 
 // IOStats returns cumulative physical reads and writes.
 func (e *Engine) IOStats() (reads, writes int64) { return e.mgr.Stats.Snapshot() }
+
+// FS returns the filesystem all persistence flows through (the
+// metadata files of higher layers should use it too, so fault
+// injection covers them).
+func (e *Engine) FS() vfs.FS { return e.mgr.FS() }
+
+// Stats returns a snapshot of the robustness counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		LockRetries:     e.lockRetries.Load(),
+		LockTimeouts:    e.lockTimeouts.Load(),
+		DegradedQueries: e.degraded.Load(),
+		TornPageRepairs: e.mgr.Stats.Repairs.Load(),
+	}
+}
+
+// NoteDegraded records one query answered in degraded mode (the PMV
+// layer calls this when it bypasses the view after a lock timeout).
+func (e *Engine) NoteDegraded() { e.degraded.Add(1) }
+
+// AcquireLock takes res for txn in mode with bounded retry: a timed-out
+// attempt backs off (exponential with full jitter) and tries again, up
+// to Options.LockAttempts attempts. Retries and exhausted acquisitions
+// are counted in the engine stats; the final error still satisfies
+// errors.Is(err, lock.ErrTimeout) so callers can degrade.
+func (e *Engine) AcquireLock(txn uint64, res string, mode lock.Mode) error {
+	var err error
+	for attempt := 0; attempt < e.opts.LockAttempts; attempt++ {
+		err = e.locks.Acquire(txn, res, mode, 0)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, lock.ErrTimeout) {
+			return err
+		}
+		if attempt < e.opts.LockAttempts-1 {
+			e.lockRetries.Add(1)
+			sleep := e.opts.LockRetryBackoff << uint(attempt)
+			sleep += time.Duration(rand.Int63n(int64(sleep) + 1))
+			time.Sleep(sleep)
+		}
+	}
+	e.lockTimeouts.Add(1)
+	return err
+}
 
 // NewTxnID allocates a transaction identifier for the lock manager.
 func (e *Engine) NewTxnID() uint64 { return e.nextTxn.Add(1) }

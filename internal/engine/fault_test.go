@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"pmv/internal/buffer"
+	"pmv/internal/catalog"
+	"pmv/internal/storage"
+	"pmv/internal/value"
+	"pmv/internal/vfs"
+)
+
+// TestCorruptReadSurfacesTypedError verifies graceful degradation on
+// media corruption: a bit flipped on the read path must surface as an
+// error chain containing buffer.ErrCorruptPage — a typed, inspectable
+// failure — rather than silently wrong tuples or a panic.
+func TestCorruptReadSurfacesTypedError(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Options{BufferPoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateRelation("r", catalog.NewSchema(
+		catalog.Col("a", value.TypeInt), catalog.Col("b", value.TypeInt))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := e.Insert("r", value.Tuple{value.Int(int64(i)), value.Int(int64(i * 3))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen through a filesystem that flips one bit in every read of
+	// the relation's heap file. The page checksum must catch it.
+	inj := vfs.NewInjector(11)
+	inj.Add(vfs.Rule{Kind: vfs.FaultCorruptRead, Op: vfs.OpRead, Path: "heap.r", Prob: 1, Sticky: true})
+	e2, err := Open(dir, Options{BufferPoolPages: 8, FS: vfs.NewFaulty(vfs.OS(), inj)})
+	if err != nil {
+		// Corruption may already be detected while opening the heap.
+		if !errors.Is(err, buffer.ErrCorruptPage) {
+			t.Fatalf("open over corrupt reads: got %v, want chain containing ErrCorruptPage", err)
+		}
+		return
+	}
+	defer e2.Close()
+
+	rel, err := e2.Catalog().GetRelation("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanErr := rel.Heap.Scan(func(_ storage.RID, _ value.Tuple) error { return nil })
+	if !errors.Is(scanErr, buffer.ErrCorruptPage) {
+		t.Fatalf("scan over corrupt reads: got %v, want chain containing ErrCorruptPage", scanErr)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"pmv/internal/buffer"
 	"pmv/internal/storage"
 	"pmv/internal/value"
 	"pmv/internal/wal"
@@ -32,7 +33,7 @@ func (e *Engine) walPath() string { return filepath.Join(e.dir, "wal.log") }
 // initWAL opens the log, runs recovery if the previous shutdown was
 // unclean, and installs the write-ahead hook.
 func (e *Engine) initWAL() error {
-	l, err := wal.Open(e.walPath())
+	l, err := wal.OpenFS(e.mgr.FS(), e.walPath())
 	if err != nil {
 		return err
 	}
@@ -56,7 +57,9 @@ func (e *Engine) recover() error {
 	err := e.wal.Replay(func(payload []byte) error {
 		rec, err := wal.DecodeRecord(payload)
 		if err != nil {
-			return err
+			// The frame CRC passed but the payload is malformed: the
+			// log itself is corrupt, not merely torn.
+			return fmt.Errorf("%w: wal record: %v", ErrCorrupt, err)
 		}
 		if rec.Seq > maxSeq {
 			maxSeq = rec.Seq
@@ -85,6 +88,9 @@ func (e *Engine) recover() error {
 		return nil
 	})
 	if err != nil {
+		if errors.Is(err, buffer.ErrCorruptPage) {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
 		return err
 	}
 	e.opSeq.Store(maxSeq)
@@ -101,17 +107,26 @@ func (e *Engine) Recovered() int { return e.recovered }
 
 // Checkpoint makes all logged effects durable and truncates the log.
 // Writers are quiesced for the duration so no page is written while a
-// statement is mutating it.
+// statement is mutating it. The data files are fsynced between the
+// page flush and the log truncation: FlushAll only reaches the page
+// cache, and truncating the WAL first would discard the only durable
+// copy of operations whose pages a crash could still lose.
 func (e *Engine) Checkpoint() error {
 	e.chkMu.Lock()
 	defer e.chkMu.Unlock()
 	if e.wal == nil {
-		return e.pool.FlushAll()
+		if err := e.pool.FlushAll(); err != nil {
+			return err
+		}
+		return e.mgr.SyncAll()
 	}
 	if err := e.wal.Sync(); err != nil {
 		return err
 	}
 	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := e.mgr.SyncAll(); err != nil {
 		return err
 	}
 	return e.wal.Checkpoint(e.opSeq.Load())

@@ -3,10 +3,11 @@ package storage
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"pmv/internal/vfs"
 )
 
 // Sentinel errors for the storage layer.
@@ -22,6 +23,9 @@ var (
 type IOStats struct {
 	Reads  atomic.Int64
 	Writes atomic.Int64
+	// Repairs counts torn trailing partial pages truncated on open —
+	// the footprint of a crash during a file extension.
+	Repairs atomic.Int64
 }
 
 // Snapshot returns the current counters.
@@ -32,14 +36,23 @@ func (s *IOStats) Snapshot() (reads, writes int64) {
 // File is one page-addressed file on disk.
 type File struct {
 	mu    sync.Mutex
-	f     *os.File
+	f     vfs.File
 	pages int64 // allocated page count
 	stats *IOStats
 }
 
-// OpenFile opens (creating if needed) a page file at path.
+// OpenFile opens (creating if needed) a page file at path via the OS.
 func OpenFile(path string, stats *IOStats) (*File, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFileFS(vfs.OS(), path, stats)
+}
+
+// OpenFileFS opens (creating if needed) a page file at path through
+// fs. A non-page-aligned size means a crash tore the zero-page
+// extension of Allocate mid-write; the trailing partial page is by
+// definition unreferenced (its Allocate never returned), so it is
+// truncated away and counted as a repair instead of bricking the file.
+func OpenFileFS(fs vfs.FS, path string, stats *IOStats) (*File, error) {
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
@@ -48,11 +61,18 @@ func OpenFile(path string, stats *IOStats) (*File, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
 	}
-	if info.Size()%PageSize != 0 {
-		f.Close()
-		return nil, fmt.Errorf("storage: %s size %d not page-aligned", path, info.Size())
+	size := info.Size
+	if rem := size % PageSize; rem != 0 {
+		size -= rem
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: repair torn page of %s: %w", path, err)
+		}
+		if stats != nil {
+			stats.Repairs.Add(1)
+		}
 	}
-	return &File{f: f, pages: info.Size() / PageSize, stats: stats}, nil
+	return &File{f: f, pages: size / PageSize, stats: stats}, nil
 }
 
 // NumPages returns the number of allocated pages.
@@ -145,22 +165,36 @@ func (fl *File) Close() error {
 // name ("heap.orders", "idx.orders.custkey", ...).
 type Manager struct {
 	dir   string
+	fs    vfs.FS
 	mu    sync.Mutex
 	files map[string]*File
 	Stats IOStats
 }
 
-// NewManager creates a disk manager rooted at dir, creating dir if
-// necessary.
+// NewManager creates a disk manager rooted at dir over the real OS,
+// creating dir if necessary.
 func NewManager(dir string) (*Manager, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewManagerFS(dir, nil)
+}
+
+// NewManagerFS creates a disk manager rooted at dir whose files are
+// opened through fs (nil = the OS passthrough).
+func NewManagerFS(dir string, fs vfs.FS) (*Manager, error) {
+	if fs == nil {
+		fs = vfs.OS()
+	}
+	if err := fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("storage: mkdir %s: %w", dir, err)
 	}
-	return &Manager{dir: dir, files: make(map[string]*File)}, nil
+	return &Manager{dir: dir, fs: fs, files: make(map[string]*File)}, nil
 }
 
 // Dir returns the root directory.
 func (m *Manager) Dir() string { return m.dir }
+
+// FS returns the filesystem the manager opens its files through; the
+// engine routes its metadata files through the same seam.
+func (m *Manager) FS() vfs.FS { return m.fs }
 
 // Open returns the page file for name, opening it on first use.
 func (m *Manager) Open(name string) (*File, error) {
@@ -169,7 +203,7 @@ func (m *Manager) Open(name string) (*File, error) {
 	if f, ok := m.files[name]; ok {
 		return f, nil
 	}
-	f, err := OpenFile(filepath.Join(m.dir, name+".pg"), &m.Stats)
+	f, err := OpenFileFS(m.fs, filepath.Join(m.dir, name+".pg"), &m.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -185,11 +219,22 @@ func (m *Manager) Remove(name string) error {
 		f.Close()
 		delete(m.files, name)
 	}
-	err := os.Remove(filepath.Join(m.dir, name+".pg"))
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return err
+	return m.fs.Remove(filepath.Join(m.dir, name+".pg"))
+}
+
+// SyncAll flushes every open file to stable storage — the durability
+// step of a checkpoint: page write-backs alone only reach the page
+// cache.
+func (m *Manager) SyncAll() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var first error
+	for name, f := range m.files {
+		if err := f.Sync(); err != nil && first == nil {
+			first = fmt.Errorf("storage: sync %s: %w", name, err)
+		}
 	}
-	return nil
+	return first
 }
 
 // Close closes every open file.

@@ -269,16 +269,38 @@ func TestManagerOpenRemove(t *testing.T) {
 	}
 }
 
-func TestManagerNonAlignedFileRejected(t *testing.T) {
+func TestManagerTornTrailingPageRepaired(t *testing.T) {
 	dir := t.TempDir()
 	m, _ := NewManager(dir)
 	defer m.Close()
-	// Create a garbage file not page-aligned.
-	if err := writeFileHelper(filepath.Join(dir, "bad.pg"), []byte("garbage")); err != nil {
+	// One full page followed by a torn partial page, as a crash during
+	// Allocate's extension would leave behind.
+	data := make([]byte, PageSize+100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := writeFileHelper(filepath.Join(dir, "torn.pg"), data); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Open("bad"); err == nil {
-		t.Error("non-aligned file accepted")
+	f, err := m.Open("torn")
+	if err != nil {
+		t.Fatalf("torn trailing page not repaired: %v", err)
+	}
+	if f.NumPages() != 1 {
+		t.Errorf("NumPages = %d after repair, want 1", f.NumPages())
+	}
+	if got := m.Stats.Repairs.Load(); got != 1 {
+		t.Errorf("Repairs = %d, want 1", got)
+	}
+	// The surviving full page is intact.
+	buf := make([]byte, PageSize)
+	if err := f.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != byte(i) {
+			t.Fatalf("page byte %d corrupted by repair", i)
+		}
 	}
 }
 

@@ -1,0 +1,517 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Injected-fault sentinel errors.
+var (
+	// ErrInjected marks an operation failed by a non-crash failpoint.
+	ErrInjected = errors.New("vfs: injected fault")
+	// ErrCrashed marks every operation after a simulated machine
+	// crash: the process keeps running but all I/O is dead, and writes
+	// that were never synced are lost.
+	ErrCrashed = errors.New("vfs: simulated crash")
+)
+
+// FaultKind selects what an armed Rule does when it fires.
+type FaultKind uint8
+
+const (
+	// FaultError fails the operation with ErrInjected, no side effects.
+	FaultError FaultKind = iota
+	// FaultTornWrite applies only a random prefix of the write to the
+	// file before failing (a short write the caller must handle).
+	FaultTornWrite
+	// FaultSyncFail fails Sync; nothing reaches stable storage, and
+	// the unsynced data stays volatile (the fsync-gate scenario).
+	FaultSyncFail
+	// FaultCorruptRead flips one random bit in the returned buffer
+	// (bit rot / misdirected read surfaced to the checksum layer).
+	FaultCorruptRead
+	// FaultCrash simulates a machine crash: the operation fails,
+	// every later operation on the filesystem fails with ErrCrashed,
+	// and all unsynced writes are discarded (lost page cache). When
+	// the crash fires on a Sync, a crash-consistent prefix of the
+	// pending write sequence becomes durable first, and an extending
+	// write at the cut may be torn at byte granularity (torn WAL tail,
+	// torn trailing page).
+	FaultCrash
+)
+
+// String names the fault kind for diagnostics.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultError:
+		return "error"
+	case FaultTornWrite:
+		return "torn-write"
+	case FaultSyncFail:
+		return "sync-fail"
+	case FaultCorruptRead:
+		return "corrupt-read"
+	case FaultCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("fault(%d)", k)
+	}
+}
+
+// Op classifies file operations for rule matching.
+type Op uint8
+
+// Operations a Rule can match.
+const (
+	OpOpen Op = iota
+	OpRead
+	OpWrite
+	OpSync
+	OpTruncate
+	// OpAny matches every operation.
+	OpAny
+)
+
+// Rule arms one failpoint. A rule fires on operations matching Op and
+// Path when either its scripted trigger (AfterOps matching operations
+// seen) or its probabilistic trigger (Prob per matching operation)
+// goes off.
+type Rule struct {
+	Kind FaultKind
+	// Op restricts which operations the rule matches (OpAny = all).
+	Op Op
+	// Path, when non-empty, restricts the rule to files whose path
+	// contains it as a substring.
+	Path string
+	// AfterOps fires the rule on the Nth matching operation (1-based).
+	// Zero disables the scripted trigger.
+	AfterOps int64
+	// Prob fires the rule on each matching operation with this
+	// probability, using the injector's seeded generator.
+	Prob float64
+	// Sticky keeps the rule armed after it fires (sync failures are
+	// typically sticky; a crash is inherently sticky).
+	Sticky bool
+}
+
+// FaultStats counts injected faults by kind, plus the total number of
+// fault-eligible operations observed.
+type FaultStats struct {
+	Ops          int64
+	Errors       int64
+	TornWrites   int64
+	SyncFailures int64
+	CorruptReads int64
+	Crashes      int64
+}
+
+// Injector owns the fault schedule shared by every file of a Faulty
+// filesystem. All decisions come from one seeded generator, so a seed
+// fully determines the fault sequence for a deterministic workload.
+type Injector struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rules   []Rule
+	matched []int64 // per-rule count of matching operations
+	fired   []bool
+	crashed bool
+	stats   FaultStats
+}
+
+// NewInjector returns an injector with no rules armed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add arms one rule.
+func (in *Injector) Add(r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, r)
+	in.matched = append(in.matched, 0)
+	in.fired = append(in.fired, false)
+}
+
+// Crash crashes the filesystem immediately (between operations).
+func (in *Injector) Crash() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.crashed {
+		in.crashed = true
+		in.stats.Crashes++
+	}
+}
+
+// Crashed reports whether a crash fault has fired.
+func (in *Injector) Crashed() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Stats returns the fault counters.
+func (in *Injector) Stats() FaultStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// decide records one operation and returns the fault to apply, if
+// any. A nil injector never faults (pure passthrough).
+func (in *Injector) decide(op Op, path string) (FaultKind, bool) {
+	if in == nil {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return FaultCrash, true
+	}
+	in.stats.Ops++
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		in.matched[i]++
+		if in.fired[i] && !r.Sticky {
+			continue
+		}
+		trigger := (r.AfterOps > 0 && in.matched[i] >= r.AfterOps) ||
+			(r.Prob > 0 && in.rng.Float64() < r.Prob)
+		if !trigger {
+			continue
+		}
+		in.fired[i] = true
+		switch r.Kind {
+		case FaultError:
+			in.stats.Errors++
+		case FaultTornWrite:
+			in.stats.TornWrites++
+		case FaultSyncFail:
+			in.stats.SyncFailures++
+		case FaultCorruptRead:
+			in.stats.CorruptReads++
+		case FaultCrash:
+			in.stats.Crashes++
+			in.crashed = true
+		}
+		return r.Kind, true
+	}
+	return 0, false
+}
+
+// intn returns a seeded random int in [0, n).
+func (in *Injector) intn(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	return in.rng.Intn(n)
+}
+
+func faultErr(kind FaultKind, op, path string) error {
+	if kind == FaultCrash {
+		return fmt.Errorf("vfs: %s %s: %w", op, path, ErrCrashed)
+	}
+	return fmt.Errorf("vfs: %s %s (%s): %w", op, path, kind, ErrInjected)
+}
+
+// Faulty is a fault-injecting filesystem layered over an inner FS.
+//
+// It models the OS page cache explicitly: WriteAt and Truncate change
+// only an in-memory image; Sync makes the accumulated changes durable
+// in the inner filesystem. A simulated crash therefore loses exactly
+// the writes that were never synced — the semantics a write-ahead log
+// must survive. When the crash fires during a Sync, a crash-consistent
+// prefix of the pending operation sequence becomes durable, and an
+// extending write at the cut point may be torn at an arbitrary byte
+// (producing torn WAL tails and torn trailing pages). Interior
+// overwrites are atomic at WriteAt granularity — the engine has no
+// full-page-write protection, so the fault model documents page-write
+// atomicity as an assumption rather than injecting unrecoverable torn
+// interior pages.
+type Faulty struct {
+	inner FS
+	inj   *Injector
+}
+
+// NewFaulty wraps inner with the fault schedule of inj.
+func NewFaulty(inner FS, inj *Injector) *Faulty {
+	return &Faulty{inner: inner, inj: inj}
+}
+
+// Injector returns the shared fault schedule.
+func (fs *Faulty) Injector() *Injector { return fs.inj }
+
+// OpenFile opens path, loading its durable content as the initial
+// cache image.
+func (fs *Faulty) OpenFile(path string) (File, error) {
+	if kind, hit := fs.inj.decide(OpOpen, path); hit {
+		return nil, faultErr(kind, "open", path)
+	}
+	f, err := fs.inner.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	data := make([]byte, info.Size)
+	if info.Size > 0 {
+		if _, err := f.ReadAt(data, 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &faultyFile{fs: fs, path: path, inner: f, data: data, durable: info.Size}, nil
+}
+
+// MkdirAll passes through (directories are created once, before any
+// interesting failure window).
+func (fs *Faulty) MkdirAll(path string) error { return fs.inner.MkdirAll(path) }
+
+// Remove deletes path unless the filesystem has crashed.
+func (fs *Faulty) Remove(path string) error {
+	if kind, hit := fs.inj.decide(OpWrite, path); hit && kind == FaultCrash {
+		return faultErr(kind, "remove", path)
+	}
+	return fs.inner.Remove(path)
+}
+
+// ReadFile reads path's durable content, subject to read faults.
+func (fs *Faulty) ReadFile(path string) ([]byte, error) {
+	kind, hit := fs.inj.decide(OpRead, path)
+	if hit && kind != FaultCorruptRead {
+		return nil, faultErr(kind, "read", path)
+	}
+	data, err := fs.inner.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if hit && kind == FaultCorruptRead && len(data) > 0 {
+		i := fs.inj.intn(len(data))
+		data[i] ^= 1 << uint(fs.inj.intn(8))
+	}
+	return data, nil
+}
+
+// WriteFile durably replaces path. Faults fail the operation without
+// partial effects (metadata replacement is modeled atomic).
+func (fs *Faulty) WriteFile(path string, data []byte) error {
+	if kind, hit := fs.inj.decide(OpWrite, path); hit {
+		return faultErr(kind, "write", path)
+	}
+	return fs.inner.WriteFile(path, data)
+}
+
+// pendingOp is one cache mutation not yet made durable: a write
+// (data != nil) or a truncate.
+type pendingOp struct {
+	off  int64
+	data []byte
+	size int64 // truncate target when data == nil
+}
+
+type faultyFile struct {
+	fs    *Faulty
+	path  string
+	inner File
+
+	mu      sync.Mutex
+	data    []byte      // the page-cache image all reads and writes hit
+	pending []pendingOp // mutations since the last successful Sync
+	durable int64       // inner file size (durable image length)
+	closed  bool
+}
+
+func (f *faultyFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("vfs: read %s: %w", f.path, os.ErrClosed)
+	}
+	kind, hit := f.fs.inj.decide(OpRead, f.path)
+	if hit && kind != FaultCorruptRead {
+		return 0, faultErr(kind, "read", f.path)
+	}
+	if off < 0 {
+		return 0, errors.New("vfs: negative offset")
+	}
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[off:])
+	if hit && kind == FaultCorruptRead && n > 0 {
+		i := f.fs.inj.intn(n)
+		p[i] ^= 1 << uint(f.fs.inj.intn(8))
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *faultyFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	kind, hit := f.fs.inj.decide(OpWrite, f.path)
+	if hit && (kind == FaultCrash || kind == FaultError || kind == FaultSyncFail) {
+		if kind == FaultSyncFail {
+			kind = FaultError // sync-fail rules matched to writes degrade to plain errors
+		}
+		return 0, faultErr(kind, "write", f.path)
+	}
+	n := len(p)
+	torn := hit && kind == FaultTornWrite
+	if torn {
+		n = f.fs.inj.intn(len(p)) // strict prefix
+	}
+	f.applyWrite(p[:n], off)
+	if torn {
+		return n, faultErr(FaultTornWrite, "write", f.path)
+	}
+	return n, nil
+}
+
+// applyWrite applies one write to the cache image and records it as
+// pending.
+func (f *faultyFile) applyWrite(p []byte, off int64) {
+	if len(p) == 0 {
+		return
+	}
+	if end := off + int64(len(p)); end > int64(len(f.data)) {
+		grown := make([]byte, end)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	copy(f.data[off:], p)
+	f.pending = append(f.pending, pendingOp{off: off, data: append([]byte(nil), p...)})
+}
+
+func (f *faultyFile) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if kind, hit := f.fs.inj.decide(OpTruncate, f.path); hit {
+		return faultErr(kind, "truncate", f.path)
+	}
+	if size < 0 {
+		return errors.New("vfs: negative truncate")
+	}
+	if size <= int64(len(f.data)) {
+		f.data = f.data[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	f.pending = append(f.pending, pendingOp{size: size})
+	return nil
+}
+
+// Sync makes the pending mutations durable. On an injected crash, a
+// crash-consistent prefix of the pending sequence reaches the inner
+// file first; an extending write at the cut may be torn.
+func (f *faultyFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	alreadyCrashed := f.fs.inj.Crashed()
+	kind, hit := f.fs.inj.decide(OpSync, f.path)
+	switch {
+	case hit && kind == FaultCrash:
+		// Only a crash firing during THIS sync flushes a partial
+		// prefix; once the machine is down nothing more reaches disk.
+		if !alreadyCrashed {
+			f.flushPrefixLocked(f.fs.inj.intn(len(f.pending) + 1))
+		}
+		return faultErr(FaultCrash, "sync", f.path)
+	case hit:
+		// Sync failed: nothing became durable, data stays volatile.
+		return faultErr(kind, "sync", f.path)
+	}
+	if err := f.flushAllLocked(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// flushAllLocked applies every pending op to the inner file.
+func (f *faultyFile) flushAllLocked() error {
+	for _, op := range f.pending {
+		if op.data == nil {
+			if err := f.inner.Truncate(op.size); err != nil {
+				return err
+			}
+			f.durable = op.size
+			continue
+		}
+		if _, err := f.inner.WriteAt(op.data, op.off); err != nil {
+			return err
+		}
+		if end := op.off + int64(len(op.data)); end > f.durable {
+			f.durable = end
+		}
+	}
+	f.pending = nil
+	return nil
+}
+
+// flushPrefixLocked durably applies the first k pending ops, tearing
+// the k+1st at a random byte when it extends the durable image (a
+// partial file extension: torn WAL tail, torn trailing page).
+func (f *faultyFile) flushPrefixLocked(k int) {
+	for _, op := range f.pending[:k] {
+		if op.data == nil {
+			if f.inner.Truncate(op.size) == nil {
+				f.durable = op.size
+			}
+			continue
+		}
+		if _, err := f.inner.WriteAt(op.data, op.off); err == nil {
+			if end := op.off + int64(len(op.data)); end > f.durable {
+				f.durable = end
+			}
+		}
+	}
+	if k < len(f.pending) {
+		op := f.pending[k]
+		if op.data != nil && op.off+int64(len(op.data)) > f.durable {
+			if n := f.fs.inj.intn(len(op.data)); n > 0 {
+				f.inner.WriteAt(op.data[:n], op.off)
+			}
+		}
+	}
+	f.pending = nil
+}
+
+func (f *faultyFile) Stat() (FileInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FileInfo{Size: int64(len(f.data))}, nil
+}
+
+// Close releases the inner handle. Unsynced data is discarded — like
+// the real page cache, durability comes only from Sync.
+func (f *faultyFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	return f.inner.Close()
+}

@@ -1,0 +1,104 @@
+// Package vfs is the file-abstraction seam every byte the engine
+// persists flows through: the disk manager, the write-ahead log, and
+// the JSON metadata files all open their files via an FS. The OS
+// implementation is a thin passthrough to *os.File; the fault-injecting
+// implementation (fault.go) simulates torn writes, failed fsyncs,
+// read-side corruption, and hard crashes for the recovery torture
+// harness.
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// FileInfo is the minimal metadata the engine needs from Stat.
+type FileInfo struct {
+	// Size is the file's current length in bytes.
+	Size int64
+}
+
+// File is one open file. Implementations must be safe for concurrent
+// use by multiple goroutines.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Sync flushes all written data to stable storage. Data not yet
+	// synced does not survive a (simulated) machine crash.
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+	// Stat reports the file's current size.
+	Stat() (FileInfo, error)
+	// Close releases the handle without implying durability.
+	Close() error
+}
+
+// FS opens and manages files by path.
+type FS interface {
+	// OpenFile opens path read-write, creating it when absent.
+	OpenFile(path string) (File, error)
+	// MkdirAll creates the directory path with any missing parents.
+	MkdirAll(path string) error
+	// Remove deletes path; removing an absent file is not an error.
+	Remove(path string) error
+	// ReadFile returns the full contents of path. An absent file
+	// yields an error satisfying errors.Is(err, os.ErrNotExist).
+	ReadFile(path string) ([]byte, error)
+	// WriteFile replaces path with data and syncs it to stable
+	// storage before returning.
+	WriteFile(path string, data []byte) error
+}
+
+// OS returns the passthrough filesystem over the real OS.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (osFS) Remove(path string) error {
+	err := os.Remove(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) WriteFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("vfs: sync %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// osFile adapts *os.File's Stat to the narrow FileInfo.
+type osFile struct{ *os.File }
+
+func (f osFile) Stat() (FileInfo, error) {
+	info, err := f.File.Stat()
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Size: info.Size()}, nil
+}

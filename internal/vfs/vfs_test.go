@@ -1,0 +1,279 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS()
+	path := filepath.Join(dir, "a.bin")
+	f, err := fs.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := f.Stat()
+	if err != nil || info.Size != 11 {
+		t.Fatalf("stat: %v size %d", err, info.Size)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 6); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("read %q", buf)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := f.Stat(); info.Size != 5 {
+		t.Fatalf("size after truncate: %d", info.Size)
+	}
+	f.Close()
+
+	if err := fs.WriteFile(path, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(path)
+	if err != nil || string(data) != "x" {
+		t.Fatalf("ReadFile: %v %q", err, data)
+	}
+	if err := fs.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(path); err != nil {
+		t.Fatalf("double remove: %v", err)
+	}
+	if _, err := fs.ReadFile(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+}
+
+func openFaulty(t *testing.T, inj *Injector) (*Faulty, string) {
+	t.Helper()
+	fs := NewFaulty(OS(), inj)
+	return fs, filepath.Join(t.TempDir(), "f.bin")
+}
+
+func TestFaultyUnsyncedWritesLostOnCrash(t *testing.T) {
+	inj := NewInjector(1)
+	fs, path := openFaulty(t, inj)
+	f, err := fs.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("durable!"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("volatile"), 8); err != nil {
+		t.Fatal(err)
+	}
+	// Reads see the cache image before the crash.
+	buf := make([]byte, 16)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "durable!volatile" {
+		t.Fatalf("cache image %q", buf)
+	}
+
+	inj.Crash()
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("z"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash: %v", err)
+	}
+	f.Close()
+
+	// The durable image holds only the synced prefix.
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable!" {
+		t.Fatalf("durable image %q", got)
+	}
+}
+
+func TestFaultyCrashDuringSyncKeepsPrefix(t *testing.T) {
+	// Across seeds, a crash firing on the Sync must leave some prefix
+	// of the pending writes durable — never a suffix without its
+	// prefix, and never bytes past the torn extension cut.
+	sawPartial := false
+	for seed := int64(0); seed < 20; seed++ {
+		inj := NewInjector(seed)
+		inj.Add(Rule{Kind: FaultCrash, Op: OpSync, AfterOps: 1})
+		fs := NewFaulty(OS(), inj)
+		path := filepath.Join(t.TempDir(), "f.bin")
+		f, _ := fs.OpenFile(path)
+		var want []byte
+		for i := 0; i < 8; i++ {
+			chunk := bytes.Repeat([]byte{byte('a' + i)}, 100)
+			if _, err := f.WriteAt(chunk, int64(i)*100); err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, chunk...)
+		}
+		if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("seed %d: sync: %v", seed, err)
+		}
+		f.Close()
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[:len(got)]) {
+			t.Fatalf("seed %d: durable bytes are not a prefix of the write sequence", seed)
+		}
+		if len(got) > 0 && len(got) < len(want) {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Error("no seed produced a partial flush — prefix logic suspect")
+	}
+}
+
+func TestFaultyTornWrite(t *testing.T) {
+	inj := NewInjector(7)
+	inj.Add(Rule{Kind: FaultTornWrite, Op: OpWrite, AfterOps: 2})
+	fs, path := openFaulty(t, inj)
+	f, _ := fs.OpenFile(path)
+	if _, err := f.WriteAt(bytes.Repeat([]byte{1}, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.WriteAt(bytes.Repeat([]byte{2}, 64), 64)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err: %v", err)
+	}
+	if n >= 64 {
+		t.Fatalf("torn write applied %d of 64 bytes", n)
+	}
+	info, _ := f.Stat()
+	if info.Size != 64+int64(n) {
+		t.Fatalf("size %d after torn write of %d", info.Size, n)
+	}
+	if st := inj.Stats(); st.TornWrites != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFaultyStickySyncFailure(t *testing.T) {
+	inj := NewInjector(3)
+	inj.Add(Rule{Kind: FaultSyncFail, Op: OpSync, AfterOps: 1, Sticky: true})
+	fs, path := openFaulty(t, inj)
+	f, _ := fs.OpenFile(path)
+	f.WriteAt([]byte("data"), 0)
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if len(got) != 0 {
+		t.Fatalf("failed syncs leaked %d bytes to the durable image", len(got))
+	}
+}
+
+func TestFaultyCorruptRead(t *testing.T) {
+	inj := NewInjector(5)
+	inj.Add(Rule{Kind: FaultCorruptRead, Op: OpRead, AfterOps: 1})
+	fs, path := openFaulty(t, inj)
+	f, _ := fs.OpenFile(path)
+	orig := bytes.Repeat([]byte{0xAA}, 32)
+	f.WriteAt(orig, 0)
+	buf := make([]byte, 32)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, orig) {
+		t.Fatal("corrupt read returned pristine data")
+	}
+	// Exactly one bit differs.
+	diff := 0
+	for i := range buf {
+		for b := buf[i] ^ orig[i]; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits flipped, want 1", diff)
+	}
+	// The cache image itself is untouched: the next read is clean.
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, orig) {
+		t.Fatal("second read still corrupt; fault should be read-side only")
+	}
+}
+
+func TestFaultyProbabilisticRule(t *testing.T) {
+	inj := NewInjector(11)
+	inj.Add(Rule{Kind: FaultError, Op: OpWrite, Prob: 0.5, Sticky: true})
+	fs, path := openFaulty(t, inj)
+	f, _ := fs.OpenFile(path)
+	failed := 0
+	for i := 0; i < 100; i++ {
+		if _, err := f.WriteAt([]byte{1}, int64(i)); err != nil {
+			failed++
+		}
+	}
+	if failed < 20 || failed > 80 {
+		t.Fatalf("p=0.5 rule failed %d/100 writes", failed)
+	}
+}
+
+func TestFaultyTruncateSurvivesSync(t *testing.T) {
+	inj := NewInjector(9)
+	fs, path := openFaulty(t, inj)
+	f, _ := fs.OpenFile(path)
+	f.WriteAt(bytes.Repeat([]byte{7}, 100), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("tail"), 10)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if len(got) != 14 || string(got[10:]) != "tail" {
+		t.Fatalf("durable image after truncate+write: %d bytes %q", len(got), got)
+	}
+
+	// Reopen through the faulty layer: image matches durable content.
+	f2, err := fs.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 14)
+	if _, err := f2.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf[10:]) != "tail" {
+		t.Fatalf("reopened image %q", buf)
+	}
+}

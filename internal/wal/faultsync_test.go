@@ -1,0 +1,63 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"pmv/internal/vfs"
+)
+
+// TestFsyncGateSticky is the regression test for the fsync-gate: after
+// one failed fsync the log must refuse all further appends and syncs
+// with ErrSyncFailed, even though the underlying device would accept a
+// retry — a re-run fsync reporting success says nothing about pages
+// the kernel already dropped. The record caught behind the failed
+// fsync must not be visible after reopen.
+func TestFsyncGateSticky(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+
+	inj := vfs.NewInjector(7)
+	// Sync #1 is the fresh-file header sync in OpenFS; fail sync #2
+	// (the first record sync) exactly once. Sticky is deliberately
+	// false: the stickiness under test is the log's own latch, not the
+	// injector's.
+	inj.Add(vfs.Rule{Kind: vfs.FaultSyncFail, Op: vfs.OpSync, AfterOps: 2})
+	fs := vfs.NewFaulty(vfs.OS(), inj)
+
+	l, err := OpenFS(fs, path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := l.Append([]byte("doomed record")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("first sync: got %v, want ErrSyncFailed", err)
+	} else if !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("first sync: cause not preserved through wrap: %v", err)
+	}
+
+	// The injected fault is spent; the device would now sync fine. The
+	// log must still refuse: durability of the failed batch is unknown.
+	if err := l.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("second sync after failure: got %v, want sticky ErrSyncFailed", err)
+	}
+	if err := l.Append([]byte("after failure")); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("append after failed sync: got %v, want ErrSyncFailed", err)
+	}
+	if err := l.Close(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("close after failed sync: got %v, want ErrSyncFailed", err)
+	}
+
+	// Reopen through the real OS: the record behind the failed fsync
+	// must not have become durable (no false durability).
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if !l2.Empty() {
+		t.Fatal("record appeared durable despite failed fsync")
+	}
+}

@@ -28,8 +28,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"sync"
+
+	"pmv/internal/vfs"
 )
 
 // file header: magic (4) + base sequence number (8)
@@ -38,21 +39,48 @@ const (
 	headerSize = 12
 )
 
-// Log is one write-ahead log file.
-type Log struct {
-	mu     sync.Mutex
-	f      *os.File
-	w      *bufio.Writer
-	base   uint64 // sequence-number floor persisted at last checkpoint
-	synced bool   // no appends since the last fsync
-	empty  bool
-	path   string
+// ErrSyncFailed is the sticky error a Log returns after an fsync has
+// failed: the kernel may have dropped the dirty pages while marking
+// them clean, so re-attempting the fsync could falsely report
+// durability for data that never reached disk (the fsync-gate
+// problem). The log refuses further appends and syncs; the engine
+// must surface the error and recover by reopening.
+var ErrSyncFailed = errors.New("wal: fsync failed; log durability unknown")
+
+// appendWriter adapts a vfs.File to io.Writer at a tracked offset, so
+// the buffered append path needs no Seek in the File interface.
+type appendWriter struct {
+	f   vfs.File
+	off int64
 }
 
-// Open opens (creating if needed) the log at path, trimming any torn
-// tail record.
-func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func (w *appendWriter) Write(p []byte) (int, error) {
+	n, err := w.f.WriteAt(p, w.off)
+	w.off += int64(n)
+	return n, err
+}
+
+// Log is one write-ahead log file.
+type Log struct {
+	mu      sync.Mutex
+	f       vfs.File
+	aw      *appendWriter
+	w       *bufio.Writer
+	base    uint64 // sequence-number floor persisted at last checkpoint
+	synced  bool   // no appends since the last fsync
+	syncErr error  // sticky: set when an fsync fails
+	empty   bool
+	path    string
+}
+
+// Open opens (creating if needed) the log at path via the OS,
+// trimming any torn tail record.
+func Open(path string) (*Log, error) { return OpenFS(vfs.OS(), path) }
+
+// OpenFS opens (creating if needed) the log at path through fs,
+// trimming any torn tail record.
+func OpenFS(fs vfs.FS, path string) (*Log, error) {
+	f, err := fs.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
@@ -62,10 +90,19 @@ func Open(path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	if info.Size() == 0 {
+	end := int64(headerSize)
+	if info.Size < headerSize {
+		// Either a brand-new log or a crash tore the initial header
+		// extension. A short file can only be the never-used state
+		// (every later header write is an in-place overwrite of a
+		// full-size file), so rewrite it with base 0.
 		if err := l.writeHeader(0); err != nil {
 			f.Close()
 			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: sync header: %w", err)
 		}
 		l.empty = true
 	} else {
@@ -79,7 +116,7 @@ func Open(path string) (*Log, error) {
 			return nil, fmt.Errorf("wal: %s: bad magic", path)
 		}
 		l.base = binary.BigEndian.Uint64(hdr[4:])
-		valid, err := l.scanEnd(info.Size())
+		valid, err := l.scanEnd(info.Size)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -88,13 +125,11 @@ func Open(path string) (*Log, error) {
 			f.Close()
 			return nil, err
 		}
+		end = valid
 		l.empty = valid == headerSize
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, err
-	}
-	l.w = bufio.NewWriterSize(f, 1<<16)
+	l.aw = &appendWriter{f: f, off: end}
+	l.w = bufio.NewWriterSize(l.aw, 1<<16)
 	return l, nil
 }
 
@@ -151,12 +186,16 @@ func (l *Log) Empty() bool {
 }
 
 // Append adds one record. It is buffered; call Sync to make it
-// durable.
+// durable. After a failed fsync the log refuses new records: their
+// durability could never be honestly reported.
 func (l *Log) Append(payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return errors.New("wal: closed")
+	}
+	if l.syncErr != nil {
+		return l.syncErr
 	}
 	var frame [8]byte
 	binary.BigEndian.PutUint32(frame[0:], uint32(len(payload)))
@@ -185,14 +224,24 @@ func (l *Log) syncLocked() error {
 	if l.f == nil {
 		return errors.New("wal: closed")
 	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
 	if l.synced {
 		return nil
 	}
 	if err := l.w.Flush(); err != nil {
-		return err
+		// The buffered frames are in the page cache now but not
+		// durable; treat a flush failure like a failed fsync.
+		l.syncErr = fmt.Errorf("%w: flush: %w", ErrSyncFailed, err)
+		return l.syncErr
 	}
 	if err := l.f.Sync(); err != nil {
-		return err
+		// Sticky fsync-gate: synced stays false and the error is
+		// latched so no later call can report durability the disk
+		// never acknowledged.
+		l.syncErr = fmt.Errorf("%w: %w", ErrSyncFailed, err)
+		return l.syncErr
 	}
 	l.synced = true
 	return nil
@@ -209,7 +258,7 @@ func (l *Log) Replay(fn func(payload []byte) error) error {
 	if err != nil {
 		return err
 	}
-	r := bufio.NewReaderSize(io.NewSectionReader(l.f, headerSize, info.Size()-headerSize), 1<<16)
+	r := bufio.NewReaderSize(io.NewSectionReader(l.f, headerSize, info.Size-headerSize), 1<<16)
 	var frame [8]byte
 	for {
 		if _, err := io.ReadFull(r, frame[:]); err != nil {
@@ -239,21 +288,30 @@ func (l *Log) Checkpoint(base uint64) error {
 	if err := l.syncLocked(); err != nil {
 		return err
 	}
-	if err := l.f.Truncate(headerSize); err != nil {
-		return err
-	}
+	// The new base must be durable before the records are discarded: a
+	// crash after the truncation but before a header write would leave
+	// an empty log with a stale base, restarting sequence numbers below
+	// existing page stamps (whose replays would then be wrongly
+	// skipped). Writing the header first is safe in both crash windows:
+	// old records under the new base replay idempotently.
 	if err := l.writeHeader(base); err != nil {
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
+		l.syncErr = fmt.Errorf("%w: checkpoint: %w", ErrSyncFailed, err)
+		return l.syncErr
+	}
+	if err := l.f.Truncate(headerSize); err != nil {
 		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.syncErr = fmt.Errorf("%w: checkpoint: %w", ErrSyncFailed, err)
+		return l.syncErr
 	}
 	l.base = base
 	l.empty = true
-	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
-		return err
-	}
-	l.w.Reset(l.f)
+	l.aw.off = headerSize
+	l.w.Reset(l.aw)
 	return nil
 }
 

@@ -32,13 +32,17 @@ import (
 	"fmt"
 	"time"
 
+	"pmv/internal/buffer"
 	"pmv/internal/cache"
 	"pmv/internal/catalog"
 	"pmv/internal/core"
 	"pmv/internal/engine"
 	"pmv/internal/exec"
 	"pmv/internal/expr"
+	"pmv/internal/lock"
 	"pmv/internal/value"
+	"pmv/internal/vfs"
+	"pmv/internal/wal"
 )
 
 // Re-exported value types and constructors.
@@ -99,6 +103,12 @@ type (
 	QueryReport = core.QueryReport
 	// ViewStats is a view's cumulative counters.
 	ViewStats = core.Stats
+	// EngineStats is the engine's robustness counters (lock retries,
+	// degraded queries, torn-page repairs).
+	EngineStats = engine.Stats
+	// FS is the filesystem seam every persisted byte flows through;
+	// supply one in Options.FS to intercept I/O (fault injection).
+	FS = vfs.FS
 	// GroupResult is one partial/final aggregate group.
 	GroupResult = core.GroupResult
 	// AggSpec selects an aggregate function and column.
@@ -114,6 +124,20 @@ const (
 	Min   = exec.AggMin
 	Max   = exec.AggMax
 	Avg   = exec.AggAvg
+)
+
+// Failure sentinels, re-exported so callers can classify errors with
+// errors.Is and decide how to degrade.
+var (
+	// ErrCorruptPage marks a page whose checksum failed verification.
+	ErrCorruptPage = buffer.ErrCorruptPage
+	// ErrCorrupt marks persistent-state corruption found in recovery.
+	ErrCorrupt = engine.ErrCorrupt
+	// ErrLockTimeout marks a lock wait that exhausted its retries.
+	ErrLockTimeout = lock.ErrTimeout
+	// ErrSyncFailed marks the WAL's sticky fsync failure: durability of
+	// recent statements is unknown and the database should be reopened.
+	ErrSyncFailed = wal.ErrSyncFailed
 )
 
 // Policy names for ViewOptions.
@@ -145,6 +169,9 @@ type Options struct {
 	// truncation) on this period; 0 checkpoints only on Close.
 	// Requires EnableWAL.
 	CheckpointEvery time.Duration
+	// FS intercepts all file I/O (nil = the real OS). Used by the
+	// crash-recovery torture harness to inject faults.
+	FS FS
 }
 
 // DB is one open database.
@@ -161,6 +188,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		EnableWAL:       opts.EnableWAL,
 		SyncEveryOp:     opts.SyncEveryOp,
 		CheckpointEvery: opts.CheckpointEvery,
+		FS:              opts.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -179,6 +207,9 @@ func (db *DB) Close() error { return db.eng.Close() }
 // Engine exposes the underlying engine for advanced use (experiment
 // harnesses, statistics).
 func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// EngineStats snapshots the engine's robustness counters.
+func (db *DB) EngineStats() EngineStats { return db.eng.Stats() }
 
 // CreateRelation defines a base relation.
 func (db *DB) CreateRelation(name string, cols ...Column) error {

@@ -52,11 +52,11 @@ func (db *DB) saveViews() error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(db.viewsPath(), data, 0o644)
+	return db.eng.FS().WriteFile(db.viewsPath(), data)
 }
 
 func (db *DB) loadViews() error {
-	data, err := os.ReadFile(db.viewsPath())
+	data, err := db.eng.FS().ReadFile(db.viewsPath())
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
