@@ -1,0 +1,326 @@
+// Package client is the Go client for pmvd, the pmv query service.
+//
+// A Client owns one connection, dialed lazily and reused across calls
+// (redialed transparently after a network failure). Calls are
+// serialized per client — for concurrent sessions, use one Client per
+// goroutine; Clients are cheap until first use.
+//
+// The query path preserves the PMV latency split end to end:
+// ExecutePartial streams rows to the callback as frames arrive, with
+// Row.Partial distinguishing Operation O2's cached partials (which the
+// server flushes immediately) from Operation O3's remainder rows. A
+// context deadline travels with the request; if it expires server-side
+// mid-O3, the stream ends cleanly with Report.DeadlineExpired set and
+// the rows delivered so far.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pmv/internal/expr"
+	"pmv/internal/value"
+	"pmv/internal/wire"
+)
+
+// Re-exported value constructors, so client programs need only this
+// package to bind query parameters.
+type (
+	// Value is one typed scalar.
+	Value = value.Value
+	// Tuple is one row.
+	Tuple = value.Tuple
+	// Interval is one selection interval.
+	Interval = expr.Interval
+	// Cond is one bound selection condition (set Values for
+	// equality-form conditions, Intervals for interval-form ones).
+	Cond = expr.CondInstance
+)
+
+// Value constructors.
+var (
+	// Int builds an integer value.
+	Int = value.Int
+	// Float builds a floating-point value.
+	Float = value.Float
+	// Str builds a string value.
+	Str = value.Str
+	// Bool builds a boolean value.
+	Bool = value.Bool
+	// Date builds a date value from days since the Unix epoch.
+	Date = value.Date
+	// DateFromString parses a YYYY-MM-DD date.
+	DateFromString = value.DateFromString
+	// Null is the NULL value.
+	Null = value.Null
+)
+
+// Eq builds an equality-form condition instance.
+func Eq(vals ...Value) Cond { return Cond{Values: vals} }
+
+// Between builds an interval-form condition with one [lo, hi)
+// interval.
+func Between(lo, hi Value) Cond {
+	return Cond{Intervals: []Interval{{Lo: lo, Hi: hi, LoIncl: true}}}
+}
+
+// Intervals builds an interval-form condition from explicit intervals.
+func Intervals(ivs ...Interval) Cond { return Cond{Intervals: ivs} }
+
+// Row is one streamed result row.
+type Row struct {
+	// Tuple holds the template's select-list columns.
+	Tuple Tuple
+	// Partial is true for rows served from the PMV before query
+	// execution (Operation O2).
+	Partial bool
+}
+
+// Report summarizes one query (wire.Report re-exported).
+type Report = wire.Report
+
+// ErrRemote wraps failures the server reported for a request.
+var ErrRemote = errors.New("client: server error")
+
+// Client is one pmvd session.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// New returns a client for addr without connecting; the first call
+// dials.
+func New(addr string) *Client {
+	return &Client{addr: addr, dialTimeout: 5 * time.Second}
+}
+
+// Dial returns a connected client (verifying the address is
+// reachable).
+func Dial(addr string) (*Client, error) {
+	c := New(addr)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close releases the connection. The client may be reused; the next
+// call redials.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.invalidate()
+}
+
+// ensureConn dials if needed. Callers hold c.mu.
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReaderSize(conn, 64<<10)
+	c.bw = bufio.NewWriterSize(conn, 64<<10)
+	return nil
+}
+
+// invalidate drops the connection so the next call redials. Callers
+// hold c.mu.
+func (c *Client) invalidate() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.br, c.bw = nil, nil, nil
+	return err
+}
+
+// setDeadline applies ctx's deadline (plus grace for the server's own
+// deadline handling to produce a response) to the connection. Callers
+// hold c.mu with a live conn.
+func (c *Client) setDeadline(ctx context.Context) error {
+	if dl, ok := ctx.Deadline(); ok {
+		return c.conn.SetDeadline(dl.Add(5 * time.Second))
+	}
+	return c.conn.SetDeadline(time.Time{})
+}
+
+// roundTrip sends one request frame and hands the reply stream to
+// recv, which reads frames until it has the full response. Any error
+// invalidates the connection (the stream position is unknown);
+// per-request server errors (MsgError) do not.
+func (c *Client) roundTrip(ctx context.Context, typ byte, payload []byte, recv func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := c.ensureConn(); err != nil {
+		return err
+	}
+	if err := c.setDeadline(ctx); err != nil {
+		c.invalidate()
+		return err
+	}
+	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
+		c.invalidate()
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.invalidate()
+		return err
+	}
+	if err := recv(); err != nil {
+		if !errors.Is(err, ErrRemote) {
+			c.invalidate()
+		}
+		return err
+	}
+	return nil
+}
+
+// readFrame reads one reply frame. Callers hold c.mu.
+func (c *Client) readFrame() (byte, []byte, error) {
+	return wire.ReadFrame(c.br)
+}
+
+// ExecutePartial runs the PMV protocol on the named view, streaming
+// every result row to fn exactly once. O2 partials arrive first with
+// Row.Partial set. A ctx deadline is forwarded to the server as the
+// query deadline; see Report.DeadlineExpired. If fn returns an error
+// the stream is abandoned and the connection closed (the server may
+// still be sending).
+func (c *Client) ExecutePartial(ctx context.Context, view string, conds []Cond, fn func(Row) error) (Report, error) {
+	req := wire.QueryRequest{View: view, Conds: conds}
+	if dl, ok := ctx.Deadline(); ok {
+		if d := time.Until(dl); d > 0 {
+			req.Deadline = d
+		} else {
+			req.Deadline = time.Nanosecond // already expired: tell the server
+		}
+	}
+	payload, err := wire.EncodeQuery(req)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	err = c.roundTrip(ctx, wire.MsgQuery, payload, func() error {
+		for {
+			typ, body, err := c.readFrame()
+			if err != nil {
+				return err
+			}
+			switch typ {
+			case wire.MsgRow:
+				t, partial, err := wire.DecodeRow(body)
+				if err != nil {
+					return err
+				}
+				if fn != nil {
+					if err := fn(Row{Tuple: t, Partial: partial}); err != nil {
+						return err
+					}
+				}
+			case wire.MsgDone:
+				rep, err = wire.DecodeReport(body)
+				return err
+			case wire.MsgError:
+				return fmt.Errorf("%w: %s", ErrRemote, body)
+			default:
+				return fmt.Errorf("client: unexpected frame 0x%02x in query stream", typ)
+			}
+		}
+	})
+	return rep, err
+}
+
+// admin performs a request whose response is one JSON MsgReply frame,
+// decoding it into out.
+func (c *Client) admin(ctx context.Context, typ byte, payload []byte, out any) error {
+	return c.roundTrip(ctx, typ, payload, func() error {
+		rtyp, body, err := c.readFrame()
+		if err != nil {
+			return err
+		}
+		switch rtyp {
+		case wire.MsgReply:
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(body, out)
+		case wire.MsgError:
+			return fmt.Errorf("%w: %s", ErrRemote, body)
+		default:
+			return fmt.Errorf("client: unexpected frame 0x%02x", rtyp)
+		}
+	})
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats(ctx context.Context) (wire.StatsReply, error) {
+	var out wire.StatsReply
+	err := c.admin(ctx, wire.MsgStats, nil, &out)
+	return out, err
+}
+
+// Views lists the server's partial materialized views (templates
+// included).
+func (c *Client) Views(ctx context.Context) ([]wire.ViewInfo, error) {
+	var out []wire.ViewInfo
+	err := c.admin(ctx, wire.MsgViews, nil, &out)
+	return out, err
+}
+
+// Tables lists base relations.
+func (c *Client) Tables(ctx context.Context) ([]wire.TableInfo, error) {
+	var out []wire.TableInfo
+	err := c.admin(ctx, wire.MsgTables, nil, &out)
+	return out, err
+}
+
+// Schema describes one relation.
+func (c *Client) Schema(ctx context.Context, rel string) (wire.SchemaReply, error) {
+	var out wire.SchemaReply
+	err := c.admin(ctx, wire.MsgSchema, []byte(rel), &out)
+	return out, err
+}
+
+// Count returns a relation's live tuple count.
+func (c *Client) Count(ctx context.Context, rel string) (int64, error) {
+	var out wire.CountReply
+	err := c.admin(ctx, wire.MsgCount, []byte(rel), &out)
+	return out.Count, err
+}
+
+// Peek returns a relation's first n tuples.
+func (c *Client) Peek(ctx context.Context, rel string, n int) ([]Tuple, error) {
+	var out wire.PeekReply
+	err := c.admin(ctx, wire.MsgPeek, wire.EncodePeek(rel, n), &out)
+	return out.Rows, err
+}
+
+// Analyze recomputes optimizer statistics server-side.
+func (c *Client) Analyze(ctx context.Context) error {
+	return c.admin(ctx, wire.MsgAnalyze, nil, &wire.OKReply{})
+}
+
+// Checkpoint flushes pages and truncates the WAL server-side.
+func (c *Client) Checkpoint(ctx context.Context) error {
+	return c.admin(ctx, wire.MsgCheckpoint, nil, &wire.OKReply{})
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pmvbench [-fig all|6|7|8|9|10|11|12|t1|ablation-policy|ablation-maint|ablation-f|ablation-planner|ablation-dividers]
+//	pmvbench [-fig all|6|7|8|9|10|11|12|t1|serve|ablation-policy|ablation-maint|ablation-f|ablation-planner|ablation-dividers]
 //	         [-scale s] [-sim-div n] [-rounds n] [-dir path]
 //
 // -sim-div divides the simulation's 1M warm-up/measure query counts
@@ -30,6 +30,9 @@ func main() {
 	rounds := flag.Int("rounds", 20, "measurement repetitions for overhead experiments")
 	dir := flag.String("dir", "", "working directory (default: a temp dir)")
 	csvDir := flag.String("csv", "", "also write each figure's series as CSV into this directory")
+	serveSessions := flag.Int("serve-sessions", 64, "concurrent client sessions for the serve benchmark")
+	serveQueries := flag.Int("serve-queries", 50, "queries per session for the serve benchmark")
+	serveJSON := flag.String("serve-json", "BENCH_serve.json", "output path for the serve benchmark's JSON result")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -74,6 +77,7 @@ func main() {
 	run("ablation-planner", func() error { return ablationPlanner(baseDir, *scale) })
 	run("ablation-dividers", func() error { return ablationDividers(baseDir, *scale) })
 	run("sim-policies", func() error { return simPolicies(*simDiv) })
+	run("serve", func() error { return serveBench(baseDir, *serveSessions, *serveQueries, *serveJSON) })
 }
 
 func title(name string) string {
@@ -94,6 +98,8 @@ func title(name string) string {
 		return "Figure 11: maintenance total workload (analytical)"
 	case "12":
 		return "Figure 12: PMV-over-MV maintenance speedup (analytical)"
+	case "serve":
+		return "Service: loopback pmvd throughput and partial-first latency"
 	default:
 		return name
 	}

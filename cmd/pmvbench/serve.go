@@ -1,0 +1,234 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"pmv"
+	"pmv/client"
+	"pmv/internal/server"
+	"pmv/internal/wire"
+)
+
+// serveResult is the machine-readable output of the service benchmark
+// (BENCH_serve.json): end-to-end loopback throughput plus the client-
+// observed partial-first latency split — how long until the first O2
+// row arrives vs how long the whole answer takes — and the server's
+// own per-phase histograms.
+type serveResult struct {
+	Sessions       int     `json:"sessions"`
+	QueriesPerSess int     `json:"queries_per_session"`
+	PoolSize       int     `json:"pool_size"`
+	Queries        int64   `json:"queries"`
+	Shed           int64   `json:"shed"`
+	DurationNs     int64   `json:"duration_ns"`
+	QueriesPerSec  float64 `json:"queries_per_sec"`
+	RowsPerSec     float64 `json:"rows_per_sec"`
+
+	// Client-side: time to the first Partial-flagged row.
+	FirstPartialP50Ns int64 `json:"first_partial_p50_ns"`
+	FirstPartialP99Ns int64 `json:"first_partial_p99_ns"`
+	// Client-side: whole-query latency.
+	TotalP50Ns int64 `json:"total_p50_ns"`
+	TotalP99Ns int64 `json:"total_p99_ns"`
+
+	// Server-side per-phase histograms (O1+O2 vs O3).
+	Server wire.ServerStats `json:"server"`
+}
+
+// serveBench stands up a loopback pmvd over a storefront database,
+// drives it with concurrent client sessions, and writes the result
+// JSON to outPath.
+func serveBench(dir string, sessions, queriesPerSess int, outPath string) error {
+	dbDir, err := os.MkdirTemp(dir, "serve")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dbDir)
+	db, err := pmv.Open(dbDir, pmv.Options{})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if err := serveSchema(db); err != nil {
+		return err
+	}
+
+	srv := server.New(db, server.Config{})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer srv.Shutdown()
+	addr := srv.Addr().String()
+	ctx := context.Background()
+
+	// Warm every query combination once so the steady state being
+	// measured is the paper's: partial hits answered from the view.
+	warm := client.New(addr)
+	for c := int64(0); c < 8; c++ {
+		for st := int64(0); st < 5; st++ {
+			if _, err := warm.ExecutePartial(ctx, "pmv_bench_sale", serveConds(c, st), nil); err != nil {
+				return err
+			}
+		}
+	}
+	warm.Close()
+
+	var (
+		mu            sync.Mutex
+		firstPartials []time.Duration
+		totals        []time.Duration
+		rows          int64
+		shed          int64
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	start := time.Now()
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c := client.New(addr)
+			defer c.Close()
+			myFirst := make([]time.Duration, 0, queriesPerSess)
+			myTotal := make([]time.Duration, 0, queriesPerSess)
+			var myRows, myShed int64
+			for i := int64(0); i < int64(queriesPerSess); i++ {
+				qStart := time.Now()
+				var first time.Duration
+				n := 0
+				rep, err := c.ExecutePartial(ctx, "pmv_bench_sale",
+					serveConds((seed+i)%8, (seed*i)%5),
+					func(r client.Row) error {
+						if n == 0 && r.Partial {
+							first = time.Since(qStart)
+						}
+						n++
+						return nil
+					})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				myTotal = append(myTotal, time.Since(qStart))
+				if first > 0 {
+					myFirst = append(myFirst, first)
+				}
+				myRows += int64(n)
+				if rep.Shed {
+					myShed++
+				}
+			}
+			mu.Lock()
+			firstPartials = append(firstPartials, myFirst...)
+			totals = append(totals, myTotal...)
+			rows += myRows
+			shed += myShed
+			mu.Unlock()
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	res := serveResult{
+		Sessions:       sessions,
+		QueriesPerSess: queriesPerSess,
+		PoolSize:       srv.PoolSize(),
+		Queries:        int64(len(totals)),
+		Shed:           shed,
+		DurationNs:     elapsed.Nanoseconds(),
+		QueriesPerSec:  float64(len(totals)) / elapsed.Seconds(),
+		RowsPerSec:     float64(rows) / elapsed.Seconds(),
+		Server:         srv.Metrics().Snapshot(),
+	}
+	res.FirstPartialP50Ns, res.FirstPartialP99Ns = quantilesNs(firstPartials)
+	res.TotalP50Ns, res.TotalP99Ns = quantilesNs(totals)
+
+	fmt.Printf("  %d sessions x %d queries over pool=%d: %.0f q/s, %.0f rows/s, %d shed\n",
+		sessions, queriesPerSess, res.PoolSize, res.QueriesPerSec, res.RowsPerSec, shed)
+	fmt.Printf("  first partial row: p50=%v p99=%v   whole query: p50=%v p99=%v\n",
+		time.Duration(res.FirstPartialP50Ns), time.Duration(res.FirstPartialP99Ns),
+		time.Duration(res.TotalP50Ns), time.Duration(res.TotalP99Ns))
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
+}
+
+func serveSchema(db *pmv.DB) error {
+	steps := []func() error{
+		func() error {
+			return db.CreateRelation("product",
+				pmv.Col("pid", pmv.TypeInt),
+				pmv.Col("category", pmv.TypeInt),
+				pmv.Col("name", pmv.TypeString))
+		},
+		func() error {
+			return db.CreateRelation("sale",
+				pmv.Col("pid", pmv.TypeInt),
+				pmv.Col("store", pmv.TypeInt),
+				pmv.Col("discount", pmv.TypeInt))
+		},
+		func() error { return db.CreateIndex("product", "pid") },
+		func() error { return db.CreateIndex("product", "category") },
+		func() error { return db.CreateIndex("sale", "pid") },
+		func() error { return db.CreateIndex("sale", "store") },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	for pid := int64(0); pid < 2000; pid++ {
+		if err := db.Insert("product", pmv.Int(pid), pmv.Int(pid%8), pmv.Str("p")); err != nil {
+			return err
+		}
+		if err := db.Insert("sale", pmv.Int(pid), pmv.Int((pid/8)%5), pmv.Int(pid%50)); err != nil {
+			return err
+		}
+	}
+	tpl := pmv.NewTemplate("bench_sale").
+		From("product", "sale").
+		Select("product.pid", "sale.discount").
+		Join("product.pid", "sale.pid").
+		WhereEq("product.category").
+		WhereEq("sale.store").
+		MustBuild()
+	if _, err := db.CreatePartialView(tpl, pmv.ViewOptions{MaxEntries: 64, TuplesPerBCP: 8}); err != nil {
+		return err
+	}
+	return db.Analyze()
+}
+
+func serveConds(c, st int64) []client.Cond {
+	return []client.Cond{client.Eq(client.Int(c)), client.Eq(client.Int(st))}
+}
+
+// quantilesNs returns the p50 and p99 of ds in nanoseconds.
+func quantilesNs(ds []time.Duration) (p50, p99 int64) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i].Nanoseconds()
+	}
+	return at(0.50), at(0.99)
+}

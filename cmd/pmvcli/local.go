@@ -1,0 +1,166 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pmv"
+	"pmv/internal/expr"
+	"pmv/internal/heap"
+	"pmv/internal/storage"
+	"pmv/internal/value"
+)
+
+// localBackend runs commands in-process over an opened database
+// directory (exclusive access, like the examples and pmvload).
+type localBackend struct {
+	db *pmv.DB
+}
+
+func openLocal(dir string) (backend, error) {
+	db, err := pmv.Open(dir, pmv.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &localBackend{db: db}, nil
+}
+
+func (l *localBackend) close() error { return l.db.Close() }
+
+func (l *localBackend) tables() error {
+	for _, r := range l.db.Engine().Catalog().Relations() {
+		fmt.Printf("  %s (%d columns, %d indexes, %d tuples)\n",
+			r.Name, r.Schema.Arity(), len(r.Indexes), r.Heap.Count())
+	}
+	return nil
+}
+
+func (l *localBackend) schema(rel string) error {
+	r, err := l.db.Engine().Catalog().GetRelation(rel)
+	if err != nil {
+		return err
+	}
+	for _, c := range r.Schema.Columns {
+		fmt.Printf("  %-16s %s\n", c.Name, c.Type)
+	}
+	for _, ix := range r.Indexes {
+		names := make([]string, len(ix.Cols))
+		for i, ci := range ix.Cols {
+			names[i] = r.Schema.Columns[ci].Name
+		}
+		fmt.Printf("  index %s on (%s)\n", ix.Name, strings.Join(names, ", "))
+	}
+	return nil
+}
+
+func (l *localBackend) count(rel string) error {
+	r, err := l.db.Engine().Catalog().GetRelation(rel)
+	if err != nil {
+		return err
+	}
+	fmt.Println(" ", r.Heap.Count())
+	return nil
+}
+
+func (l *localBackend) peek(rel string, n int) error {
+	r, err := l.db.Engine().Catalog().GetRelation(rel)
+	if err != nil {
+		return err
+	}
+	shown := 0
+	err = r.Heap.Scan(func(rid storage.RID, t value.Tuple) error {
+		fmt.Printf("  %v %v\n", rid, t)
+		shown++
+		if shown >= n {
+			return heap.ErrStopScan
+		}
+		return nil
+	})
+	if err != nil && err != heap.ErrStopScan {
+		return err
+	}
+	return nil
+}
+
+func (l *localBackend) views() error {
+	for _, v := range l.db.Views() {
+		cfg := v.Config()
+		fmt.Printf("  %s over %s: %d/%d entries, F=%d, policy=%s, %d tuples (~%d KiB)\n",
+			v.Name(), cfg.Template.Name, v.Len(), cfg.MaxEntries,
+			cfg.TuplesPerBCP, cfg.Policy, v.TupleCount(), v.SizeBytes()/1024)
+	}
+	return nil
+}
+
+func (l *localBackend) condSpecs(view string) ([]condSpec, error) {
+	v, ok := l.db.ViewByName(view)
+	if !ok {
+		return nil, fmt.Errorf("no view %q (try 'views')", view)
+	}
+	tpl := v.Config().Template
+	specs := make([]condSpec, len(tpl.Conds))
+	for i, ct := range tpl.Conds {
+		specs[i] = condSpec{
+			label:    ct.Col.String(),
+			interval: ct.Form == expr.IntervalForm,
+			typ:      l.condType(ct),
+		}
+	}
+	return specs, nil
+}
+
+// condType resolves the column type of a condition attribute.
+func (l *localBackend) condType(ct expr.CondTemplate) value.Type {
+	r, err := l.db.Engine().Catalog().GetRelation(ct.Col.Rel)
+	if err != nil {
+		return value.TypeString
+	}
+	if ci := r.Schema.ColIndex(ct.Col.Col); ci >= 0 {
+		return r.Schema.Columns[ci].Type
+	}
+	return value.TypeString
+}
+
+func (l *localBackend) partial(view string, conds []expr.CondInstance) error {
+	v, ok := l.db.ViewByName(view)
+	if !ok {
+		return fmt.Errorf("no view %q (try 'views')", view)
+	}
+	q := &expr.Query{Template: v.Config().Template, Conds: conds}
+	start := time.Now()
+	partials, total := 0, 0
+	rep, err := v.ExecutePartial(q, func(r pmv.Result) error {
+		total++
+		tag := "      "
+		if r.Partial {
+			partials++
+			tag = "cached"
+		}
+		if total <= 20 {
+			fmt.Printf("  [%s] %v\n", tag, r.Tuple)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if total > 20 {
+		fmt.Printf("  ... %d more rows\n", total-20)
+	}
+	fmt.Printf("  %d rows (%d from cache in %v); total %v; hit=%v\n",
+		total, partials, rep.PartialLatency, time.Since(start), rep.Hit)
+	return nil
+}
+
+func (l *localBackend) analyze() error    { return l.db.Analyze() }
+func (l *localBackend) checkpoint() error { return l.db.Checkpoint() }
+
+func (l *localBackend) stats() error {
+	eng := l.db.Engine()
+	hits, misses := eng.Pool().Stats()
+	reads, writes := eng.IOStats()
+	fmt.Printf("  buffer pool: %d frames, %d hits, %d misses\n", eng.Pool().Size(), hits, misses)
+	fmt.Printf("  physical io: %d reads, %d writes\n", reads, writes)
+	return nil
+}

@@ -1,9 +1,11 @@
-// Command pmvcli is a small interactive shell over a pmv database
-// directory (as created by pmvload or the examples).
+// Command pmvcli is a small interactive shell over a pmv database —
+// either a local directory (as created by pmvload or the examples) or
+// a running pmvd server.
 //
-//	pmvcli -dir ./db
+//	pmvcli -dir ./db            # embedded, exclusive access
+//	pmvcli -addr localhost:7070 # remote, via the wire protocol
 //
-// Commands:
+// Commands (identical in both modes):
 //
 //	tables                     list relations
 //	schema <rel>               show a relation's columns and indexes
@@ -29,27 +31,60 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
-	"pmv"
 	"pmv/internal/expr"
-	"pmv/internal/heap"
-	"pmv/internal/storage"
 	"pmv/internal/value"
 )
 
+// condSpec is what the parser needs to know about one template
+// condition: its form and the column type of its attribute.
+type condSpec struct {
+	label    string
+	interval bool
+	typ      value.Type
+}
+
+// backend abstracts where the shell's commands run: in-process over an
+// opened directory, or over the wire against pmvd. Commands print
+// their own output so each mode can show what it actually knows (the
+// local mode prints RIDs, the remote mode prints server latencies).
+type backend interface {
+	tables() error
+	schema(rel string) error
+	count(rel string) error
+	peek(rel string, n int) error
+	views() error
+	condSpecs(view string) ([]condSpec, error)
+	partial(view string, conds []expr.CondInstance) error
+	analyze() error
+	checkpoint() error
+	stats() error
+	close() error
+}
+
 func main() {
-	dir := flag.String("dir", "pmvdata", "database directory")
+	dir := flag.String("dir", "pmvdata", "database directory (embedded mode)")
+	addr := flag.String("addr", "", "pmvd address; when set, commands run against the server instead of -dir")
 	flag.Parse()
 
-	db, err := pmv.Open(*dir, pmv.Options{})
+	var (
+		be    backend
+		where string
+		err   error
+	)
+	if *addr != "" {
+		be, err = openRemote(*addr)
+		where = *addr
+	} else {
+		be, err = openLocal(*dir)
+		where = *dir
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
-	eng := db.Engine()
+	defer be.close()
 
-	fmt.Printf("pmvcli: %s (type 'help')\n", *dir)
+	fmt.Printf("pmvcli: %s (type 'help')\n", where)
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("pmv> ")
@@ -61,6 +96,7 @@ func main() {
 		if len(fields) == 0 {
 			continue
 		}
+		var err error
 		switch fields[0] {
 		case "quit", "exit", "\\q":
 			return
@@ -68,221 +104,128 @@ func main() {
 			fmt.Println("tables | schema <rel> | count <rel> | peek <rel> [n] | views |")
 			fmt.Println("partial <view> <cond0> <cond1> ... | analyze | checkpoint | stats | quit")
 		case "tables":
-			for _, r := range eng.Catalog().Relations() {
-				fmt.Printf("  %s (%d columns, %d indexes, %d tuples)\n",
-					r.Name, r.Schema.Arity(), len(r.Indexes), r.Heap.Count())
-			}
+			err = be.tables()
 		case "schema":
-			cmdSchema(db, fields)
+			if len(fields) < 2 {
+				fmt.Println("usage: schema <rel>")
+				continue
+			}
+			err = be.schema(fields[1])
 		case "count":
 			if len(fields) < 2 {
 				fmt.Println("usage: count <rel>")
 				continue
 			}
-			r, err := eng.Catalog().GetRelation(fields[1])
-			if err != nil {
-				fmt.Println(err)
+			err = be.count(fields[1])
+		case "peek":
+			if len(fields) < 2 {
+				fmt.Println("usage: peek <rel> [n]")
 				continue
 			}
-			fmt.Println(" ", r.Heap.Count())
-		case "peek":
-			cmdPeek(db, fields)
-		case "views":
-			for _, v := range db.Views() {
-				cfg := v.Config()
-				fmt.Printf("  %s over %s: %d/%d entries, F=%d, policy=%s, %d tuples (~%d KiB)\n",
-					v.Name(), cfg.Template.Name, v.Len(), cfg.MaxEntries,
-					cfg.TuplesPerBCP, cfg.Policy, v.TupleCount(), v.SizeBytes()/1024)
+			n := 5
+			if len(fields) >= 3 {
+				if v, err := strconv.Atoi(fields[2]); err == nil {
+					n = v
+				}
 			}
+			err = be.peek(fields[1], n)
+		case "views":
+			err = be.views()
 		case "partial":
-			cmdPartial(db, fields)
+			err = cmdPartial(be, fields)
 		case "analyze":
-			if err := db.Analyze(); err != nil {
-				fmt.Println(err)
-			} else {
+			if err = be.analyze(); err == nil {
 				fmt.Println("  statistics refreshed")
 			}
 		case "checkpoint":
-			if err := db.Checkpoint(); err != nil {
-				fmt.Println(err)
-			} else {
+			if err = be.checkpoint(); err == nil {
 				fmt.Println("  checkpointed")
 			}
 		case "stats":
-			hits, misses := eng.Pool().Stats()
-			reads, writes := eng.IOStats()
-			fmt.Printf("  buffer pool: %d frames, %d hits, %d misses\n", eng.Pool().Size(), hits, misses)
-			fmt.Printf("  physical io: %d reads, %d writes\n", reads, writes)
+			err = be.stats()
 		default:
 			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
 		}
-	}
-}
-
-func cmdSchema(db *pmv.DB, fields []string) {
-	if len(fields) < 2 {
-		fmt.Println("usage: schema <rel>")
-		return
-	}
-	r, err := db.Engine().Catalog().GetRelation(fields[1])
-	if err != nil {
-		fmt.Println(err)
-		return
-	}
-	for _, c := range r.Schema.Columns {
-		fmt.Printf("  %-16s %s\n", c.Name, c.Type)
-	}
-	for _, ix := range r.Indexes {
-		names := make([]string, len(ix.Cols))
-		for i, ci := range ix.Cols {
-			names[i] = r.Schema.Columns[ci].Name
+		if err != nil {
+			fmt.Println(err)
 		}
-		fmt.Printf("  index %s on (%s)\n", ix.Name, strings.Join(names, ", "))
-	}
-}
-
-func cmdPeek(db *pmv.DB, fields []string) {
-	if len(fields) < 2 {
-		fmt.Println("usage: peek <rel> [n]")
-		return
-	}
-	n := 5
-	if len(fields) >= 3 {
-		if v, err := strconv.Atoi(fields[2]); err == nil {
-			n = v
-		}
-	}
-	r, err := db.Engine().Catalog().GetRelation(fields[1])
-	if err != nil {
-		fmt.Println(err)
-		return
-	}
-	shown := 0
-	err = r.Heap.Scan(func(rid storage.RID, t value.Tuple) error {
-		fmt.Printf("  %v %v\n", rid, t)
-		shown++
-		if shown >= n {
-			return heap.ErrStopScan
-		}
-		return nil
-	})
-	if err != nil {
-		fmt.Println(err)
 	}
 }
 
 // cmdPartial parses per-condition arguments against the view's
-// template and runs the PMV protocol, printing partial results (with
-// latency) ahead of the remaining ones.
-func cmdPartial(db *pmv.DB, fields []string) {
+// template and runs the PMV protocol through the backend.
+func cmdPartial(be backend, fields []string) error {
 	if len(fields) < 3 {
 		fmt.Println("usage: partial <view> <cond0> <cond1> ...")
-		return
+		return nil
 	}
-	v, ok := db.ViewByName(fields[1])
-	if !ok {
-		fmt.Printf("no view %q (try 'views')\n", fields[1])
-		return
+	specs, err := be.condSpecs(fields[1])
+	if err != nil {
+		return err
 	}
-	tpl := v.Config().Template
 	args := fields[2:]
-	if len(args) != len(tpl.Conds) {
-		fmt.Printf("template %s has %d conditions, got %d arguments\n",
-			tpl.Name, len(tpl.Conds), len(args))
-		return
+	if len(args) != len(specs) {
+		fmt.Printf("view %s has %d conditions, got %d arguments\n",
+			fields[1], len(specs), len(args))
+		return nil
 	}
-	qb := pmv.NewQuery(tpl)
+	conds := make([]expr.CondInstance, len(args))
 	for i, arg := range args {
-		ct := tpl.Conds[i]
-		typ := condType(db, tpl, ct)
-		if ct.Form == expr.IntervalForm {
+		spec := specs[i]
+		if spec.interval {
 			for _, part := range strings.Split(arg, ",") {
 				lohi := strings.SplitN(part, "..", 2)
 				if len(lohi) != 2 {
-					fmt.Printf("condition %d (%s) is interval-form: use lo..hi\n", i, ct.Col)
-					return
+					fmt.Printf("condition %d (%s) is interval-form: use lo..hi\n", i, spec.label)
+					return nil
 				}
-				lo, err1 := parseValue(lohi[0], typ)
-				hi, err2 := parseValue(lohi[1], typ)
+				lo, err1 := parseValue(lohi[0], spec.typ)
+				hi, err2 := parseValue(lohi[1], spec.typ)
 				if err1 != nil || err2 != nil {
 					fmt.Printf("condition %d: bad bounds %q\n", i, part)
-					return
+					return nil
 				}
-				qb.Between(i, lo, hi)
+				conds[i].Intervals = append(conds[i].Intervals,
+					expr.Interval{Lo: lo, Hi: hi, LoIncl: true})
 			}
 			continue
 		}
 		for _, tok := range strings.Split(arg, ",") {
-			val, err := parseValue(tok, typ)
+			val, err := parseValue(tok, spec.typ)
 			if err != nil {
 				fmt.Printf("condition %d: %v\n", i, err)
-				return
+				return nil
 			}
-			qb.In(i, val)
+			conds[i].Values = append(conds[i].Values, val)
 		}
 	}
-
-	start := time.Now()
-	partials, total := 0, 0
-	rep, err := v.ExecutePartial(qb.Query(), func(r pmv.Result) error {
-		total++
-		tag := "      "
-		if r.Partial {
-			partials++
-			tag = "cached"
-		}
-		if total <= 20 {
-			fmt.Printf("  [%s] %v\n", tag, r.Tuple)
-		}
-		return nil
-	})
-	if err != nil {
-		fmt.Println(err)
-		return
-	}
-	if total > 20 {
-		fmt.Printf("  ... %d more rows\n", total-20)
-	}
-	fmt.Printf("  %d rows (%d from cache in %v); total %v; hit=%v\n",
-		total, partials, rep.PartialLatency, time.Since(start), rep.Hit)
+	return be.partial(fields[1], conds)
 }
 
-// condType resolves the column type of a condition attribute.
-func condType(db *pmv.DB, tpl *pmv.Template, ct expr.CondTemplate) value.Type {
-	r, err := db.Engine().Catalog().GetRelation(ct.Col.Rel)
-	if err != nil {
-		return value.TypeString
-	}
-	if ci := r.Schema.ColIndex(ct.Col.Col); ci >= 0 {
-		return r.Schema.Columns[ci].Type
-	}
-	return value.TypeString
-}
-
-func parseValue(tok string, typ value.Type) (pmv.Value, error) {
+func parseValue(tok string, typ value.Type) (value.Value, error) {
 	tok = strings.TrimSpace(tok)
 	switch typ {
 	case value.TypeInt:
 		n, err := strconv.ParseInt(tok, 10, 64)
 		if err != nil {
-			return pmv.Null(), fmt.Errorf("bad integer %q", tok)
+			return value.Null(), fmt.Errorf("bad integer %q", tok)
 		}
-		return pmv.Int(n), nil
+		return value.Int(n), nil
 	case value.TypeFloat:
 		f, err := strconv.ParseFloat(tok, 64)
 		if err != nil {
-			return pmv.Null(), fmt.Errorf("bad float %q", tok)
+			return value.Null(), fmt.Errorf("bad float %q", tok)
 		}
-		return pmv.Float(f), nil
+		return value.Float(f), nil
 	case value.TypeDate:
-		return pmv.DateFromString(tok)
+		return value.DateFromString(tok)
 	case value.TypeBool:
 		b, err := strconv.ParseBool(tok)
 		if err != nil {
-			return pmv.Null(), fmt.Errorf("bad bool %q", tok)
+			return value.Null(), fmt.Errorf("bad bool %q", tok)
 		}
-		return pmv.Bool(b), nil
+		return value.Bool(b), nil
 	default:
-		return pmv.Str(tok), nil
+		return value.Str(tok), nil
 	}
 }

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"pmv/client"
+	"pmv/internal/expr"
+	"pmv/internal/value"
+)
+
+// remoteBackend runs commands against a live pmvd over the wire
+// protocol, so the shell can inspect a serving database without
+// stealing its directory lock.
+type remoteBackend struct {
+	c *client.Client
+	// schemaTypes caches rel.col -> type lookups for condition parsing.
+	schemaTypes map[string]map[string]value.Type
+}
+
+func openRemote(addr string) (backend, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &remoteBackend{c: c, schemaTypes: make(map[string]map[string]value.Type)}, nil
+}
+
+func (r *remoteBackend) close() error { return r.c.Close() }
+
+func (r *remoteBackend) ctx() context.Context { return context.Background() }
+
+func (r *remoteBackend) tables() error {
+	tabs, err := r.c.Tables(r.ctx())
+	if err != nil {
+		return err
+	}
+	for _, t := range tabs {
+		fmt.Printf("  %s (%d columns, %d indexes, %d tuples)\n",
+			t.Name, t.Columns, t.Indexes, t.Tuples)
+	}
+	return nil
+}
+
+func (r *remoteBackend) schema(rel string) error {
+	sch, err := r.c.Schema(r.ctx(), rel)
+	if err != nil {
+		return err
+	}
+	for _, c := range sch.Columns {
+		fmt.Printf("  %-16s %s\n", c.Name, c.Type)
+	}
+	for _, ix := range sch.Indexes {
+		fmt.Printf("  index %s on (%s)\n", ix.Name, strings.Join(ix.Cols, ", "))
+	}
+	return nil
+}
+
+func (r *remoteBackend) count(rel string) error {
+	n, err := r.c.Count(r.ctx(), rel)
+	if err != nil {
+		return err
+	}
+	fmt.Println(" ", n)
+	return nil
+}
+
+func (r *remoteBackend) peek(rel string, n int) error {
+	rows, err := r.c.Peek(r.ctx(), rel, n)
+	if err != nil {
+		return err
+	}
+	for _, t := range rows {
+		fmt.Printf("  %v\n", t)
+	}
+	return nil
+}
+
+func (r *remoteBackend) views() error {
+	views, err := r.c.Views(r.ctx())
+	if err != nil {
+		return err
+	}
+	for _, v := range views {
+		tplName := "?"
+		if v.Template != nil {
+			tplName = v.Template.Name
+		}
+		fmt.Printf("  %s over %s: %d/%d entries, F=%d, policy=%s, %d tuples (~%d KiB)\n",
+			v.Name, tplName, v.Entries, v.MaxEntries,
+			v.TuplesPerBCP, v.Policy, v.Tuples, v.Bytes/1024)
+	}
+	return nil
+}
+
+// colType resolves rel.col through the server's schema command,
+// caching per relation.
+func (r *remoteBackend) colType(rel, col string) value.Type {
+	cols, ok := r.schemaTypes[rel]
+	if !ok {
+		cols = make(map[string]value.Type)
+		if sch, err := r.c.Schema(r.ctx(), rel); err == nil {
+			for _, c := range sch.Columns {
+				cols[c.Name] = c.Type
+			}
+		}
+		r.schemaTypes[rel] = cols
+	}
+	if t, ok := cols[col]; ok {
+		return t
+	}
+	return value.TypeString
+}
+
+func (r *remoteBackend) condSpecs(view string) ([]condSpec, error) {
+	views, err := r.c.Views(r.ctx())
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range views {
+		if v.Name != view {
+			continue
+		}
+		if v.Template == nil {
+			return nil, fmt.Errorf("server sent no template for %q", view)
+		}
+		specs := make([]condSpec, len(v.Template.Conds))
+		for i, ct := range v.Template.Conds {
+			specs[i] = condSpec{
+				label:    ct.Col.String(),
+				interval: ct.Form == expr.IntervalForm,
+				typ:      r.colType(ct.Col.Rel, ct.Col.Col),
+			}
+		}
+		return specs, nil
+	}
+	return nil, fmt.Errorf("no view %q (try 'views')", view)
+}
+
+func (r *remoteBackend) partial(view string, conds []expr.CondInstance) error {
+	start := time.Now()
+	partials, total := 0, 0
+	var firstPartial time.Duration
+	rep, err := r.c.ExecutePartial(r.ctx(), view, conds, func(row client.Row) error {
+		total++
+		tag := "      "
+		if row.Partial {
+			if partials == 0 {
+				firstPartial = time.Since(start)
+			}
+			partials++
+			tag = "cached"
+		}
+		if total <= 20 {
+			fmt.Printf("  [%s] %v\n", tag, row.Tuple)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if total > 20 {
+		fmt.Printf("  ... %d more rows\n", total-20)
+	}
+	fmt.Printf("  %d rows (%d from cache, first after %v); total %v; hit=%v",
+		total, partials, firstPartial, time.Since(start), rep.Hit)
+	if rep.Shed {
+		fmt.Print("; SHED (server saturated, cached rows only)")
+	}
+	if rep.DeadlineExpired {
+		fmt.Print("; deadline expired (result may be incomplete)")
+	}
+	fmt.Println()
+	return nil
+}
+
+func (r *remoteBackend) analyze() error    { return r.c.Analyze(r.ctx()) }
+func (r *remoteBackend) checkpoint() error { return r.c.Checkpoint(r.ctx()) }
+
+func (r *remoteBackend) stats() error {
+	st, err := r.c.Stats(r.ctx())
+	if err != nil {
+		return err
+	}
+	s := st.Server
+	fmt.Printf("  sessions: %d total, %d active\n", s.SessionsTotal, s.SessionsActive)
+	fmt.Printf("  queries: %d (%d shed, %d deadline-expired, %d degraded, %d errors)\n",
+		s.Queries, s.Shed, s.DeadlineExpired, s.Degraded, s.Errors)
+	fmt.Printf("  rows: %d (%d from cache)\n", s.Rows, s.PartialRows)
+	fmt.Printf("  latency p50/p99: partial %v/%v, exec %v/%v, total %v/%v\n",
+		time.Duration(s.PartialPhase.P50Ns), time.Duration(s.PartialPhase.P99Ns),
+		time.Duration(s.ExecPhase.P50Ns), time.Duration(s.ExecPhase.P99Ns),
+		time.Duration(s.Total.P50Ns), time.Duration(s.Total.P99Ns))
+	fmt.Printf("  buffer pool: %d hits, %d misses\n", st.DB.BufferHits, st.DB.BufferMisses)
+	fmt.Printf("  physical io: %d reads, %d writes\n", st.DB.PhysicalReads, st.DB.PhysicalWrites)
+	return nil
+}

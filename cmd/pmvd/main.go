@@ -1,0 +1,67 @@
+// Command pmvd serves a pmv database over TCP.
+//
+// It speaks the length-prefixed binary protocol in internal/wire:
+// query execution streams Operation O2 partial rows immediately (the
+// partial-first contract), admin commands (stats, views, tables,
+// schema, count, peek, analyze, checkpoint) answer with JSON. Load
+// beyond -pool concurrent queries is not queued: excess queries are
+// answered from the partial materialized view alone and flagged shed,
+// so response time stays bounded under overload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pmv"
+	"pmv/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7070", "listen address")
+		dir      = flag.String("dir", "pmvdata", "database directory")
+		pool     = flag.Int("pool", 0, "max concurrent query executions (0 = GOMAXPROCS); excess load is shed to partial-only answers")
+		deadline = flag.Duration("deadline", 0, "default per-query deadline for requests that carry none (0 = unbounded)")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout before connections are force-closed")
+		buffers  = flag.Int("buffers", 0, "buffer pool pages (0 = default)")
+		wal      = flag.Bool("wal", true, "enable write-ahead logging")
+	)
+	flag.Parse()
+
+	db, err := pmv.Open(*dir, pmv.Options{BufferPoolPages: *buffers, EnableWAL: *wal})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmvd: open %s: %v\n", *dir, err)
+		os.Exit(1)
+	}
+
+	srv := server.New(db, server.Config{
+		PoolSize:        *pool,
+		DefaultDeadline: *deadline,
+		DrainTimeout:    *drain,
+	})
+	if err := srv.Start(*addr); err != nil {
+		db.Close()
+		fmt.Fprintf(os.Stderr, "pmvd: listen %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	log.Printf("pmvd: serving %s on %s (pool=%d deadline=%v)",
+		*dir, srv.Addr(), srv.PoolSize(), *deadline)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("pmvd: %v, draining sessions", s)
+
+	srv.Shutdown()
+	if err := db.Close(); err != nil {
+		log.Printf("pmvd: close: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("pmvd: stopped")
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pmv/internal/lock"
+)
+
+// assertUnlocked proves no query left an S lock behind by taking the
+// view's X lock with a txn the view never uses.
+func assertUnlocked(t *testing.T, v *View) {
+	t.Helper()
+	const probeTxn = ^uint64(0)
+	locks := v.eng.Locks()
+	if err := locks.Acquire(probeTxn, v.lockRes(), lock.Exclusive, 200*time.Millisecond); err != nil {
+		t.Fatalf("view lock still held after query ended: %v", err)
+	}
+	locks.ReleaseAll(probeTxn)
+}
+
+// TestCancelBetweenO2AndO3 covers the service layer's abort path: a
+// context cancelled while O2 partials stream must end the query with
+// ctx.Err() before O3 starts, release the view's S lock, and leave the
+// view fully usable (DS is per-call state, so nothing leaks).
+func TestCancelBetweenO2AndO3(t *testing.T) {
+	eng, tpl := testDB(t)
+	loadFig1(t, eng, 4, 4, 3)
+	v, err := NewView(eng, Config{Template: tpl, MaxEntries: 50, TuplesPerBCP: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := eqQuery(tpl, []int64{1}, []int64{2})
+	want, _ := runPartial(t, v, q) // warm: O2 has partials to stream
+
+	ctx, cancel := context.WithCancel(context.Background())
+	partials, o3Rows := 0, 0
+	_, err = v.ExecutePartialCtx(ctx, q, func(r Result) error {
+		if r.Partial {
+			partials++
+			cancel() // cancel mid-O2; the O2/O3 boundary check must fire
+		} else {
+			o3Rows++
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query returned %v, want context.Canceled", err)
+	}
+	if partials == 0 {
+		t.Fatal("no partial rows before cancellation; fixture broken")
+	}
+	if o3Rows != 0 {
+		t.Fatalf("O3 delivered %d rows after cancellation", o3Rows)
+	}
+
+	assertUnlocked(t, v)
+	if err := v.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after cancellation: %v", err)
+	}
+	// The next query must see clean per-call DS state: exactly-once
+	// delivery and the same answer as before.
+	got, _ := runPartial(t, v, q)
+	if !equalStrings(got, want) {
+		t.Fatalf("after cancellation: got %v, want %v", got, want)
+	}
+}
+
+// TestCancelDuringO3 cancels while O3 is producing rows: the per-row
+// guard must abort execution, the error must be the context's, and the
+// S lock must be released.
+func TestCancelDuringO3(t *testing.T) {
+	eng, tpl := testDB(t)
+	loadFig1(t, eng, 4, 4, 4)
+	v, err := NewView(eng, Config{Template: tpl, MaxEntries: 50, TuplesPerBCP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := eqQuery(tpl, []int64{0, 1, 2}, []int64{0, 1, 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows := 0
+	_, err = v.ExecutePartialCtx(ctx, q, func(r Result) error {
+		if !r.Partial {
+			rows++
+			if rows == 2 {
+				cancel()
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query returned %v, want context.Canceled", err)
+	}
+	if rows < 2 {
+		t.Fatalf("only %d O3 rows before cancellation; fixture broken", rows)
+	}
+
+	assertUnlocked(t, v)
+	if err := v.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after cancellation: %v", err)
+	}
+	if _, err := v.ExecutePartial(q, func(Result) error { return nil }); err != nil {
+		t.Fatalf("view unusable after cancellation: %v", err)
+	}
+}
+
+// TestDeadlineExpiredKeepsPartials covers the bounded-response-time
+// contract: a deadline that has already run out still delivers O2's
+// cached partials, skips O3, and reports DeadlineExpired with a nil
+// error.
+func TestDeadlineExpiredKeepsPartials(t *testing.T) {
+	eng, tpl := testDB(t)
+	loadFig1(t, eng, 4, 4, 3)
+	v, err := NewView(eng, Config{Template: tpl, MaxEntries: 50, TuplesPerBCP: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := eqQuery(tpl, []int64{1}, []int64{2})
+	runPartial(t, v, q) // warm
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	partials, o3Rows := 0, 0
+	rep, err := v.ExecutePartialCtx(ctx, q, func(r Result) error {
+		if r.Partial {
+			partials++
+		} else {
+			o3Rows++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("deadline expiry must not be an error, got %v", err)
+	}
+	if !rep.DeadlineExpired {
+		t.Fatal("report not flagged DeadlineExpired")
+	}
+	if partials == 0 {
+		t.Fatal("expired deadline suppressed the O2 partials")
+	}
+	if o3Rows != 0 {
+		t.Fatalf("O3 ran %d rows past an expired deadline", o3Rows)
+	}
+	if rep.PartialTuples != partials || rep.TotalTuples != partials {
+		t.Fatalf("report counts %d/%d, want %d partial-only",
+			rep.PartialTuples, rep.TotalTuples, partials)
+	}
+	if v.Stats().DeadlineQueries == 0 {
+		t.Fatal("DeadlineQueries counter not incremented")
+	}
+
+	assertUnlocked(t, v)
+	if err := v.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after deadline expiry: %v", err)
+	}
+}
+
+// TestPartialOnlyShedPath covers the admission controller's shed
+// answer: O1+O2 only, every row flagged Partial, no view refresh, and
+// the PartialOnlyQueries counter moving.
+func TestPartialOnlyShedPath(t *testing.T) {
+	eng, tpl := testDB(t)
+	loadFig1(t, eng, 4, 4, 3)
+	v, err := NewView(eng, Config{Template: tpl, MaxEntries: 50, TuplesPerBCP: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := eqQuery(tpl, []int64{1}, []int64{2})
+	full, _ := runPartial(t, v, q) // warm
+
+	rows := 0
+	rep, err := v.PartialOnly(q, func(r Result) error {
+		if !r.Partial {
+			t.Error("shed path emitted a non-partial row")
+		}
+		rows++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.PartialOnly {
+		t.Fatal("report not flagged PartialOnly")
+	}
+	if rows == 0 || rows > len(full) {
+		t.Fatalf("shed answer delivered %d rows, full answer has %d", rows, len(full))
+	}
+	if rep.PartialTuples != rows || rep.TotalTuples != rows {
+		t.Fatalf("report counts %d/%d, want %d", rep.PartialTuples, rep.TotalTuples, rows)
+	}
+	if v.Stats().PartialOnlyQueries == 0 {
+		t.Fatal("PartialOnlyQueries counter not incremented")
+	}
+	assertUnlocked(t, v)
+}

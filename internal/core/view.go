@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -234,6 +235,17 @@ type QueryReport struct {
 	// plain execution instead: results are complete and correct, but
 	// nothing was served early and the view was not refreshed.
 	Degraded bool
+	// DeadlineExpired is true when the caller's context deadline ran
+	// out before Operation O3 finished: every delivered tuple is
+	// correct, the O2 tuples arrived flagged Partial, but the result
+	// set may be incomplete (the paper's bounded-response-time story —
+	// hot results in time, the tail traded for the deadline).
+	DeadlineExpired bool
+	// PartialOnly is true when only Operations O1+O2 ran (by request —
+	// the service layer's load shedding). Results are the view's
+	// cached partials; O3 never executed and the view was not
+	// refreshed.
+	PartialOnly bool
 }
 
 // ExecutePartial answers q with the PMV protocol: Operation O1 breaks
@@ -242,44 +254,174 @@ type QueryReport struct {
 // tuples via the DS multiset, and refreshes the view for free. emit
 // receives every result exactly once.
 func (v *View) ExecutePartial(q *expr.Query, emit func(Result) error) (QueryReport, error) {
+	return v.ExecutePartialCtx(context.Background(), q, emit)
+}
+
+// ExecutePartialCtx is ExecutePartial with deadline/cancellation
+// semantics, the contract the query service is built on:
+//
+//   - A context cancelled at any point aborts the query with ctx.Err();
+//     the view's S lock is released and the view stays consistent (DS
+//     is per-call state, nothing leaks).
+//   - A context whose *deadline* expires does not fail the query: the
+//     O2 partial results already delivered (flagged Partial) stand,
+//     O3 stops where it is, and the report comes back with
+//     DeadlineExpired set and a nil error — bounded response time at
+//     the cost of a possibly-incomplete tail.
+func (v *View) ExecutePartialCtx(ctx context.Context, q *expr.Query, emit func(Result) error) (QueryReport, error) {
+	run, done, err := v.beginPartial(q, emit)
+	if done || err != nil {
+		return run.rep, err
+	}
+	defer v.eng.Locks().ReleaseAll(run.txn)
+
+	start := time.Now()
+	if err := v.probeO2(run, emit); err != nil {
+		return run.rep, err
+	}
+	run.rep.PartialLatency = time.Since(start)
+
+	// A deadline that expired while O2 streamed still delivered the
+	// hot partials — skip O3 rather than fail.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return v.finishTruncated(run.rep, ctxErr)
+	}
+
+	// --- Operation O3 ---
+	execStart := time.Now()
+	var o3Overhead time.Duration
+	ds := run.ds
+	err = v.eng.ExecuteProjectCtx(ctx, q, v.selectPlus, func(t value.Tuple) error {
+		tupStart := time.Now()
+		key := string(value.EncodeTuple(nil, t))
+		if n := ds[key]; n > 0 {
+			// Already delivered in O2: consume one DS token so
+			// duplicate result tuples are still delivered the right
+			// number of times (the paper's multiset argument).
+			if n == 1 {
+				delete(ds, key)
+			} else {
+				ds[key] = n - 1
+			}
+			o3Overhead += time.Since(tupStart)
+			return nil
+		}
+		v.fill(t, run.admit)
+		o3Overhead += time.Since(tupStart)
+		run.rep.TotalTuples++
+		return emit(Result{Tuple: v.userTuple(t), Partial: false})
+	})
+	run.rep.TotalTuples += run.rep.PartialTuples
+	run.rep.ExecLatency = time.Since(execStart)
+	run.rep.Overhead = run.rep.PartialLatency + o3Overhead
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return v.finishTruncated(run.rep, ctxErr)
+		}
+		return run.rep, err
+	}
+
+	// After O3, every DS token must have been consumed: the partial
+	// results were a subset of the full results (serializability held).
+	if len(ds) != 0 {
+		return run.rep, fmt.Errorf("core: %d partial tuples not found during execution (consistency violation)", len(ds))
+	}
+
+	v.mu.Lock()
+	v.statsQueryLocked(&run.rep)
+	v.mu.Unlock()
+	return run.rep, nil
+}
+
+// PartialOnly answers q from the view alone: Operations O1+O2 under
+// the S lock, no query execution, no refresh. It is the admission
+// controller's shed path — a bounded-quality answer (cached hot
+// tuples, possibly empty) at O2 cost. Every emitted result is flagged
+// Partial.
+func (v *View) PartialOnly(q *expr.Query, emit func(Result) error) (QueryReport, error) {
+	run, done, err := v.beginPartial(q, emit)
+	if done || err != nil {
+		return run.rep, err
+	}
+	defer v.eng.Locks().ReleaseAll(run.txn)
+
+	start := time.Now()
+	if err := v.probeO2(run, emit); err != nil {
+		return run.rep, err
+	}
+	run.rep.PartialLatency = time.Since(start)
+	run.rep.Overhead = run.rep.PartialLatency
+	run.rep.TotalTuples = run.rep.PartialTuples
+	run.rep.PartialOnly = true
+
+	v.mu.Lock()
+	v.statsQueryLocked(&run.rep)
+	v.stats.PartialOnlyQueries++
+	v.mu.Unlock()
+	return run.rep, nil
+}
+
+// partialRun is the per-query state of one PMV protocol execution: the
+// report under construction, O1's condition parts, the DS delivered-
+// tuple multiset, the 2Q admission memo, and the lock-owning txn.
+type partialRun struct {
+	rep   QueryReport
+	parts []ConditionPart
+	ds    map[string]int
+	admit map[string]bool
+	txn   uint64
+}
+
+// beginPartial validates q, takes the S lock, and runs Operation O1.
+// When the query was already answered — a validation error, or the
+// degraded no-lock path (which streams full results to emit) — done is
+// true and run.rep/err carry the outcome; the caller must not continue
+// the protocol.
+func (v *View) beginPartial(q *expr.Query, emit func(Result) error) (run *partialRun, done bool, err error) {
+	run = &partialRun{}
 	if err := q.Validate(); err != nil {
-		return QueryReport{}, err
+		return run, true, err
 	}
 	if q.Template != v.cfg.Template && q.Template.Name != v.cfg.Template.Name {
-		return QueryReport{}, fmt.Errorf("core: query template %q does not match view template %q",
+		return run, true, fmt.Errorf("core: query template %q does not match view template %q",
 			q.Template.Name, v.cfg.Template.Name)
 	}
-	var rep QueryReport
 
 	// Section 3.6 protocol: S lock from O2 through O3. When the lock
 	// cannot be had even after the engine's retries (a wedged or
 	// long-running maintainer), degrade instead of failing: the query
 	// is still answerable without the view.
-	txn := v.eng.NewTxnID()
-	if err := v.eng.AcquireLock(txn, v.lockRes(), lock.Shared); err != nil {
+	run.txn = v.eng.NewTxnID()
+	if err := v.eng.AcquireLock(run.txn, v.lockRes(), lock.Shared); err != nil {
 		if errors.Is(err, lock.ErrTimeout) {
-			return v.executeDegraded(q, emit)
+			rep, derr := v.executeDegraded(q, emit)
+			run.rep = rep
+			return run, true, derr
 		}
-		return rep, err
+		return run, true, err
 	}
-	defer v.eng.Locks().ReleaseAll(txn)
-
-	start := time.Now()
 
 	// --- Operation O1 ---
 	parts, err := v.coder.BreakConditions(q, v.cfg.MaxConditionParts)
 	if errors.Is(err, ErrTooManyParts) {
-		rep.Skipped = true
+		run.rep.Skipped = true
 		parts = nil
 	} else if err != nil {
-		return rep, err
+		v.eng.Locks().ReleaseAll(run.txn)
+		return run, true, err
 	}
-	rep.ConditionParts = len(parts)
-
-	// --- Operation O2 ---
+	run.parts = parts
+	run.rep.ConditionParts = len(parts)
 	// DS: the temporary in-memory multiset of delivered tuples.
-	ds := make(map[string]int)
-	admitDecided := make(map[string]bool) // per-query admission memo (2Q)
+	run.ds = make(map[string]int)
+	run.admit = make(map[string]bool) // per-query admission memo (2Q)
+	return run, false, nil
+}
+
+// probeO2 runs Operation O2: serve cached partial results for every
+// condition part, recording delivered tuples in the DS multiset.
+func (v *View) probeO2(run *partialRun, emit func(Result) error) error {
+	parts, ds, admitDecided, rep := run.parts, run.ds, run.admit, &run.rep
 	v.mu.Lock()
 	for pi := range parts {
 		cp := &parts[pi]
@@ -317,52 +459,29 @@ func (v *View) ExecutePartial(q *expr.Query, emit func(Result) error) (QueryRepo
 			v.mu.Lock()
 			if err != nil {
 				v.mu.Unlock()
-				return rep, err
+				return err
 			}
 		}
 	}
-	v.statsO2Locked(&rep)
+	v.statsO2Locked(rep)
 	v.mu.Unlock()
-	rep.PartialLatency = time.Since(start)
+	return nil
+}
 
-	// --- Operation O3 ---
-	execStart := time.Now()
-	var o3Overhead time.Duration
-	err = v.eng.ExecuteProject(q, v.selectPlus, func(t value.Tuple) error {
-		tupStart := time.Now()
-		key := string(value.EncodeTuple(nil, t))
-		if n := ds[key]; n > 0 {
-			// Already delivered in O2: consume one DS token so
-			// duplicate result tuples are still delivered the right
-			// number of times (the paper's multiset argument).
-			if n == 1 {
-				delete(ds, key)
-			} else {
-				ds[key] = n - 1
-			}
-			o3Overhead += time.Since(tupStart)
-			return nil
-		}
-		v.fill(t, admitDecided)
-		o3Overhead += time.Since(tupStart)
-		rep.TotalTuples++
-		return emit(Result{Tuple: v.userTuple(t), Partial: false})
-	})
-	if err != nil {
-		return rep, err
+// finishTruncated ends a context-interrupted query. Deadline expiry is
+// the service contract — partial results stand, DeadlineExpired is
+// flagged, no error. Explicit cancellation aborts with ctx.Err().
+func (v *View) finishTruncated(rep QueryReport, ctxErr error) (QueryReport, error) {
+	if rep.TotalTuples < rep.PartialTuples {
+		rep.TotalTuples = rep.PartialTuples
 	}
-	rep.TotalTuples += rep.PartialTuples
-	rep.ExecLatency = time.Since(execStart)
-	rep.Overhead = rep.PartialLatency + o3Overhead
-
-	// After O3, every DS token must have been consumed: the partial
-	// results were a subset of the full results (serializability held).
-	if len(ds) != 0 {
-		return rep, fmt.Errorf("core: %d partial tuples not found during execution (consistency violation)", len(ds))
+	if !errors.Is(ctxErr, context.DeadlineExceeded) {
+		return rep, ctxErr
 	}
-
+	rep.DeadlineExpired = true
 	v.mu.Lock()
 	v.statsQueryLocked(&rep)
+	v.stats.DeadlineQueries++
 	v.mu.Unlock()
 	return rep, nil
 }

@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -530,15 +531,30 @@ func (e *Engine) Plan(q *expr.Query) (*exec.Plan, error) {
 // Execute runs q and streams the full concatenated rows to fn. The
 // expanded select list of the PMV layer (Ls′) is applied by the caller.
 func (e *Engine) Execute(q *expr.Query, fn func(value.Tuple) error) error {
+	return e.ExecuteCtx(context.Background(), q, fn)
+}
+
+// ExecuteCtx is Execute with cancellation: the plan is wrapped in an
+// exec.Guard so a cancelled or deadline-expired ctx aborts between
+// rows with ctx.Err().
+func (e *Engine) ExecuteCtx(ctx context.Context, q *expr.Query, fn func(value.Tuple) error) error {
 	plan, err := e.Plan(q)
 	if err != nil {
 		return err
 	}
-	return exec.ForEach(plan.Root, fn)
+	return exec.ForEach(guarded(ctx, plan.Root), fn)
 }
 
 // ExecuteProject runs q projecting the given column refs.
 func (e *Engine) ExecuteProject(q *expr.Query, cols []expr.ColumnRef, fn func(value.Tuple) error) error {
+	return e.ExecuteProjectCtx(context.Background(), q, cols, fn)
+}
+
+// ExecuteProjectCtx is ExecuteProject with cancellation, the seam the
+// service layer uses to enforce per-query deadlines: when ctx expires
+// mid-plan the iterator chain stops and ctx.Err() propagates up, so
+// the PMV layer can return the partial results it already delivered.
+func (e *Engine) ExecuteProjectCtx(ctx context.Context, q *expr.Query, cols []expr.ColumnRef, fn func(value.Tuple) error) error {
 	plan, err := e.Plan(q)
 	if err != nil {
 		return err
@@ -551,6 +567,16 @@ func (e *Engine) ExecuteProject(q *expr.Query, cols []expr.ColumnRef, fn func(va
 		}
 		positions[i] = p
 	}
-	proj := &exec.Project{Child: plan.Root, Cols: positions}
+	proj := &exec.Project{Child: guarded(ctx, plan.Root), Cols: positions}
 	return exec.ForEach(proj, fn)
+}
+
+// guarded wraps root with a cancellation Guard unless ctx can never be
+// cancelled (context.Background and friends), keeping the uncancellable
+// hot path check-free.
+func guarded(ctx context.Context, root exec.Iterator) exec.Iterator {
+	if ctx == nil || ctx.Done() == nil {
+		return root
+	}
+	return &exec.Guard{Child: root, Check: ctx.Err}
 }

@@ -132,6 +132,35 @@ func (s *sliceIter) Close() error {
 	return nil
 }
 
+// Guard injects a liveness check into a pipeline: Check runs before
+// every row is pulled from the child, so a cancelled context (or any
+// other abort condition) stops an in-flight plan between rows instead
+// of letting it run to completion. The engine wraps plan roots with a
+// Guard when the caller supplies a cancellable context.
+type Guard struct {
+	Child Iterator
+	Check func() error
+}
+
+// Open checks once, then opens the child.
+func (g *Guard) Open() error {
+	if err := g.Check(); err != nil {
+		return err
+	}
+	return g.Child.Open()
+}
+
+// Next checks, then pulls the next child row.
+func (g *Guard) Next() (value.Tuple, bool, error) {
+	if err := g.Check(); err != nil {
+		return nil, false, err
+	}
+	return g.Child.Next()
+}
+
+// Close closes the child.
+func (g *Guard) Close() error { return g.Child.Close() }
+
 // Filter passes through rows satisfying pred.
 type Filter struct {
 	Child Iterator

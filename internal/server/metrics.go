@@ -1,0 +1,111 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"pmv/internal/wire"
+)
+
+// Hist is a lock-free log-scale latency histogram: bucket i holds
+// observations whose nanosecond count has bit length i (so bucket
+// boundaries double — ~1.5 significant digits of resolution, which is
+// plenty for p50/p99 trend tracking at zero coordination cost).
+type Hist struct {
+	buckets [64]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// quantile returns an upper bound on the q-quantile (the top of the
+// bucket the quantile falls into, clamped to the observed maximum).
+func (h *Hist) quantile(q float64, total int64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total-1)) + 1
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			hi := int64(1)<<uint(i) - 1
+			if m := h.max.Load(); hi > m {
+				hi = m
+			}
+			return hi
+		}
+	}
+	return h.max.Load()
+}
+
+// Snapshot summarizes the histogram. Concurrent Observes may tear the
+// totals slightly; the summary is for monitoring, not accounting.
+func (h *Hist) Snapshot() wire.HistSnapshot {
+	total := h.count.Load()
+	s := wire.HistSnapshot{Count: total, MaxNs: h.max.Load()}
+	if total > 0 {
+		s.MeanNs = h.sum.Load() / total
+		s.P50Ns = h.quantile(0.50, total)
+		s.P90Ns = h.quantile(0.90, total)
+		s.P99Ns = h.quantile(0.99, total)
+	}
+	return s
+}
+
+// Metrics is the server's counter set. All fields are updated with
+// atomics from session goroutines and snapshotted by the stats
+// command.
+type Metrics struct {
+	SessionsTotal   atomic.Int64
+	SessionsActive  atomic.Int64
+	Queries         atomic.Int64
+	Rows            atomic.Int64
+	PartialRows     atomic.Int64
+	Shed            atomic.Int64
+	DeadlineExpired atomic.Int64
+	Degraded        atomic.Int64
+	PartialOnly     atomic.Int64
+	Errors          atomic.Int64
+
+	PartialPhase Hist // O1+O2: time to the last partial row
+	ExecPhase    Hist // O3: query execution
+	Total        Hist // whole query, admission wait included
+}
+
+// Snapshot captures every counter for the stats reply.
+func (m *Metrics) Snapshot() wire.ServerStats {
+	return wire.ServerStats{
+		SessionsTotal:   m.SessionsTotal.Load(),
+		SessionsActive:  m.SessionsActive.Load(),
+		Queries:         m.Queries.Load(),
+		Rows:            m.Rows.Load(),
+		PartialRows:     m.PartialRows.Load(),
+		Shed:            m.Shed.Load(),
+		DeadlineExpired: m.DeadlineExpired.Load(),
+		Degraded:        m.Degraded.Load(),
+		PartialOnly:     m.PartialOnly.Load(),
+		Errors:          m.Errors.Load(),
+		PartialPhase:    m.PartialPhase.Snapshot(),
+		ExecPhase:       m.ExecPhase.Snapshot(),
+		Total:           m.Total.Snapshot(),
+	}
+}

@@ -1,0 +1,473 @@
+// Package server is the pmvd query service: a concurrent, deadline-
+// aware network front end over an embedded pmv database.
+//
+// Each accepted connection is one session, owned by one goroutine that
+// reads length-prefixed requests (internal/wire) and answers them in
+// order. Query execution — the only expensive request — passes through
+// an admission controller: a bounded worker pool sized by
+// Config.PoolSize. While a slot is free the full PMV protocol runs
+// (O1+O2 partials stream first, then O3's remainder); when every slot
+// is busy the server does not queue or hang but sheds the query,
+// answering from the partial materialized view alone (Operations
+// O1+O2) and flagging the report Shed. That is the paper's
+// bounded-quality/bounded-time trade made operational: under overload
+// clients keep getting the hot cached answers in microseconds instead
+// of joining a convoy behind O3 executions.
+//
+// Deadlines compose with admission: every admitted query runs under a
+// context.Context whose deadline is the client's (or the server
+// default), so a query that outlives its budget returns the partial
+// rows already streamed, flagged DeadlineExpired, instead of blocking
+// the session.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"pmv"
+	"pmv/internal/expr"
+	"pmv/internal/heap"
+	"pmv/internal/storage"
+	"pmv/internal/value"
+	"pmv/internal/wire"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// PoolSize bounds concurrently executing O3s (admitted queries).
+	// Queries arriving beyond it are shed to PMV-only answers.
+	// Default: GOMAXPROCS.
+	PoolSize int
+	// DefaultDeadline bounds queries whose request carries no deadline
+	// (0 = unbounded).
+	DefaultDeadline time.Duration
+	// DrainTimeout bounds Shutdown's wait for in-flight sessions
+	// before force-closing connections. Default 5s.
+	DrainTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.PoolSize <= 0 {
+		c.PoolSize = runtime.GOMAXPROCS(0)
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+}
+
+// Server serves the pmvd wire protocol over a database.
+type Server struct {
+	db      *pmv.DB
+	cfg     Config
+	sem     chan struct{} // admission slots: acquired per executed query
+	metrics Metrics
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closing chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New builds a server over db. The database stays owned by the caller
+// (Shutdown does not close it).
+func New(db *pmv.DB, cfg Config) *Server {
+	cfg.fill()
+	return &Server{
+		db:      db,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.PoolSize),
+		conns:   make(map[net.Conn]struct{}),
+		closing: make(chan struct{}),
+	}
+}
+
+// Metrics exposes the live counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// PoolSize reports the effective admission-control pool size.
+func (s *Server) PoolSize() int { return cap(s.sem) }
+
+// Start listens on addr (e.g. ":7070", "127.0.0.1:0") and accepts
+// sessions in a background goroutine until Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.mu.Lock()
+		select {
+		case <-s.closing:
+			s.mu.Unlock()
+			c.Close()
+			return
+		default:
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// Shutdown stops accepting, lets in-flight requests finish (bounded by
+// DrainTimeout), then force-closes whatever remains. Safe to call
+// once; the database is left open.
+func (s *Server) Shutdown() error {
+	s.mu.Lock()
+	select {
+	case <-s.closing:
+		s.mu.Unlock()
+		return nil
+	default:
+	}
+	close(s.closing)
+	ln := s.ln
+	// Wake sessions blocked reading the next request; ones mid-query
+	// finish their response first, then observe the closed channel.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return err
+}
+
+// handleConn owns one session for the connection's lifetime.
+func (s *Server) handleConn(c net.Conn) {
+	s.metrics.SessionsTotal.Add(1)
+	s.metrics.SessionsActive.Add(1)
+	defer func() {
+		s.metrics.SessionsActive.Add(-1)
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+		s.wg.Done()
+	}()
+
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return // EOF, client gone, or drain poke
+		}
+		if err := s.dispatch(bw, typ, payload); err != nil {
+			return // protocol desync or dead connection
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		select {
+		case <-s.closing:
+			return
+		default:
+		}
+	}
+}
+
+// dispatch answers one request. A returned error terminates the
+// session (unwritable connection or an unparseable request that may
+// have desynced the stream); per-request failures that leave the
+// stream well-formed are reported to the client in a MsgError frame
+// and return nil.
+func (s *Server) dispatch(bw *bufio.Writer, typ byte, payload []byte) error {
+	switch typ {
+	case wire.MsgQuery:
+		return s.handleQuery(bw, payload)
+	case wire.MsgStats:
+		return s.reply(bw, s.statsReply())
+	case wire.MsgViews:
+		return s.reply(bw, s.viewsReply())
+	case wire.MsgTables:
+		return s.reply(bw, s.tablesReply())
+	case wire.MsgSchema:
+		return s.handleSchema(bw, string(payload))
+	case wire.MsgCount:
+		r, err := s.db.Engine().Catalog().GetRelation(string(payload))
+		if err != nil {
+			return s.writeErr(bw, err)
+		}
+		return s.reply(bw, wire.CountReply{Count: r.Heap.Count()})
+	case wire.MsgPeek:
+		return s.handlePeek(bw, payload)
+	case wire.MsgAnalyze:
+		if err := s.db.Analyze(); err != nil {
+			return s.writeErr(bw, err)
+		}
+		return s.reply(bw, wire.OKReply{OK: true})
+	case wire.MsgCheckpoint:
+		if err := s.db.Checkpoint(); err != nil {
+			return s.writeErr(bw, err)
+		}
+		return s.reply(bw, wire.OKReply{OK: true})
+	default:
+		return fmt.Errorf("server: unknown request type 0x%02x", typ)
+	}
+}
+
+// writeErr reports a per-request failure and keeps the session open.
+func (s *Server) writeErr(bw *bufio.Writer, err error) error {
+	s.metrics.Errors.Add(1)
+	return wire.WriteFrame(bw, wire.MsgError, []byte(err.Error()))
+}
+
+// reply marshals v into a MsgReply frame.
+func (s *Server) reply(bw *bufio.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return s.writeErr(bw, err)
+	}
+	return wire.WriteFrame(bw, wire.MsgReply, data)
+}
+
+// handleQuery runs one PMV query with admission control and deadline
+// enforcement, streaming rows as they are produced.
+func (s *Server) handleQuery(bw *bufio.Writer, payload []byte) error {
+	req, err := wire.DecodeQuery(payload)
+	if err != nil {
+		// The payload is framed, so the stream is still in sync — but
+		// a client speaking garbage gets an error, not a hang.
+		return s.writeErr(bw, err)
+	}
+	v, ok := s.db.ViewByName(req.View)
+	if !ok {
+		return s.writeErr(bw, fmt.Errorf("server: no view %q", req.View))
+	}
+	q := &expr.Query{Template: v.Config().Template, Conds: req.Conds}
+
+	var (
+		rowBuf   []byte
+		emitFail error // distinguishes our write failures from query errors
+	)
+	emit := func(r pmv.Result) error {
+		rowBuf = wire.EncodeRow(rowBuf[:0], r.Tuple, r.Partial)
+		if err := wire.WriteFrame(bw, wire.MsgRow, rowBuf); err != nil {
+			emitFail = err
+			return err
+		}
+		if r.Partial {
+			// Partial-first contract: O2 rows reach the client now,
+			// not when the buffer happens to fill.
+			if err := bw.Flush(); err != nil {
+				emitFail = err
+				return err
+			}
+		}
+		return nil
+	}
+
+	start := time.Now()
+	var rep pmv.QueryReport
+	var qerr error
+	shed := false
+	select {
+	case s.sem <- struct{}{}:
+		ctx := context.Background()
+		deadline := req.Deadline
+		if deadline <= 0 {
+			deadline = s.cfg.DefaultDeadline
+		}
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+		}
+		rep, qerr = v.ExecutePartialCtx(ctx, q, emit)
+		<-s.sem
+	default:
+		// Admission control: every worker slot is busy. Shed by
+		// answering from the view alone — bounded work, never a queue.
+		shed = true
+		rep, qerr = v.PartialOnly(q, emit)
+	}
+	if emitFail != nil {
+		return emitFail
+	}
+	if qerr != nil {
+		return s.writeErr(bw, qerr)
+	}
+
+	s.metrics.Queries.Add(1)
+	s.metrics.Rows.Add(int64(rep.TotalTuples))
+	s.metrics.PartialRows.Add(int64(rep.PartialTuples))
+	if shed {
+		s.metrics.Shed.Add(1)
+	}
+	if rep.PartialOnly {
+		s.metrics.PartialOnly.Add(1)
+	}
+	if rep.DeadlineExpired {
+		s.metrics.DeadlineExpired.Add(1)
+	}
+	if rep.Degraded {
+		s.metrics.Degraded.Add(1)
+	}
+	s.metrics.PartialPhase.Observe(rep.PartialLatency)
+	s.metrics.ExecPhase.Observe(rep.ExecLatency)
+	s.metrics.Total.Observe(time.Since(start))
+
+	done := wire.EncodeReport(nil, wire.Report{
+		Hit:             rep.Hit,
+		Skipped:         rep.Skipped,
+		Degraded:        rep.Degraded,
+		DeadlineExpired: rep.DeadlineExpired,
+		PartialOnly:     rep.PartialOnly,
+		Shed:            shed,
+		ConditionParts:  rep.ConditionParts,
+		PartialTuples:   rep.PartialTuples,
+		TotalTuples:     rep.TotalTuples,
+		PartialLatency:  rep.PartialLatency,
+		ExecLatency:     rep.ExecLatency,
+		Overhead:        rep.Overhead,
+	})
+	return wire.WriteFrame(bw, wire.MsgDone, done)
+}
+
+func (s *Server) statsReply() wire.StatsReply {
+	dbs := s.db.Stats()
+	es := s.db.EngineStats()
+	return wire.StatsReply{
+		Server: s.metrics.Snapshot(),
+		DB: wire.DBStatsReply{
+			BufferHits:     dbs.BufferHits,
+			BufferMisses:   dbs.BufferMisses,
+			PhysicalReads:  dbs.PhysicalReads,
+			PhysicalWrites: dbs.PhysicalWrites,
+			ViewBytes:      dbs.ViewBytes,
+		},
+		Engine: wire.EngineStatsReply{
+			LockRetries:     es.LockRetries,
+			LockTimeouts:    es.LockTimeouts,
+			DegradedQueries: es.DegradedQueries,
+			TornPageRepairs: es.TornPageRepairs,
+		},
+	}
+}
+
+func (s *Server) viewsReply() []wire.ViewInfo {
+	views := s.db.Views()
+	out := make([]wire.ViewInfo, 0, len(views))
+	for _, v := range views {
+		cfg := v.Config()
+		st := v.Stats()
+		out = append(out, wire.ViewInfo{
+			Name:         v.Name(),
+			Template:     cfg.Template,
+			MaxEntries:   cfg.MaxEntries,
+			TuplesPerBCP: cfg.TuplesPerBCP,
+			Policy:       string(cfg.Policy),
+			Entries:      v.Len(),
+			Tuples:       v.TupleCount(),
+			Bytes:        v.SizeBytes(),
+			HitProb:      st.HitProbability(),
+		})
+	}
+	return out
+}
+
+func (s *Server) tablesReply() []wire.TableInfo {
+	rels := s.db.Engine().Catalog().Relations()
+	out := make([]wire.TableInfo, 0, len(rels))
+	for _, r := range rels {
+		out = append(out, wire.TableInfo{
+			Name:    r.Name,
+			Columns: r.Schema.Arity(),
+			Indexes: len(r.Indexes),
+			Tuples:  r.Heap.Count(),
+		})
+	}
+	return out
+}
+
+func (s *Server) handleSchema(bw *bufio.Writer, rel string) error {
+	r, err := s.db.Engine().Catalog().GetRelation(rel)
+	if err != nil {
+		return s.writeErr(bw, err)
+	}
+	var rep wire.SchemaReply
+	for _, c := range r.Schema.Columns {
+		rep.Columns = append(rep.Columns, wire.ColumnInfo{Name: c.Name, Type: c.Type})
+	}
+	for _, ix := range r.Indexes {
+		names := make([]string, len(ix.Cols))
+		for i, ci := range ix.Cols {
+			names[i] = r.Schema.Columns[ci].Name
+		}
+		rep.Indexes = append(rep.Indexes, wire.IndexInfo{Name: ix.Name, Cols: names})
+	}
+	return s.reply(bw, rep)
+}
+
+func (s *Server) handlePeek(bw *bufio.Writer, payload []byte) error {
+	rel, n, err := wire.DecodePeek(payload)
+	if err != nil {
+		return s.writeErr(bw, err)
+	}
+	r, err := s.db.Engine().Catalog().GetRelation(rel)
+	if err != nil {
+		return s.writeErr(bw, err)
+	}
+	var rep wire.PeekReply
+	err = r.Heap.Scan(func(_ storage.RID, t value.Tuple) error {
+		rep.Rows = append(rep.Rows, t.Clone())
+		if len(rep.Rows) >= n {
+			return heap.ErrStopScan
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, heap.ErrStopScan) {
+		return s.writeErr(bw, err)
+	}
+	return s.reply(bw, rep)
+}

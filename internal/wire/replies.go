@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"pmv/internal/expr"
+	"pmv/internal/value"
+)
+
+// Admin replies travel as JSON inside a MsgReply frame. They are
+// defined here (not in the server) so the client package can decode
+// them without linking the engine.
+
+// ViewInfo describes one partial materialized view. Template is
+// included so remote tools (pmvcli -addr) can bind queries without
+// opening the database directory.
+type ViewInfo struct {
+	Name         string         `json:"name"`
+	Template     *expr.Template `json:"template"`
+	MaxEntries   int            `json:"max_entries"`
+	TuplesPerBCP int            `json:"tuples_per_bcp"`
+	Policy       string         `json:"policy"`
+	Entries      int            `json:"entries"`
+	Tuples       int            `json:"tuples"`
+	Bytes        int            `json:"bytes"`
+	HitProb      float64        `json:"hit_prob"`
+}
+
+// TableInfo describes one base relation.
+type TableInfo struct {
+	Name    string `json:"name"`
+	Columns int    `json:"columns"`
+	Indexes int    `json:"indexes"`
+	Tuples  int64  `json:"tuples"`
+}
+
+// ColumnInfo is one column of a schema.
+type ColumnInfo struct {
+	Name string     `json:"name"`
+	Type value.Type `json:"type"`
+}
+
+// IndexInfo is one secondary index of a schema.
+type IndexInfo struct {
+	Name string   `json:"name"`
+	Cols []string `json:"cols"`
+}
+
+// SchemaReply answers MsgSchema.
+type SchemaReply struct {
+	Columns []ColumnInfo `json:"columns"`
+	Indexes []IndexInfo  `json:"indexes"`
+}
+
+// CountReply answers MsgCount.
+type CountReply struct {
+	Count int64 `json:"count"`
+}
+
+// PeekReply answers MsgPeek.
+type PeekReply struct {
+	Rows []value.Tuple `json:"rows"`
+}
+
+// OKReply answers side-effect commands (analyze, checkpoint).
+type OKReply struct {
+	OK bool `json:"ok"`
+}
+
+// HistSnapshot summarizes one latency histogram (nanoseconds).
+type HistSnapshot struct {
+	Count  int64 `json:"count"`
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P90Ns  int64 `json:"p90_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+}
+
+// ServerStats is the service layer's counter snapshot.
+type ServerStats struct {
+	SessionsTotal   int64 `json:"sessions_total"`
+	SessionsActive  int64 `json:"sessions_active"`
+	Queries         int64 `json:"queries"`
+	Rows            int64 `json:"rows"`
+	PartialRows     int64 `json:"partial_rows"`
+	Shed            int64 `json:"shed"`
+	DeadlineExpired int64 `json:"deadline_expired"`
+	Degraded        int64 `json:"degraded"`
+	PartialOnly     int64 `json:"partial_only"`
+	Errors          int64 `json:"errors"`
+
+	// PartialPhase times Operations O1+O2 (time to the last partial
+	// row), ExecPhase times Operation O3, Total times whole queries.
+	PartialPhase HistSnapshot `json:"partial_phase"`
+	ExecPhase    HistSnapshot `json:"exec_phase"`
+	Total        HistSnapshot `json:"total"`
+}
+
+// EngineStatsReply mirrors the engine's robustness counters.
+type EngineStatsReply struct {
+	LockRetries     int64 `json:"lock_retries"`
+	LockTimeouts    int64 `json:"lock_timeouts"`
+	DegradedQueries int64 `json:"degraded_queries"`
+	TornPageRepairs int64 `json:"torn_page_repairs"`
+}
+
+// DBStatsReply mirrors the database-level counters.
+type DBStatsReply struct {
+	BufferHits     int64 `json:"buffer_hits"`
+	BufferMisses   int64 `json:"buffer_misses"`
+	PhysicalReads  int64 `json:"physical_reads"`
+	PhysicalWrites int64 `json:"physical_writes"`
+	ViewBytes      int   `json:"view_bytes"`
+}
+
+// StatsReply answers MsgStats.
+type StatsReply struct {
+	Server ServerStats      `json:"server"`
+	DB     DBStatsReply     `json:"db"`
+	Engine EngineStatsReply `json:"engine"`
+}

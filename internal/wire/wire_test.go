@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pmv/internal/expr"
+	"pmv/internal/value"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xab}, 4096)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) {
+			t.Fatalf("frame %d: type %d, want %d", i, typ, i+1)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	// A length field beyond MaxFrame must be rejected before allocation.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, MsgQuery})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := QueryRequest{
+		View:     "pmv_orders",
+		Deadline: 1500 * time.Millisecond,
+		Conds: []expr.CondInstance{
+			{Values: []value.Value{value.Int(7), value.Str("x"), value.Null()}},
+			{Intervals: []expr.Interval{
+				{Lo: value.Date(100), Hi: value.Date(200), LoIncl: true},
+				{Lo: value.Null(), Hi: value.Float(3.5), HiIncl: true},
+			}},
+		},
+	}
+	b, err := EncodeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeQuery(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, q) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, q)
+	}
+}
+
+func TestQueryDecodeRejectsGarbage(t *testing.T) {
+	q := QueryRequest{View: "v", Conds: []expr.CondInstance{{Values: []value.Value{value.Int(1)}}}}
+	b, err := EncodeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(b); cut++ {
+		if _, err := DecodeQuery(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeQuery(append(append([]byte(nil), b...), 0)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	tu := value.Tuple{value.Int(42), value.Str("hello"), value.Bool(true)}
+	for _, partial := range []bool{true, false} {
+		b := EncodeRow(nil, tu, partial)
+		got, p, err := DecodeRow(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != partial {
+			t.Fatalf("partial flag %v, want %v", p, partial)
+		}
+		if value.CompareTuples(got, tu) != 0 {
+			t.Fatalf("tuple %v, want %v", got, tu)
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := Report{
+		Hit: true, DeadlineExpired: true, Shed: true,
+		ConditionParts: 4, PartialTuples: 9, TotalTuples: 9,
+		PartialLatency: 12345 * time.Nanosecond,
+		ExecLatency:    99 * time.Millisecond,
+		Overhead:       77 * time.Microsecond,
+	}
+	got, err := DecodeReport(EncodeReport(nil, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestPeekRoundTrip(t *testing.T) {
+	rel, n, err := DecodePeek(EncodePeek("lineitem", 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != "lineitem" || n != 17 {
+		t.Fatalf("got %q/%d", rel, n)
+	}
+}
