@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench experiments examples torture clean
+.PHONY: all build vet test test-race cover bench experiments examples torture obs-smoke clean
 
 all: build vet test test-race
 
@@ -35,6 +35,26 @@ experiments-quick:
 # reopen, verify against the oracle (see cmd/pmvtorture).
 torture:
 	$(GO) run ./cmd/pmvtorture -seeds 50 -v
+
+# Observability smoke test: boot pmvd with -obs on a scratch database,
+# probe /healthz and /metrics, and require the key metric families.
+obs-smoke:
+	@set -e; dir=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$dir"' EXIT; \
+	$(GO) build -o "$$dir/pmvd" ./cmd/pmvd; \
+	"$$dir/pmvd" -dir "$$dir/db" -addr 127.0.0.1:7071 -obs 127.0.0.1:9091 & pid=$$!; \
+	ok=0; for i in $$(seq 1 50); do \
+		if curl -fs http://127.0.0.1:9091/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "obs-smoke: endpoint never came up"; exit 1; }; \
+	curl -fs http://127.0.0.1:9091/healthz | grep -q '"status":"ok"'; \
+	curl -fs http://127.0.0.1:9091/metrics > "$$dir/metrics.txt"; \
+	for fam in pmvd_sessions_total pmvd_queries_total pmvd_query_seconds \
+	           pmvd_trace_enabled pmvd_slowlog_threshold_seconds go_goroutines; do \
+		grep -q "^# TYPE $$fam " "$$dir/metrics.txt" || { echo "obs-smoke: missing family $$fam"; exit 1; }; \
+	done; \
+	echo "obs-smoke: OK"
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -324,3 +324,35 @@ func (c *Client) Analyze(ctx context.Context) error {
 func (c *Client) Checkpoint(ctx context.Context) error {
 	return c.admin(ctx, wire.MsgCheckpoint, nil, &wire.OKReply{})
 }
+
+// Trace reads or updates the server's tracing and slow-query-log
+// settings. Nil request fields leave the corresponding setting
+// unchanged, so Trace(ctx, wire.TraceRequest{}) just reads state.
+func (c *Client) Trace(ctx context.Context, req wire.TraceRequest) (wire.TraceReply, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return wire.TraceReply{}, err
+	}
+	var out wire.TraceReply
+	err = c.admin(ctx, wire.MsgTrace, payload, &out)
+	return out, err
+}
+
+// Slowlog dumps the server's slow-query log, newest first (limit 0 =
+// all retained records).
+func (c *Client) Slowlog(ctx context.Context, limit int) (wire.SlowlogReply, error) {
+	payload, err := json.Marshal(wire.SlowlogRequest{Limit: limit})
+	if err != nil {
+		return wire.SlowlogReply{}, err
+	}
+	var out wire.SlowlogReply
+	err = c.admin(ctx, wire.MsgSlowlog, payload, &out)
+	return out, err
+}
+
+// ViewStats fetches every view's core counters.
+func (c *Client) ViewStats(ctx context.Context) ([]wire.ViewStatsEntry, error) {
+	var out []wire.ViewStatsEntry
+	err := c.admin(ctx, wire.MsgViewStats, nil, &out)
+	return out, err
+}

@@ -164,3 +164,29 @@ func (l *localBackend) stats() error {
 	fmt.Printf("  physical io: %d reads, %d writes\n", reads, writes)
 	return nil
 }
+
+func (l *localBackend) viewstats() error {
+	for _, v := range l.db.Views() {
+		st := v.Stats()
+		fmt.Printf("  %s:\n", v.Name())
+		fmt.Printf("    queries: %d (%d hits, p=%.3f, %d degraded, %d deadline, %d partial-only)\n",
+			st.Queries, st.QueryHits, st.HitProbability(),
+			st.DegradedQueries, st.DeadlineQueries, st.PartialOnlyQueries)
+		fmt.Printf("    parts: %d probed; tuples: %d served, %d cached, %d evicted, %d purged\n",
+			st.PartsProbed, st.PartialTuples, st.TuplesCached, st.TuplesEvicted, st.TuplesPurged)
+		fmt.Printf("    maintenance: %d deletes, %d updates (%d skipped) in %v\n",
+			st.DeletesSeen, st.UpdatesSeen, st.UpdatesSkipped, st.MaintTime)
+		fmt.Printf("    time: lock-wait %v, O3 %v\n", st.LockWaitTime, st.O3Time)
+		fmt.Printf("    occupancy: %d/%d entries, %d tuples (~%d KiB)\n",
+			v.Len(), v.Config().MaxEntries, v.TupleCount(), v.SizeBytes()/1024)
+	}
+	return nil
+}
+
+func (l *localBackend) trace([]string) error {
+	return fmt.Errorf("trace controls a running pmvd; use -addr (server mode)")
+}
+
+func (l *localBackend) slowlog(int) error {
+	return fmt.Errorf("the slow-query log lives in pmvd; use -addr (server mode)")
+}

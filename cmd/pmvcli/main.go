@@ -20,6 +20,12 @@
 //	analyze                    recompute optimizer statistics
 //	checkpoint                 flush pages and truncate the WAL
 //	stats                      buffer pool and I/O counters
+//	viewstats                  per-view PMV counters (hit probability,
+//	                           lock waits, maintenance cost)
+//	trace [on|off|slow <dur>]  show or change server-side query tracing
+//	                           and the slow-query threshold (server mode)
+//	slowlog [n]                dump the newest n slow queries with their
+//	                           traces (server mode)
 //	help / quit
 package main
 
@@ -59,6 +65,9 @@ type backend interface {
 	analyze() error
 	checkpoint() error
 	stats() error
+	viewstats() error
+	trace(args []string) error
+	slowlog(n int) error
 	close() error
 }
 
@@ -102,7 +111,8 @@ func main() {
 			return
 		case "help":
 			fmt.Println("tables | schema <rel> | count <rel> | peek <rel> [n] | views |")
-			fmt.Println("partial <view> <cond0> <cond1> ... | analyze | checkpoint | stats | quit")
+			fmt.Println("partial <view> <cond0> <cond1> ... | analyze | checkpoint | stats |")
+			fmt.Println("viewstats | trace [on|off|slow <dur>|slow off] | slowlog [n] | quit")
 		case "tables":
 			err = be.tables()
 		case "schema":
@@ -143,6 +153,18 @@ func main() {
 			}
 		case "stats":
 			err = be.stats()
+		case "viewstats":
+			err = be.viewstats()
+		case "trace":
+			err = be.trace(fields[1:])
+		case "slowlog":
+			n := 10
+			if len(fields) >= 2 {
+				if v, err := strconv.Atoi(fields[1]); err == nil {
+					n = v
+				}
+			}
+			err = be.slowlog(n)
 		default:
 			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
 		}

@@ -9,6 +9,7 @@ import (
 	"pmv/client"
 	"pmv/internal/expr"
 	"pmv/internal/value"
+	"pmv/internal/wire"
 )
 
 // remoteBackend runs commands against a live pmvd over the wire
@@ -196,4 +197,102 @@ func (r *remoteBackend) stats() error {
 	fmt.Printf("  buffer pool: %d hits, %d misses\n", st.DB.BufferHits, st.DB.BufferMisses)
 	fmt.Printf("  physical io: %d reads, %d writes\n", st.DB.PhysicalReads, st.DB.PhysicalWrites)
 	return nil
+}
+
+func (r *remoteBackend) viewstats() error {
+	entries, err := r.c.ViewStats(r.ctx())
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		fmt.Printf("  %s:\n", e.Name)
+		fmt.Printf("    queries: %d (%d hits, p=%.3f, %d degraded, %d deadline, %d partial-only)\n",
+			e.Queries, e.QueryHits, e.HitProb,
+			e.DegradedQueries, e.DeadlineQueries, e.PartialOnlyQueries)
+		fmt.Printf("    parts: %d probed; tuples: %d served, %d cached, %d evicted, %d purged\n",
+			e.PartsProbed, e.PartialTuples, e.TuplesCached, e.TuplesEvicted, e.TuplesPurged)
+		fmt.Printf("    maintenance: %d deletes, %d updates (%d skipped) in %v\n",
+			e.DeletesSeen, e.UpdatesSeen, e.UpdatesSkipped, time.Duration(e.MaintTimeNs))
+		fmt.Printf("    time: lock-wait %v, O3 %v\n",
+			time.Duration(e.LockWaitTimeNs), time.Duration(e.O3TimeNs))
+		fmt.Printf("    occupancy: %d/%d entries (%.1f%%), %d tuples (~%d KiB)\n",
+			e.Entries, e.MaxEntries, 100*e.Occupancy, e.Tuples, e.Bytes/1024)
+	}
+	return nil
+}
+
+// trace implements `trace [on|off|slow <dur>|slow off]`. With no
+// arguments it shows the current settings.
+func (r *remoteBackend) trace(args []string) error {
+	var req wire.TraceRequest
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "on", "off":
+			on := args[i] == "on"
+			req.Trace = &on
+		case "slow":
+			if i+1 >= len(args) {
+				fmt.Println("usage: trace slow <duration|off>")
+				return nil
+			}
+			i++
+			var ns int64
+			if args[i] == "off" {
+				ns = -1
+			} else {
+				d, err := time.ParseDuration(args[i])
+				if err != nil {
+					fmt.Printf("bad duration %q (try 10ms, 1s)\n", args[i])
+					return nil
+				}
+				ns = int64(d)
+			}
+			req.SlowThresholdNs = &ns
+		default:
+			fmt.Println("usage: trace [on|off] [slow <duration|off>]")
+			return nil
+		}
+	}
+	rep, err := r.c.Trace(r.ctx(), req)
+	if err != nil {
+		return err
+	}
+	slow := "off"
+	if rep.SlowThresholdNs >= 0 {
+		slow = time.Duration(rep.SlowThresholdNs).String()
+	}
+	fmt.Printf("  trace=%v slow-query-log=%s\n", rep.Trace, slow)
+	return nil
+}
+
+func (r *remoteBackend) slowlog(n int) error {
+	rep, err := r.c.Slowlog(r.ctx(), n)
+	if err != nil {
+		return err
+	}
+	if rep.ThresholdNs < 0 {
+		fmt.Println("  slow-query log is off (enable: trace slow <duration>)")
+	}
+	if len(rep.Queries) == 0 {
+		fmt.Println("  no slow queries recorded")
+		return nil
+	}
+	for _, q := range rep.Queries {
+		fmt.Printf("  #%d %s view=%s %v (%d rows, %d cached%s)\n",
+			q.ID, time.Unix(0, q.UnixNs).Format("15:04:05.000"), q.View,
+			time.Duration(q.DurNs), q.Report.TotalTuples, q.Report.PartialTuples,
+			shedTag(q.Report.Shed))
+		for _, sp := range q.Spans {
+			fmt.Printf("    %-9s +%-12v %-12v %s\n",
+				sp.Kind, time.Duration(sp.StartNs), time.Duration(sp.DurNs), sp.Detail)
+		}
+	}
+	return nil
+}
+
+func shedTag(shed bool) string {
+	if shed {
+		return ", shed"
+	}
+	return ""
 }

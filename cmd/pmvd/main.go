@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"pmv"
+	"pmv/internal/obs"
 	"pmv/internal/server"
 )
 
@@ -31,6 +32,9 @@ func main() {
 		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout before connections are force-closed")
 		buffers  = flag.Int("buffers", 0, "buffer pool pages (0 = default)")
 		wal      = flag.Bool("wal", true, "enable write-ahead logging")
+		obsAddr  = flag.String("obs", "", "observability HTTP address (e.g. :9090) serving /metrics, /healthz and /debug/pprof; empty = off")
+		trace    = flag.Bool("trace", false, "start with per-query tracing enabled (togglable at runtime: pmvcli 'trace on|off')")
+		slow     = flag.Duration("slow", 0, "slow-query log threshold; queries at or above it are recorded with their trace (0 = off)")
 	)
 	flag.Parse()
 
@@ -44,6 +48,8 @@ func main() {
 		PoolSize:        *pool,
 		DefaultDeadline: *deadline,
 		DrainTimeout:    *drain,
+		Trace:           *trace,
+		SlowThreshold:   *slow,
 	})
 	if err := srv.Start(*addr); err != nil {
 		db.Close()
@@ -52,6 +58,18 @@ func main() {
 	}
 	log.Printf("pmvd: serving %s on %s (pool=%d deadline=%v)",
 		*dir, srv.Addr(), srv.PoolSize(), *deadline)
+
+	if *obsAddr != "" {
+		obsSrv, bound, err := obs.Serve(*obsAddr, srv.WritePrometheus)
+		if err != nil {
+			srv.Shutdown()
+			db.Close()
+			fmt.Fprintf(os.Stderr, "pmvd: obs listen %s: %v\n", *obsAddr, err)
+			os.Exit(1)
+		}
+		defer obsSrv.Close()
+		log.Printf("pmvd: observability on http://%s (/metrics /healthz /debug/pprof)", bound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"pmv/internal/expr"
 	"pmv/internal/keycodec"
 	"pmv/internal/lock"
+	"pmv/internal/obs"
 	"pmv/internal/value"
 )
 
@@ -167,12 +169,25 @@ func (v *View) BeforeChange(rel string) (func(), error) {
 // result that no longer exists. The engine holds the view's X lock
 // (via BeforeChange) for the duration.
 func (v *View) OnDelete(rel string, t value.Tuple) error {
+	return v.OnDeleteCtx(context.Background(), rel, t)
+}
+
+// OnDeleteCtx is OnDelete with a context, implementing
+// engine.CtxChangeObserver so a trace on the mutating statement's
+// context records the maintenance purge work it triggered (span:
+// tuples purged, index-path flag).
+func (v *View) OnDeleteCtx(ctx context.Context, rel string, t value.Tuple) error {
 	if !v.inTemplate(rel) {
 		return nil
 	}
+	tr := obs.FromContext(ctx)
 	v.mu.Lock()
 	v.stats.DeletesSeen++
 	useIdx := v.maint != nil
+	var purgedBefore int64
+	if tr != nil {
+		purgedBefore = v.stats.TuplesPurged
+	}
 	v.mu.Unlock()
 
 	start := time.Now()
@@ -184,6 +199,13 @@ func (v *View) OnDelete(rel string, t value.Tuple) error {
 	}
 	v.mu.Lock()
 	v.stats.MaintTime += time.Since(start)
+	if tr != nil {
+		idxFlag := int64(0)
+		if useIdx {
+			idxFlag = 1
+		}
+		tr.Span(obs.KindMaint, start, v.stats.TuplesPurged-purgedBefore, idxFlag, 0)
+	}
 	v.mu.Unlock()
 	return err
 }
@@ -194,6 +216,12 @@ func (v *View) OnDelete(rel string, t value.Tuple) error {
 // deletion of the old tuple. (New result tuples the update creates are
 // picked up for free by later queries, like inserts.)
 func (v *View) OnUpdate(rel string, old, new value.Tuple) error {
+	return v.OnUpdateCtx(context.Background(), rel, old, new)
+}
+
+// OnUpdateCtx is OnUpdate with a context for trace propagation (see
+// OnDeleteCtx).
+func (v *View) OnUpdateCtx(ctx context.Context, rel string, old, new value.Tuple) error {
 	if !v.inTemplate(rel) {
 		return nil
 	}
@@ -218,7 +246,7 @@ func (v *View) OnUpdate(rel string, old, new value.Tuple) error {
 	if !changed {
 		return nil
 	}
-	return v.OnDelete(rel, old)
+	return v.OnDeleteCtx(ctx, rel, old)
 }
 
 // relevantCols returns the base-schema positions of rel's columns that

@@ -11,6 +11,7 @@ import (
 	"pmv/internal/engine"
 	"pmv/internal/expr"
 	"pmv/internal/lock"
+	"pmv/internal/obs"
 	"pmv/internal/value"
 )
 
@@ -269,7 +270,7 @@ func (v *View) ExecutePartial(q *expr.Query, emit func(Result) error) (QueryRepo
 //     DeadlineExpired set and a nil error — bounded response time at
 //     the cost of a possibly-incomplete tail.
 func (v *View) ExecutePartialCtx(ctx context.Context, q *expr.Query, emit func(Result) error) (QueryReport, error) {
-	run, done, err := v.beginPartial(q, emit)
+	run, done, err := v.beginPartial(ctx, q, emit)
 	if done || err != nil {
 		return run.rep, err
 	}
@@ -290,6 +291,7 @@ func (v *View) ExecutePartialCtx(ctx context.Context, q *expr.Query, emit func(R
 	// --- Operation O3 ---
 	execStart := time.Now()
 	var o3Overhead time.Duration
+	var dups int64
 	ds := run.ds
 	err = v.eng.ExecuteProjectCtx(ctx, q, v.selectPlus, func(t value.Tuple) error {
 		tupStart := time.Now()
@@ -303,17 +305,23 @@ func (v *View) ExecutePartialCtx(ctx context.Context, q *expr.Query, emit func(R
 			} else {
 				ds[key] = n - 1
 			}
+			dups++
 			o3Overhead += time.Since(tupStart)
 			return nil
 		}
-		v.fill(t, run.admit)
+		v.fill(t, run)
 		o3Overhead += time.Since(tupStart)
 		run.rep.TotalTuples++
 		return emit(Result{Tuple: v.userTuple(t), Partial: false})
 	})
+	emitted := int64(run.rep.TotalTuples)
 	run.rep.TotalTuples += run.rep.PartialTuples
 	run.rep.ExecLatency = time.Since(execStart)
 	run.rep.Overhead = run.rep.PartialLatency + o3Overhead
+	if run.tr != nil {
+		run.tr.Span(obs.KindO3, execStart, emitted+dups, emitted, dups)
+		run.tr.Event(obs.KindRefill, run.refTuples, run.refEntries, run.refEvicted)
+	}
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
 			return v.finishTruncated(run.rep, ctxErr)
@@ -339,7 +347,14 @@ func (v *View) ExecutePartialCtx(ctx context.Context, q *expr.Query, emit func(R
 // tuples, possibly empty) at O2 cost. Every emitted result is flagged
 // Partial.
 func (v *View) PartialOnly(q *expr.Query, emit func(Result) error) (QueryReport, error) {
-	run, done, err := v.beginPartial(q, emit)
+	return v.PartialOnlyCtx(context.Background(), q, emit)
+}
+
+// PartialOnlyCtx is PartialOnly with a context, carried only for trace
+// propagation (O1+O2 are fast enough that deadline checks between them
+// would be noise).
+func (v *View) PartialOnlyCtx(ctx context.Context, q *expr.Query, emit func(Result) error) (QueryReport, error) {
+	run, done, err := v.beginPartial(ctx, q, emit)
 	if done || err != nil {
 		return run.rep, err
 	}
@@ -363,13 +378,21 @@ func (v *View) PartialOnly(q *expr.Query, emit func(Result) error) (QueryReport,
 
 // partialRun is the per-query state of one PMV protocol execution: the
 // report under construction, O1's condition parts, the DS delivered-
-// tuple multiset, the 2Q admission memo, and the lock-owning txn.
+// tuple multiset, the 2Q admission memo, the lock-owning txn, the
+// query's trace (nil when tracing is off), and the refill counters the
+// trace reports.
 type partialRun struct {
 	rep   QueryReport
 	parts []ConditionPart
 	ds    map[string]int
 	admit map[string]bool
 	txn   uint64
+	tr    *obs.Trace
+	// Refill deltas accumulated by fill/dropEntriesLocked during O3,
+	// recorded as the trace's refill event.
+	refTuples  int64
+	refEntries int64
+	refEvicted int64
 }
 
 // beginPartial validates q, takes the S lock, and runs Operation O1.
@@ -377,8 +400,8 @@ type partialRun struct {
 // degraded no-lock path (which streams full results to emit) — done is
 // true and run.rep/err carry the outcome; the caller must not continue
 // the protocol.
-func (v *View) beginPartial(q *expr.Query, emit func(Result) error) (run *partialRun, done bool, err error) {
-	run = &partialRun{}
+func (v *View) beginPartial(ctx context.Context, q *expr.Query, emit func(Result) error) (run *partialRun, done bool, err error) {
+	run = &partialRun{tr: obs.FromContext(ctx)}
 	if err := q.Validate(); err != nil {
 		return run, true, err
 	}
@@ -392,16 +415,28 @@ func (v *View) beginPartial(q *expr.Query, emit func(Result) error) (run *partia
 	// long-running maintainer), degrade instead of failing: the query
 	// is still answerable without the view.
 	run.txn = v.eng.NewTxnID()
-	if err := v.eng.AcquireLock(run.txn, v.lockRes(), lock.Shared); err != nil {
-		if errors.Is(err, lock.ErrTimeout) {
-			rep, derr := v.executeDegraded(q, emit)
+	lockStart := time.Now()
+	lockErr := v.eng.AcquireLock(run.txn, v.lockRes(), lock.Shared)
+	lockWait := time.Since(lockStart)
+	v.mu.Lock()
+	v.stats.LockWaitTime += lockWait
+	v.mu.Unlock()
+	if lockErr != nil {
+		if errors.Is(lockErr, lock.ErrTimeout) {
+			run.tr.Span(obs.KindLockWait, lockStart, 0, 0, 0)
+			rep, derr := v.executeDegraded(run.tr, q, emit)
 			run.rep = rep
 			return run, true, derr
 		}
-		return run, true, err
+		return run, true, lockErr
 	}
+	run.tr.Span(obs.KindLockWait, lockStart, 1, 0, 0)
 
 	// --- Operation O1 ---
+	var o1Start time.Time
+	if run.tr != nil {
+		o1Start = time.Now()
+	}
 	parts, err := v.coder.BreakConditions(q, v.cfg.MaxConditionParts)
 	if errors.Is(err, ErrTooManyParts) {
 		run.rep.Skipped = true
@@ -409,6 +444,15 @@ func (v *View) beginPartial(q *expr.Query, emit func(Result) error) (run *partia
 	} else if err != nil {
 		v.eng.Locks().ReleaseAll(run.txn)
 		return run, true, err
+	}
+	if run.tr != nil {
+		var inexact int64
+		for i := range parts {
+			if !parts[i].Exact {
+				inexact++
+			}
+		}
+		run.tr.Span(obs.KindO1, o1Start, int64(len(parts)), inexact, 0)
 	}
 	run.parts = parts
 	run.rep.ConditionParts = len(parts)
@@ -419,17 +463,28 @@ func (v *View) beginPartial(q *expr.Query, emit func(Result) error) (run *partia
 }
 
 // probeO2 runs Operation O2: serve cached partial results for every
-// condition part, recording delivered tuples in the DS multiset.
+// condition part, recording delivered tuples in the DS multiset. Each
+// probed part gets its own trace span (index, tuples served, hit/miss).
 func (v *View) probeO2(run *partialRun, emit func(Result) error) error {
-	parts, ds, admitDecided, rep := run.parts, run.ds, run.admit, &run.rep
+	parts, ds, admitDecided, rep, tr := run.parts, run.ds, run.admit, &run.rep, run.tr
 	v.mu.Lock()
 	for pi := range parts {
 		cp := &parts[pi]
+		var pStart time.Time
+		if tr != nil {
+			pStart = time.Now()
+		}
+		before := rep.PartialTuples
+		var hit int64
 		e, ok := v.entries[cp.BCPKey]
-		if ok {
+		switch {
+		case ok:
 			v.policy.Lookup(cp.BCPKey)
 			e.accesses++
-		} else if !v.policy.Lookup(cp.BCPKey) {
+			hit = 1
+		case v.policy.Lookup(cp.BCPKey):
+			hit = 1 // bcp tracked by policy but currently tupleless
+		default:
 			// Record the reference for admission-filtered policies
 			// (2Q's A1); CLOCK/LRU admit lazily in O3 instead.
 			if _, done := admitDecided[cp.BCPKey]; !done {
@@ -439,28 +494,31 @@ func (v *View) probeO2(run *partialRun, emit func(Result) error) error {
 					admitDecided[cp.BCPKey] = adm
 				}
 			}
-			continue
 		}
-		rep.Hit = true
-		if e == nil {
-			continue // bcp tracked by policy but currently tupleless
+		if hit == 1 {
+			rep.Hit = true
 		}
-		for _, t := range e.tuples {
-			// A cached tuple belongs to the bcp; if the part is not
-			// exact it may still fall outside the query — re-check.
-			if !cp.Exact && !cp.Matches(v.condValues(t)) {
-				continue
-			}
-			key := string(value.EncodeTuple(nil, t))
-			ds[key]++
-			rep.PartialTuples++
-			v.mu.Unlock()
-			err := emit(Result{Tuple: v.userTuple(t), Partial: true})
-			v.mu.Lock()
-			if err != nil {
+		if hit == 1 && ok {
+			for _, t := range e.tuples {
+				// A cached tuple belongs to the bcp; if the part is not
+				// exact it may still fall outside the query — re-check.
+				if !cp.Exact && !cp.Matches(v.condValues(t)) {
+					continue
+				}
+				key := string(value.EncodeTuple(nil, t))
+				ds[key]++
+				rep.PartialTuples++
 				v.mu.Unlock()
-				return err
+				err := emit(Result{Tuple: v.userTuple(t), Partial: true})
+				v.mu.Lock()
+				if err != nil {
+					v.mu.Unlock()
+					return err
+				}
 			}
+		}
+		if tr != nil {
+			tr.Span(obs.KindO2Probe, pStart, int64(pi), int64(rep.PartialTuples-before), hit)
 		}
 	}
 	v.statsO2Locked(rep)
@@ -490,11 +548,13 @@ func (v *View) finishTruncated(rep QueryReport, ctxErr error) (QueryReport, erro
 // results, no DS bookkeeping, no refill (filling without the S lock
 // could cache tuples a concurrent maintainer is about to invalidate).
 // The result set is identical to a healthy run's — only the early
-// delivery and the free refresh are lost.
-func (v *View) executeDegraded(q *expr.Query, emit func(Result) error) (QueryReport, error) {
+// delivery and the free refresh are lost. The trace rides on a fresh
+// context so the degraded path keeps its historical no-deadline
+// semantics while still recording plan/exec spans.
+func (v *View) executeDegraded(tr *obs.Trace, q *expr.Query, emit func(Result) error) (QueryReport, error) {
 	rep := QueryReport{Skipped: true, Degraded: true}
 	start := time.Now()
-	err := v.eng.ExecuteProject(q, v.selectPlus, func(t value.Tuple) error {
+	err := v.eng.ExecuteProjectCtx(obs.WithTrace(context.Background(), tr), q, v.selectPlus, func(t value.Tuple) error {
 		rep.TotalTuples++
 		return emit(Result{Tuple: v.userTuple(t)})
 	})
@@ -506,6 +566,7 @@ func (v *View) executeDegraded(q *expr.Query, emit func(Result) error) (QueryRep
 	v.mu.Lock()
 	v.stats.Queries++
 	v.stats.DegradedQueries++
+	v.stats.O3Time += rep.ExecLatency
 	v.mu.Unlock()
 	return rep, nil
 }
@@ -515,7 +576,8 @@ func (v *View) executeDegraded(q *expr.Query, emit func(Result) error) (QueryRep
 // Entries exist only for bcps the policy currently tracks; a bcp
 // admitted earlier in this query but already evicted again (a query
 // with more hot parts than the view has entries) is simply not cached.
-func (v *View) fill(t value.Tuple, admitDecided map[string]bool) {
+func (v *View) fill(t value.Tuple, run *partialRun) {
+	admitDecided := run.admit
 	key := v.coder.KeyFromCondValues(v.condValues(t))
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -526,7 +588,7 @@ func (v *View) fill(t value.Tuple, admitDecided map[string]bool) {
 			return
 		}
 		adm, evicted := v.policy.RequestAdmit(key)
-		v.dropEntriesLocked(evicted)
+		run.refEvicted += int64(v.dropEntriesLocked(evicted))
 		admitDecided[key] = adm
 		if !adm {
 			return
@@ -537,6 +599,7 @@ func (v *View) fill(t value.Tuple, admitDecided map[string]bool) {
 		e = &entry{}
 		v.entries[key] = e
 		v.stats.EntriesCreated++
+		run.refEntries++
 	}
 	if len(e.tuples) >= v.cfg.TuplesPerBCP {
 		return // the F bound (cj ≥ F)
@@ -544,23 +607,28 @@ func (v *View) fill(t value.Tuple, admitDecided map[string]bool) {
 	ct := t.Clone()
 	e.tuples = append(e.tuples, ct)
 	v.stats.TuplesCached++
+	run.refTuples++
 	if v.maint != nil {
 		v.maint.add(key, ct)
 	}
 }
 
-// dropEntriesLocked removes evicted bcps' cached tuples.
-func (v *View) dropEntriesLocked(keys []string) {
+// dropEntriesLocked removes evicted bcps' cached tuples, returning the
+// number of entries actually dropped (for the trace's refill event).
+func (v *View) dropEntriesLocked(keys []string) int {
+	dropped := 0
 	for _, k := range keys {
 		if e, ok := v.entries[k]; ok {
 			v.stats.EntriesEvicted++
 			v.stats.TuplesEvicted += int64(len(e.tuples))
 			delete(v.entries, k)
+			dropped++
 			if v.maint != nil {
 				v.maint.dropEntry(k)
 			}
 		}
 	}
+	return dropped
 }
 
 // Len returns the number of entries currently holding tuples.

@@ -23,6 +23,7 @@ import (
 	"pmv/internal/exec"
 	"pmv/internal/expr"
 	"pmv/internal/lock"
+	"pmv/internal/obs"
 	"pmv/internal/storage"
 	"pmv/internal/value"
 	"pmv/internal/vfs"
@@ -104,6 +105,16 @@ type ChangeObserver interface {
 	OnDelete(rel string, t value.Tuple) error
 	// OnUpdate is called after old is replaced by new in rel.
 	OnUpdate(rel string, old, new value.Tuple) error
+}
+
+// CtxChangeObserver is optionally implemented by change observers that
+// want the statement's context — in practice, to record maintenance
+// work into an obs.Trace the mutator attached. The engine prefers the
+// ctx variants when an observer provides them; plain observers keep
+// working unchanged.
+type CtxChangeObserver interface {
+	OnDeleteCtx(ctx context.Context, rel string, t value.Tuple) error
+	OnUpdateCtx(ctx context.Context, rel string, old, new value.Tuple) error
 }
 
 // ChangeBarrier is implemented by observers that must serialize
@@ -403,6 +414,13 @@ func (e *Engine) InsertBulk(rel string, tuples []value.Tuple, notify bool) error
 // DeleteWhere removes every tuple of rel satisfying pred, returning the
 // deleted tuples. Observers are notified per tuple after removal.
 func (e *Engine) DeleteWhere(rel string, pred func(value.Tuple) bool) ([]value.Tuple, error) {
+	return e.DeleteWhereCtx(context.Background(), rel, pred)
+}
+
+// DeleteWhereCtx is DeleteWhere carrying a context: observers that
+// implement CtxChangeObserver receive it, so a trace attached with
+// obs.WithTrace records the statement's maintenance purge work.
+func (e *Engine) DeleteWhereCtx(ctx context.Context, rel string, pred func(value.Tuple) bool) ([]value.Tuple, error) {
 	e.chkMu.RLock()
 	defer e.chkMu.RUnlock()
 	r, err := e.cat.GetRelation(rel)
@@ -447,7 +465,12 @@ func (e *Engine) DeleteWhere(rel string, pred func(value.Tuple) bool) ([]value.T
 			}
 		}
 		deleted = append(deleted, v.t)
-		if err := e.eachObserver(func(o ChangeObserver) error { return o.OnDelete(rel, v.t) }); err != nil {
+		if err := e.eachObserver(func(o ChangeObserver) error {
+			if co, ok := o.(CtxChangeObserver); ok {
+				return co.OnDeleteCtx(ctx, rel, v.t)
+			}
+			return o.OnDelete(rel, v.t)
+		}); err != nil {
 			return deleted, err
 		}
 	}
@@ -457,6 +480,12 @@ func (e *Engine) DeleteWhere(rel string, pred func(value.Tuple) bool) ([]value.T
 // UpdateWhere replaces tuples satisfying pred with apply(t), returning
 // the number updated.
 func (e *Engine) UpdateWhere(rel string, pred func(value.Tuple) bool, apply func(value.Tuple) value.Tuple) (int, error) {
+	return e.UpdateWhereCtx(context.Background(), rel, pred, apply)
+}
+
+// UpdateWhereCtx is UpdateWhere carrying a context for trace-aware
+// observers (see DeleteWhereCtx).
+func (e *Engine) UpdateWhereCtx(ctx context.Context, rel string, pred func(value.Tuple) bool, apply func(value.Tuple) value.Tuple) (int, error) {
 	e.chkMu.RLock()
 	defer e.chkMu.RUnlock()
 	r, err := e.cat.GetRelation(rel)
@@ -506,7 +535,12 @@ func (e *Engine) UpdateWhere(rel string, pred func(value.Tuple) bool, apply func
 				return i, fmt.Errorf("engine: index %s: %w", ix.Name, err)
 			}
 		}
-		if err := e.eachObserver(func(o ChangeObserver) error { return o.OnUpdate(rel, h.t, newT) }); err != nil {
+		if err := e.eachObserver(func(o ChangeObserver) error {
+			if co, ok := o.(CtxChangeObserver); ok {
+				return co.OnUpdateCtx(ctx, rel, h.t, newT)
+			}
+			return o.OnUpdate(rel, h.t, newT)
+		}); err != nil {
 			return i, err
 		}
 	}
@@ -554,11 +588,19 @@ func (e *Engine) ExecuteProject(q *expr.Query, cols []expr.ColumnRef, fn func(va
 // service layer uses to enforce per-query deadlines: when ctx expires
 // mid-plan the iterator chain stops and ctx.Err() propagates up, so
 // the PMV layer can return the partial results it already delivered.
+// A trace attached with obs.WithTrace gets a plan span (optimizer
+// time) and an exec span counting the rows the plan produced.
 func (e *Engine) ExecuteProjectCtx(ctx context.Context, q *expr.Query, cols []expr.ColumnRef, fn func(value.Tuple) error) error {
+	tr := obs.FromContext(ctx)
+	var planStart time.Time
+	if tr != nil {
+		planStart = time.Now()
+	}
 	plan, err := e.Plan(q)
 	if err != nil {
 		return err
 	}
+	tr.Span(obs.KindPlan, planStart, 0, 0, 0)
 	positions := make([]int, len(cols))
 	for i, c := range cols {
 		p, err := plan.Schema.MustIndex(c)
@@ -567,8 +609,22 @@ func (e *Engine) ExecuteProjectCtx(ctx context.Context, q *expr.Query, cols []ex
 		}
 		positions[i] = p
 	}
-	proj := &exec.Project{Child: guarded(ctx, plan.Root), Cols: positions}
-	return exec.ForEach(proj, fn)
+	root := guarded(ctx, plan.Root)
+	var tally *exec.Tally
+	if tr != nil {
+		tally = &exec.Tally{Child: root}
+		root = tally
+	}
+	proj := &exec.Project{Child: root, Cols: positions}
+	var execStart time.Time
+	if tr != nil {
+		execStart = time.Now()
+	}
+	err = exec.ForEach(proj, fn)
+	if tally != nil {
+		tr.Span(obs.KindExec, execStart, tally.N, 0, 0)
+	}
+	return err
 }
 
 // guarded wraps root with a cancellation Guard unless ctx can never be

@@ -1,0 +1,32 @@
+package exec
+
+import "pmv/internal/value"
+
+// Tally counts the rows flowing through it — the executor's
+// observability tap. The engine inserts one above the plan root when a
+// query carries a trace, so a per-query span can report how many rows
+// the plan actually produced (before the PMV layer's DS suppression).
+// Cost when tracing is off: Tally is simply not in the pipeline.
+type Tally struct {
+	Child Iterator
+	// N is the number of rows pulled through since Open.
+	N int64
+}
+
+// Open resets the count and opens the child.
+func (t *Tally) Open() error {
+	t.N = 0
+	return t.Child.Open()
+}
+
+// Next counts and passes through the next child row.
+func (t *Tally) Next() (value.Tuple, bool, error) {
+	tup, ok, err := t.Child.Next()
+	if ok {
+		t.N++
+	}
+	return tup, ok, err
+}
+
+// Close closes the child.
+func (t *Tally) Close() error { return t.Child.Close() }

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewHandler builds the exposition handler:
+//
+//	/metrics        Prometheus text format, produced by writeMetrics
+//	/healthz        JSON liveness probe (status, uptime)
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// writeMetrics receives the response writer; it should emit complete
+// metric families (the server's WritePrometheus does).
+func NewHandler(writeMetrics func(w io.Writer) error) http.Handler {
+	started := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := writeMetrics(w); err != nil {
+			// Headers are gone; all we can do is cut the response short
+			// so the scraper sees a failed scrape, not silent truncation.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(started).Seconds(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves the exposition handler in a background
+// goroutine. Binding happens synchronously so a bad address fails
+// fast; the bound address is returned (useful with ":0"). The returned
+// server is shut down with Close.
+func Serve(addr string, writeMetrics func(w io.Writer) error) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{
+		Handler:           NewHandler(writeMetrics),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,240 @@
+// Package obs is the observability subsystem: low-overhead per-query
+// traces carried on the context, a Prometheus text-format metric
+// writer, and an HTTP exposition endpoint (metrics, health, pprof).
+//
+// The paper's value proposition is a latency *split* — Operation O2
+// partials in microseconds while the blocking O3 plan catches up — and
+// aggregate histograms cannot explain a single query's split. A Trace
+// records what each phase of one ExecutePartial actually did: parts O1
+// emitted, how long the S lock wait took, which basic condition parts
+// O2 hit and how many tuples each served, what O3 scanned, emitted, and
+// suppressed through the DS multiset, what the refill cached and
+// evicted, and what maintenance purged.
+//
+// Cost model: a Trace pointer is carried on the context.Context; every
+// recording method is nil-safe, so when tracing is disabled each event
+// site costs exactly one pointer compare and no allocation (asserted by
+// a benchmark in this package). When enabled, spans append to a
+// preallocated buffer owned by the query's goroutine — no locks, no
+// global state.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Kind identifies what one span measured. The kinds map onto the
+// paper's protocol phases (Sections 3.3 and 3.6) plus the maintenance
+// path (Section 3.4); see DESIGN.md section 4c.
+type Kind uint8
+
+const (
+	// KindO1 is Operation O1: breaking Cselect into condition parts.
+	// N1 = parts emitted, N2 = inexact parts (query intervals split
+	// against basic-interval boundaries and needing per-tuple rechecks).
+	KindO1 Kind = iota
+	// KindLockWait is the wait for the view's S lock (Section 3.6).
+	// N1 = 1 when the lock was acquired, 0 when the query degraded.
+	KindLockWait
+	// KindO2Probe is one condition part's probe in Operation O2.
+	// N1 = part index, N2 = tuples served from the view, N3 = 1 on a
+	// hit (bcp present), 0 on a miss.
+	KindO2Probe
+	// KindPlan is optimizer time: compiling the bound template query.
+	KindPlan
+	// KindExec is the executed plan as the engine saw it.
+	// N1 = rows the plan produced (before DS suppression).
+	KindExec
+	// KindO3 is Operation O3 from the view's side: executing the query,
+	// suppressing already-delivered tuples, refilling the view.
+	// N1 = rows seen from the engine, N2 = rows emitted to the caller,
+	// N3 = duplicates suppressed via the DS multiset.
+	KindO3
+	// KindRefill is Operation O3's free view refresh.
+	// N1 = tuples cached, N2 = entries created, N3 = entries evicted
+	// by the replacement policy while admitting.
+	KindRefill
+	// KindMaint is deferred maintenance purge work (Section 3.4).
+	// N1 = tuples purged, N2 = 1 when the in-memory maintenance index
+	// was used, 0 for the delta-join path.
+	KindMaint
+)
+
+// String returns the kind's wire/rendering name.
+func (k Kind) String() string {
+	switch k {
+	case KindO1:
+		return "o1"
+	case KindLockWait:
+		return "lock_wait"
+	case KindO2Probe:
+		return "o2_probe"
+	case KindPlan:
+		return "plan"
+	case KindExec:
+		return "exec"
+	case KindO3:
+		return "o3"
+	case KindRefill:
+		return "refill"
+	case KindMaint:
+		return "maint_purge"
+	default:
+		return fmt.Sprintf("kind_%d", uint8(k))
+	}
+}
+
+// Span is one recorded interval within a trace. Start is the offset
+// from the trace's beginning; N1..N3 carry per-kind counters (see the
+// Kind constants).
+type Span struct {
+	Kind       Kind
+	Start      time.Duration
+	Dur        time.Duration
+	N1, N2, N3 int64
+}
+
+// Detail renders the span's counters with their per-kind meaning.
+func (s Span) Detail() string {
+	switch s.Kind {
+	case KindO1:
+		return fmt.Sprintf("parts=%d inexact=%d", s.N1, s.N2)
+	case KindLockWait:
+		if s.N1 == 1 {
+			return "acquired"
+		}
+		return "timed out (degraded)"
+	case KindO2Probe:
+		hm := "miss"
+		if s.N3 == 1 {
+			hm = "hit"
+		}
+		return fmt.Sprintf("part=%d %s tuples=%d", s.N1, hm, s.N2)
+	case KindPlan:
+		return "planned"
+	case KindExec:
+		return fmt.Sprintf("rows=%d", s.N1)
+	case KindO3:
+		return fmt.Sprintf("seen=%d emitted=%d dup_suppressed=%d", s.N1, s.N2, s.N3)
+	case KindRefill:
+		return fmt.Sprintf("cached=%d entries_created=%d evicted=%d", s.N1, s.N2, s.N3)
+	case KindMaint:
+		path := "delta-join"
+		if s.N2 == 1 {
+			path = "index"
+		}
+		return fmt.Sprintf("purged=%d path=%s", s.N1, path)
+	default:
+		return fmt.Sprintf("n1=%d n2=%d n3=%d", s.N1, s.N2, s.N3)
+	}
+}
+
+// Trace is one query's (or one maintenance statement's) recorded
+// timeline. A Trace belongs to a single goroutine; its methods are not
+// safe for concurrent use, matching the one-goroutine-per-session
+// execution model. The zero of *Trace (nil) is "tracing disabled":
+// every method is safe to call and does nothing.
+type Trace struct {
+	// ID tags the trace (the server uses its query sequence number).
+	ID uint64
+	// Label names what is being traced (e.g. the view name).
+	Label string
+	// Begin anchors span offsets.
+	Begin time.Time
+
+	spans []Span
+}
+
+// New starts a trace anchored at now.
+func New(id uint64, label string) *Trace {
+	return &Trace{ID: id, Label: label, Begin: time.Now(), spans: make([]Span, 0, 16)}
+}
+
+// Enabled reports whether events will be recorded.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Span records one interval that started at start and ends now.
+// Nil-safe: on a nil trace this is one pointer compare.
+func (t *Trace) Span(k Kind, start time.Time, n1, n2, n3 int64) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, Span{
+		Kind:  k,
+		Start: start.Sub(t.Begin),
+		Dur:   time.Since(start),
+		N1:    n1,
+		N2:    n2,
+		N3:    n3,
+	})
+}
+
+// Event records an instantaneous event (zero duration) at now.
+func (t *Trace) Event(k Kind, n1, n2, n3 int64) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, Span{
+		Kind:  k,
+		Start: time.Since(t.Begin),
+		N1:    n1,
+		N2:    n2,
+		N3:    n3,
+	})
+}
+
+// Spans returns the recorded spans in append order. The returned slice
+// is the trace's own buffer; callers must not mutate it.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Find returns the first span of kind k and whether one exists.
+func (t *Trace) Find(k Kind) (Span, bool) {
+	if t == nil {
+		return Span{}, false
+	}
+	for _, s := range t.spans {
+		if s.Kind == k {
+			return s, true
+		}
+	}
+	return Span{}, false
+}
+
+// String renders the trace for logs and the pmvcli slowlog view.
+func (t *Trace) String() string {
+	if t == nil {
+		return "<trace disabled>"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %d (%s)\n", t.ID, t.Label)
+	for _, s := range t.spans {
+		fmt.Fprintf(&sb, "  +%-12v %-10s %-10v %s\n", s.Start, s.Kind, s.Dur, s.Detail())
+	}
+	return sb.String()
+}
+
+// ctxKey is the private context key carrying a *Trace.
+type ctxKey struct{}
+
+// WithTrace attaches t to ctx. Attaching a nil trace returns ctx
+// unchanged, so the disabled path adds no context allocation either.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext extracts the trace, or nil when tracing is disabled.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

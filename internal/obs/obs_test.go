@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRecordsSpans(t *testing.T) {
+	tr := New(7, "pmv_test")
+	start := time.Now()
+	tr.Span(KindO1, start, 4, 1, 0)
+	tr.Span(KindO2Probe, start, 0, 3, 1)
+	tr.Span(KindO2Probe, start, 1, 0, 0)
+	tr.Event(KindRefill, 5, 2, 1)
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	o1, ok := tr.Find(KindO1)
+	if !ok || o1.N1 != 4 || o1.N2 != 1 {
+		t.Fatalf("O1 span = %+v, ok=%v", o1, ok)
+	}
+	if spans[1].N3 != 1 || spans[2].N3 != 0 {
+		t.Fatal("probe hit/miss flags lost")
+	}
+	if spans[1].Dur < 0 || spans[1].Start < 0 {
+		t.Fatalf("negative timing: %+v", spans[1])
+	}
+	out := tr.String()
+	for _, want := range []string{"pmv_test", "o1", "o2_probe", "refill", "parts=4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Span(KindO3, time.Now(), 1, 2, 3)
+	tr.Event(KindMaint, 1, 0, 0)
+	if tr.Enabled() {
+		t.Fatal("nil trace claims enabled")
+	}
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil trace has spans: %v", got)
+	}
+	if _, ok := tr.Find(KindO3); ok {
+		t.Fatal("nil trace found a span")
+	}
+	if tr.String() != "<trace disabled>" {
+		t.Fatalf("nil rendering = %q", tr.String())
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("background context carries a trace")
+	}
+	if WithTrace(ctx, nil) != ctx {
+		t.Fatal("attaching a nil trace should not wrap the context")
+	}
+	tr := New(1, "x")
+	got := FromContext(WithTrace(ctx, tr))
+	if got != tr {
+		t.Fatalf("round trip lost the trace: %p != %p", got, tr)
+	}
+}
+
+// TestDisabledTraceZeroAlloc pins the tentpole's cost contract: with
+// tracing disabled (nil trace), an event site allocates nothing.
+func TestDisabledTraceZeroAlloc(t *testing.T) {
+	var tr *Trace
+	start := time.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Span(KindO2Probe, start, 1, 2, 1)
+		tr.Event(KindRefill, 1, 0, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-trace event path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledTraceEvent measures the disabled fast path: one
+// pointer compare per event, 0 allocs/op.
+func BenchmarkDisabledTraceEvent(b *testing.B) {
+	var tr *Trace
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span(KindO2Probe, start, int64(i), 2, 1)
+	}
+}
+
+// BenchmarkEnabledTraceEvent is the comparison point: appending a span
+// to a live trace.
+func BenchmarkEnabledTraceEvent(b *testing.B) {
+	tr := New(1, "bench")
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(tr.spans) > 1<<16 {
+			tr.spans = tr.spans[:0]
+		}
+		tr.Span(KindO2Probe, start, int64(i), 2, 1)
+	}
+}
+
+func TestPromWriterFormat(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Counter("pmvd_queries_total", "Queries served.", 42)
+	p.Gauge("pmvd_sessions_active", "Live sessions.", 3)
+	p.Header("pmv_view_hit_probability", "gauge", "Per-view hit probability.")
+	p.Sample("pmv_view_hit_probability", Label("view", `v"1\x`), 0.25)
+	p.Header("pmvd_query_seconds", "histogram", "Latency.")
+	p.Histogram("pmvd_query_seconds", Label("phase", "partial"),
+		[]Bucket{{LE: 1e-6, Cum: 5}, {LE: 1e-3, Cum: 9}}, 10, 0.5)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP pmvd_queries_total Queries served.",
+		"# TYPE pmvd_queries_total counter",
+		"pmvd_queries_total 42",
+		"pmvd_sessions_active 3",
+		`pmv_view_hit_probability{view="v\"1\\x"} 0.25`,
+		`pmvd_query_seconds_bucket{phase="partial",le="1e-06"} 5`,
+		`pmvd_query_seconds_bucket{phase="partial",le="+Inf"} 10`,
+		`pmvd_query_seconds_sum{phase="partial"} 0.5`,
+		`pmvd_query_seconds_count{phase="partial"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition misses %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name value" or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	h := NewHandler(func(w io.Writer) error {
+		p := NewPromWriter(w)
+		p.Counter("pmvd_up", "Test family.", 1)
+		WriteGoRuntime(p)
+		return p.Flush()
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{"pmvd_up 1", "go_goroutines", "go_memstats_heap_alloc_bytes"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics misses %q", want)
+		}
+	}
+
+	code, body = get("/healthz")
+	if code != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, _ = get("/debug/pprof/")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+}

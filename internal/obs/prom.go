@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// PromWriter emits the Prometheus text exposition format (version
+// 0.0.4) — the subset standard scrapers need: HELP/TYPE headers,
+// counter/gauge samples, and cumulative histograms. It is deliberately
+// dependency-free; the repo builds against the toolchain alone.
+type PromWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriterSize(w, 16<<10)}
+}
+
+// Flush flushes buffered output, returning the first error seen.
+func (p *PromWriter) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Header writes the HELP and TYPE lines for a metric family. Call it
+// once per family, before the family's samples.
+func (p *PromWriter) Header(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample writes one sample line. labels is either empty or a
+// pre-rendered `k="v",k2="v2"` string (see Label/Labels).
+func (p *PromWriter) Sample(name, labels string, v float64) {
+	if labels == "" {
+		p.printf("%s %s\n", name, formatFloat(v))
+		return
+	}
+	p.printf("%s{%s} %s\n", name, labels, formatFloat(v))
+}
+
+// Counter writes a single-sample counter family.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	p.Header(name, "counter", help)
+	p.Sample(name, "", v)
+}
+
+// Gauge writes a single-sample gauge family.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.Header(name, "gauge", help)
+	p.Sample(name, "", v)
+}
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// with value <= LE.
+type Bucket struct {
+	LE  float64 // upper bound (+Inf allowed)
+	Cum int64   // cumulative count
+}
+
+// Histogram writes the bucket/sum/count series of one histogram with
+// the given label set (may be empty). Buckets must be cumulative and
+// sorted by LE; a final +Inf bucket equal to count is appended
+// automatically.
+func (p *PromWriter) Histogram(name, labels string, buckets []Bucket, count int64, sum float64) {
+	for _, b := range buckets {
+		le := Label("le", formatFloat(b.LE))
+		if labels != "" {
+			le = labels + "," + le
+		}
+		p.Sample(name+"_bucket", le, float64(b.Cum))
+	}
+	inf := Label("le", "+Inf")
+	if labels != "" {
+		inf = labels + "," + inf
+	}
+	p.Sample(name+"_bucket", inf, float64(count))
+	p.Sample(name+"_sum", labels, sum)
+	p.Sample(name+"_count", labels, float64(count))
+}
+
+// Label renders one escaped label pair.
+func Label(k, v string) string {
+	return k + `="` + escapeLabel(v) + `"`
+}
+
+// Labels joins rendered label pairs.
+func Labels(pairs ...string) string { return strings.Join(pairs, ",") }
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteGoRuntime emits the standard Go runtime families scrapers
+// expect (goroutines, memory, GC), read from runtime.ReadMemStats.
+func WriteGoRuntime(p *PromWriter) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.Gauge("go_goroutines", "Number of goroutines that currently exist.", float64(runtime.NumGoroutine()))
+	p.Gauge("go_memstats_heap_alloc_bytes", "Heap bytes allocated and still in use.", float64(ms.HeapAlloc))
+	p.Gauge("go_memstats_heap_objects", "Number of allocated heap objects.", float64(ms.HeapObjects))
+	p.Gauge("go_memstats_sys_bytes", "Bytes obtained from the OS.", float64(ms.Sys))
+	p.Counter("go_memstats_alloc_bytes_total", "Total bytes allocated, even if freed.", float64(ms.TotalAlloc))
+	p.Counter("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	p.Gauge("go_gc_pause_last_seconds", "Duration of the most recent GC pause.", float64(ms.PauseNs[(ms.NumGC+255)%256])/1e9)
+	p.Header("go_info", "gauge", "Information about the Go environment.")
+	p.Sample("go_info", Label("version", runtime.Version()), 1)
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileMidpoint pins the histogram's quantile estimate on known
+// distributions: bucket i covers nanosecond counts of bit length i, and
+// the estimate is the bucket midpoint clamped to the observed maximum.
+func TestQuantileMidpoint(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h Hist
+		if got := h.Snapshot(); got.P50Ns != 0 || got.P99Ns != 0 {
+			t.Fatalf("empty histogram quantiles = %+v, want zeros", got)
+		}
+	})
+
+	t.Run("zeros", func(t *testing.T) {
+		var h Hist
+		for i := 0; i < 10; i++ {
+			h.Observe(0)
+		}
+		if got := h.quantile(0.50, 10); got != 0 {
+			t.Fatalf("p50 of all-zero observations = %d, want 0", got)
+		}
+	})
+
+	t.Run("point mass", func(t *testing.T) {
+		// 100ns has bit length 7, so it lands in bucket [64, 127];
+		// midpoint = 64 + (127-64)/2 = 95, under the max of 100.
+		var h Hist
+		for i := 0; i < 1000; i++ {
+			h.Observe(100 * time.Nanosecond)
+		}
+		for _, q := range []float64{0.50, 0.90, 0.99} {
+			if got := h.quantile(q, 1000); got != 95 {
+				t.Fatalf("q%.2f = %d, want bucket midpoint 95", q, got)
+			}
+		}
+	})
+
+	t.Run("clamped to max", func(t *testing.T) {
+		// 1024 lands in bucket [1024, 2047] whose midpoint 1535
+		// exceeds every observation; the estimate must clamp to 1024.
+		var h Hist
+		h.Observe(1024 * time.Nanosecond)
+		if got := h.quantile(0.50, 1); got != 1024 {
+			t.Fatalf("p50 = %d, want max-clamped 1024", got)
+		}
+	})
+
+	t.Run("bimodal", func(t *testing.T) {
+		// 90 fast (100ns, bucket [64,127]) + 10 slow (1ms, bucket
+		// [524288, 1048575]): p50 sits in the fast bucket, p99 in the
+		// slow one — the old upper-bound estimate would have doubled both.
+		var h Hist
+		for i := 0; i < 90; i++ {
+			h.Observe(100 * time.Nanosecond)
+		}
+		for i := 0; i < 10; i++ {
+			h.Observe(time.Millisecond)
+		}
+		if got := h.quantile(0.50, 100); got != 95 {
+			t.Fatalf("p50 = %d, want 95", got)
+		}
+		p99 := h.quantile(0.99, 100)
+		lo, hi := int64(524288), int64(1048575)
+		wantMid := lo + (hi-lo)/2
+		if p99 != wantMid && p99 != 1000000 { // midpoint, or clamped to max
+			t.Fatalf("p99 = %d, want %d (bucket midpoint) or 1000000 (max)", p99, wantMid)
+		}
+	})
+}
+
+// TestHistDump checks the Prometheus export: cumulative counts, bucket
+// upper bounds in seconds, and the count/sum pair.
+func TestHistDump(t *testing.T) {
+	var h Hist
+	for i := 0; i < 3; i++ {
+		h.Observe(100 * time.Nanosecond) // bucket 7, le 127ns
+	}
+	for i := 0; i < 2; i++ {
+		h.Observe(1000 * time.Nanosecond) // bucket 10, le 1023ns
+	}
+	buckets, count, sum := h.Dump()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if want := 2300e-9; sum < want*0.999 || sum > want*1.001 {
+		t.Fatalf("sum = %g s, want %g", sum, want)
+	}
+	if len(buckets) != 11 { // up to the highest occupied bucket (index 10)
+		t.Fatalf("got %d buckets, want 11", len(buckets))
+	}
+	last := int64(0)
+	for i, b := range buckets {
+		if b.Cum < last {
+			t.Fatalf("bucket %d cumulative count %d < previous %d", i, b.Cum, last)
+		}
+		last = b.Cum
+		wantLE := float64(int64(1)<<uint(i)-1) / 1e9
+		if b.LE != wantLE {
+			t.Fatalf("bucket %d le = %g, want %g", i, b.LE, wantLE)
+		}
+	}
+	if buckets[7].Cum != 3 {
+		t.Fatalf("cum through le=127ns bucket = %d, want 3", buckets[7].Cum)
+	}
+	if buckets[10].Cum != 5 {
+		t.Fatalf("cum through le=1023ns bucket = %d, want 5", buckets[10].Cum)
+	}
+}

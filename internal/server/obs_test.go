@@ -1,0 +1,356 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pmv/client"
+	"pmv/internal/wire"
+)
+
+// TestTracedQueryReconcilesWithReport is the acceptance test for the
+// trace span model: a traced query's spans must agree with the wire
+// report the client received — O1's part count, per-part O2 probes
+// whose served tuples sum to PartialTuples, and an O3 span accounting
+// for every non-cached row.
+func TestTracedQueryReconcilesWithReport(t *testing.T) {
+	s, _, want := testServer(t, Config{PoolSize: 4, Trace: true, SlowThreshold: time.Nanosecond})
+	addr := s.Addr().String()
+	ctx := context.Background()
+
+	c := client.New(addr)
+	defer c.Close()
+	// Warm, then query again so the traced run has O2 hits.
+	if _, err := c.ExecutePartial(ctx, "pmv_on_sale", conds(2, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.ExecutePartial(ctx, "pmv_on_sale", conds(2, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Hit || rep.PartialTuples == 0 {
+		t.Fatalf("warmed query should hit the view: %+v", rep)
+	}
+	if rep.TotalTuples != want[[2]int64{2, 3}] {
+		t.Fatalf("query returned %d rows, ground truth %d", rep.TotalTuples, want[[2]int64{2, 3}])
+	}
+
+	// SlowThreshold of 1ns logs every query; the newest entry is ours.
+	slog, err := c.Slowlog(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slog.Queries) != 1 {
+		t.Fatalf("slowlog returned %d queries, want 1", len(slog.Queries))
+	}
+	q := slog.Queries[0]
+	if q.View != "pmv_on_sale" || q.ID == 0 || q.DurNs <= 0 {
+		t.Fatalf("slowlog entry = %+v", q)
+	}
+	if q.Report.TotalTuples != rep.TotalTuples || q.Report.PartialTuples != rep.PartialTuples {
+		t.Fatalf("slowlog report %+v disagrees with client report %+v", q.Report, rep)
+	}
+
+	spans := make(map[string][]wire.TraceSpan)
+	for _, sp := range q.Spans {
+		spans[sp.Kind] = append(spans[sp.Kind], sp)
+	}
+	lw := spans["lock_wait"]
+	if len(lw) != 1 || lw[0].N1 != 1 {
+		t.Fatalf("lock_wait spans = %+v, want one span with acquired=1", lw)
+	}
+	o1 := spans["o1"]
+	if len(o1) != 1 || o1[0].N1 != int64(rep.ConditionParts) {
+		t.Fatalf("o1 spans = %+v, report has %d condition parts", o1, rep.ConditionParts)
+	}
+	probes := spans["o2_probe"]
+	if len(probes) != rep.ConditionParts {
+		t.Fatalf("%d o2_probe spans for %d condition parts", len(probes), rep.ConditionParts)
+	}
+	var served int64
+	for _, sp := range probes {
+		served += sp.N2
+	}
+	if served != int64(rep.PartialTuples) {
+		t.Fatalf("o2_probe spans served %d tuples, report says %d", served, rep.PartialTuples)
+	}
+	o3 := spans["o3"]
+	if len(o3) != 1 {
+		t.Fatalf("o3 spans = %+v, want exactly one", o3)
+	}
+	if got, want := o3[0].N2, int64(rep.TotalTuples-rep.PartialTuples); got != want {
+		t.Fatalf("o3 span emitted %d rows, report implies %d", got, want)
+	}
+	if o3[0].N3 != int64(rep.PartialTuples) {
+		t.Fatalf("o3 span suppressed %d duplicates, want %d", o3[0].N3, rep.PartialTuples)
+	}
+	if len(spans["plan"]) != 1 || len(spans["exec"]) != 1 {
+		t.Fatalf("missing plan/exec spans: %v", q.Spans)
+	}
+}
+
+// TestTraceAdminToggle flips tracing and the slow-query threshold over
+// the wire and checks both take effect without a restart.
+func TestTraceAdminToggle(t *testing.T) {
+	s, _, _ := testServer(t, Config{PoolSize: 2})
+	addr := s.Addr().String()
+	ctx := context.Background()
+	c := client.New(addr)
+	defer c.Close()
+
+	// Defaults: tracing off, slowlog disarmed.
+	rep, err := c.Trace(ctx, wire.TraceRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace || rep.SlowThresholdNs != -1 {
+		t.Fatalf("default trace state = %+v", rep)
+	}
+	if _, err := c.ExecutePartial(ctx, "pmv_on_sale", conds(0, 0), nil); err != nil {
+		t.Fatal(err)
+	}
+	slog, err := c.Slowlog(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slog.ThresholdNs != -1 || len(slog.Queries) != 0 {
+		t.Fatalf("disarmed slowlog recorded %d queries", len(slog.Queries))
+	}
+
+	// Arm both.
+	on := true
+	zero := int64(0)
+	rep, err = c.Trace(ctx, wire.TraceRequest{Trace: &on, SlowThresholdNs: &zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Trace || rep.SlowThresholdNs != 0 {
+		t.Fatalf("after arming: %+v", rep)
+	}
+	if _, err := c.ExecutePartial(ctx, "pmv_on_sale", conds(1, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	slog, err = c.Slowlog(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slog.Queries) != 1 || len(slog.Queries[0].Spans) == 0 {
+		t.Fatalf("armed slowlog = %+v", slog)
+	}
+
+	// Disarm the log but keep tracing: nothing new gets recorded.
+	neg := int64(-5)
+	rep, err = c.Trace(ctx, wire.TraceRequest{SlowThresholdNs: &neg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Trace || rep.SlowThresholdNs != -1 {
+		t.Fatalf("after disarming: %+v", rep)
+	}
+	if _, err := c.ExecutePartial(ctx, "pmv_on_sale", conds(2, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	slog, err = c.Slowlog(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slog.Queries) != 1 {
+		t.Fatalf("disarmed slowlog grew to %d entries", len(slog.Queries))
+	}
+}
+
+// TestViewStatsCommand checks the viewstats admin reply against the
+// view's known shape and activity.
+func TestViewStatsCommand(t *testing.T) {
+	s, _, _ := testServer(t, Config{PoolSize: 2})
+	addr := s.Addr().String()
+	ctx := context.Background()
+	c := client.New(addr)
+	defer c.Close()
+
+	for i := int64(0); i < 3; i++ {
+		if _, err := c.ExecutePartial(ctx, "pmv_on_sale", conds(i, i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := c.ViewStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("viewstats returned %d views, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Name != "pmv_on_sale" {
+		t.Fatalf("view name = %q", e.Name)
+	}
+	if e.Queries != 3 {
+		t.Fatalf("Queries = %d, want 3", e.Queries)
+	}
+	if e.HitProb < 0 || e.HitProb > 1 {
+		t.Fatalf("HitProb = %g out of range", e.HitProb)
+	}
+	if e.MaxEntries != 64 {
+		t.Fatalf("MaxEntries = %d, want 64", e.MaxEntries)
+	}
+	if e.Entries == 0 || e.TuplesCached == 0 {
+		t.Fatalf("no refill recorded: %+v", e)
+	}
+	if e.Occupancy <= 0 || e.Occupancy > 1 {
+		t.Fatalf("Occupancy = %g out of range", e.Occupancy)
+	}
+	if e.O3TimeNs <= 0 {
+		t.Fatalf("O3TimeNs = %d, want > 0", e.O3TimeNs)
+	}
+}
+
+// TestConcurrentTracedSessions races 32 traced sessions through the
+// loopback server while other goroutines read the slowlog and view
+// stats — the per-query traces, slowlog ring buffer, and stats
+// snapshots must all be data-race-free (run with -race).
+func TestConcurrentTracedSessions(t *testing.T) {
+	s, _, want := testServer(t, Config{PoolSize: 4, Trace: true, SlowThreshold: time.Nanosecond})
+	addr := s.Addr().String()
+
+	const sessions = 32
+	const queriesPerSession = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c := client.New(addr)
+			defer c.Close()
+			ctx := context.Background()
+			for i := int64(0); i < queriesPerSession; i++ {
+				cat, st := (seed+i)%8, (seed*i)%5
+				rows := 0
+				rep, err := c.ExecutePartial(ctx, "pmv_on_sale", conds(cat, st), func(client.Row) error {
+					rows++
+					return nil
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("session %d query %d: %w", seed, i, err)
+					return
+				}
+				if !rep.Shed && !rep.Degraded && rows != want[[2]int64{cat, st}] {
+					errCh <- fmt.Errorf("traced query (%d,%d): %d rows, want %d", cat, st, rows, want[[2]int64{cat, st}])
+					return
+				}
+				// Race the observability readers against the writers.
+				switch i % 3 {
+				case 0:
+					if _, err := c.Slowlog(ctx, 5); err != nil {
+						errCh <- err
+						return
+					}
+				case 1:
+					if _, err := c.ViewStats(ctx); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	c := client.New(addr)
+	defer c.Close()
+	slog, err := c.Slowlog(context.Background(), slowLogCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slog.Queries) != slowLogCap {
+		t.Fatalf("slowlog holds %d entries after %d logged queries, want the full ring of %d",
+			len(slog.Queries), sessions*queriesPerSession, slowLogCap)
+	}
+	for i := 1; i < len(slog.Queries); i++ {
+		if slog.Queries[i].ID >= slog.Queries[i-1].ID {
+			t.Fatalf("slowlog not newest-first: ID %d before %d",
+				slog.Queries[i-1].ID, slog.Queries[i].ID)
+		}
+	}
+}
+
+// TestWritePrometheus runs traffic through the server and checks the
+// /metrics payload: required families present, per-view labels intact,
+// and every sample line syntactically a `name{labels} value` pair.
+func TestWritePrometheus(t *testing.T) {
+	s, _, _ := testServer(t, Config{PoolSize: 2})
+	addr := s.Addr().String()
+	ctx := context.Background()
+	c := client.New(addr)
+	defer c.Close()
+	for i := int64(0); i < 4; i++ {
+		if _, err := c.ExecutePartial(ctx, "pmv_on_sale", conds(i%8, i%5), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, needle := range []string{
+		"# TYPE pmvd_queries_total counter",
+		"# TYPE pmvd_query_seconds histogram",
+		`pmvd_query_seconds_bucket{phase="total",le="+Inf"}`,
+		`pmvd_query_seconds_count{phase="total"}`,
+		`pmvd_query_seconds_sum{phase="total"}`,
+		`pmv_view_hit_probability{view="pmv_on_sale"}`,
+		`pmv_view_occupancy{view="pmv_on_sale"}`,
+		`pmv_view_queries_total{view="pmv_on_sale"} 4`,
+		"pmvd_slowlog_threshold_seconds -1",
+		"pmvd_trace_enabled 0",
+		"# TYPE go_goroutines gauge",
+		"go_gc_cycles_total",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("metrics output missing %q", needle)
+		}
+	}
+
+	// Prometheus text format: every non-comment line is `series value`.
+	families := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatal("blank line in metrics output")
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if families[f[2]] {
+				t.Fatalf("family %s declared twice", f[2])
+			}
+			families[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("sample line %q is not `series value`", line)
+		}
+		if strings.Count(fields[0], "{") != strings.Count(fields[0], "}") {
+			t.Fatalf("unbalanced labels in %q", line)
+		}
+	}
+	if len(families) < 15 {
+		t.Fatalf("only %d metric families exposed", len(families))
+	}
+}

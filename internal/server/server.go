@@ -30,6 +30,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pmv"
@@ -52,6 +53,13 @@ type Config struct {
 	// DrainTimeout bounds Shutdown's wait for in-flight sessions
 	// before force-closing connections. Default 5s.
 	DrainTimeout time.Duration
+	// Trace starts the server with per-query tracing enabled (also
+	// togglable at runtime with the trace admin command).
+	Trace bool
+	// SlowThreshold enables the slow-query log: queries whose total
+	// latency reaches it are recorded with their full trace (0 =
+	// disabled; togglable at runtime).
+	SlowThreshold time.Duration
 }
 
 func (c *Config) fill() {
@@ -70,6 +78,12 @@ type Server struct {
 	sem     chan struct{} // admission slots: acquired per executed query
 	metrics Metrics
 
+	// Observability state, all togglable at runtime via MsgTrace.
+	traceOn atomic.Bool   // per-query tracing
+	slowNs  atomic.Int64  // slow-query threshold in ns; < 0 = log off
+	queryID atomic.Uint64 // trace ids
+	slowlog slowLog
+
 	mu      sync.Mutex
 	ln      net.Listener
 	conns   map[net.Conn]struct{}
@@ -81,13 +95,20 @@ type Server struct {
 // (Shutdown does not close it).
 func New(db *pmv.DB, cfg Config) *Server {
 	cfg.fill()
-	return &Server{
+	s := &Server{
 		db:      db,
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.PoolSize),
 		conns:   make(map[net.Conn]struct{}),
 		closing: make(chan struct{}),
 	}
+	s.traceOn.Store(cfg.Trace)
+	if cfg.SlowThreshold > 0 {
+		s.slowNs.Store(int64(cfg.SlowThreshold))
+	} else {
+		s.slowNs.Store(-1)
+	}
+	return s
 }
 
 // Metrics exposes the live counters.
@@ -251,6 +272,12 @@ func (s *Server) dispatch(bw *bufio.Writer, typ byte, payload []byte) error {
 			return s.writeErr(bw, err)
 		}
 		return s.reply(bw, wire.OKReply{OK: true})
+	case wire.MsgTrace:
+		return s.handleTrace(bw, payload)
+	case wire.MsgSlowlog:
+		return s.handleSlowlog(bw, payload)
+	case wire.MsgViewStats:
+		return s.reply(bw, s.viewStatsReply())
 	default:
 		return fmt.Errorf("server: unknown request type 0x%02x", typ)
 	}
@@ -307,13 +334,23 @@ func (s *Server) handleQuery(bw *bufio.Writer, payload []byte) error {
 		return nil
 	}
 
+	// A trace is allocated when tracing is on or the slow-query log is
+	// armed (the log needs spans to be worth dumping). Otherwise tr
+	// stays nil and every recording site downstream is a pointer
+	// compare.
+	var tr *pmv.Trace
+	slowNs := s.slowNs.Load()
+	if s.traceOn.Load() || slowNs >= 0 {
+		tr = pmv.NewTrace(s.queryID.Add(1), req.View)
+	}
+
 	start := time.Now()
 	var rep pmv.QueryReport
 	var qerr error
 	shed := false
 	select {
 	case s.sem <- struct{}{}:
-		ctx := context.Background()
+		ctx := pmv.WithTrace(context.Background(), tr)
 		deadline := req.Deadline
 		if deadline <= 0 {
 			deadline = s.cfg.DefaultDeadline
@@ -329,7 +366,7 @@ func (s *Server) handleQuery(bw *bufio.Writer, payload []byte) error {
 		// Admission control: every worker slot is busy. Shed by
 		// answering from the view alone — bounded work, never a queue.
 		shed = true
-		rep, qerr = v.PartialOnly(q, emit)
+		rep, qerr = v.PartialOnlyCtx(pmv.WithTrace(context.Background(), tr), q, emit)
 	}
 	if emitFail != nil {
 		return emitFail
@@ -337,6 +374,7 @@ func (s *Server) handleQuery(bw *bufio.Writer, payload []byte) error {
 	if qerr != nil {
 		return s.writeErr(bw, qerr)
 	}
+	total := time.Since(start)
 
 	s.metrics.Queries.Add(1)
 	s.metrics.Rows.Add(int64(rep.TotalTuples))
@@ -355,9 +393,9 @@ func (s *Server) handleQuery(bw *bufio.Writer, payload []byte) error {
 	}
 	s.metrics.PartialPhase.Observe(rep.PartialLatency)
 	s.metrics.ExecPhase.Observe(rep.ExecLatency)
-	s.metrics.Total.Observe(time.Since(start))
+	s.metrics.Total.Observe(total)
 
-	done := wire.EncodeReport(nil, wire.Report{
+	wrep := wire.Report{
 		Hit:             rep.Hit,
 		Skipped:         rep.Skipped,
 		Degraded:        rep.Degraded,
@@ -370,8 +408,101 @@ func (s *Server) handleQuery(bw *bufio.Writer, payload []byte) error {
 		PartialLatency:  rep.PartialLatency,
 		ExecLatency:     rep.ExecLatency,
 		Overhead:        rep.Overhead,
+	}
+	if tr != nil && slowNs >= 0 && int64(total) >= slowNs {
+		s.slowlog.add(wire.SlowQuery{
+			ID:     tr.ID,
+			UnixNs: time.Now().UnixNano(),
+			View:   req.View,
+			DurNs:  int64(total),
+			Report: wrep,
+			Spans:  wireSpans(tr),
+		})
+	}
+	return wire.WriteFrame(bw, wire.MsgDone, wire.EncodeReport(nil, wrep))
+}
+
+// handleTrace reads/updates the tracing and slow-query-log settings.
+func (s *Server) handleTrace(bw *bufio.Writer, payload []byte) error {
+	var req wire.TraceRequest
+	if len(payload) > 0 {
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return s.writeErr(bw, fmt.Errorf("server: bad trace request: %w", err))
+		}
+	}
+	if req.Trace != nil {
+		s.traceOn.Store(*req.Trace)
+	}
+	if req.SlowThresholdNs != nil {
+		ns := *req.SlowThresholdNs
+		if ns < 0 {
+			ns = -1
+		}
+		s.slowNs.Store(ns)
+	}
+	return s.reply(bw, wire.TraceReply{
+		Trace:           s.traceOn.Load(),
+		SlowThresholdNs: s.slowNs.Load(),
 	})
-	return wire.WriteFrame(bw, wire.MsgDone, done)
+}
+
+// handleSlowlog dumps the slow-query ring, newest first.
+func (s *Server) handleSlowlog(bw *bufio.Writer, payload []byte) error {
+	var req wire.SlowlogRequest
+	if len(payload) > 0 {
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return s.writeErr(bw, fmt.Errorf("server: bad slowlog request: %w", err))
+		}
+	}
+	return s.reply(bw, wire.SlowlogReply{
+		ThresholdNs: s.slowNs.Load(),
+		Queries:     s.slowlog.snapshot(req.Limit),
+	})
+}
+
+// viewStatsReply flattens every view's core counters.
+func (s *Server) viewStatsReply() []wire.ViewStatsEntry {
+	views := s.db.Views()
+	out := make([]wire.ViewStatsEntry, 0, len(views))
+	for _, v := range views {
+		st := v.Stats()
+		entries := v.Len()
+		maxE := v.Config().MaxEntries
+		occ := 0.0
+		if maxE > 0 {
+			occ = float64(entries) / float64(maxE)
+		}
+		out = append(out, wire.ViewStatsEntry{
+			Name:               v.Name(),
+			Queries:            st.Queries,
+			QueryHits:          st.QueryHits,
+			HitProb:            st.HitProbability(),
+			PartsProbed:        st.PartsProbed,
+			PartHits:           st.PartHits,
+			PartialTuples:      st.PartialTuples,
+			EntriesCreated:     st.EntriesCreated,
+			EntriesEvicted:     st.EntriesEvicted,
+			TuplesCached:       st.TuplesCached,
+			TuplesEvicted:      st.TuplesEvicted,
+			TuplesPurged:       st.TuplesPurged,
+			InsertsSeen:        st.InsertsSeen,
+			DeletesSeen:        st.DeletesSeen,
+			UpdatesSeen:        st.UpdatesSeen,
+			UpdatesSkipped:     st.UpdatesSkipped,
+			MaintTimeNs:        int64(st.MaintTime),
+			LockWaitTimeNs:     int64(st.LockWaitTime),
+			O3TimeNs:           int64(st.O3Time),
+			DegradedQueries:    st.DegradedQueries,
+			DeadlineQueries:    st.DeadlineQueries,
+			PartialOnlyQueries: st.PartialOnlyQueries,
+			Entries:            entries,
+			MaxEntries:         maxE,
+			Occupancy:          occ,
+			Tuples:             v.TupleCount(),
+			Bytes:              v.SizeBytes(),
+		})
+	}
+	return out
 }
 
 func (s *Server) statsReply() wire.StatsReply {

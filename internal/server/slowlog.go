@@ -1,0 +1,64 @@
+package server
+
+import (
+	"sync"
+
+	"pmv/internal/obs"
+	"pmv/internal/wire"
+)
+
+// slowLogCap bounds the slow-query ring buffer; older records are
+// overwritten. Sized so a burst of slow queries is fully visible but a
+// long-running server cannot grow without bound.
+const slowLogCap = 128
+
+// slowLog is a fixed-capacity ring of the most recent slow queries.
+type slowLog struct {
+	mu   sync.Mutex
+	buf  [slowLogCap]wire.SlowQuery
+	next int // index of the next write
+	n    int // records held (≤ slowLogCap)
+}
+
+func (l *slowLog) add(q wire.SlowQuery) {
+	l.mu.Lock()
+	l.buf[l.next] = q
+	l.next = (l.next + 1) % slowLogCap
+	if l.n < slowLogCap {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// snapshot returns up to limit records, newest first (0 = all held).
+func (l *slowLog) snapshot(limit int) []wire.SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.n
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]wire.SlowQuery, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.buf[(l.next-i+slowLogCap)%slowLogCap])
+	}
+	return out
+}
+
+// wireSpans converts a trace's spans for the wire.
+func wireSpans(tr *obs.Trace) []wire.TraceSpan {
+	spans := tr.Spans()
+	out := make([]wire.TraceSpan, len(spans))
+	for i, sp := range spans {
+		out[i] = wire.TraceSpan{
+			Kind:    sp.Kind.String(),
+			StartNs: int64(sp.Start),
+			DurNs:   int64(sp.Dur),
+			N1:      sp.N1,
+			N2:      sp.N2,
+			N3:      sp.N3,
+			Detail:  sp.Detail(),
+		}
+	}
+	return out
+}

@@ -118,3 +118,92 @@ type StatsReply struct {
 	DB     DBStatsReply     `json:"db"`
 	Engine EngineStatsReply `json:"engine"`
 }
+
+// TraceRequest is the MsgTrace payload (JSON). Nil fields leave the
+// corresponding setting unchanged, so an empty request just reads the
+// current state.
+type TraceRequest struct {
+	// Trace turns per-query tracing on or off.
+	Trace *bool `json:"trace,omitempty"`
+	// SlowThresholdNs sets the slow-query log threshold; queries whose
+	// total latency reaches it are logged with their full trace.
+	// Negative disables the slow-query log.
+	SlowThresholdNs *int64 `json:"slow_threshold_ns,omitempty"`
+}
+
+// TraceReply answers MsgTrace with the effective settings.
+type TraceReply struct {
+	Trace bool `json:"trace"`
+	// SlowThresholdNs is the active threshold (-1 = slow log disabled).
+	SlowThresholdNs int64 `json:"slow_threshold_ns"`
+}
+
+// TraceSpan is one trace span on the wire.
+type TraceSpan struct {
+	Kind    string `json:"kind"`
+	StartNs int64  `json:"start_ns"` // offset from query begin
+	DurNs   int64  `json:"dur_ns"`
+	N1      int64  `json:"n1"`
+	N2      int64  `json:"n2"`
+	N3      int64  `json:"n3"`
+	// Detail is the span's human-readable counter rendering.
+	Detail string `json:"detail,omitempty"`
+}
+
+// SlowQuery is one slow-query log record: the query's identity, its
+// closing report, and the full trace that explains where the time went.
+type SlowQuery struct {
+	ID     uint64      `json:"id"`
+	UnixNs int64       `json:"unix_ns"`
+	View   string      `json:"view"`
+	DurNs  int64       `json:"dur_ns"`
+	Report Report      `json:"report"`
+	Spans  []TraceSpan `json:"spans"`
+}
+
+// SlowlogRequest is the MsgSlowlog payload (JSON).
+type SlowlogRequest struct {
+	// Limit caps returned records (0 = all retained).
+	Limit int `json:"limit,omitempty"`
+}
+
+// SlowlogReply answers MsgSlowlog, newest first.
+type SlowlogReply struct {
+	// Threshold is the active slow threshold (-1 = disabled).
+	ThresholdNs int64       `json:"threshold_ns"`
+	Queries     []SlowQuery `json:"queries"`
+}
+
+// ViewStatsEntry flattens one view's core counters for MsgViewStats.
+// (Defined here rather than reusing core.Stats so the client package
+// does not link the engine.)
+type ViewStatsEntry struct {
+	Name               string  `json:"name"`
+	Queries            int64   `json:"queries"`
+	QueryHits          int64   `json:"query_hits"`
+	HitProb            float64 `json:"hit_prob"`
+	PartsProbed        int64   `json:"parts_probed"`
+	PartHits           int64   `json:"part_hits"`
+	PartialTuples      int64   `json:"partial_tuples"`
+	EntriesCreated     int64   `json:"entries_created"`
+	EntriesEvicted     int64   `json:"entries_evicted"`
+	TuplesCached       int64   `json:"tuples_cached"`
+	TuplesEvicted      int64   `json:"tuples_evicted"`
+	TuplesPurged       int64   `json:"tuples_purged"`
+	InsertsSeen        int64   `json:"inserts_seen"`
+	DeletesSeen        int64   `json:"deletes_seen"`
+	UpdatesSeen        int64   `json:"updates_seen"`
+	UpdatesSkipped     int64   `json:"updates_skipped"`
+	MaintTimeNs        int64   `json:"maint_time_ns"`
+	LockWaitTimeNs     int64   `json:"lock_wait_time_ns"`
+	O3TimeNs           int64   `json:"o3_time_ns"`
+	DegradedQueries    int64   `json:"degraded_queries"`
+	DeadlineQueries    int64   `json:"deadline_queries"`
+	PartialOnlyQueries int64   `json:"partial_only_queries"`
+	// Occupancy state: live entries/tuples/bytes against the L bound.
+	Entries    int     `json:"entries"`
+	MaxEntries int     `json:"max_entries"`
+	Occupancy  float64 `json:"occupancy"`
+	Tuples     int     `json:"tuples"`
+	Bytes      int     `json:"bytes"`
+}

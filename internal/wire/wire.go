@@ -57,6 +57,14 @@ const (
 	MsgAnalyze byte = 0x08
 	// MsgCheckpoint flushes pages and truncates the WAL (empty).
 	MsgCheckpoint byte = 0x09
+	// MsgTrace reads or updates the server's tracing/slow-query-log
+	// settings (JSON TraceRequest payload; empty fields leave the
+	// current setting untouched).
+	MsgTrace byte = 0x0a
+	// MsgSlowlog dumps the slow-query ring buffer (JSON SlowlogRequest).
+	MsgSlowlog byte = 0x0b
+	// MsgViewStats returns per-view core counters (empty payload).
+	MsgViewStats byte = 0x0c
 
 	// MsgRow is one streamed result row (u8 flags + tuple encoding).
 	MsgRow byte = 0x81
@@ -284,18 +292,18 @@ func DecodeRow(b []byte) (value.Tuple, bool, error) {
 // flag (true when admission control answered from the PMV only
 // because every worker slot was busy).
 type Report struct {
-	Hit             bool
-	Skipped         bool
-	Degraded        bool
-	DeadlineExpired bool
-	PartialOnly     bool
-	Shed            bool
-	ConditionParts  int
-	PartialTuples   int
-	TotalTuples     int
-	PartialLatency  time.Duration
-	ExecLatency     time.Duration
-	Overhead        time.Duration
+	Hit             bool          `json:"hit"`
+	Skipped         bool          `json:"skipped"`
+	Degraded        bool          `json:"degraded"`
+	DeadlineExpired bool          `json:"deadline_expired"`
+	PartialOnly     bool          `json:"partial_only"`
+	Shed            bool          `json:"shed"`
+	ConditionParts  int           `json:"condition_parts"`
+	PartialTuples   int           `json:"partial_tuples"`
+	TotalTuples     int           `json:"total_tuples"`
+	PartialLatency  time.Duration `json:"partial_latency_ns"`
+	ExecLatency     time.Duration `json:"exec_latency_ns"`
+	Overhead        time.Duration `json:"overhead_ns"`
 }
 
 // Report flag bits.

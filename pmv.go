@@ -29,6 +29,7 @@
 package pmv
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -40,6 +41,7 @@ import (
 	"pmv/internal/exec"
 	"pmv/internal/expr"
 	"pmv/internal/lock"
+	"pmv/internal/obs"
 	"pmv/internal/value"
 	"pmv/internal/vfs"
 	"pmv/internal/wal"
@@ -115,6 +117,21 @@ type (
 	AggSpec = exec.AggSpec
 	// SortKey is one ORDER BY term.
 	SortKey = exec.SortKey
+	// Trace is a per-query span recorder; attach one to a context with
+	// WithTrace and pass it to the *Ctx entry points.
+	Trace = obs.Trace
+	// TraceSpan is one recorded trace span.
+	TraceSpan = obs.Span
+)
+
+// Tracing helpers, re-exported from internal/obs.
+var (
+	// NewTrace builds an enabled trace with an id and label.
+	NewTrace = obs.New
+	// WithTrace attaches a trace to a context (no-op for nil traces).
+	WithTrace = obs.WithTrace
+	// TraceFromContext recovers the trace, or nil.
+	TraceFromContext = obs.FromContext
 )
 
 // Aggregate functions.
@@ -234,9 +251,21 @@ func (db *DB) Delete(rel string, pred func(Tuple) bool) (int, error) {
 	return len(deleted), err
 }
 
+// DeleteCtx is Delete with a context: a trace attached via WithTrace
+// records the view maintenance (purge) work the delete triggers.
+func (db *DB) DeleteCtx(ctx context.Context, rel string, pred func(Tuple) bool) (int, error) {
+	deleted, err := db.eng.DeleteWhereCtx(ctx, rel, pred)
+	return len(deleted), err
+}
+
 // Update rewrites tuples satisfying pred, returning how many.
 func (db *DB) Update(rel string, pred func(Tuple) bool, apply func(Tuple) Tuple) (int, error) {
 	return db.eng.UpdateWhere(rel, pred, apply)
+}
+
+// UpdateCtx is Update with a context (see DeleteCtx).
+func (db *DB) UpdateCtx(ctx context.Context, rel string, pred func(Tuple) bool, apply func(Tuple) Tuple) (int, error) {
+	return db.eng.UpdateWhereCtx(ctx, rel, pred, apply)
 }
 
 // Checkpoint makes all data durable and truncates the write-ahead log.
