@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench experiments examples torture obs-smoke clean
+.PHONY: all build vet test test-race cover bench experiments examples torture net-torture fuzz-smoke obs-smoke clean
 
 all: build vet test test-race
 
@@ -35,6 +35,19 @@ experiments-quick:
 # reopen, verify against the oracle (see cmd/pmvtorture).
 torture:
 	$(GO) run ./cmd/pmvtorture -seeds 50 -v
+
+# Network-plane chaos sweep: pmvd behind a fault-injecting proxy,
+# hammered by self-healing clients, verified against the
+# exactly-once-or-flagged oracle (see internal/torture/netchaos.go).
+net-torture:
+	$(GO) run -race ./cmd/pmvtorture -net -seeds 10 -v
+
+# Short coverage-guided fuzz of the wire codecs (the seed corpus and
+# any fuzzer-found regressions always run as part of plain `make test`).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzDecodeQuery -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzDecodeRow -fuzztime=30s ./internal/wire
 
 # Observability smoke test: boot pmvd with -obs on a scratch database,
 # probe /healthz and /metrics, and require the key metric families.

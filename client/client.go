@@ -1,9 +1,20 @@
 // Package client is the Go client for pmvd, the pmv query service.
 //
-// A Client owns one connection, dialed lazily and reused across calls
-// (redialed transparently after a network failure). Calls are
-// serialized per client — for concurrent sessions, use one Client per
-// goroutine; Clients are cheap until first use.
+// A Client owns one connection, dialed lazily and reused across calls.
+// Calls are serialized per client — for concurrent sessions, use one
+// Client per goroutine; Clients are cheap until first use.
+//
+// The client is self-healing: when the connection breaks it redials
+// with jittered exponential backoff and retries the call — but only
+// when the retry cannot change observable results. Admin calls always
+// retry (they are idempotent reads or idempotent maintenance). A query
+// retries only while zero rows have been streamed to the caller; once
+// any row has been delivered, re-executing could deliver rows twice,
+// so the call instead fails with a typed ErrInterrupted carrying the
+// partial counts observed so far. When every redial attempt fails the
+// call returns a typed ErrUnavailable wrapping the last transport
+// error. Server-reported request failures (ErrRemote) and context
+// cancellation are never retried.
 //
 // The query path preserves the PMV latency split end to end:
 // ExecutePartial streams rows to the callback as frames arrive, with
@@ -20,8 +31,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pmv/internal/expr"
@@ -85,24 +98,145 @@ type Row struct {
 // Report summarizes one query (wire.Report re-exported).
 type Report = wire.Report
 
-// ErrRemote wraps failures the server reported for a request.
+// ErrRemote wraps failures the server reported for a request. They
+// are never retried: the connection is healthy and a retry would
+// repeat the same failure.
 var ErrRemote = errors.New("client: server error")
+
+// ErrUnavailable wraps the last transport error after every reconnect
+// attempt failed.
+var ErrUnavailable = errors.New("client: server unavailable")
+
+// ErrInterrupted marks a query whose connection died after at least
+// one row had been streamed. The client never re-executes such a
+// query — a retry could deliver rows twice — so the caller gets the
+// typed error and decides. errors.As to *InterruptedError for the
+// partial delivery counts.
+var ErrInterrupted = errors.New("client: query interrupted mid-stream")
+
+// InterruptedError carries what a mid-stream connection failure
+// delivered before dying. It matches errors.Is(err, ErrInterrupted).
+type InterruptedError struct {
+	// Report holds the client-side observed counts: TotalTuples rows
+	// reached the callback, PartialTuples of them flagged Partial. The
+	// server-side report never arrived.
+	Report Report
+	// Err is the underlying transport error.
+	Err error
+}
+
+// Error formats the interruption with its delivery counts.
+func (e *InterruptedError) Error() string {
+	return fmt.Sprintf("client: query interrupted after %d rows (%d partial): %v",
+		e.Report.TotalTuples, e.Report.PartialTuples, e.Err)
+}
+
+// Unwrap exposes the transport error.
+func (e *InterruptedError) Unwrap() error { return e.Err }
+
+// Is matches the ErrInterrupted sentinel.
+func (e *InterruptedError) Is(target error) bool { return target == ErrInterrupted }
+
+// transient marks an error as a transport-layer failure that a
+// reconnect may cure. It is an internal marker: roundTrip unwraps it
+// before returning.
+type transient struct{ err error }
+
+func (t *transient) Error() string { return t.err.Error() }
+func (t *transient) Unwrap() error { return t.err }
+
+// Config tunes a Client. The zero value of every field gets a sane
+// default, so Config{Addr: addr} is a working configuration.
+type Config struct {
+	// Addr is the pmvd address to dial.
+	Addr string
+	// DialTimeout bounds each dial attempt (default 5s). The dial also
+	// respects the call's context.
+	DialTimeout time.Duration
+	// DeadlineGrace is added to the context deadline when arming the
+	// connection's read/write deadlines, covering the server's own
+	// deadline handling and the network round trip (default 5s).
+	DeadlineGrace time.Duration
+	// MaxRetries bounds reconnect-and-retry attempts after a call's
+	// first try (default 4; negative disables retrying).
+	MaxRetries int
+	// BackoffBase is the first retry's backoff (default 50ms); each
+	// further retry doubles it, jittered, up to BackoffMax (default
+	// 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives backoff jitter, so torture harnesses can make retry
+	// timing reproducible (0 = a fixed default seed).
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.DeadlineGrace <= 0 {
+		c.DeadlineGrace = 5 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Counters is a snapshot of the client's self-healing activity.
+type Counters struct {
+	// Dials counts connection attempts that succeeded.
+	Dials int64
+	// Redials counts successful dials after the first (reconnects).
+	Redials int64
+	// Retries counts calls re-sent after a transport failure.
+	Retries int64
+	// Interrupted counts queries failed with ErrInterrupted.
+	Interrupted int64
+	// GaveUp counts calls failed with ErrUnavailable after exhausting
+	// the retry budget.
+	GaveUp int64
+}
 
 // Client is one pmvd session.
 type Client struct {
-	addr        string
-	dialTimeout time.Duration
+	cfg Config
+
+	dials       atomic.Int64
+	redials     atomic.Int64
+	retries     atomic.Int64
+	interrupted atomic.Int64
+	gaveUp      atomic.Int64
 
 	mu   sync.Mutex
+	rng  *rand.Rand // backoff jitter; guarded by mu
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
 }
 
 // New returns a client for addr without connecting; the first call
-// dials.
+// dials. Defaults: 5s dial timeout, 4 retries with 50ms–2s jittered
+// exponential backoff. Use NewConfig to tune.
 func New(addr string) *Client {
-	return &Client{addr: addr, dialTimeout: 5 * time.Second}
+	return NewConfig(Config{Addr: addr})
+}
+
+// NewConfig returns a client for cfg without connecting.
+func NewConfig(cfg Config) *Client {
+	cfg.fill()
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
 // Dial returns a connected client (verifying the address is
@@ -111,7 +245,7 @@ func Dial(addr string) (*Client, error) {
 	c := New(addr)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.ensureConn(); err != nil {
+	if err := c.ensureConn(context.Background()); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -125,14 +259,31 @@ func (c *Client) Close() error {
 	return c.invalidate()
 }
 
-// ensureConn dials if needed. Callers hold c.mu.
-func (c *Client) ensureConn() error {
+// Counters snapshots the self-healing counters.
+func (c *Client) Counters() Counters {
+	return Counters{
+		Dials:       c.dials.Load(),
+		Redials:     c.redials.Load(),
+		Retries:     c.retries.Load(),
+		Interrupted: c.interrupted.Load(),
+		GaveUp:      c.gaveUp.Load(),
+	}
+}
+
+// ensureConn dials if needed, respecting both the configured dial
+// timeout and ctx (so a context deadline bounds connection
+// re-establishment too, not just the request). Callers hold c.mu.
+func (c *Client) ensureConn(ctx context.Context) error {
 	if c.conn != nil {
 		return nil
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	d := net.Dialer{Timeout: c.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.cfg.Addr)
 	if err != nil {
 		return err
+	}
+	if c.dials.Add(1) > 1 {
+		c.redials.Add(1)
 	}
 	c.conn = conn
 	c.br = bufio.NewReaderSize(conn, 64<<10)
@@ -151,46 +302,103 @@ func (c *Client) invalidate() error {
 	return err
 }
 
-// setDeadline applies ctx's deadline (plus grace for the server's own
-// deadline handling to produce a response) to the connection. Callers
-// hold c.mu with a live conn.
+// setDeadline applies ctx's deadline (plus DeadlineGrace for the
+// server's own deadline handling to produce a response) to the
+// connection, covering the request write and every response read.
+// Callers hold c.mu with a live conn.
 func (c *Client) setDeadline(ctx context.Context) error {
 	if dl, ok := ctx.Deadline(); ok {
-		return c.conn.SetDeadline(dl.Add(5 * time.Second))
+		return c.conn.SetDeadline(dl.Add(c.cfg.DeadlineGrace))
 	}
 	return c.conn.SetDeadline(time.Time{})
 }
 
+// backoff sleeps before retry attempt n (0-based): exponential from
+// BackoffBase, capped at BackoffMax, jittered to [d/2, d) so a fleet
+// of reconnecting clients does not stampede. Returns early with the
+// context's error if it is canceled mid-sleep. Callers hold c.mu.
+func (c *Client) backoff(ctx context.Context, n int) error {
+	d := c.cfg.BackoffBase
+	for i := 0; i < n && d < c.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // roundTrip sends one request frame and hands the reply stream to
-// recv, which reads frames until it has the full response. Any error
-// invalidates the connection (the stream position is unknown);
-// per-request server errors (MsgError) do not.
-func (c *Client) roundTrip(ctx context.Context, typ byte, payload []byte, recv func() error) error {
+// recv, which reads frames until it has the full response. Transport
+// failures invalidate the connection (the stream position is unknown)
+// and — when canRetry allows it — redial with backoff and re-send, up
+// to MaxRetries times; exhausting the budget returns ErrUnavailable.
+// Per-request server errors (MsgError) and recv-callback errors are
+// never retried.
+func (c *Client) roundTrip(ctx context.Context, typ byte, payload []byte, canRetry func() bool, recv func() error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := ctx.Err(); err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := c.attempt(ctx, typ, payload, recv)
+		if err == nil {
+			return nil
+		}
+		var tr *transient
+		if !errors.As(err, &tr) {
+			return err // remote error, callback error, or ctx error: final
+		}
+		if canRetry == nil || !canRetry() {
+			return tr.err
+		}
+		if attempt >= c.cfg.MaxRetries {
+			c.gaveUp.Add(1)
+			return fmt.Errorf("%w after %d attempts: %v", ErrUnavailable, attempt+1, tr.err)
+		}
+		if berr := c.backoff(ctx, attempt); berr != nil {
+			return berr
+		}
+		c.retries.Add(1)
 	}
-	if err := c.ensureConn(); err != nil {
-		return err
+}
+
+// attempt performs one try of a round trip. Transport failures come
+// back wrapped in *transient; everything else is final.
+func (c *Client) attempt(ctx context.Context, typ byte, payload []byte, recv func() error) error {
+	if err := c.ensureConn(ctx); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return &transient{err}
 	}
 	if err := c.setDeadline(ctx); err != nil {
 		c.invalidate()
-		return err
+		return &transient{err}
 	}
 	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
 		c.invalidate()
-		return err
+		return &transient{err}
 	}
 	if err := c.bw.Flush(); err != nil {
 		c.invalidate()
-		return err
+		return &transient{err}
 	}
 	if err := recv(); err != nil {
-		if !errors.Is(err, ErrRemote) {
-			c.invalidate()
+		if errors.Is(err, ErrRemote) {
+			return err // session still in sync
 		}
-		return err
+		c.invalidate()
+		return err // *transient from the stream reader, or a callback error
 	}
 	return nil
 }
@@ -206,6 +414,12 @@ func (c *Client) readFrame() (byte, []byte, error) {
 // query deadline; see Report.DeadlineExpired. If fn returns an error
 // the stream is abandoned and the connection closed (the server may
 // still be sending).
+//
+// If the connection dies before any row reaches fn, the client
+// transparently reconnects and re-executes (safe: nothing was
+// delivered). Once at least one row has been delivered a transport
+// failure returns ErrInterrupted instead — never a silent
+// re-execution, which could deliver duplicate rows.
 func (c *Client) ExecutePartial(ctx context.Context, view string, conds []Cond, fn func(Row) error) (Report, error) {
 	req := wire.QueryRequest{View: view, Conds: conds}
 	if dl, ok := ctx.Deadline(); ok {
@@ -220,56 +434,81 @@ func (c *Client) ExecutePartial(ctx context.Context, view string, conds []Cond, 
 		return Report{}, err
 	}
 	var rep Report
-	err = c.roundTrip(ctx, wire.MsgQuery, payload, func() error {
-		for {
-			typ, body, err := c.readFrame()
-			if err != nil {
-				return err
-			}
-			switch typ {
-			case wire.MsgRow:
-				t, partial, err := wire.DecodeRow(body)
+	rows, partials := 0, 0
+	streamBroken := false
+	err = c.roundTrip(ctx, wire.MsgQuery, payload,
+		func() bool { return rows == 0 },
+		func() error {
+			for {
+				typ, body, err := c.readFrame()
 				if err != nil {
-					return err
+					streamBroken = true
+					return &transient{err}
 				}
-				if fn != nil {
-					if err := fn(Row{Tuple: t, Partial: partial}); err != nil {
-						return err
+				switch typ {
+				case wire.MsgRow:
+					t, partial, err := wire.DecodeRow(body)
+					if err != nil {
+						streamBroken = true
+						return &transient{err}
 					}
+					rows++
+					if partial {
+						partials++
+					}
+					if fn != nil {
+						if err := fn(Row{Tuple: t, Partial: partial}); err != nil {
+							return err
+						}
+					}
+				case wire.MsgDone:
+					rep, err = wire.DecodeReport(body)
+					if err != nil {
+						streamBroken = true
+						return &transient{err}
+					}
+					return nil
+				case wire.MsgError:
+					return fmt.Errorf("%w: %s", ErrRemote, body)
+				default:
+					streamBroken = true
+					return &transient{fmt.Errorf("client: unexpected frame 0x%02x in query stream", typ)}
 				}
-			case wire.MsgDone:
-				rep, err = wire.DecodeReport(body)
-				return err
-			case wire.MsgError:
-				return fmt.Errorf("%w: %s", ErrRemote, body)
-			default:
-				return fmt.Errorf("client: unexpected frame 0x%02x in query stream", typ)
 			}
+		})
+	if err != nil && streamBroken && rows > 0 {
+		c.interrupted.Add(1)
+		return rep, &InterruptedError{
+			Report: Report{TotalTuples: rows, PartialTuples: partials},
+			Err:    err,
 		}
-	})
+	}
 	return rep, err
 }
 
 // admin performs a request whose response is one JSON MsgReply frame,
-// decoding it into out.
+// decoding it into out. Admin requests are idempotent, so transport
+// failures reconnect and retry transparently.
 func (c *Client) admin(ctx context.Context, typ byte, payload []byte, out any) error {
-	return c.roundTrip(ctx, typ, payload, func() error {
-		rtyp, body, err := c.readFrame()
-		if err != nil {
-			return err
-		}
-		switch rtyp {
-		case wire.MsgReply:
-			if out == nil {
-				return nil
+	return c.roundTrip(ctx, typ, payload,
+		func() bool { return true },
+		func() error {
+			rtyp, body, err := c.readFrame()
+			if err != nil {
+				return &transient{err}
 			}
-			return json.Unmarshal(body, out)
-		case wire.MsgError:
-			return fmt.Errorf("%w: %s", ErrRemote, body)
-		default:
-			return fmt.Errorf("client: unexpected frame 0x%02x", rtyp)
-		}
-	})
+			switch rtyp {
+			case wire.MsgReply:
+				if out == nil {
+					return nil
+				}
+				return json.Unmarshal(body, out)
+			case wire.MsgError:
+				return fmt.Errorf("%w: %s", ErrRemote, body)
+			default:
+				return &transient{fmt.Errorf("client: unexpected frame 0x%02x", rtyp)}
+			}
+		})
 }
 
 // Stats fetches the server's counters.

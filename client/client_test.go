@@ -1,0 +1,273 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pmv/client"
+	"pmv/internal/wire"
+)
+
+// fakeServer speaks just enough of the pmvd wire protocol to exercise
+// the client's failure paths, with a per-connection handler chosen by
+// the test.
+type fakeServer struct {
+	ln      net.Listener
+	handler func(c net.Conn)
+	wg      sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func startFake(t *testing.T, addr string, handler func(c net.Conn)) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeServer{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			f.mu.Lock()
+			f.conns[c] = struct{}{}
+			f.mu.Unlock()
+			f.wg.Add(1)
+			go func() {
+				defer f.wg.Done()
+				defer func() {
+					f.mu.Lock()
+					delete(f.conns, c)
+					f.mu.Unlock()
+					c.Close()
+				}()
+				f.handler(c)
+			}()
+		}
+	}()
+	t.Cleanup(f.Close)
+	return f
+}
+
+func (f *fakeServer) Close() {
+	f.ln.Close()
+	f.mu.Lock()
+	for c := range f.conns {
+		c.Close()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// serveStats answers every request with an empty JSON stats reply.
+func serveStats(c net.Conn) {
+	for {
+		if _, _, err := wire.ReadFrame(c); err != nil {
+			return
+		}
+		body, _ := json.Marshal(wire.StatsReply{})
+		if err := wire.WriteFrame(c, wire.MsgReply, body); err != nil {
+			return
+		}
+	}
+}
+
+// fastCfg keeps retry timing test-friendly.
+func fastCfg(addr string) client.Config {
+	return client.Config{
+		Addr:        addr,
+		DialTimeout: time.Second,
+		MaxRetries:  3,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	}
+}
+
+func TestReconnectAfterServerRestart(t *testing.T) {
+	f := startFake(t, "127.0.0.1:0", serveStats)
+	addr := f.ln.Addr().String()
+
+	c := client.NewConfig(fastCfg(addr))
+	defer c.Close()
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("first stats: %v", err)
+	}
+
+	// Restart the server on the same address: the client's conn is now
+	// dead, but the next call must heal transparently.
+	f.Close()
+	startFake(t, addr, serveStats)
+
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("stats after restart: %v", err)
+	}
+	if n := c.Counters().Redials; n < 1 {
+		t.Fatalf("Redials = %d, want >= 1", n)
+	}
+}
+
+func TestUnavailableIsTypedAfterBackoff(t *testing.T) {
+	// Reserve a port with nothing listening on it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c := client.NewConfig(fastCfg(addr))
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Stats(context.Background())
+	if !errors.Is(err, client.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("gave up after %v, backoff not bounded", d)
+	}
+	if n := c.Counters().GaveUp; n != 1 {
+		t.Fatalf("GaveUp = %d, want 1", n)
+	}
+	if n := c.Counters().Retries; n != 3 {
+		t.Fatalf("Retries = %d, want 3", n)
+	}
+}
+
+func TestCancellationDuringBackoffReturnsPromptly(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cfg := fastCfg(addr)
+	cfg.BackoffBase = 30 * time.Second // cancellation, not the timer, must end the sleep
+	cfg.BackoffMax = 30 * time.Second
+	c := client.NewConfig(cfg)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.Stats(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancellation took %v to surface", d)
+	}
+}
+
+func TestInterruptedMidStreamIsTypedAndNotRetried(t *testing.T) {
+	// Serve one row, then kill the connection mid-stream.
+	f := startFake(t, "127.0.0.1:0", func(c net.Conn) {
+		if _, _, err := wire.ReadFrame(c); err != nil {
+			return
+		}
+		row := wire.EncodeRow(nil, client.Tuple{client.Int(42)}, true)
+		wire.WriteFrame(c, wire.MsgRow, row)
+	})
+
+	c := client.NewConfig(fastCfg(f.ln.Addr().String()))
+	defer c.Close()
+	rows := 0
+	_, err := c.ExecutePartial(context.Background(), "v", nil, func(r client.Row) error {
+		rows++
+		return nil
+	})
+	if !errors.Is(err, client.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	var ie *client.InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %T, want *InterruptedError", err)
+	}
+	if ie.Report.TotalTuples != 1 || ie.Report.PartialTuples != 1 {
+		t.Fatalf("interrupted report = %+v, want 1 row, 1 partial", ie.Report)
+	}
+	if rows != 1 {
+		t.Fatalf("callback saw %d rows, want exactly 1 (no re-execution)", rows)
+	}
+	if n := c.Counters().Retries; n != 0 {
+		t.Fatalf("Retries = %d, want 0: a started stream must never be re-sent", n)
+	}
+	if n := c.Counters().Interrupted; n != 1 {
+		t.Fatalf("Interrupted = %d, want 1", n)
+	}
+}
+
+func TestQueryRetriesWhenNothingStreamed(t *testing.T) {
+	// First connection dies before sending anything; later ones answer.
+	var mu sync.Mutex
+	conns := 0
+	f := startFake(t, "127.0.0.1:0", func(c net.Conn) {
+		mu.Lock()
+		conns++
+		first := conns == 1
+		mu.Unlock()
+		if _, _, err := wire.ReadFrame(c); err != nil {
+			return
+		}
+		if first {
+			return // slam the door before any row
+		}
+		row := wire.EncodeRow(nil, client.Tuple{client.Int(7)}, false)
+		wire.WriteFrame(c, wire.MsgRow, row)
+		wire.WriteFrame(c, wire.MsgDone, wire.EncodeReport(nil, wire.Report{TotalTuples: 1}))
+	})
+
+	c := client.NewConfig(fastCfg(f.ln.Addr().String()))
+	defer c.Close()
+	rows := 0
+	rep, err := c.ExecutePartial(context.Background(), "v", nil, func(client.Row) error {
+		rows++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("query did not heal: %v", err)
+	}
+	if rows != 1 || rep.TotalTuples != 1 {
+		t.Fatalf("rows=%d report=%+v, want exactly one delivery", rows, rep)
+	}
+	if n := c.Counters().Retries; n < 1 {
+		t.Fatalf("Retries = %d, want >= 1", n)
+	}
+}
+
+func TestRemoteErrorsAreNotRetried(t *testing.T) {
+	f := startFake(t, "127.0.0.1:0", func(c net.Conn) {
+		for {
+			if _, _, err := wire.ReadFrame(c); err != nil {
+				return
+			}
+			if err := wire.WriteFrame(c, wire.MsgError, []byte("boom")); err != nil {
+				return
+			}
+		}
+	})
+
+	c := client.NewConfig(fastCfg(f.ln.Addr().String()))
+	defer c.Close()
+	_, err := c.Stats(context.Background())
+	if !errors.Is(err, client.ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
+	}
+	if n := c.Counters().Retries; n != 0 {
+		t.Fatalf("Retries = %d, want 0: server-reported errors are final", n)
+	}
+}

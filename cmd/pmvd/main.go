@@ -35,6 +35,10 @@ func main() {
 		obsAddr  = flag.String("obs", "", "observability HTTP address (e.g. :9090) serving /metrics, /healthz and /debug/pprof; empty = off")
 		trace    = flag.Bool("trace", false, "start with per-query tracing enabled (togglable at runtime: pmvcli 'trace on|off')")
 		slow     = flag.Duration("slow", 0, "slow-query log threshold; queries at or above it are recorded with their trace (0 = off)")
+		maxConns = flag.Int("max-conns", 0, "max concurrently open sessions, distinct from -pool (0 = unlimited); excess connections get one error frame and are closed")
+		idle     = flag.Duration("idle-timeout", 0, "reap sessions idle between requests for this long (0 = never)")
+		frameTO  = flag.Duration("frame-timeout", 30*time.Second, "max time for one request frame to finish arriving after its first byte (slowloris guard; negative = off)")
+		writeTO  = flag.Duration("write-timeout", 30*time.Second, "max time for each response write before the session is dropped (negative = off)")
 	)
 	flag.Parse()
 
@@ -50,6 +54,10 @@ func main() {
 		DrainTimeout:    *drain,
 		Trace:           *trace,
 		SlowThreshold:   *slow,
+		MaxConns:        *maxConns,
+		IdleTimeout:     *idle,
+		FrameTimeout:    *frameTO,
+		WriteTimeout:    *writeTO,
 	})
 	if err := srv.Start(*addr); err != nil {
 		db.Close()

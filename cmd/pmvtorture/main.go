@@ -1,14 +1,21 @@
-// Command pmvtorture runs the crash-recovery torture harness across
-// many seeds: each seed drives a random DML + ExecutePartial workload
-// through a fault-injecting vfs, crashes the database at a random
-// failpoint, reopens it, and verifies the recovered state against an
-// oracle plus the DESIGN.md invariants. Durability mode alternates by
-// seed (odd = fsync per statement, even = batched), so both oracle
-// regimes are exercised.
+// Command pmvtorture runs the torture harnesses across many seeds.
+//
+// The default (storage) mode drives a random DML + ExecutePartial
+// workload through a fault-injecting vfs, crashes the database at a
+// random failpoint, reopens it, and verifies the recovered state
+// against an oracle plus the DESIGN.md invariants. Durability mode
+// alternates by seed (odd = fsync per statement, even = batched), so
+// both oracle regimes are exercised.
+//
+// With -net it instead runs the network-plane chaos harness: a real
+// pmvd server behind a fault-injecting proxy, hammered by concurrent
+// self-healing clients, verified against the exactly-once-or-flagged
+// oracle (see internal/torture/netchaos.go).
 //
 // Usage:
 //
 //	pmvtorture [-seeds 50] [-start 0] [-ops 300] [-v]
+//	pmvtorture -net [-seeds 10] [-start 0] [-clients 8] [-queries 50] [-v]
 package main
 
 import (
@@ -22,9 +29,17 @@ import (
 func main() {
 	seeds := flag.Int("seeds", 50, "number of seeds to run")
 	start := flag.Int64("start", 0, "first seed")
-	ops := flag.Int("ops", 300, "workload operations per faulty phase")
+	ops := flag.Int("ops", 300, "workload operations per faulty phase (storage mode)")
+	netMode := flag.Bool("net", false, "run the network-plane chaos harness instead of the storage one")
+	clients := flag.Int("clients", 8, "concurrent self-healing clients per seed (net mode)")
+	queries := flag.Int("queries", 50, "queries per client per seed (net mode)")
 	verbose := flag.Bool("v", false, "print one line per seed")
 	flag.Parse()
+
+	if *netMode {
+		runNet(*seeds, *start, *clients, *queries, *verbose)
+		return
+	}
 
 	crashed, failed := 0, 0
 	for i := 0; i < *seeds; i++ {
@@ -45,6 +60,29 @@ func main() {
 		}
 	}
 	fmt.Printf("pmvtorture: %d seeds, %d crashed mid-run, %d failed\n", *seeds, crashed, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runNet(seeds int, start int64, clients, queries int, verbose bool) {
+	failed := 0
+	for i := 0; i < seeds; i++ {
+		seed := start + int64(i)
+		rep, err := torture.RunNet(torture.NetOptions{Seed: seed, Clients: clients, Queries: queries})
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", seed, err)
+			continue
+		}
+		if verbose {
+			fmt.Printf("ok   seed=%d queries=%d clean=%d flagged=%d interrupted=%d unavailable=%d remote=%d ctx=%d retries=%d redials=%d resets=%d corrupt=%d blackholes=%d tears=%d\n",
+				seed, rep.Queries, rep.Clean, rep.Flagged, rep.Interrupted, rep.Unavailable, rep.Remote,
+				rep.CtxExpired, rep.Retries, rep.Redials,
+				rep.Faults.Resets, rep.Faults.Corruptions, rep.Faults.Blackholes, rep.Faults.PartialWrites)
+		}
+	}
+	fmt.Printf("pmvtorture -net: %d seeds, %d failed\n", seeds, failed)
 	if failed > 0 {
 		os.Exit(1)
 	}

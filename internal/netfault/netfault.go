@@ -1,0 +1,482 @@
+// Package netfault injects network faults into net.Conn traffic, the
+// network-plane sibling of internal/vfs: every decision comes from one
+// seeded generator, so a seed fully determines the fault sequence for
+// a deterministic workload, and faults are armed as composable rules.
+//
+// Three entry points, smallest to largest:
+//
+//   - WrapConn wraps one net.Conn so its reads and writes pass through
+//     the injector (shaping + faults).
+//   - Listener wraps a net.Listener so every accepted conn is wrapped.
+//   - Proxy is an in-process TCP proxy: clients dial it, it dials the
+//     real server, and all bytes in both directions flow through one
+//     wrapped conn. This is how the torture harness sits between real
+//     client and server processes without touching either's sockets.
+//
+// The fault model covers what flaky networks actually do to a
+// length-prefixed protocol: added latency and jittered delays,
+// bandwidth throttling, connection resets mid-frame, single-bit
+// payload corruption (caught by the wire checksum), blackholes (the
+// peer goes silent but the conn stays open — the slowloris shape), and
+// partial writes (a prefix of the buffer lands, then the conn dies).
+package netfault
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultKind selects what an armed Rule does when it fires.
+type FaultKind uint8
+
+const (
+	// FaultReset closes the connection immediately; the peer sees a
+	// broken stream, typically mid-frame.
+	FaultReset FaultKind = iota
+	// FaultCorrupt flips one random bit in the data moved by the
+	// operation.
+	FaultCorrupt
+	// FaultBlackhole silences the connection without closing it: from
+	// then on reads absorb the peer's bytes without delivering them and
+	// writes vanish. Only deadlines or a close get a peer unstuck.
+	FaultBlackhole
+	// FaultPartialWrite delivers a strict prefix of the buffer, then
+	// closes the connection (a mid-frame tear at byte granularity).
+	FaultPartialWrite
+)
+
+// String names the fault kind for diagnostics.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultReset:
+		return "reset"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultBlackhole:
+		return "blackhole"
+	case FaultPartialWrite:
+		return "partial-write"
+	default:
+		return fmt.Sprintf("fault(%d)", k)
+	}
+}
+
+// Op classifies conn operations for rule matching.
+type Op uint8
+
+// Operations a Rule can match.
+const (
+	OpRead Op = iota
+	OpWrite
+	// OpAny matches both directions.
+	OpAny
+)
+
+// Rule arms one failpoint, mirroring vfs.Rule: it fires on operations
+// matching Op when either its scripted trigger (AfterOps matching
+// operations seen, injector-wide) or its probabilistic trigger (Prob
+// per matching operation) goes off.
+type Rule struct {
+	Kind FaultKind
+	// Op restricts which operations the rule matches (OpAny = all).
+	Op Op
+	// AfterOps fires the rule on the Nth matching operation (1-based).
+	// Zero disables the scripted trigger.
+	AfterOps int64
+	// Prob fires the rule on each matching operation with this
+	// probability, using the injector's seeded generator.
+	Prob float64
+	// Sticky keeps the rule armed after it fires.
+	Sticky bool
+}
+
+// Shape is always-on traffic shaping applied to every operation
+// (faults ride on top of it).
+type Shape struct {
+	// Latency delays every read and write.
+	Latency time.Duration
+	// Jitter adds a seeded-random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// BytesPerSec caps throughput per conn direction (0 = unlimited),
+	// modeled as a post-transfer sleep proportional to bytes moved.
+	BytesPerSec int
+}
+
+// Stats counts injected faults by kind, plus traffic totals.
+type Stats struct {
+	Conns         int64
+	Ops           int64
+	BytesRead     int64
+	BytesWritten  int64
+	Resets        int64
+	Corruptions   int64
+	Blackholes    int64
+	PartialWrites int64
+}
+
+// Injector owns the fault schedule shared by every conn it wraps.
+type Injector struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	shape   Shape
+	rules   []Rule
+	matched []int64
+	fired   []bool
+	stats   Stats
+}
+
+// NewInjector returns an injector with no rules armed and no shaping.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add arms one rule.
+func (in *Injector) Add(r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, r)
+	in.matched = append(in.matched, 0)
+	in.fired = append(in.fired, false)
+}
+
+// SetShape installs always-on traffic shaping.
+func (in *Injector) SetShape(s Shape) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.shape = s
+}
+
+// Stats returns the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// decide records one operation and returns the fault to apply plus the
+// shaping delay to sleep before it. A nil injector never faults.
+func (in *Injector) decide(op Op) (kind FaultKind, hit bool, delay time.Duration) {
+	if in == nil {
+		return 0, false, 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Ops++
+	delay = in.shape.Latency
+	if in.shape.Jitter > 0 {
+		delay += time.Duration(in.rng.Int63n(int64(in.shape.Jitter)))
+	}
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		in.matched[i]++
+		if in.fired[i] && !r.Sticky {
+			continue
+		}
+		trigger := (r.AfterOps > 0 && in.matched[i] >= r.AfterOps) ||
+			(r.Prob > 0 && in.rng.Float64() < r.Prob)
+		if !trigger {
+			continue
+		}
+		in.fired[i] = true
+		switch r.Kind {
+		case FaultReset:
+			in.stats.Resets++
+		case FaultCorrupt:
+			in.stats.Corruptions++
+		case FaultBlackhole:
+			in.stats.Blackholes++
+		case FaultPartialWrite:
+			in.stats.PartialWrites++
+		}
+		return r.Kind, true, delay
+	}
+	return 0, false, delay
+}
+
+// intn returns a seeded random int in [0, n).
+func (in *Injector) intn(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	return in.rng.Intn(n)
+}
+
+// throttleSleep returns the bandwidth-cap sleep for moving n bytes.
+func (in *Injector) throttleSleep(n int) time.Duration {
+	if in == nil || n <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	bps := in.shape.BytesPerSec
+	in.mu.Unlock()
+	if bps <= 0 {
+		return 0
+	}
+	return time.Duration(int64(n)) * time.Second / time.Duration(bps)
+}
+
+func (in *Injector) addRead(n int) {
+	in.mu.Lock()
+	in.stats.BytesRead += int64(n)
+	in.mu.Unlock()
+}
+
+func (in *Injector) addWrite(n int) {
+	in.mu.Lock()
+	in.stats.BytesWritten += int64(n)
+	in.mu.Unlock()
+}
+
+// Conn is a fault-injecting net.Conn wrapper. It is safe for the
+// usual net.Conn concurrency (one reader plus one writer).
+type Conn struct {
+	net.Conn
+	inj        *Injector
+	blackholed atomic.Bool
+	closeOnce  sync.Once
+	closeErr   error
+}
+
+// WrapConn wraps c so its traffic passes through inj.
+func WrapConn(c net.Conn, inj *Injector) *Conn {
+	if inj != nil {
+		inj.mu.Lock()
+		inj.stats.Conns++
+		inj.mu.Unlock()
+	}
+	return &Conn{Conn: c, inj: inj}
+}
+
+// Read delivers bytes from the peer, subject to shaping and faults. A
+// blackholed conn absorbs the peer's bytes without delivering any:
+// the read blocks until the conn's read deadline fires or the conn is
+// closed, exactly like a peer that went silent.
+func (c *Conn) Read(p []byte) (int, error) {
+	kind, hit, delay := c.inj.decide(OpRead)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if hit {
+		switch kind {
+		case FaultReset:
+			c.Close()
+			return 0, fmt.Errorf("netfault: injected reset on read: %w", net.ErrClosed)
+		case FaultBlackhole:
+			c.blackholed.Store(true)
+		}
+	}
+	if c.blackholed.Load() {
+		// Absorb and discard until deadline or close.
+		buf := make([]byte, 4096)
+		for {
+			if _, err := c.Conn.Read(buf); err != nil {
+				return 0, err
+			}
+		}
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.inj.addRead(n)
+		if hit && kind == FaultCorrupt {
+			p[c.inj.intn(n)] ^= 1 << uint(c.inj.intn(8))
+		}
+		if sl := c.inj.throttleSleep(n); sl > 0 {
+			time.Sleep(sl)
+		}
+	}
+	return n, err
+}
+
+// Write sends bytes to the peer, subject to shaping and faults. The
+// caller's buffer is never modified: corruption happens on a copy.
+func (c *Conn) Write(p []byte) (int, error) {
+	kind, hit, delay := c.inj.decide(OpWrite)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if hit {
+		switch kind {
+		case FaultReset:
+			c.Close()
+			return 0, fmt.Errorf("netfault: injected reset on write: %w", net.ErrClosed)
+		case FaultBlackhole:
+			c.blackholed.Store(true)
+		case FaultPartialWrite:
+			n := c.inj.intn(len(p)) // strict prefix
+			if n > 0 {
+				if m, err := c.Conn.Write(p[:n]); err != nil {
+					return m, err
+				}
+				c.inj.addWrite(n)
+			}
+			c.Close()
+			return n, fmt.Errorf("netfault: injected partial write (%d/%d bytes): %w",
+				n, len(p), net.ErrClosed)
+		}
+	}
+	if c.blackholed.Load() {
+		// The bytes vanish; the writer believes they were sent.
+		return len(p), nil
+	}
+	if hit && kind == FaultCorrupt && len(p) > 0 {
+		dirty := append([]byte(nil), p...)
+		dirty[c.inj.intn(len(dirty))] ^= 1 << uint(c.inj.intn(8))
+		p = dirty
+	}
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.inj.addWrite(n)
+		if sl := c.inj.throttleSleep(n); sl > 0 {
+			time.Sleep(sl)
+		}
+	}
+	return n, err
+}
+
+// Close closes the underlying conn once (faults close it internally;
+// user code closes it again harmlessly).
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.Conn.Close() })
+	return c.closeErr
+}
+
+// Listener wraps a net.Listener so every accepted conn is
+// fault-injected. Useful for torturing a server in-process without a
+// proxy hop.
+type Listener struct {
+	net.Listener
+	inj *Injector
+}
+
+// WrapListener wraps ln with the fault schedule of inj.
+func WrapListener(ln net.Listener, inj *Injector) *Listener {
+	return &Listener{Listener: ln, inj: inj}
+}
+
+// Accept accepts the next conn, wrapped.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.inj), nil
+}
+
+// Proxy is an in-process fault-injecting TCP proxy. Each accepted
+// client conn gets one upstream conn; all bytes both ways flow through
+// the fault-wrapped client side, so one wrap covers requests and
+// responses alike.
+type Proxy struct {
+	inj      *Injector
+	upstream string
+	ln       net.Listener
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closing bool
+	wg      sync.WaitGroup
+}
+
+// NewProxy starts a proxy on addr (e.g. "127.0.0.1:0") forwarding to
+// upstream.
+func NewProxy(addr, upstream string, inj *Injector) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{inj: inj, upstream: upstream, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what clients dial.
+func (p *Proxy) Addr() net.Addr { return p.ln.Addr() }
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		up, err := net.DialTimeout("tcp", p.upstream, 5*time.Second)
+		if err != nil {
+			down.Close()
+			continue
+		}
+		faulty := WrapConn(down, p.inj)
+		if !p.track(faulty, up) {
+			faulty.Close()
+			up.Close()
+			return
+		}
+		p.wg.Add(2)
+		go p.pipe(up, faulty)
+		go p.pipe(faulty, up)
+	}
+}
+
+// track registers the pair for Close; false once the proxy is closing.
+func (p *Proxy) track(a, b net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closing {
+		return false
+	}
+	p.conns[a] = struct{}{}
+	p.conns[b] = struct{}{}
+	return true
+}
+
+// pipe copies src to dst until either side dies, then tears both down
+// (a proxy never half-closes: real middleboxes kill the whole flow).
+func (p *Proxy) pipe(dst, src net.Conn) {
+	defer p.wg.Done()
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				break
+			}
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	src.Close()
+	dst.Close()
+	p.mu.Lock()
+	delete(p.conns, src)
+	delete(p.conns, dst)
+	p.mu.Unlock()
+}
+
+// Close stops accepting, severs every live flow, and waits for the
+// pipe goroutines to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closing {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closing = true
+	err := p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}

@@ -1,0 +1,222 @@
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pipePair returns two ends of a loopback TCP conn, the a-side wrapped
+// with inj.
+func pipePair(t *testing.T, inj *Injector) (wrapped *Conn, peer net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	a, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { a.Close(); r.c.Close() })
+	return WrapConn(a, inj), r.c
+}
+
+func TestPassthroughClean(t *testing.T) {
+	c, peer := pipePair(t, NewInjector(1))
+	msg := bytes.Repeat([]byte("abc"), 1000)
+	go func() {
+		peer.Write(msg)
+		peer.Close()
+	}()
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("clean injector changed bytes")
+	}
+}
+
+func TestResetFiresOnSchedule(t *testing.T) {
+	inj := NewInjector(2)
+	inj.Add(Rule{Kind: FaultReset, Op: OpWrite, AfterOps: 3})
+	c, peer := pipePair(t, inj)
+	go io.Copy(io.Discard, peer)
+	var err error
+	writes := 0
+	for i := 0; i < 10; i++ {
+		if _, err = c.Write([]byte("x")); err != nil {
+			break
+		}
+		writes++
+	}
+	if err == nil {
+		t.Fatal("scheduled reset never fired")
+	}
+	if writes != 2 {
+		t.Fatalf("reset after %d writes, want 2", writes)
+	}
+	if !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("reset error not net.ErrClosed: %v", err)
+	}
+	if inj.Stats().Resets != 1 {
+		t.Fatalf("stats = %+v", inj.Stats())
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	inj := NewInjector(3)
+	inj.Add(Rule{Kind: FaultCorrupt, Op: OpWrite, AfterOps: 1})
+	c, peer := pipePair(t, inj)
+	msg := bytes.Repeat([]byte{0x00}, 256)
+	go c.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(peer, got); err != nil {
+		t.Fatal(err)
+	}
+	flipped := 0
+	for _, b := range got {
+		for ; b != 0; b &= b - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", flipped)
+	}
+	for i, b := range msg {
+		if b != 0 {
+			t.Fatalf("caller buffer mutated at %d", i)
+		}
+	}
+}
+
+func TestBlackholeSilencesBothDirections(t *testing.T) {
+	inj := NewInjector(4)
+	inj.Add(Rule{Kind: FaultBlackhole, Op: OpRead, AfterOps: 1})
+	c, peer := pipePair(t, inj)
+	go peer.Write([]byte("hello"))
+	// Reads absorb but never deliver; the deadline is the only way out.
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := c.Read(buf); n != 0 || !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed read returned n=%d err=%v", n, err)
+	}
+	// Writes succeed but the bytes vanish.
+	if _, err := c.Write([]byte("into the void")); err != nil {
+		t.Fatalf("blackholed write errored: %v", err)
+	}
+	peer.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if n, err := peer.Read(buf); err == nil {
+		t.Fatalf("peer received %d bytes through a blackhole", n)
+	}
+}
+
+func TestPartialWriteTearsMidBuffer(t *testing.T) {
+	inj := NewInjector(5)
+	inj.Add(Rule{Kind: FaultPartialWrite, Op: OpWrite, AfterOps: 1})
+	c, peer := pipePair(t, inj)
+	msg := bytes.Repeat([]byte("q"), 4096)
+	n, err := c.Write(msg)
+	if err == nil {
+		t.Fatal("partial write reported success")
+	}
+	if n >= len(msg) {
+		t.Fatalf("partial write delivered %d of %d bytes", n, len(msg))
+	}
+	got, _ := io.ReadAll(peer)
+	if len(got) != n {
+		t.Fatalf("peer received %d bytes, writer reported %d", len(got), n)
+	}
+}
+
+func TestShapeLatency(t *testing.T) {
+	inj := NewInjector(6)
+	inj.SetShape(Shape{Latency: 30 * time.Millisecond})
+	c, peer := pipePair(t, inj)
+	go func() {
+		io.Copy(io.Discard, peer)
+	}()
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d < 90*time.Millisecond {
+		t.Fatalf("3 writes with 30ms latency took %v", d)
+	}
+}
+
+func TestProxyForwardsAndResets(t *testing.T) {
+	// Echo server.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+
+	inj := NewInjector(7)
+	p, err := NewProxy("127.0.0.1:0", ln.Addr().String(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Clean round trip through the proxy.
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo through proxy: %q, %v", buf, err)
+	}
+
+	// Arm a sticky reset: the next flow dies and the client observes it.
+	inj.Add(Rule{Kind: FaultReset, Op: OpAny, Prob: 1, Sticky: true})
+	c2, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.SetDeadline(time.Now().Add(2 * time.Second))
+	c2.Write([]byte("doomed"))
+	if _, err := io.ReadFull(c2, buf); err == nil {
+		t.Fatal("flow survived a sticky reset rule")
+	}
+	if inj.Stats().Resets == 0 {
+		t.Fatalf("stats = %+v", inj.Stats())
+	}
+}

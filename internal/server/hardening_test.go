@@ -1,0 +1,153 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"pmv/internal/wire"
+)
+
+// rawDial opens an unwrapped protocol connection to the test server.
+func rawDial(t *testing.T, s *Server) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// statsRoundTrip issues one MsgStats request, proving the session is
+// registered and healthy.
+func statsRoundTrip(t *testing.T, c net.Conn) {
+	t.Helper()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := wire.WriteFrame(c, wire.MsgStats, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := wire.ReadFrame(c)
+	if err != nil || typ != wire.MsgReply {
+		t.Fatalf("stats round trip: typ=0x%02x err=%v", typ, err)
+	}
+	c.SetDeadline(time.Time{})
+}
+
+func TestConnCapRejectsOverflow(t *testing.T) {
+	s, _, _ := testServer(t, Config{MaxConns: 2})
+
+	c1 := rawDial(t, s)
+	statsRoundTrip(t, c1)
+	c2 := rawDial(t, s)
+	statsRoundTrip(t, c2)
+
+	// Third connection is over the cap: one error frame, then close.
+	c3 := rawDial(t, s)
+	c3.SetDeadline(time.Now().Add(5 * time.Second))
+	typ, payload, err := wire.ReadFrame(c3)
+	if err != nil {
+		t.Fatalf("over-cap conn got no error frame: %v", err)
+	}
+	if typ != wire.MsgError {
+		t.Fatalf("over-cap conn got frame type 0x%02x", typ)
+	}
+	if string(payload) == "" {
+		t.Fatal("over-cap error frame has empty message")
+	}
+	if _, _, err := wire.ReadFrame(c3); err == nil {
+		t.Fatal("over-cap conn stayed open past the error frame")
+	}
+	if got := s.Metrics().ConnRejected.Load(); got != 1 {
+		t.Fatalf("ConnRejected = %d, want 1", got)
+	}
+
+	// Capacity frees when a session closes: a fourth conn now succeeds.
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c4, err := net.Dial("tcp", s.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c4.SetDeadline(time.Now().Add(time.Second))
+		if err := wire.WriteFrame(c4, wire.MsgStats, nil); err == nil {
+			if typ, _, err := wire.ReadFrame(c4); err == nil && typ == wire.MsgReply {
+				c4.Close()
+				return
+			}
+		}
+		c4.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after closing a session")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestIdleSessionsAreReaped(t *testing.T) {
+	s, _, _ := testServer(t, Config{IdleTimeout: 100 * time.Millisecond})
+
+	c := rawDial(t, s)
+	statsRoundTrip(t, c)
+
+	// Go silent; the idle deadline (or the reaper) must close us.
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("idle session was never closed")
+	}
+	if got := s.Metrics().IdleReaped.Load(); got < 1 {
+		t.Fatalf("IdleReaped = %d, want >= 1", got)
+	}
+
+	// The session goroutine must have fully retired.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().SessionsActive.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("SessionsActive = %d after reap", s.Metrics().SessionsActive.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSlowlorisFrameTimeout(t *testing.T) {
+	s, _, _ := testServer(t, Config{FrameTimeout: 100 * time.Millisecond})
+
+	c := rawDial(t, s)
+	statsRoundTrip(t, c)
+
+	// Start a frame but never finish it: the per-frame deadline, not
+	// the (unset) idle timeout, must kill the session.
+	if _, err := c.Write([]byte{0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("half-sent frame kept the session alive")
+	}
+	if got := s.Metrics().ReadTimeouts.Load(); got != 1 {
+		t.Fatalf("ReadTimeouts = %d, want 1", got)
+	}
+}
+
+func TestCorruptFrameDropsSession(t *testing.T) {
+	s, _, _ := testServer(t, Config{})
+
+	c := rawDial(t, s)
+	statsRoundTrip(t, c)
+
+	// A well-framed request whose checksum lies: 1 payload byte, CRC 0.
+	if _, err := c.Write([]byte{0, 0, 0, 1, 0, 0, 0, 0, wire.MsgStats}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("corrupt frame kept the session alive")
+	}
+	if got := s.Metrics().CorruptFrames.Load(); got != 1 {
+		t.Fatalf("CorruptFrames = %d, want 1", got)
+	}
+}

@@ -116,6 +116,15 @@ type Metrics struct {
 	PartialOnly     atomic.Int64
 	Errors          atomic.Int64
 
+	// Network-plane failure modes, one counter each so a chaos run can
+	// audit exactly how its injected faults were absorbed.
+	ConnRejected  atomic.Int64 // connections refused by the MaxConns cap
+	IdleReaped    atomic.Int64 // sessions closed for idling past IdleTimeout
+	ReadTimeouts  atomic.Int64 // frames that stalled mid-arrival (slowloris)
+	WriteTimeouts atomic.Int64 // responses abandoned to a peer that stopped reading
+	CorruptFrames atomic.Int64 // sessions dropped on checksum/framing violations
+	SessionResets atomic.Int64 // sessions torn down by abrupt transport errors
+
 	PartialPhase Hist // O1+O2: time to the last partial row
 	ExecPhase    Hist // O3: query execution
 	Total        Hist // whole query, admission wait included
@@ -134,6 +143,12 @@ func (m *Metrics) Snapshot() wire.ServerStats {
 		Degraded:        m.Degraded.Load(),
 		PartialOnly:     m.PartialOnly.Load(),
 		Errors:          m.Errors.Load(),
+		ConnRejected:    m.ConnRejected.Load(),
+		IdleReaped:      m.IdleReaped.Load(),
+		ReadTimeouts:    m.ReadTimeouts.Load(),
+		WriteTimeouts:   m.WriteTimeouts.Load(),
+		CorruptFrames:   m.CorruptFrames.Load(),
+		SessionResets:   m.SessionResets.Load(),
 		PartialPhase:    m.PartialPhase.Snapshot(),
 		ExecPhase:       m.ExecPhase.Snapshot(),
 		Total:           m.Total.Snapshot(),

@@ -19,6 +19,17 @@
 // default), so a query that outlives its budget returns the partial
 // rows already streamed, flagged DeadlineExpired, instead of blocking
 // the session.
+//
+// Sessions are hardened against a hostile or broken network plane:
+// a connection cap (distinct from the query-admission semaphore)
+// bounds accepted sessions; an idle deadline plus a reaper goroutine
+// reclaim sessions whose peer went silent between requests; a
+// per-frame read deadline caps how long one request may take to
+// finish arriving once its first byte is seen (the slowloris shape);
+// and write deadlines on row streaming stop a stuck peer from pinning
+// a session goroutine mid-response. Every failure mode counts into
+// Metrics so operators can see resets, reaps, corrupt frames, and
+// timeouts per class.
 package server
 
 import (
@@ -27,7 +38,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -60,6 +73,23 @@ type Config struct {
 	// latency reaches it are recorded with their full trace (0 =
 	// disabled; togglable at runtime).
 	SlowThreshold time.Duration
+	// MaxConns caps concurrently open sessions, independent of the
+	// query-admission pool (0 = unlimited). A connection arriving
+	// beyond it is answered with one error frame and closed.
+	MaxConns int
+	// IdleTimeout reclaims sessions whose peer sends nothing between
+	// requests for this long, via a per-read deadline plus a reaper
+	// goroutine (0 = sessions may idle forever).
+	IdleTimeout time.Duration
+	// FrameTimeout bounds how long one request frame may take to
+	// finish arriving once its first byte has been read — a peer that
+	// trickles a frame byte-by-byte (slowloris) loses its session
+	// instead of pinning a goroutine. Default 30s; negative disables.
+	FrameTimeout time.Duration
+	// WriteTimeout bounds each response write, so a peer that stops
+	// reading mid-stream cannot pin a session goroutine. Default 30s;
+	// negative disables.
+	WriteTimeout time.Duration
 }
 
 func (c *Config) fill() {
@@ -68,6 +98,12 @@ func (c *Config) fill() {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
+	}
+	if c.FrameTimeout == 0 {
+		c.FrameTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
 	}
 }
 
@@ -84,11 +120,72 @@ type Server struct {
 	queryID atomic.Uint64 // trace ids
 	slowlog slowLog
 
-	mu      sync.Mutex
-	ln      net.Listener
-	conns   map[net.Conn]struct{}
-	closing chan struct{}
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	closing  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// session is one accepted connection's state: the conn with its
+// buffered streams, plus the activity tracking the idle reaper and
+// the deadline plumbing need.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	// lastActive is the unix-nano time of the last completed request
+	// or flush; the reaper compares it against IdleTimeout.
+	lastActive atomic.Int64
+	// busy is true while a request is being served — the reaper never
+	// closes a session mid-request (write deadlines cover that phase).
+	busy atomic.Bool
+	// reaped marks a session the reaper closed, so its read error is
+	// not double-counted.
+	reaped atomic.Bool
+	// inFrame is true once the first byte of a request has been read,
+	// distinguishing an idle-timeout close from a slowloris kill.
+	inFrame bool
+}
+
+func (sess *session) touch() { sess.lastActive.Store(time.Now().UnixNano()) }
+
+// armWrite starts the per-write deadline window; every response write
+// (row frames, flushes, reports) must progress within WriteTimeout.
+func (sess *session) armWrite() {
+	if wt := sess.srv.cfg.WriteTimeout; wt > 0 {
+		sess.conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+}
+
+// readRequest blocks for the next request frame under the session's
+// two read budgets: the first byte must arrive within IdleTimeout
+// (if set), and the rest of the frame within FrameTimeout.
+func (sess *session) readRequest() (byte, []byte, error) {
+	sess.inFrame = false
+	if idle := sess.srv.cfg.IdleTimeout; idle > 0 {
+		sess.conn.SetReadDeadline(time.Now().Add(idle))
+	} else {
+		sess.conn.SetReadDeadline(time.Time{})
+	}
+	// Re-arming the deadline races with Shutdown's wake-up poke;
+	// checking the closing channel after arming closes the window (a
+	// straggler is still force-closed at the end of the drain).
+	select {
+	case <-sess.srv.closing:
+		sess.conn.SetReadDeadline(time.Now())
+	default:
+	}
+	if _, err := sess.br.Peek(1); err != nil {
+		return 0, nil, err
+	}
+	sess.inFrame = true
+	if ft := sess.srv.cfg.FrameTimeout; ft > 0 {
+		sess.conn.SetReadDeadline(time.Now().Add(ft))
+	}
+	return wire.ReadFrame(sess.br)
 }
 
 // New builds a server over db. The database stays owned by the caller
@@ -96,11 +193,11 @@ type Server struct {
 func New(db *pmv.DB, cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
-		db:      db,
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.PoolSize),
-		conns:   make(map[net.Conn]struct{}),
-		closing: make(chan struct{}),
+		db:       db,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.PoolSize),
+		sessions: make(map[*session]struct{}),
+		closing:  make(chan struct{}),
 	}
 	s.traceOn.Store(cfg.Trace)
 	if cfg.SlowThreshold > 0 {
@@ -124,12 +221,23 @@ func (s *Server) Start(addr string) error {
 	if err != nil {
 		return err
 	}
+	s.Serve(ln)
+	return nil
+}
+
+// Serve accepts sessions on ln until Shutdown. Ownership of ln
+// transfers to the server (Shutdown closes it). Useful when the caller
+// wants a pre-bound or wrapped listener, e.g. a fault-injecting one.
+func (s *Server) Serve(ln net.Listener) {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
+	if s.cfg.IdleTimeout > 0 {
+		s.wg.Add(1)
+		go s.reaper()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
-	return nil
 }
 
 // Addr returns the bound listen address (nil before Start).
@@ -157,10 +265,69 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return
 		default:
 		}
-		s.conns[c] = struct{}{}
+		if s.cfg.MaxConns > 0 && len(s.sessions) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.metrics.ConnRejected.Add(1)
+			go rejectConn(c)
+			continue
+		}
+		sess := &session{
+			srv:  s,
+			conn: c,
+			br:   bufio.NewReaderSize(c, 64<<10),
+			bw:   bufio.NewWriterSize(c, 64<<10),
+		}
+		sess.touch()
+		s.sessions[sess] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.handleConn(c)
+		go s.handleSession(sess)
+	}
+}
+
+// rejectConn answers an over-cap connection with a single error frame,
+// best-effort under a short deadline so a slow peer cannot pin the
+// goroutine, then closes it.
+func rejectConn(c net.Conn) {
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	wire.WriteFrame(c, wire.MsgError, []byte("server: connection limit reached"))
+	c.Close()
+}
+
+// reaper periodically closes sessions that have been idle past
+// IdleTimeout. The per-read idle deadline catches most of these; the
+// reaper is the backstop that also works when a deadline was cleared
+// or the platform missed a poke.
+func (s *Server) reaper() {
+	defer s.wg.Done()
+	interval := s.cfg.IdleTimeout / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.closing:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+		s.mu.Lock()
+		var victims []*session
+		for sess := range s.sessions {
+			if sess.busy.Load() || sess.lastActive.Load() > cutoff {
+				continue
+			}
+			victims = append(victims, sess)
+		}
+		s.mu.Unlock()
+		for _, sess := range victims {
+			if sess.reaped.CompareAndSwap(false, true) {
+				s.metrics.IdleReaped.Add(1)
+				sess.conn.Close()
+			}
+		}
 	}
 }
 
@@ -179,8 +346,12 @@ func (s *Server) Shutdown() error {
 	ln := s.ln
 	// Wake sessions blocked reading the next request; ones mid-query
 	// finish their response first, then observe the closed channel.
-	for c := range s.conns {
-		c.SetReadDeadline(time.Now())
+	// The write deadline bounds sessions stuck in a response write to a
+	// dead peer — they unblock within the drain window instead of
+	// needing the force-close hammer.
+	for sess := range s.sessions {
+		sess.conn.SetReadDeadline(time.Now())
+		sess.conn.SetWriteDeadline(time.Now().Add(s.cfg.DrainTimeout))
 	}
 	s.mu.Unlock()
 	var err error
@@ -194,8 +365,8 @@ func (s *Server) Shutdown() error {
 	case <-done:
 	case <-time.After(s.cfg.DrainTimeout):
 		s.mu.Lock()
-		for c := range s.conns {
-			c.Close()
+		for sess := range s.sessions {
+			sess.conn.Close()
 		}
 		s.mu.Unlock()
 		<-done
@@ -203,30 +374,40 @@ func (s *Server) Shutdown() error {
 	return err
 }
 
-// handleConn owns one session for the connection's lifetime.
-func (s *Server) handleConn(c net.Conn) {
+// errUnknownRequest terminates a session whose peer sent a request
+// type the server does not speak; the stream may be desynced.
+var errUnknownRequest = errors.New("server: unknown request type")
+
+// handleSession owns one session for the connection's lifetime.
+func (s *Server) handleSession(sess *session) {
 	s.metrics.SessionsTotal.Add(1)
 	s.metrics.SessionsActive.Add(1)
 	defer func() {
 		s.metrics.SessionsActive.Add(-1)
 		s.mu.Lock()
-		delete(s.conns, c)
+		delete(s.sessions, sess)
 		s.mu.Unlock()
-		c.Close()
+		sess.conn.Close()
 		s.wg.Done()
 	}()
 
-	br := bufio.NewReaderSize(c, 64<<10)
-	bw := bufio.NewWriterSize(c, 64<<10)
 	for {
-		typ, payload, err := wire.ReadFrame(br)
+		typ, payload, err := sess.readRequest()
 		if err != nil {
-			return // EOF, client gone, or drain poke
+			s.classifyReadErr(sess, err)
+			return
 		}
-		if err := s.dispatch(bw, typ, payload); err != nil {
-			return // protocol desync or dead connection
+		sess.busy.Store(true)
+		sess.armWrite()
+		err = s.dispatch(sess, typ, payload)
+		if err == nil {
+			sess.armWrite()
+			err = sess.bw.Flush()
 		}
-		if err := bw.Flush(); err != nil {
+		sess.busy.Store(false)
+		sess.touch()
+		if err != nil {
+			s.classifyDispatchErr(sess, err)
 			return
 		}
 		select {
@@ -237,15 +418,63 @@ func (s *Server) handleConn(c net.Conn) {
 	}
 }
 
+// classifyReadErr counts why a session's request read failed. Clean
+// EOF and shutdown pokes are not failures; everything else lands in
+// exactly one counter so netchaos runs can audit the failure budget.
+func (s *Server) classifyReadErr(sess *session, err error) {
+	switch {
+	case sess.reaped.Load():
+		// The reaper closed it and already counted IdleReaped.
+	case errors.Is(err, wire.ErrCorruptFrame) || errors.Is(err, wire.ErrFrameTooLarge):
+		s.metrics.CorruptFrames.Add(1)
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		select {
+		case <-s.closing:
+			return // drain poke, not a network failure
+		default:
+		}
+		if sess.inFrame {
+			s.metrics.ReadTimeouts.Add(1) // slowloris: frame stalled mid-arrival
+		} else {
+			s.metrics.IdleReaped.Add(1) // peer went silent between requests
+		}
+	case errors.Is(err, io.EOF):
+		// Clean close between requests.
+	default:
+		s.metrics.SessionResets.Add(1)
+	}
+}
+
+// classifyDispatchErr counts why serving a request terminated the
+// session: a response write that timed out or failed, or a request the
+// server cannot parse past.
+func (s *Server) classifyDispatchErr(sess *session, err error) {
+	switch {
+	case sess.reaped.Load():
+	case errors.Is(err, errUnknownRequest):
+		s.metrics.CorruptFrames.Add(1)
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		s.metrics.WriteTimeouts.Add(1)
+	default:
+		select {
+		case <-s.closing:
+			return // drain deadline fired mid-response
+		default:
+		}
+		s.metrics.SessionResets.Add(1)
+	}
+}
+
 // dispatch answers one request. A returned error terminates the
 // session (unwritable connection or an unparseable request that may
 // have desynced the stream); per-request failures that leave the
 // stream well-formed are reported to the client in a MsgError frame
 // and return nil.
-func (s *Server) dispatch(bw *bufio.Writer, typ byte, payload []byte) error {
+func (s *Server) dispatch(sess *session, typ byte, payload []byte) error {
+	bw := sess.bw
 	switch typ {
 	case wire.MsgQuery:
-		return s.handleQuery(bw, payload)
+		return s.handleQuery(sess, payload)
 	case wire.MsgStats:
 		return s.reply(bw, s.statsReply())
 	case wire.MsgViews:
@@ -279,7 +508,7 @@ func (s *Server) dispatch(bw *bufio.Writer, typ byte, payload []byte) error {
 	case wire.MsgViewStats:
 		return s.reply(bw, s.viewStatsReply())
 	default:
-		return fmt.Errorf("server: unknown request type 0x%02x", typ)
+		return fmt.Errorf("%w 0x%02x", errUnknownRequest, typ)
 	}
 }
 
@@ -300,7 +529,8 @@ func (s *Server) reply(bw *bufio.Writer, v any) error {
 
 // handleQuery runs one PMV query with admission control and deadline
 // enforcement, streaming rows as they are produced.
-func (s *Server) handleQuery(bw *bufio.Writer, payload []byte) error {
+func (s *Server) handleQuery(sess *session, payload []byte) error {
+	bw := sess.bw
 	req, err := wire.DecodeQuery(payload)
 	if err != nil {
 		// The payload is framed, so the stream is still in sync — but
@@ -318,6 +548,9 @@ func (s *Server) handleQuery(bw *bufio.Writer, payload []byte) error {
 		emitFail error // distinguishes our write failures from query errors
 	)
 	emit := func(r pmv.Result) error {
+		// Re-arm the write deadline per row: progress, not total
+		// response time, is what WriteTimeout bounds.
+		sess.armWrite()
 		rowBuf = wire.EncodeRow(rowBuf[:0], r.Tuple, r.Partial)
 		if err := wire.WriteFrame(bw, wire.MsgRow, rowBuf); err != nil {
 			emitFail = err
@@ -419,6 +652,7 @@ func (s *Server) handleQuery(bw *bufio.Writer, payload []byte) error {
 			Spans:  wireSpans(tr),
 		})
 	}
+	sess.armWrite()
 	return wire.WriteFrame(bw, wire.MsgDone, wire.EncodeReport(nil, wrep))
 }
 

@@ -1,0 +1,367 @@
+// netchaos.go is the network-plane companion to the crash-recovery
+// harness: instead of killing the storage stack it abuses the wire.
+// A real pmvd server runs over a clean database; every client byte
+// flows through a netfault.Proxy that injects latency, resets, bit
+// flips, blackholes, and mid-frame tears; N self-healing clients fire
+// queries through it concurrently.
+//
+// Oracle semantics. The dataset is static for the whole run, so every
+// (category, store) query pair has one fixed ground-truth result
+// multiset, computed up front through plain local execution. Under
+// chaos each query must then land in exactly one of three buckets:
+//
+//  1. clean completion, report unflagged — the delivered multiset
+//     equals ground truth exactly (every row exactly once);
+//  2. flagged completion (Shed / PartialOnly / DeadlineExpired /
+//     Degraded) or typed ErrInterrupted — the delivered multiset is a
+//     subset of ground truth (no duplicate, no invented row);
+//  3. typed failure — ErrUnavailable, ErrRemote, or the context's own
+//     error, with zero or subset delivery.
+//
+// Anything else — duplicated rows, fabricated rows, an untyped error —
+// is an oracle violation and fails the run, as are leaked goroutines
+// or sessions still active after shutdown.
+package torture
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"pmv"
+	"pmv/client"
+	"pmv/internal/netfault"
+	"pmv/internal/server"
+	"pmv/internal/value"
+	"pmv/internal/wire"
+)
+
+// NetOptions configures one network-chaos run.
+type NetOptions struct {
+	// Seed drives the fault schedule, every client's jitter, and the
+	// query mix.
+	Seed int64
+	// Clients is how many concurrent self-healing clients run
+	// (default 8).
+	Clients int
+	// Queries is how many queries each client issues (default 50).
+	Queries int
+	// Dir is the database directory (default: fresh temp dir, removed
+	// on success, kept on failure).
+	Dir string
+}
+
+// NetReport summarizes one run.
+type NetReport struct {
+	Seed        int64
+	Queries     int // queries issued across all clients
+	Clean       int // bucket 1: exact results
+	Flagged     int // bucket 2: flagged subsets
+	Interrupted int // bucket 2: typed mid-stream interruptions
+	Unavailable int // bucket 3: ErrUnavailable after retry budget
+	Remote      int // bucket 3: server-reported errors
+	CtxExpired  int // bucket 3: the query's own deadline fired client-side
+	Retries     int64
+	Redials     int64
+	Faults      netfault.Stats
+	Server      wire.ServerStats
+}
+
+const (
+	chaosCategories = 8
+	chaosStores     = 5
+)
+
+// chaosDB builds the static storefront dataset and its per-pair
+// ground-truth multisets.
+func chaosDB(dir string) (*pmv.DB, map[[2]int64]map[string]int, error) {
+	db, err := pmv.Open(dir, pmv.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (*pmv.DB, map[[2]int64]map[string]int, error) {
+		db.Close()
+		return nil, nil, err
+	}
+	steps := []error{
+		db.CreateRelation("product",
+			pmv.Col("pid", pmv.TypeInt),
+			pmv.Col("category", pmv.TypeInt),
+			pmv.Col("name", pmv.TypeString)),
+		db.CreateRelation("sale",
+			pmv.Col("pid", pmv.TypeInt),
+			pmv.Col("store", pmv.TypeInt),
+			pmv.Col("discount", pmv.TypeInt)),
+		db.CreateIndex("product", "pid"),
+		db.CreateIndex("product", "category"),
+		db.CreateIndex("sale", "pid"),
+		db.CreateIndex("sale", "store"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return fail(err)
+		}
+	}
+	for pid := int64(0); pid < 400; pid++ {
+		if err := db.Insert("product", pmv.Int(pid), pmv.Int(pid%chaosCategories), pmv.Str("p")); err != nil {
+			return fail(err)
+		}
+		if err := db.Insert("sale", pmv.Int(pid), pmv.Int((pid/8)%chaosStores), pmv.Int(pid%50)); err != nil {
+			return fail(err)
+		}
+	}
+	tpl := pmv.NewTemplate("on_sale").
+		From("product", "sale").
+		Select("product.pid", "sale.discount").
+		Join("product.pid", "sale.pid").
+		WhereEq("product.category").
+		WhereEq("sale.store").
+		MustBuild()
+	if _, err := db.CreatePartialView(tpl, pmv.ViewOptions{MaxEntries: 64, TuplesPerBCP: 4}); err != nil {
+		return fail(err)
+	}
+
+	want := make(map[[2]int64]map[string]int)
+	for c := int64(0); c < chaosCategories; c++ {
+		for st := int64(0); st < chaosStores; st++ {
+			q := pmv.NewQuery(tpl).In(0, pmv.Int(c)).In(1, pmv.Int(st)).Query()
+			set := make(map[string]int)
+			err := db.Execute(q, func(t pmv.Tuple) error {
+				set[tupleKey(t)]++
+				return nil
+			})
+			if err != nil {
+				return fail(err)
+			}
+			want[[2]int64{c, st}] = set
+		}
+	}
+	return db, want, nil
+}
+
+func tupleKey(t value.Tuple) string {
+	return string(value.EncodeTuple(nil, t))
+}
+
+// classify checks one query's delivered multiset against ground truth:
+// exact demands equality; otherwise any subset passes. The returned
+// error describes the violation.
+func classify(want map[string]int, got map[string]int, exact bool) error {
+	total := 0
+	for k, n := range got {
+		w := want[k]
+		if n > w {
+			if w == 0 {
+				return fmt.Errorf("fabricated row delivered %d times", n)
+			}
+			return fmt.Errorf("row duplicated: delivered %d times, ground truth has %d", n, w)
+		}
+		total += n
+	}
+	if exact {
+		wantTotal := 0
+		for _, n := range want {
+			wantTotal += n
+		}
+		if total != wantTotal {
+			return fmt.Errorf("clean completion delivered %d of %d rows", total, wantTotal)
+		}
+	}
+	return nil
+}
+
+func flagged(rep client.Report) bool {
+	return rep.Shed || rep.PartialOnly || rep.DeadlineExpired || rep.Degraded
+}
+
+// RunNet executes one network-chaos cycle. A nil error means the
+// oracle held for every query and nothing leaked.
+func RunNet(opts NetOptions) (NetReport, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 8
+	}
+	if opts.Queries <= 0 {
+		opts.Queries = 50
+	}
+	cleanup := false
+	if opts.Dir == "" {
+		dir, err := os.MkdirTemp("", "pmv-netchaos")
+		if err != nil {
+			return NetReport{}, err
+		}
+		opts.Dir = filepath.Join(dir, "db")
+		cleanup = true
+	}
+	rep := NetReport{Seed: opts.Seed}
+
+	baseGoroutines := runtime.NumGoroutine()
+
+	db, want, err := chaosDB(opts.Dir)
+	if err != nil {
+		return rep, fmt.Errorf("netchaos seed %d: setup: %w", opts.Seed, err)
+	}
+	defer db.Close()
+
+	// Hardened server: tight-but-survivable deadlines so blackholed and
+	// stalled sessions are reclaimed within the run, a small pool so
+	// shedding actually happens, and a cap above the steady-state conn
+	// count (reconnects transiently double-count a client).
+	srv := server.New(db, server.Config{
+		PoolSize:     2,
+		DrainTimeout: 2 * time.Second,
+		MaxConns:     2*opts.Clients + 4,
+		IdleTimeout:  500 * time.Millisecond,
+		FrameTimeout: time.Second,
+		WriteTimeout: time.Second,
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return rep, fmt.Errorf("netchaos seed %d: start server: %w", opts.Seed, err)
+	}
+	defer srv.Shutdown()
+
+	// The chaos schedule: constant low-grade latency plus probabilistic
+	// faults on every operation in both directions.
+	inj := netfault.NewInjector(opts.Seed)
+	inj.SetShape(netfault.Shape{Latency: 200 * time.Microsecond, Jitter: 300 * time.Microsecond})
+	inj.Add(netfault.Rule{Kind: netfault.FaultReset, Op: netfault.OpAny, Prob: 0.004, Sticky: true})
+	inj.Add(netfault.Rule{Kind: netfault.FaultCorrupt, Op: netfault.OpAny, Prob: 0.002, Sticky: true})
+	inj.Add(netfault.Rule{Kind: netfault.FaultPartialWrite, Op: netfault.OpWrite, Prob: 0.002, Sticky: true})
+	inj.Add(netfault.Rule{Kind: netfault.FaultBlackhole, Op: netfault.OpAny, Prob: 0.0005, Sticky: true})
+	proxy, err := netfault.NewProxy("127.0.0.1:0", srv.Addr().String(), inj)
+	if err != nil {
+		return rep, fmt.Errorf("netchaos seed %d: proxy: %w", opts.Seed, err)
+	}
+	defer proxy.Close()
+
+	var (
+		mu        sync.Mutex
+		violation error
+		wg        sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if violation == nil {
+			violation = err
+		}
+		mu.Unlock()
+	}
+	bump := func(field *int) {
+		mu.Lock()
+		*field++
+		mu.Unlock()
+	}
+
+	clients := make([]*client.Client, opts.Clients)
+	for i := range clients {
+		clients[i] = client.NewConfig(client.Config{
+			Addr:          proxy.Addr().String(),
+			DialTimeout:   2 * time.Second,
+			DeadlineGrace: time.Second,
+			MaxRetries:    4,
+			BackoffBase:   5 * time.Millisecond,
+			BackoffMax:    100 * time.Millisecond,
+			Seed:          opts.Seed + int64(i) + 1,
+		})
+	}
+
+	for i, c := range clients {
+		wg.Add(1)
+		go func(id int, c *client.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed ^ int64(id)<<16))
+			for q := 0; q < opts.Queries; q++ {
+				pair := [2]int64{rng.Int63n(chaosCategories), rng.Int63n(chaosStores)}
+				conds := []client.Cond{
+					{Values: []client.Value{client.Int(pair[0])}},
+					{Values: []client.Value{client.Int(pair[1])}},
+				}
+				got := make(map[string]int)
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				qrep, err := c.ExecutePartial(ctx, "pmv_on_sale", conds, func(r client.Row) error {
+					got[tupleKey(r.Tuple)]++
+					return nil
+				})
+				cancel()
+				switch {
+				case err == nil && !flagged(qrep):
+					if verr := classify(want[pair], got, true); verr != nil {
+						fail(fmt.Errorf("client %d query %d pair %v: %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.Clean)
+				case err == nil:
+					if verr := classify(want[pair], got, false); verr != nil {
+						fail(fmt.Errorf("client %d query %d pair %v (flagged): %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.Flagged)
+				case errors.Is(err, client.ErrInterrupted):
+					if verr := classify(want[pair], got, false); verr != nil {
+						fail(fmt.Errorf("client %d query %d pair %v (interrupted): %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.Interrupted)
+				case errors.Is(err, client.ErrUnavailable):
+					bump(&rep.Unavailable)
+				case errors.Is(err, client.ErrRemote):
+					bump(&rep.Remote)
+				case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+					if verr := classify(want[pair], got, false); verr != nil {
+						fail(fmt.Errorf("client %d query %d pair %v (ctx): %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.CtxExpired)
+				default:
+					fail(fmt.Errorf("client %d query %d pair %v: untyped error %v", id, q, pair, err))
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+
+	for _, c := range clients {
+		rep.Retries += c.Counters().Retries
+		rep.Redials += c.Counters().Redials
+		c.Close()
+	}
+	rep.Queries = opts.Clients * opts.Queries
+	rep.Faults = inj.Stats()
+
+	if violation != nil {
+		return rep, fmt.Errorf("netchaos seed %d: %w (db kept at %s)", opts.Seed, violation, opts.Dir)
+	}
+
+	// Teardown must leave nothing behind: no live sessions, no leaked
+	// goroutines (server, proxy, client, and worker goroutines all
+	// retire).
+	if err := proxy.Close(); err != nil {
+		return rep, fmt.Errorf("netchaos seed %d: proxy close: %w", opts.Seed, err)
+	}
+	if err := srv.Shutdown(); err != nil {
+		return rep, fmt.Errorf("netchaos seed %d: shutdown: %w", opts.Seed, err)
+	}
+	rep.Server = srv.Metrics().Snapshot()
+	if n := rep.Server.SessionsActive; n != 0 {
+		return rep, fmt.Errorf("netchaos seed %d: %d sessions still active after shutdown", opts.Seed, n)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseGoroutines {
+		if time.Now().After(deadline) {
+			return rep, fmt.Errorf("netchaos seed %d: goroutine leak: %d running, %d at start",
+				opts.Seed, runtime.NumGoroutine(), baseGoroutines)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if cleanup {
+		os.RemoveAll(filepath.Dir(opts.Dir))
+	}
+	return rep, nil
+}

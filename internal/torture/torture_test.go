@@ -21,3 +21,18 @@ func TestTortureSmoke(t *testing.T) {
 			rep.Seed, tc.sync, rep.Crashed, rep.AckedOps, rep.PrefixK, rep.Recovered, rep.Repairs, rep.FaultyStats)
 	}
 }
+
+// One seeded netchaos cycle rides in the suite; cmd/pmvtorture -net
+// runs the wide sweep.
+func TestNetChaosSmoke(t *testing.T) {
+	rep, err := RunNet(NetOptions{Seed: 1, Clients: 4, Queries: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("netchaos seed 1: %d queries: clean=%d flagged=%d interrupted=%d unavailable=%d remote=%d ctx=%d retries=%d redials=%d faults=%+v",
+		rep.Queries, rep.Clean, rep.Flagged, rep.Interrupted, rep.Unavailable, rep.Remote, rep.CtxExpired,
+		rep.Retries, rep.Redials, rep.Faults)
+	if rep.Clean == 0 {
+		t.Fatal("no query completed cleanly — the harness is all noise")
+	}
+}

@@ -77,6 +77,11 @@ func DecodeTuple(b []byte) (Tuple, int, error) {
 			if off+1 > len(b) {
 				return nil, 0, fmt.Errorf("value: truncated bool at column %d", i)
 			}
+			if b[off] > 1 {
+				// Only 0 and 1 are written; anything else is corruption,
+				// not a sloppy encoder.
+				return nil, 0, fmt.Errorf("value: bad bool byte 0x%02x at column %d", b[off], i)
+			}
 			t = append(t, Bool(b[off] != 0))
 			off++
 		case TypeFloat:

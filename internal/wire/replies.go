@@ -88,6 +88,14 @@ type ServerStats struct {
 	PartialOnly     int64 `json:"partial_only"`
 	Errors          int64 `json:"errors"`
 
+	// Network-plane failure modes.
+	ConnRejected  int64 `json:"conn_rejected"`
+	IdleReaped    int64 `json:"idle_reaped"`
+	ReadTimeouts  int64 `json:"read_timeouts"`
+	WriteTimeouts int64 `json:"write_timeouts"`
+	CorruptFrames int64 `json:"corrupt_frames"`
+	SessionResets int64 `json:"session_resets"`
+
 	// PartialPhase times Operations O1+O2 (time to the last partial
 	// row), ExecPhase times Operation O3, Total times whole queries.
 	PartialPhase HistSnapshot `json:"partial_phase"`

@@ -3,9 +3,15 @@
 //
 // Every frame is
 //
-//	u32 big-endian length (of everything after this field)
+//	u32 big-endian length (of everything after the checksum field)
+//	u32 big-endian CRC-32C of the type byte and payload
 //	u8  message type
 //	payload (length-1 bytes)
+//
+// The checksum makes in-flight byte corruption detectable: a flipped
+// bit anywhere in the frame (length, type, or payload) surfaces as
+// ErrCorruptFrame instead of a silently wrong tuple, so readers can
+// drop the connection rather than deliver garbage.
 //
 // The query path is fully binary — condition instances, result rows,
 // and the closing report reuse the engine's tuple codec
@@ -28,6 +34,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 
@@ -85,14 +92,29 @@ const MaxFrame = 16 << 20
 // MaxFrame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
+// ErrCorruptFrame marks a frame whose bytes fail validation: a
+// checksum mismatch, a zero-length header, or an impossible length
+// field. The stream position is unrecoverable; the connection must be
+// dropped.
+var ErrCorruptFrame = errors.New("wire: corrupt frame")
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64 and
+// arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHdrLen is the fixed header: u32 length + u32 crc + u8 type.
+const frameHdrLen = 9
+
 // WriteFrame writes one frame.
 func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	if len(payload)+1 > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	var hdr [5]byte
+	var hdr [frameHdrLen]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
-	hdr[4] = typ
+	crc := crc32.Update(crc32.Checksum([]byte{typ}, castagnoli), castagnoli, payload)
+	binary.BigEndian.PutUint32(hdr[4:8], crc)
+	hdr[8] = typ
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -100,24 +122,31 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one frame, returning its type and payload.
+// ReadFrame reads one frame, returning its type and payload. A frame
+// that fails validation (bad length, checksum mismatch) returns an
+// error wrapping ErrCorruptFrame.
 func ReadFrame(r io.Reader) (byte, []byte, error) {
-	var hdr [5]byte
+	var hdr [frameHdrLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
 	if n == 0 {
-		return 0, nil, fmt.Errorf("wire: zero-length frame")
+		return 0, nil, fmt.Errorf("%w: zero-length frame", ErrCorruptFrame)
 	}
 	if n > MaxFrame {
 		return 0, nil, ErrFrameTooLarge
 	}
+	typ := hdr[8]
 	payload := make([]byte, n-1)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
-	return hdr[4], payload, nil
+	crc := crc32.Update(crc32.Checksum([]byte{typ}, castagnoli), castagnoli, payload)
+	if crc != binary.BigEndian.Uint32(hdr[4:8]) {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch on 0x%02x frame", ErrCorruptFrame, typ)
+	}
+	return typ, payload, nil
 }
 
 // QueryRequest is the decoded MsgQuery payload: which view to run
@@ -277,6 +306,9 @@ func DecodeRow(b []byte) (value.Tuple, bool, error) {
 	if len(b) < 1 {
 		return nil, false, fmt.Errorf("wire: empty row")
 	}
+	if b[0]&^RowPartial != 0 {
+		return nil, false, fmt.Errorf("wire: unknown row flags 0x%02x", b[0])
+	}
 	partial := b[0]&RowPartial != 0
 	t, used, err := value.DecodeTuple(b[1:])
 	if err != nil {
@@ -354,6 +386,9 @@ func DecodeReport(b []byte) (Report, error) {
 		return r, fmt.Errorf("wire: report payload is %d bytes", len(b))
 	}
 	fl := b[0]
+	if fl&^(repHit|repSkipped|repDegraded|repDeadline|repPartialOnly|repShed) != 0 {
+		return r, fmt.Errorf("wire: unknown report flags 0x%02x", fl)
+	}
 	r.Hit = fl&repHit != 0
 	r.Skipped = fl&repSkipped != 0
 	r.Degraded = fl&repDegraded != 0

@@ -36,9 +36,32 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestFrameRejectsOversize(t *testing.T) {
 	var buf bytes.Buffer
 	// A length field beyond MaxFrame must be rejected before allocation.
-	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, MsgQuery})
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, MsgQuery})
 	if _, _, err := ReadFrame(&buf); err == nil {
 		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestFrameDetectsCorruption(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5a}, 300)
+	var clean bytes.Buffer
+	if err := WriteFrame(&clean, MsgRow, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Flipping any single bit — length, checksum, type, or payload —
+	// must surface as a corrupt frame or a read error, never as a
+	// successfully decoded wrong frame.
+	for i := 0; i < clean.Len(); i++ {
+		raw := append([]byte(nil), clean.Bytes()...)
+		raw[i] ^= 1 << uint(i%8)
+		typ, body, err := ReadFrame(bytes.NewReader(raw))
+		if err == nil {
+			t.Fatalf("bit flip at byte %d accepted (type 0x%02x, %d bytes)", i, typ, len(body))
+		}
+	}
+	typ, body, err := ReadFrame(&clean)
+	if err != nil || typ != MsgRow || !bytes.Equal(body, payload) {
+		t.Fatalf("clean frame rejected: %v", err)
 	}
 }
 
