@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench experiments examples torture net-torture fuzz-smoke obs-smoke clean
+.PHONY: all build vet test test-race cover bench experiments examples torture net-torture cluster-smoke cluster-torture fuzz-smoke obs-smoke clean
 
 all: build vet test test-race
 
@@ -41,6 +41,17 @@ torture:
 # exactly-once-or-flagged oracle (see internal/torture/netchaos.go).
 net-torture:
 	$(GO) run -race ./cmd/pmvtorture -net -seeds 10 -v
+
+# Cluster-plane smoke: the router loopback tests plus one seeded chaos
+# cycle (3 shards + router, kills/blackholes/reset bursts) under the
+# race detector (see internal/torture/clusterchaos.go).
+cluster-smoke:
+	$(GO) test -race -count=1 ./internal/cluster/
+	$(GO) run -race ./cmd/pmvtorture -cluster -seeds 1 -clients 6 -queries 30 -v
+
+# Cluster-plane chaos sweep: the wide seeded run.
+cluster-torture:
+	$(GO) run -race ./cmd/pmvtorture -cluster -seeds 10 -v
 
 # Short coverage-guided fuzz of the wire codecs (the seed corpus and
 # any fuzzer-found regressions always run as part of plain `make test`).

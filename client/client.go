@@ -282,13 +282,56 @@ func (c *Client) ensureConn(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	if err := hello(conn, br, bw, c.cfg.DialTimeout); err != nil {
+		conn.Close()
+		return err
+	}
 	if c.dials.Add(1) > 1 {
 		c.redials.Add(1)
 	}
 	c.conn = conn
-	c.br = bufio.NewReaderSize(conn, 64<<10)
-	c.bw = bufio.NewWriterSize(conn, 64<<10)
+	c.br = br
+	c.bw = bw
 	return nil
+}
+
+// hello performs the protocol version handshake on a fresh connection.
+// A MsgErrVersion reply becomes a typed wire.ErrVersion — final, never
+// retried, because no amount of redialing the same binaries cures a
+// version mismatch.
+func hello(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, timeout time.Duration) error {
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(bw, wire.MsgHello, wire.EncodeHello()); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	typ, body, err := wire.ReadFrame(br)
+	if err != nil {
+		return err
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return err
+	}
+	switch typ {
+	case wire.MsgReply:
+		return nil
+	case wire.MsgErrVersion:
+		v, derr := wire.DecodeVersionErr(body)
+		if derr != nil {
+			return derr
+		}
+		return fmt.Errorf("%w: client speaks %d, server speaks %d", wire.ErrVersion, wire.ProtocolVersion, v)
+	case wire.MsgError:
+		return fmt.Errorf("%w: %s", ErrRemote, body)
+	default:
+		return fmt.Errorf("client: unexpected hello reply frame 0x%02x", typ)
+	}
 }
 
 // invalidate drops the connection so the next call redials. Callers
@@ -379,6 +422,9 @@ func (c *Client) attempt(ctx context.Context, typ byte, payload []byte, recv fun
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+		if errors.Is(err, wire.ErrVersion) || errors.Is(err, ErrRemote) {
+			return err // redialing cannot cure these: final
+		}
 		return &transient{err}
 	}
 	if err := c.setDeadline(ctx); err != nil {
@@ -394,7 +440,7 @@ func (c *Client) attempt(ctx context.Context, typ byte, payload []byte, recv fun
 		return &transient{err}
 	}
 	if err := recv(); err != nil {
-		if errors.Is(err, ErrRemote) {
+		if errors.Is(err, ErrRemote) || errors.Is(err, wire.ErrEpoch) {
 			return err // session still in sync
 		}
 		c.invalidate()

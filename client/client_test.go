@@ -70,8 +70,20 @@ func (f *fakeServer) Close() {
 	f.wg.Wait()
 }
 
+// ackHello answers the client's session-opening version handshake.
+func ackHello(c net.Conn) bool {
+	if typ, _, err := wire.ReadFrame(c); err != nil || typ != wire.MsgHello {
+		return false
+	}
+	body, _ := json.Marshal(wire.HelloReply{Version: int(wire.ProtocolVersion)})
+	return wire.WriteFrame(c, wire.MsgReply, body) == nil
+}
+
 // serveStats answers every request with an empty JSON stats reply.
 func serveStats(c net.Conn) {
+	if !ackHello(c) {
+		return
+	}
 	for {
 		if _, _, err := wire.ReadFrame(c); err != nil {
 			return
@@ -176,6 +188,9 @@ func TestCancellationDuringBackoffReturnsPromptly(t *testing.T) {
 func TestInterruptedMidStreamIsTypedAndNotRetried(t *testing.T) {
 	// Serve one row, then kill the connection mid-stream.
 	f := startFake(t, "127.0.0.1:0", func(c net.Conn) {
+		if !ackHello(c) {
+			return
+		}
 		if _, _, err := wire.ReadFrame(c); err != nil {
 			return
 		}
@@ -220,6 +235,9 @@ func TestQueryRetriesWhenNothingStreamed(t *testing.T) {
 		conns++
 		first := conns == 1
 		mu.Unlock()
+		if !ackHello(c) {
+			return
+		}
 		if _, _, err := wire.ReadFrame(c); err != nil {
 			return
 		}
@@ -251,6 +269,9 @@ func TestQueryRetriesWhenNothingStreamed(t *testing.T) {
 
 func TestRemoteErrorsAreNotRetried(t *testing.T) {
 	f := startFake(t, "127.0.0.1:0", func(c net.Conn) {
+		if !ackHello(c) {
+			return
+		}
 		for {
 			if _, _, err := wire.ReadFrame(c); err != nil {
 				return

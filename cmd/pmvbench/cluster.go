@@ -1,0 +1,245 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"pmv"
+	"pmv/client"
+	"pmv/internal/cluster"
+	"pmv/internal/server"
+)
+
+// clusterSide is one side of the cluster benchmark: the same warm
+// storefront workload measured either against a single pmvd or against
+// a pmvrouter fronting three shards.
+type clusterSide struct {
+	Queries           int64   `json:"queries"`
+	QueriesPerSec     float64 `json:"queries_per_sec"`
+	RowsPerSec        float64 `json:"rows_per_sec"`
+	FirstPartialP50Ns int64   `json:"first_partial_p50_ns"`
+	FirstPartialP99Ns int64   `json:"first_partial_p99_ns"`
+	TotalP50Ns        int64   `json:"total_p50_ns"`
+	TotalP99Ns        int64   `json:"total_p99_ns"`
+}
+
+// clusterResult is the machine-readable output of the cluster
+// benchmark (BENCH_cluster.json). The acceptance bar is the ratio:
+// routing O2 probes through the scatter-gather plane may at most
+// double the time to the first partial row versus a single node.
+type clusterResult struct {
+	Shards         int         `json:"shards"`
+	Sessions       int         `json:"sessions"`
+	QueriesPerSess int         `json:"queries_per_session"`
+	Single         clusterSide `json:"single_node"`
+	Routed         clusterSide `json:"routed"`
+	// FirstPartialP50Ratio = routed p50 / single-node p50.
+	FirstPartialP50Ratio float64 `json:"first_partial_p50_ratio"`
+	TotalP50Ratio        float64 `json:"total_p50_ratio"`
+}
+
+// clusterWorkload drives the warm storefront query mix against addr and
+// returns the measured side.
+func clusterWorkload(addr string, sessions, queriesPerSess int) (clusterSide, error) {
+	ctx := context.Background()
+
+	// Warm every pair so both sides measure the steady state: partial
+	// hits served from the view (and, routed, the refill fan-out has
+	// seeded the owning shards).
+	warm := client.New(addr)
+	for c := int64(0); c < 8; c++ {
+		for st := int64(0); st < 5; st++ {
+			if _, err := warm.ExecutePartial(ctx, "pmv_bench_sale", serveConds(c, st), nil); err != nil {
+				warm.Close()
+				return clusterSide{}, err
+			}
+		}
+	}
+	// Second warm pass: the first one ran cold everywhere, so its
+	// refills are what make the second pass (and the measured phase)
+	// actually hit.
+	for c := int64(0); c < 8; c++ {
+		for st := int64(0); st < 5; st++ {
+			if _, err := warm.ExecutePartial(ctx, "pmv_bench_sale", serveConds(c, st), nil); err != nil {
+				warm.Close()
+				return clusterSide{}, err
+			}
+		}
+	}
+	warm.Close()
+
+	var (
+		mu            sync.Mutex
+		firstPartials []time.Duration
+		totals        []time.Duration
+		rows          int64
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	start := time.Now()
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c := client.New(addr)
+			defer c.Close()
+			myFirst := make([]time.Duration, 0, queriesPerSess)
+			myTotal := make([]time.Duration, 0, queriesPerSess)
+			var myRows int64
+			for i := int64(0); i < int64(queriesPerSess); i++ {
+				qStart := time.Now()
+				var first time.Duration
+				n := 0
+				_, err := c.ExecutePartial(ctx, "pmv_bench_sale",
+					serveConds((seed+i)%8, (seed*i)%5),
+					func(r client.Row) error {
+						if n == 0 && r.Partial {
+							first = time.Since(qStart)
+						}
+						n++
+						return nil
+					})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				myTotal = append(myTotal, time.Since(qStart))
+				if first > 0 {
+					myFirst = append(myFirst, first)
+				}
+				myRows += int64(n)
+			}
+			mu.Lock()
+			firstPartials = append(firstPartials, myFirst...)
+			totals = append(totals, myTotal...)
+			rows += myRows
+			mu.Unlock()
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return clusterSide{}, err
+	}
+
+	side := clusterSide{
+		Queries:       int64(len(totals)),
+		QueriesPerSec: float64(len(totals)) / elapsed.Seconds(),
+		RowsPerSec:    float64(rows) / elapsed.Seconds(),
+	}
+	side.FirstPartialP50Ns, side.FirstPartialP99Ns = quantilesNs(firstPartials)
+	side.TotalP50Ns, side.TotalP99Ns = quantilesNs(totals)
+	return side, nil
+}
+
+// clusterBench measures the identical workload against a single-node
+// pmvd and against a 3-shard cluster behind pmvrouter, and writes the
+// comparison to outPath.
+func clusterBench(dir string, sessions, queriesPerSess int, outPath string) error {
+	const shards = 3
+
+	newNode := func(name string) (*server.Server, func(), error) {
+		dbDir, err := os.MkdirTemp(dir, name)
+		if err != nil {
+			return nil, nil, err
+		}
+		db, err := pmv.Open(dbDir, pmv.Options{})
+		if err != nil {
+			os.RemoveAll(dbDir)
+			return nil, nil, err
+		}
+		if err := serveSchema(db); err != nil {
+			db.Close()
+			os.RemoveAll(dbDir)
+			return nil, nil, err
+		}
+		srv := server.New(db, server.Config{})
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			db.Close()
+			os.RemoveAll(dbDir)
+			return nil, nil, err
+		}
+		stop := func() {
+			srv.Shutdown()
+			db.Close()
+			os.RemoveAll(dbDir)
+		}
+		return srv, stop, nil
+	}
+
+	// Side 1: one pmvd.
+	single, stopSingle, err := newNode("single")
+	if err != nil {
+		return err
+	}
+	singleSide, err := clusterWorkload(single.Addr().String(), sessions, queriesPerSess)
+	stopSingle()
+	if err != nil {
+		return err
+	}
+
+	// Side 2: three shards behind a router.
+	addrs := make([]string, 0, shards)
+	var stops []func()
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	for i := 0; i < shards; i++ {
+		srv, stop, err := newNode(fmt.Sprintf("shard%d", i))
+		if err != nil {
+			return err
+		}
+		stops = append(stops, stop)
+		addrs = append(addrs, srv.Addr().String())
+	}
+	r, err := cluster.NewRouter(cluster.Config{Shards: addrs})
+	if err != nil {
+		return err
+	}
+	if err := r.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	stops = append(stops, func() { r.Shutdown() })
+	routedSide, err := clusterWorkload(r.Addr().String(), sessions, queriesPerSess)
+	if err != nil {
+		return err
+	}
+
+	res := clusterResult{
+		Shards:         shards,
+		Sessions:       sessions,
+		QueriesPerSess: queriesPerSess,
+		Single:         singleSide,
+		Routed:         routedSide,
+	}
+	if singleSide.FirstPartialP50Ns > 0 {
+		res.FirstPartialP50Ratio = float64(routedSide.FirstPartialP50Ns) / float64(singleSide.FirstPartialP50Ns)
+	}
+	if singleSide.TotalP50Ns > 0 {
+		res.TotalP50Ratio = float64(routedSide.TotalP50Ns) / float64(singleSide.TotalP50Ns)
+	}
+
+	fmt.Printf("  single node: %.0f q/s, first partial p50=%v, total p50=%v\n",
+		singleSide.QueriesPerSec, time.Duration(singleSide.FirstPartialP50Ns), time.Duration(singleSide.TotalP50Ns))
+	fmt.Printf("  routed (%d shards): %.0f q/s, first partial p50=%v, total p50=%v\n",
+		shards, routedSide.QueriesPerSec, time.Duration(routedSide.FirstPartialP50Ns), time.Duration(routedSide.TotalP50Ns))
+	fmt.Printf("  fan-out cost: first-partial p50 ratio %.2fx, total p50 ratio %.2fx (bar: <= 2x)\n",
+		res.FirstPartialP50Ratio, res.TotalP50Ratio)
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
+}

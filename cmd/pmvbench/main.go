@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pmvbench [-fig all|6|7|8|9|10|11|12|t1|serve|ablation-policy|ablation-maint|ablation-f|ablation-planner|ablation-dividers]
+//	pmvbench [-fig all|6|7|8|9|10|11|12|t1|serve|cluster|ablation-policy|ablation-maint|ablation-f|ablation-planner|ablation-dividers]
 //	         [-scale s] [-sim-div n] [-rounds n] [-dir path]
 //
 // -sim-div divides the simulation's 1M warm-up/measure query counts
@@ -33,6 +33,7 @@ func main() {
 	serveSessions := flag.Int("serve-sessions", 64, "concurrent client sessions for the serve benchmark")
 	serveQueries := flag.Int("serve-queries", 50, "queries per session for the serve benchmark")
 	serveJSON := flag.String("serve-json", "BENCH_serve.json", "output path for the serve benchmark's JSON result")
+	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "output path for the cluster benchmark's JSON result")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -78,6 +79,7 @@ func main() {
 	run("ablation-dividers", func() error { return ablationDividers(baseDir, *scale) })
 	run("sim-policies", func() error { return simPolicies(*simDiv) })
 	run("serve", func() error { return serveBench(baseDir, *serveSessions, *serveQueries, *serveJSON) })
+	run("cluster", func() error { return clusterBench(baseDir, *serveSessions, *serveQueries, *clusterJSON) })
 }
 
 func title(name string) string {
@@ -100,6 +102,8 @@ func title(name string) string {
 		return "Figure 12: PMV-over-MV maintenance speedup (analytical)"
 	case "serve":
 		return "Service: loopback pmvd throughput and partial-first latency"
+	case "cluster":
+		return "Cluster: scatter-gather router vs single-node pmvd"
 	default:
 		return name
 	}

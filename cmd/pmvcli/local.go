@@ -187,6 +187,10 @@ func (l *localBackend) trace([]string) error {
 	return fmt.Errorf("trace controls a running pmvd; use -addr (server mode)")
 }
 
+func (l *localBackend) shards() error {
+	return fmt.Errorf("shards queries a running pmvrouter; use -addr (server mode)")
+}
+
 func (l *localBackend) slowlog(int) error {
 	return fmt.Errorf("the slow-query log lives in pmvd; use -addr (server mode)")
 }

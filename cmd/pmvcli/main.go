@@ -26,6 +26,8 @@
 //	                           and the slow-query threshold (server mode)
 //	slowlog [n]                dump the newest n slow queries with their
 //	                           traces (server mode)
+//	shards                     shard map epoch and per-shard cache health
+//	                           (-addr must point at a pmvrouter)
 //	help / quit
 package main
 
@@ -68,6 +70,7 @@ type backend interface {
 	viewstats() error
 	trace(args []string) error
 	slowlog(n int) error
+	shards() error
 	close() error
 }
 
@@ -112,7 +115,8 @@ func main() {
 		case "help":
 			fmt.Println("tables | schema <rel> | count <rel> | peek <rel> [n] | views |")
 			fmt.Println("partial <view> <cond0> <cond1> ... | analyze | checkpoint | stats |")
-			fmt.Println("viewstats | trace [on|off|slow <dur>|slow off] | slowlog [n] | quit")
+			fmt.Println("viewstats | trace [on|off|slow <dur>|slow off] | slowlog [n] |")
+			fmt.Println("shards | quit")
 		case "tables":
 			err = be.tables()
 		case "schema":
@@ -165,6 +169,8 @@ func main() {
 				}
 			}
 			err = be.slowlog(n)
+		case "shards":
+			err = be.shards()
 		default:
 			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
 		}

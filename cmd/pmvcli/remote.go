@@ -296,3 +296,28 @@ func shedTag(shed bool) string {
 	}
 	return ""
 }
+
+func (r *remoteBackend) shards() error {
+	rep, err := r.c.Shards(r.ctx())
+	if err != nil {
+		return fmt.Errorf("%w (shards needs -addr of a pmvrouter)", err)
+	}
+	fmt.Printf("  shard map epoch %d, %d shards, %d vnodes/shard\n",
+		rep.Epoch, len(rep.Shards), rep.VNodes)
+	for i, si := range rep.Shards {
+		if !si.Up {
+			fmt.Printf("  [%d] %-22s DOWN (%s)\n", i, si.Addr, si.Error)
+			continue
+		}
+		state := "in sync"
+		if si.Epoch != rep.Epoch {
+			state = fmt.Sprintf("epoch %d (stale)", si.Epoch)
+		}
+		fmt.Printf("  [%d] %-22s up, %s\n", i, si.Addr, state)
+		for _, v := range si.Views {
+			fmt.Printf("      %s: %d/%d entries, %d tuples, hit-prob %.3f\n",
+				v.Name, v.Entries, v.MaxEntries, v.Tuples, v.HitProb)
+		}
+	}
+	return nil
+}

@@ -12,10 +12,16 @@
 // self-healing clients, verified against the exactly-once-or-flagged
 // oracle (see internal/torture/netchaos.go).
 //
+// With -cluster it runs the cluster-plane chaos harness: a 3-shard
+// cluster behind per-shard fault proxies with a router in front, while
+// a seeded driver kills/restarts shards, blackholes links, and fires
+// reset bursts (see internal/torture/clusterchaos.go).
+//
 // Usage:
 //
 //	pmvtorture [-seeds 50] [-start 0] [-ops 300] [-v]
 //	pmvtorture -net [-seeds 10] [-start 0] [-clients 8] [-queries 50] [-v]
+//	pmvtorture -cluster [-seeds 3] [-start 0] [-clients 6] [-queries 30] [-v]
 package main
 
 import (
@@ -31,11 +37,16 @@ func main() {
 	start := flag.Int64("start", 0, "first seed")
 	ops := flag.Int("ops", 300, "workload operations per faulty phase (storage mode)")
 	netMode := flag.Bool("net", false, "run the network-plane chaos harness instead of the storage one")
-	clients := flag.Int("clients", 8, "concurrent self-healing clients per seed (net mode)")
-	queries := flag.Int("queries", 50, "queries per client per seed (net mode)")
+	clusterMode := flag.Bool("cluster", false, "run the cluster-plane chaos harness (3 shards + router) instead of the storage one")
+	clients := flag.Int("clients", 8, "concurrent self-healing clients per seed (net/cluster mode)")
+	queries := flag.Int("queries", 50, "queries per client per seed (net/cluster mode)")
 	verbose := flag.Bool("v", false, "print one line per seed")
 	flag.Parse()
 
+	if *clusterMode {
+		runCluster(*seeds, *start, *clients, *queries, *verbose)
+		return
+	}
 	if *netMode {
 		runNet(*seeds, *start, *clients, *queries, *verbose)
 		return
@@ -83,6 +94,29 @@ func runNet(seeds int, start int64, clients, queries int, verbose bool) {
 		}
 	}
 	fmt.Printf("pmvtorture -net: %d seeds, %d failed\n", seeds, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runCluster(seeds int, start int64, clients, queries int, verbose bool) {
+	failed := 0
+	for i := 0; i < seeds; i++ {
+		seed := start + int64(i)
+		rep, err := torture.RunCluster(torture.ClusterOptions{Seed: seed, Clients: clients, Queries: queries})
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", seed, err)
+			continue
+		}
+		if verbose {
+			fmt.Printf("ok   seed=%d queries=%d clean=%d flagged=%d interrupted=%d unavailable=%d remote=%d ctx=%d kills=%d blackholes=%d bursts=%d installs=%d retries=%d redials=%d\n",
+				seed, rep.Queries, rep.Clean, rep.Flagged, rep.Interrupted, rep.Unavailable, rep.Remote,
+				rep.CtxExpired, rep.Kills, rep.Blackholes, rep.ResetBursts, rep.EpochInstalls,
+				rep.Retries, rep.Redials)
+		}
+	}
+	fmt.Printf("pmvtorture -cluster: %d seeds, %d failed\n", seeds, failed)
 	if failed > 0 {
 		os.Exit(1)
 	}

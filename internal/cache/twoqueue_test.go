@@ -1,0 +1,199 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// checkTwoQueueInvariants asserts the structural invariants that every
+// 2Q interleaving must preserve: Am never exceeds its capacity, A1
+// never exceeds its capacity, and no key sits in both queues at once
+// (promotion must remove from A1, admission to A1 must not duplicate
+// an Am resident).
+func checkTwoQueueInvariants(t *testing.T, q *TwoQueue, universe []string) {
+	t.Helper()
+	if q.Len() > q.Cap() {
+		t.Fatalf("Am holds %d entries, capacity %d", q.Len(), q.Cap())
+	}
+	inA1 := 0
+	for _, k := range universe {
+		if q.InA1(k) {
+			inA1++
+			if q.Contains(k) {
+				t.Fatalf("key %q is in both A1 and Am", k)
+			}
+		}
+	}
+	if inA1 > q.a1Cap {
+		t.Fatalf("A1 holds %d entries, capacity %d", inA1, q.a1Cap)
+	}
+}
+
+func Test2QEvictedKeyRestartsAdmission(t *testing.T) {
+	q := NewTwoQueue(2, 2)
+	promote := func(k string) (bool, []string) {
+		q.RequestAdmit(k)
+		return q.RequestAdmit(k)
+	}
+	promote("a")
+	promote("b")
+
+	// Promoting more keys than Am holds must evict, and CLOCK only
+	// spares referenced entries; with none referenced the first
+	// promotion beyond capacity evicts someone.
+	var evicted []string
+	for _, k := range []string{"c", "d"} {
+		_, ev := promote(k)
+		evicted = append(evicted, ev...)
+	}
+	if len(evicted) == 0 {
+		t.Fatal("filling Am past capacity evicted nothing")
+	}
+	victim := evicted[0]
+	if q.Contains(victim) {
+		t.Fatalf("evicted key %q still in Am", victim)
+	}
+	if q.InA1(victim) {
+		t.Fatalf("evicted key %q moved to A1; eviction must fully forget it", victim)
+	}
+
+	// The victim starts over: first sighting goes to A1 unadmitted,
+	// the second promotes.
+	if ok, _ := q.RequestAdmit(victim); ok {
+		t.Fatalf("evicted key %q readmitted on first sighting", victim)
+	}
+	if !q.InA1(victim) {
+		t.Fatalf("evicted key %q not queued in A1 on first re-sighting", victim)
+	}
+	if ok, _ := q.RequestAdmit(victim); !ok {
+		t.Fatalf("evicted key %q not promoted on second re-sighting", victim)
+	}
+}
+
+func Test2QRemoveWhileInA1ResetsHistory(t *testing.T) {
+	q := NewTwoQueue(4, 2)
+	q.RequestAdmit("x")
+	if !q.InA1("x") {
+		t.Fatal("first sighting did not enqueue in A1")
+	}
+	q.Remove("x")
+	if q.InA1("x") || q.Contains("x") {
+		t.Fatal("Remove left state behind")
+	}
+	// With its A1 history wiped the next sighting is a first sighting
+	// again — admitting here would defeat the 2Q admission filter.
+	if ok, _ := q.RequestAdmit("x"); ok {
+		t.Fatal("key admitted right after Remove; A1 history survived")
+	}
+}
+
+func Test2QA1OverflowDropsPromotionClaim(t *testing.T) {
+	q := NewTwoQueue(4, 2)
+	q.RequestAdmit("a")
+	q.RequestAdmit("b")
+	// "c" overflows A1 and pushes out "a", the oldest.
+	q.RequestAdmit("c")
+	if q.InA1("a") {
+		t.Fatal("A1 overflow kept the oldest entry")
+	}
+	// "a" lost its history: this sighting re-enters A1 instead of
+	// promoting.
+	if ok, _ := q.RequestAdmit("a"); ok {
+		t.Fatal("key promoted from evicted A1 slot")
+	}
+}
+
+func Test2QRandomOpsPreserveInvariants(t *testing.T) {
+	q := NewTwoQueue(8, 4)
+	universe := make([]string, 24)
+	for i := range universe {
+		universe[i] = fmt.Sprintf("k%d", i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for op := 0; op < 20_000; op++ {
+		k := universe[rng.Intn(len(universe))]
+		switch rng.Intn(4) {
+		case 0, 1:
+			if ok, _ := q.RequestAdmit(k); ok && !q.Contains(k) {
+				t.Fatalf("op %d: key %q admitted but not in Am", op, k)
+			}
+		case 2:
+			q.Lookup(k)
+		case 3:
+			q.Remove(k)
+			if q.Contains(k) || q.InA1(k) {
+				t.Fatalf("op %d: key %q survived Remove", op, k)
+			}
+		}
+		checkTwoQueueInvariants(t, q, universe)
+	}
+}
+
+// Test2QConcurrentHammer drives the policy the way a view does — many
+// goroutines serialized on one mutex — and validates the structural
+// invariants after every mutation. Run with -race: it proves the
+// documented locking discipline (callers lock; the policy itself is
+// unsynchronized) actually covers promotion, A1 overflow, eviction,
+// and removal interleavings.
+func Test2QConcurrentHammer(t *testing.T) {
+	q := NewTwoQueue(16, 8)
+	universe := make([]string, 48)
+	for i := range universe {
+		universe[i] = fmt.Sprintf("k%d", i)
+	}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	fail := make(chan string, 1)
+	report := func(format string, args ...any) {
+		select {
+		case fail <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+	const workers = 8
+	const opsPerWorker = 4_000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for op := 0; op < opsPerWorker; op++ {
+				k := universe[rng.Intn(len(universe))]
+				mu.Lock()
+				switch rng.Intn(5) {
+				case 0, 1, 2:
+					if ok, _ := q.RequestAdmit(k); ok && !q.Contains(k) {
+						report("worker %d: key %q admitted but not in Am", seed, k)
+					}
+				case 3:
+					if q.Lookup(k) && !q.Contains(k) {
+						report("worker %d: key %q hit but not contained", seed, k)
+					}
+				case 4:
+					q.Remove(k)
+					if q.Contains(k) || q.InA1(k) {
+						report("worker %d: key %q survived Remove", seed, k)
+					}
+				}
+				if q.Len() > q.Cap() {
+					report("worker %d: Am %d over capacity %d", seed, q.Len(), q.Cap())
+				}
+				if q.InA1(k) && q.Contains(k) {
+					report("worker %d: key %q in both queues", seed, k)
+				}
+				mu.Unlock()
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	checkTwoQueueInvariants(t, q, universe)
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"sync/atomic"
+
+	"pmv/internal/server"
+	"pmv/internal/wire"
+)
+
+// Metrics is the router's counter set: session-plane counters mirroring
+// the single-node server's, router-level phase histograms, and one
+// ShardMetrics block per shard so an operator can see exactly which
+// shard is failing probes, refusing refills, or answering slowly.
+type Metrics struct {
+	SessionsTotal   atomic.Int64
+	SessionsActive  atomic.Int64
+	Queries         atomic.Int64
+	Rows            atomic.Int64
+	PartialRows     atomic.Int64
+	Shed            atomic.Int64
+	DeadlineExpired atomic.Int64
+	Degraded        atomic.Int64
+	PartialOnly     atomic.Int64
+	Errors          atomic.Int64
+	ConnRejected    atomic.Int64
+	IdleReaped      atomic.Int64
+	CorruptFrames   atomic.Int64
+	SessionResets   atomic.Int64
+
+	// DSLeftover counts queries failed because partial tuples were never
+	// matched by Operation O3 — the cluster-level consistency oracle.
+	DSLeftover atomic.Int64
+
+	// Scatter times the probe fan-out (O1 + the slowest shard's O2),
+	// Exec the routed O3, Total whole routed queries.
+	Scatter server.Hist
+	Exec    server.Hist
+	Total   server.Hist
+
+	// Shards holds one block per shard id.
+	Shards []*ShardMetrics
+}
+
+// ShardMetrics counts one shard's share of the router's traffic.
+type ShardMetrics struct {
+	Addr string
+
+	Probes         atomic.Int64 // probe batches sent
+	ProbeRows      atomic.Int64 // Ls′ partials received
+	ProbeFailures  atomic.Int64 // probe batches lost to errors (degradation)
+	EpochInstalls  atomic.Int64 // shard-map installs pushed (startup + MsgErrEpoch)
+	Execs          atomic.Int64 // routed O3s attempted
+	ExecFailures   atomic.Int64 // routed O3s failed (failover or give-up)
+	RefillsSent    atomic.Int64 // refill batches dispatched
+	RefillTuples   atomic.Int64 // tuples the shard confirmed cached
+	RefillFailures atomic.Int64 // refill batches lost (never retried)
+
+	// ProbeLatency times this shard's probe round trips.
+	ProbeLatency server.Hist
+}
+
+func newMetrics(shards []string) *Metrics {
+	m := &Metrics{Shards: make([]*ShardMetrics, len(shards))}
+	for i, addr := range shards {
+		m.Shards[i] = &ShardMetrics{Addr: addr}
+	}
+	return m
+}
+
+// ServerStats renders the session-plane counters in the wire's
+// single-node shape, so `pmvcli stats` against a router shows the same
+// dashboard it shows against a shard.
+func (m *Metrics) ServerStats() wire.ServerStats {
+	return wire.ServerStats{
+		SessionsTotal:   m.SessionsTotal.Load(),
+		SessionsActive:  m.SessionsActive.Load(),
+		Queries:         m.Queries.Load(),
+		Rows:            m.Rows.Load(),
+		PartialRows:     m.PartialRows.Load(),
+		Shed:            m.Shed.Load(),
+		DeadlineExpired: m.DeadlineExpired.Load(),
+		Degraded:        m.Degraded.Load(),
+		PartialOnly:     m.PartialOnly.Load(),
+		Errors:          m.Errors.Load(),
+		ConnRejected:    m.ConnRejected.Load(),
+		IdleReaped:      m.IdleReaped.Load(),
+		CorruptFrames:   m.CorruptFrames.Load(),
+		SessionResets:   m.SessionResets.Load(),
+		PartialPhase:    m.Scatter.Snapshot(),
+		ExecPhase:       m.Exec.Snapshot(),
+		Total:           m.Total.Snapshot(),
+	}
+}

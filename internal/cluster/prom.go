@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"io"
+
+	"pmv/internal/obs"
+)
+
+// WritePrometheus renders the router's metrics in the Prometheus text
+// exposition format: router-level session/query counters, the
+// scatter/exec/total phase histograms, and per-shard families labeled
+// shard="<addr>" so one dashboard shows which shard is degrading the
+// fan-out.
+func (r *Router) WritePrometheus(w io.Writer) error {
+	m := r.metrics
+	p := obs.NewPromWriter(w)
+
+	p.Counter("pmvrouter_sessions_total", "Client sessions accepted.", float64(m.SessionsTotal.Load()))
+	p.Gauge("pmvrouter_sessions_active", "Client sessions currently open.", float64(m.SessionsActive.Load()))
+	p.Counter("pmvrouter_queries_total", "Routed queries completed.", float64(m.Queries.Load()))
+	p.Counter("pmvrouter_rows_total", "Result rows streamed to clients.", float64(m.Rows.Load()))
+	p.Counter("pmvrouter_partial_rows_total", "O2 partial rows streamed to clients.", float64(m.PartialRows.Load()))
+	p.Counter("pmvrouter_shed_total", "Queries shed to probes-only answers by admission control.", float64(m.Shed.Load()))
+	p.Counter("pmvrouter_deadline_expired_total", "Queries truncated by their deadline.", float64(m.DeadlineExpired.Load()))
+	p.Counter("pmvrouter_degraded_total", "Queries that lost a shard's partials or failed over O3.", float64(m.Degraded.Load()))
+	p.Counter("pmvrouter_partial_only_total", "Queries closed from the PMV plane alone.", float64(m.PartialOnly.Load()))
+	p.Counter("pmvrouter_errors_total", "Requests answered with an error frame.", float64(m.Errors.Load()))
+	p.Counter("pmvrouter_ds_leftover_total", "Queries failed by the duplicate-multiset consistency audit.", float64(m.DSLeftover.Load()))
+	p.Counter("pmvrouter_conn_rejected_total", "Connections refused by the MaxConns cap.", float64(m.ConnRejected.Load()))
+	p.Counter("pmvrouter_idle_reaped_total", "Sessions closed for idling past IdleTimeout.", float64(m.IdleReaped.Load()))
+	p.Counter("pmvrouter_corrupt_frames_total", "Sessions dropped on framing violations.", float64(m.CorruptFrames.Load()))
+	p.Counter("pmvrouter_session_resets_total", "Sessions torn down by abrupt transport errors.", float64(m.SessionResets.Load()))
+
+	p.Gauge("pmvrouter_shard_map_epoch", "Epoch of the authoritative shard map.", float64(r.shardMap().Epoch()))
+
+	hist := func(name, help string, h interface {
+		Dump() ([]obs.Bucket, int64, float64)
+	}) {
+		buckets, count, sum := h.Dump()
+		p.Header(name, "histogram", help)
+		p.Histogram(name, "", buckets, count, sum)
+	}
+	hist("pmvrouter_scatter_seconds", "Probe fan-out latency (O1 plus the slowest shard's O2).", &m.Scatter)
+	hist("pmvrouter_exec_seconds", "Routed O3 execution latency.", &m.Exec)
+	hist("pmvrouter_query_seconds", "Whole routed query latency.", &m.Total)
+
+	shardCounter := func(name, help string, get func(*ShardMetrics) int64) {
+		p.Header(name, "counter", help)
+		for _, sm := range m.Shards {
+			p.Sample(name, obs.Label("shard", sm.Addr), float64(get(sm)))
+		}
+	}
+	shardCounter("pmvrouter_shard_probes_total", "Probe batches sent to the shard.",
+		func(sm *ShardMetrics) int64 { return sm.Probes.Load() })
+	shardCounter("pmvrouter_shard_probe_rows_total", "Ls' partial tuples received from the shard.",
+		func(sm *ShardMetrics) int64 { return sm.ProbeRows.Load() })
+	shardCounter("pmvrouter_shard_probe_failures_total", "Probe batches lost to shard failures.",
+		func(sm *ShardMetrics) int64 { return sm.ProbeFailures.Load() })
+	shardCounter("pmvrouter_shard_epoch_installs_total", "Shard-map installs pushed to the shard.",
+		func(sm *ShardMetrics) int64 { return sm.EpochInstalls.Load() })
+	shardCounter("pmvrouter_shard_execs_total", "Routed O3 executions attempted on the shard.",
+		func(sm *ShardMetrics) int64 { return sm.Execs.Load() })
+	shardCounter("pmvrouter_shard_exec_failures_total", "Routed O3 executions the shard failed.",
+		func(sm *ShardMetrics) int64 { return sm.ExecFailures.Load() })
+	shardCounter("pmvrouter_shard_refills_total", "Refill batches dispatched to the shard.",
+		func(sm *ShardMetrics) int64 { return sm.RefillsSent.Load() })
+	shardCounter("pmvrouter_shard_refill_tuples_total", "Tuples the shard confirmed cached from refills.",
+		func(sm *ShardMetrics) int64 { return sm.RefillTuples.Load() })
+	shardCounter("pmvrouter_shard_refill_failures_total", "Refill batches lost (refill never retries).",
+		func(sm *ShardMetrics) int64 { return sm.RefillFailures.Load() })
+
+	p.Header("pmvrouter_shard_probe_seconds", "histogram", "Per-shard probe round-trip latency.")
+	for _, sm := range m.Shards {
+		buckets, count, sum := sm.ProbeLatency.Dump()
+		p.Histogram("pmvrouter_shard_probe_seconds", obs.Label("shard", sm.Addr), buckets, count, sum)
+	}
+
+	obs.WriteGoRuntime(p)
+	return p.Flush()
+}

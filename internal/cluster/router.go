@@ -1,0 +1,1059 @@
+// router.go is the scatter-gather front end of the cluster plane. A
+// Router speaks the same wire protocol as pmvd, so existing clients
+// point at it unchanged, but behind each query it runs the paper's
+// protocol across shards:
+//
+//	O1  locally — BreakConditions via an engine-free BCPCoder built
+//	    from the view's template and dividers (fetched once per view
+//	    from a shard),
+//	O2  scattered — condition parts are grouped by the shard map's
+//	    owner and probed concurrently; cached Ls′ partials stream to
+//	    the client as they arrive, each recorded in the router's DS
+//	    duplicate multiset first,
+//	O3  on any one shard — every shard holds the full base data, so
+//	    the blocking plan runs once, round-robined with failover while
+//	    zero O3 rows have been emitted; duplicates of already-streamed
+//	    partials are consumed from DS instead of re-emitted,
+//	refill — O3 rows that were not served from cache fan back to the
+//	    bcp owners asynchronously, never retried (shard-side refill is
+//	    idempotent at entry granularity, so at-most-once is safe and
+//	    at-least-once is not needed).
+//
+// Degradation mirrors the single-node PMV-less path: a shard that is
+// down, blackholed, or answering MsgErrEpoch after a restart costs its
+// partials (Report.Degraded), never correctness. If every shard
+// refuses O3 but partials were delivered, the query closes
+// PartialOnly+Degraded — the same contract as single-node admission
+// shedding. Leftover DS tokens on a cleanly completed query are a
+// consistency violation and fail the query loudly.
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"maps"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmv/client"
+	"pmv/internal/core"
+	"pmv/internal/expr"
+	"pmv/internal/value"
+	"pmv/internal/wire"
+)
+
+// Config tunes a Router.
+type Config struct {
+	// Shards lists the shard addresses (index = shard id). Required.
+	Shards []string
+	// VNodes is the consistent-hash virtual-node count (default 64).
+	VNodes int
+	// Epoch stamps the initial shard map (default 1; must be nonzero).
+	Epoch uint64
+	// PoolSize bounds concurrently routed O3s; queries beyond it are
+	// shed to probes-only answers. Default: GOMAXPROCS.
+	PoolSize int
+	// ClientsPerShard caps each shard's idle connection pool (default 4).
+	ClientsPerShard int
+	// DefaultDeadline bounds queries that carry none (0 = unbounded).
+	DefaultDeadline time.Duration
+	// DialTimeout bounds each shard dial (default 2s).
+	DialTimeout time.Duration
+	// RefillTimeout bounds each asynchronous refill fan-out (default 2s).
+	RefillTimeout time.Duration
+	// DrainTimeout bounds Shutdown's wait for in-flight sessions.
+	// Default 5s.
+	DrainTimeout time.Duration
+	// MaxConns caps concurrently open client sessions (0 = unlimited).
+	MaxConns int
+	// IdleTimeout reclaims client sessions idle between requests (0 =
+	// sessions may idle forever).
+	IdleTimeout time.Duration
+	// FrameTimeout bounds one request frame's arrival once started.
+	// Default 30s; negative disables.
+	FrameTimeout time.Duration
+	// WriteTimeout bounds each response write. Default 30s; negative
+	// disables.
+	WriteTimeout time.Duration
+}
+
+func (c *Config) fill() error {
+	if len(c.Shards) == 0 {
+		return errors.New("cluster: router needs at least one shard")
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.Epoch == 0 {
+		c.Epoch = 1
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = runtime.GOMAXPROCS(0)
+	}
+	if c.ClientsPerShard <= 0 {
+		c.ClientsPerShard = 4
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RefillTimeout <= 0 {
+		c.RefillTimeout = 2 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.FrameTimeout == 0 {
+		c.FrameTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	return nil
+}
+
+// Router serves the pmvd wire protocol by scattering the PMV protocol
+// over a set of shards.
+type Router struct {
+	cfg     Config
+	metrics *Metrics
+	sem     chan struct{} // admission slots for routed O3s
+	rr      atomic.Int64  // exec round-robin cursor
+
+	smu  sync.Mutex
+	smap *ShardMap
+
+	pools []*pool
+
+	vmu   sync.Mutex
+	views map[string]*viewMeta
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*rsession]struct{}
+	closing  chan struct{}
+	wg       sync.WaitGroup
+
+	refillWG sync.WaitGroup
+}
+
+// viewMeta is the router's cached routing metadata for one view:
+// everything needed to run O1 and project Ls′ rows without a database.
+type viewMeta struct {
+	name      string
+	tpl       *expr.Template
+	coder     *core.BCPCoder
+	nUserCols int
+	condPos   []int // each condition attribute's slot in Ls′ rows
+}
+
+// NewRouter builds a router over cfg.Shards without listening.
+func NewRouter(cfg Config) (*Router, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	smap, err := NewShardMap(cfg.Epoch, cfg.Shards, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:      cfg,
+		metrics:  newMetrics(cfg.Shards),
+		sem:      make(chan struct{}, cfg.PoolSize),
+		smap:     smap,
+		pools:    make([]*pool, len(cfg.Shards)),
+		views:    make(map[string]*viewMeta),
+		sessions: make(map[*rsession]struct{}),
+		closing:  make(chan struct{}),
+	}
+	for i, addr := range cfg.Shards {
+		r.pools[i] = newPool(addr, cfg.DialTimeout, cfg.ClientsPerShard)
+	}
+	return r, nil
+}
+
+// Metrics exposes the live counters.
+func (r *Router) Metrics() *Metrics { return r.metrics }
+
+// shardMap returns the current map.
+func (r *Router) shardMap() *ShardMap {
+	r.smu.Lock()
+	defer r.smu.Unlock()
+	return r.smap
+}
+
+// Start listens on addr and accepts sessions until Shutdown. It also
+// pushes the shard map to every shard in the background, best-effort —
+// a shard that is down bootstraps later through the MsgErrEpoch path.
+func (r *Router) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	r.Serve(ln)
+	return nil
+}
+
+// Serve accepts sessions on ln until Shutdown (ownership of ln
+// transfers to the router).
+func (r *Router) Serve(ln net.Listener) {
+	r.mu.Lock()
+	r.ln = ln
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.installEverywhere(r.shardMap())
+	}()
+	r.wg.Add(1)
+	go r.acceptLoop(ln)
+}
+
+// Addr returns the bound listen address (nil before Start).
+func (r *Router) Addr() net.Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ln == nil {
+		return nil
+	}
+	return r.ln.Addr()
+}
+
+// installEverywhere pushes m to every shard, best-effort.
+func (r *Router) installEverywhere(m *ShardMap) {
+	for i := range r.pools {
+		r.installOn(i, m)
+	}
+}
+
+// installOn pushes m to one shard. Failures are tolerated: the shard
+// will ask again through MsgErrEpoch the first time it is probed.
+func (r *Router) installOn(shard int, m *ShardMap) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.DialTimeout+time.Second)
+	defer cancel()
+	c := r.pools[shard].get()
+	err := c.InstallShardMap(ctx, m.Wire())
+	r.pools[shard].put(c, err == nil)
+	if err != nil {
+		return false
+	}
+	r.metrics.Shards[shard].EpochInstalls.Add(1)
+	return true
+}
+
+// Shutdown stops accepting, drains sessions (bounded by DrainTimeout),
+// waits for in-flight refill fan-outs, and closes the shard pools.
+func (r *Router) Shutdown() error {
+	r.mu.Lock()
+	select {
+	case <-r.closing:
+		r.mu.Unlock()
+		return nil
+	default:
+	}
+	close(r.closing)
+	ln := r.ln
+	for sess := range r.sessions {
+		sess.conn.SetReadDeadline(time.Now())
+		sess.conn.SetWriteDeadline(time.Now().Add(r.cfg.DrainTimeout))
+	}
+	r.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() { r.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(r.cfg.DrainTimeout):
+		r.mu.Lock()
+		for sess := range r.sessions {
+			sess.conn.Close()
+		}
+		r.mu.Unlock()
+		<-done
+	}
+	r.refillWG.Wait() // bounded: each refill runs under RefillTimeout
+	for _, p := range r.pools {
+		p.close()
+	}
+	return err
+}
+
+// rsession is one accepted client connection.
+type rsession struct {
+	r    *Router
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	// inFrame distinguishes an idle close from a mid-frame stall.
+	inFrame bool
+}
+
+func (sess *rsession) armWrite() {
+	if wt := sess.r.cfg.WriteTimeout; wt > 0 {
+		sess.conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+}
+
+func (sess *rsession) readRequest() (byte, []byte, error) {
+	sess.inFrame = false
+	if idle := sess.r.cfg.IdleTimeout; idle > 0 {
+		sess.conn.SetReadDeadline(time.Now().Add(idle))
+	} else {
+		sess.conn.SetReadDeadline(time.Time{})
+	}
+	select {
+	case <-sess.r.closing:
+		sess.conn.SetReadDeadline(time.Now())
+	default:
+	}
+	if _, err := sess.br.Peek(1); err != nil {
+		return 0, nil, err
+	}
+	sess.inFrame = true
+	if ft := sess.r.cfg.FrameTimeout; ft > 0 {
+		sess.conn.SetReadDeadline(time.Now().Add(ft))
+	}
+	return wire.ReadFrame(sess.br)
+}
+
+func (r *Router) acceptLoop(ln net.Listener) {
+	defer r.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		select {
+		case <-r.closing:
+			r.mu.Unlock()
+			c.Close()
+			return
+		default:
+		}
+		if r.cfg.MaxConns > 0 && len(r.sessions) >= r.cfg.MaxConns {
+			r.mu.Unlock()
+			r.metrics.ConnRejected.Add(1)
+			go func(c net.Conn) {
+				c.SetWriteDeadline(time.Now().Add(time.Second))
+				wire.WriteFrame(c, wire.MsgError, []byte("router: connection limit reached"))
+				c.Close()
+			}(c)
+			continue
+		}
+		sess := &rsession{
+			r:    r,
+			conn: c,
+			br:   bufio.NewReaderSize(c, 64<<10),
+			bw:   bufio.NewWriterSize(c, 64<<10),
+		}
+		r.sessions[sess] = struct{}{}
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go r.handleSession(sess)
+	}
+}
+
+// errVersionMismatch terminates a session after the typed MsgErrVersion
+// frame has been written.
+var errVersionMismatch = errors.New("router: protocol version mismatch")
+
+// errUnknownRequest terminates a session whose stream may be desynced.
+var errUnknownRequest = errors.New("router: unknown request type")
+
+func (r *Router) handleSession(sess *rsession) {
+	r.metrics.SessionsTotal.Add(1)
+	r.metrics.SessionsActive.Add(1)
+	defer func() {
+		r.metrics.SessionsActive.Add(-1)
+		r.mu.Lock()
+		delete(r.sessions, sess)
+		r.mu.Unlock()
+		sess.conn.Close()
+		r.wg.Done()
+	}()
+
+	for {
+		typ, payload, err := sess.readRequest()
+		if err != nil {
+			switch {
+			case errors.Is(err, wire.ErrCorruptFrame) || errors.Is(err, wire.ErrFrameTooLarge):
+				r.metrics.CorruptFrames.Add(1)
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				select {
+				case <-r.closing:
+				default:
+					r.metrics.IdleReaped.Add(1)
+				}
+			case errors.Is(err, io.EOF):
+			default:
+				r.metrics.SessionResets.Add(1)
+			}
+			return
+		}
+		sess.armWrite()
+		err = r.dispatch(sess, typ, payload)
+		if err == nil {
+			sess.armWrite()
+			err = sess.bw.Flush()
+		}
+		if err != nil {
+			switch {
+			case errors.Is(err, errVersionMismatch):
+			case errors.Is(err, errUnknownRequest):
+				r.metrics.CorruptFrames.Add(1)
+			default:
+				select {
+				case <-r.closing:
+				default:
+					r.metrics.SessionResets.Add(1)
+				}
+			}
+			return
+		}
+		select {
+		case <-r.closing:
+			return
+		default:
+		}
+	}
+}
+
+// dispatch answers one request; mirror of the single-node dispatch with
+// admin traffic proxied to shards where that is meaningful.
+func (r *Router) dispatch(sess *rsession, typ byte, payload []byte) error {
+	bw := sess.bw
+	switch typ {
+	case wire.MsgHello:
+		return r.handleHello(sess, payload)
+	case wire.MsgQuery:
+		return r.handleQuery(sess, payload)
+	case wire.MsgStats:
+		return r.reply(bw, wire.StatsReply{Server: r.metrics.ServerStats()})
+	case wire.MsgViews, wire.MsgTables, wire.MsgSchema, wire.MsgCount, wire.MsgPeek, wire.MsgViewStats:
+		// Reads against base data or view metadata: any healthy shard's
+		// answer is as good as another's.
+		return r.forwardFirst(sess, typ, payload)
+	case wire.MsgAnalyze, wire.MsgCheckpoint:
+		return r.forwardAll(sess, typ, payload)
+	case wire.MsgShardMap:
+		return r.handleShardMap(bw, payload)
+	case wire.MsgShards:
+		return r.handleShards(bw)
+	case wire.MsgTrace, wire.MsgSlowlog:
+		return r.writeErr(bw, errors.New("router: per-node observability command; address a shard directly"))
+	case wire.MsgProbeParts, wire.MsgExec, wire.MsgRefill:
+		return r.writeErr(bw, errors.New("router: shard-internal request; this is a router"))
+	default:
+		return fmt.Errorf("%w 0x%02x", errUnknownRequest, typ)
+	}
+}
+
+func (r *Router) handleHello(sess *rsession, payload []byte) error {
+	v, err := wire.DecodeHello(payload)
+	if err != nil {
+		return r.writeErr(sess.bw, err)
+	}
+	if v != wire.ProtocolVersion {
+		if werr := wire.WriteFrame(sess.bw, wire.MsgErrVersion, wire.EncodeVersionErr(wire.ProtocolVersion)); werr != nil {
+			return werr
+		}
+		if werr := sess.bw.Flush(); werr != nil {
+			return werr
+		}
+		return fmt.Errorf("%w: peer speaks %d, router speaks %d", errVersionMismatch, v, wire.ProtocolVersion)
+	}
+	return r.reply(sess.bw, wire.HelloReply{Version: int(wire.ProtocolVersion)})
+}
+
+func (r *Router) writeErr(bw *bufio.Writer, err error) error {
+	r.metrics.Errors.Add(1)
+	return wire.WriteFrame(bw, wire.MsgError, []byte(err.Error()))
+}
+
+func (r *Router) reply(bw *bufio.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return r.writeErr(bw, err)
+	}
+	return wire.WriteFrame(bw, wire.MsgReply, data)
+}
+
+// adminCtx bounds a proxied admin round trip.
+func (r *Router) adminCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), r.cfg.DialTimeout+5*time.Second)
+}
+
+// forwardFirst relays an admin request to the first shard that answers.
+func (r *Router) forwardFirst(sess *rsession, typ byte, payload []byte) error {
+	ctx, cancel := r.adminCtx()
+	defer cancel()
+	var lastErr error
+	for shard := range r.pools {
+		c := r.pools[shard].get()
+		raw, err := c.Forward(ctx, typ, payload)
+		r.pools[shard].put(c, err == nil || errors.Is(err, client.ErrRemote))
+		if err == nil {
+			sess.armWrite()
+			return wire.WriteFrame(sess.bw, wire.MsgReply, raw)
+		}
+		if errors.Is(err, client.ErrRemote) {
+			// The shard answered; its refusal is the answer.
+			return r.writeErr(sess.bw, err)
+		}
+		lastErr = err
+	}
+	return r.writeErr(sess.bw, fmt.Errorf("router: no shard reachable: %w", lastErr))
+}
+
+// forwardAll relays maintenance to every shard; the first failure is
+// reported (shards already reached stay done — both commands are
+// idempotent).
+func (r *Router) forwardAll(sess *rsession, typ byte, payload []byte) error {
+	ctx, cancel := r.adminCtx()
+	defer cancel()
+	for shard := range r.pools {
+		c := r.pools[shard].get()
+		_, err := c.Forward(ctx, typ, payload)
+		r.pools[shard].put(c, err == nil || errors.Is(err, client.ErrRemote))
+		if err != nil {
+			return r.writeErr(sess.bw, fmt.Errorf("router: shard %s: %w", r.cfg.Shards[shard], err))
+		}
+	}
+	return r.reply(sess.bw, wire.OKReply{OK: true})
+}
+
+// handleShardMap reads (empty payload) or replaces (JSON payload) the
+// authoritative map. A replacement must advance the epoch; it is pushed
+// to every shard before the reply so a successful install means the
+// cluster is routed by the new map.
+func (r *Router) handleShardMap(bw *bufio.Writer, payload []byte) error {
+	if len(payload) > 0 {
+		var mr wire.ShardMapReply
+		if err := json.Unmarshal(payload, &mr); err != nil {
+			return r.writeErr(bw, fmt.Errorf("router: bad shard map: %w", err))
+		}
+		m, err := FromWire(mr)
+		if err != nil {
+			return r.writeErr(bw, err)
+		}
+		r.smu.Lock()
+		if m.Epoch() <= r.smap.Epoch() {
+			cur := r.smap.Epoch()
+			r.smu.Unlock()
+			return r.writeErr(bw, fmt.Errorf("router: new epoch %d does not advance current %d", m.Epoch(), cur))
+		}
+		if len(m.Shards()) != len(r.smap.Shards()) {
+			r.smu.Unlock()
+			return r.writeErr(bw, errors.New("router: changing the shard set requires a restart (static pools)"))
+		}
+		r.smap = m
+		r.smu.Unlock()
+		r.installEverywhere(m)
+	}
+	return r.reply(bw, r.shardMap().Wire())
+}
+
+// handleShards reports cluster status: per-shard reachability, the
+// epoch each shard has installed, and its view occupancy.
+func (r *Router) handleShards(bw *bufio.Writer) error {
+	m := r.shardMap()
+	out := wire.ShardsReply{
+		Epoch:  m.Epoch(),
+		VNodes: m.Wire().VNodes,
+		Shards: make([]wire.ShardInfo, len(r.pools)),
+	}
+	ctx, cancel := r.adminCtx()
+	defer cancel()
+	var wg sync.WaitGroup
+	for shard := range r.pools {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			info := wire.ShardInfo{Addr: r.cfg.Shards[shard]}
+			c := r.pools[shard].get()
+			sm, err := c.ShardMap(ctx)
+			if err == nil {
+				info.Up = true
+				info.Epoch = sm.Epoch
+				if views, verr := c.Views(ctx); verr == nil {
+					info.Views = views
+				}
+			} else {
+				info.Error = err.Error()
+			}
+			r.pools[shard].put(c, err == nil)
+			out.Shards[shard] = info
+		}(shard)
+	}
+	wg.Wait()
+	return r.reply(bw, out)
+}
+
+// viewMeta returns the cached routing metadata for a view, fetching it
+// from the first healthy shard on a cold miss.
+func (r *Router) viewMeta(ctx context.Context, name string) (*viewMeta, error) {
+	r.vmu.Lock()
+	if vm, ok := r.views[name]; ok {
+		r.vmu.Unlock()
+		return vm, nil
+	}
+	r.vmu.Unlock()
+
+	var lastErr error
+	for shard := range r.pools {
+		c := r.pools[shard].get()
+		views, err := c.Views(ctx)
+		r.pools[shard].put(c, err == nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		for _, vi := range views {
+			if vi.Name != name {
+				continue
+			}
+			coder, err := core.NewBCPCoder(vi.Template, vi.Dividers, vi.MaxConditionParts)
+			if err != nil {
+				return nil, err
+			}
+			_, condPos := core.SelectPlusLayout(vi.Template)
+			vm := &viewMeta{
+				name:      name,
+				tpl:       vi.Template,
+				coder:     coder,
+				nUserCols: len(vi.Template.Select),
+				condPos:   condPos,
+			}
+			r.vmu.Lock()
+			r.views[name] = vm
+			r.vmu.Unlock()
+			return vm, nil
+		}
+		return nil, fmt.Errorf("router: no view %q", name)
+	}
+	return nil, fmt.Errorf("router: no shard reachable for view metadata: %w", lastErr)
+}
+
+// handleQuery runs the scattered PMV protocol for one client query.
+func (r *Router) handleQuery(sess *rsession, payload []byte) error {
+	bw := sess.bw
+	req, err := wire.DecodeQuery(payload)
+	if err != nil {
+		return r.writeErr(bw, err)
+	}
+
+	ctx := context.Background()
+	deadline := req.Deadline
+	if deadline <= 0 {
+		deadline = r.cfg.DefaultDeadline
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	meta, err := r.viewMeta(ctx, req.View)
+	if err != nil {
+		return r.writeErr(bw, err)
+	}
+	q := &expr.Query{Template: meta.tpl, Conds: req.Conds}
+	if err := q.Validate(); err != nil {
+		return r.writeErr(bw, err)
+	}
+
+	// Operation O1, locally.
+	skipped := false
+	parts, o1err := meta.coder.BreakConditions(q)
+	if o1err != nil {
+		if !errors.Is(o1err, core.ErrTooManyParts) {
+			return r.writeErr(bw, o1err)
+		}
+		skipped, parts = true, nil
+	}
+
+	// Admission: decided before any work, like the single-node server.
+	shed := false
+	select {
+	case r.sem <- struct{}{}:
+		defer func() { <-r.sem }()
+	default:
+		shed = true
+	}
+
+	// Shared emission state. ds is the DS duplicate multiset, keyed on
+	// the encoded full Ls′ tuple; every emitted partial is recorded
+	// BEFORE its row frame is written, so O3 can always consume it.
+	var (
+		emitMu          sync.Mutex
+		ds              = make(map[string]int)
+		partialsEmitted int
+		rowBuf          []byte
+		emitFail        error
+	)
+	emitLocked := func(t value.Tuple, partial bool) error {
+		sess.armWrite()
+		rowBuf = wire.EncodeRow(rowBuf[:0], t[:meta.nUserCols], partial)
+		if werr := wire.WriteFrame(bw, wire.MsgRow, rowBuf); werr != nil {
+			emitFail = werr
+			return werr
+		}
+		if partial {
+			if werr := bw.Flush(); werr != nil {
+				emitFail = werr
+				return werr
+			}
+			partialsEmitted++
+		}
+		return nil
+	}
+
+	start := time.Now()
+	hit, degraded := r.scatterProbes(ctx, meta, parts, func(t value.Tuple) error {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		ds[string(value.EncodeTuple(nil, t))]++
+		return emitLocked(t, true)
+	})
+	partialLatency := time.Since(start)
+	if emitFail != nil {
+		return emitFail
+	}
+	r.metrics.Scatter.Observe(partialLatency)
+	r.metrics.PartialRows.Add(int64(partialsEmitted))
+
+	baseRep := wire.Report{
+		Hit:            hit,
+		Skipped:        skipped,
+		Degraded:       degraded,
+		Shed:           shed,
+		ConditionParts: len(parts),
+		PartialTuples:  partialsEmitted,
+		PartialLatency: partialLatency,
+	}
+
+	if shed {
+		// Probes-only answer: bounded work under overload, flagged.
+		baseRep.PartialOnly = true
+		baseRep.TotalTuples = partialsEmitted
+		return r.finishQuery(sess, baseRep, start)
+	}
+
+	// Operation O3 on one shard, with failover while zero O3 rows have
+	// reached the client. Each attempt starts from a fresh DS snapshot:
+	// a failed attempt may have consumed tokens for duplicates it
+	// dropped, and replaying against the consumed map would either
+	// re-emit a partial or fake a consistency violation.
+	snapshot := maps.Clone(ds)
+	nShards := len(r.pools)
+	firstShard := int(r.rr.Add(1)-1) % nShards
+	var (
+		execRep  client.Report
+		execErr  error
+		execRows int
+		refill   []value.Tuple
+		execOK   bool
+	)
+	for attempt := 0; attempt < nShards; attempt++ {
+		shard := (firstShard + attempt) % nShards
+		ds = maps.Clone(snapshot)
+		execRows, refill = 0, nil
+		sm := r.metrics.Shards[shard]
+		sm.Execs.Add(1)
+		c := r.pools[shard].get()
+		execRep, execErr = c.ExecPlain(ctx, meta.name, req.Conds, func(t client.Tuple) error {
+			emitMu.Lock()
+			defer emitMu.Unlock()
+			key := string(value.EncodeTuple(nil, t))
+			if n := ds[key]; n > 0 {
+				if n == 1 {
+					delete(ds, key)
+				} else {
+					ds[key] = n - 1
+				}
+				return nil // duplicate of an already-streamed partial
+			}
+			if werr := emitLocked(t, false); werr != nil {
+				return werr
+			}
+			execRows++
+			refill = append(refill, t.Clone())
+			return nil
+		})
+		r.pools[shard].put(c, execErr == nil || errors.Is(execErr, client.ErrRemote))
+		if emitFail != nil {
+			return emitFail
+		}
+		if execErr == nil {
+			execOK = true
+			break
+		}
+		sm.ExecFailures.Add(1)
+		if ctx.Err() != nil {
+			break // the deadline, not the shard, ended the attempt
+		}
+		if execRows > 0 {
+			// Rows from a now-dead O3 already reached the client; a
+			// second execution could duplicate them. Fail typed — the
+			// client sees a subset plus an error, never duplicates.
+			break
+		}
+	}
+
+	if !execOK {
+		if execRows == 0 && partialsEmitted > 0 && ctx.Err() == nil {
+			// Every shard refused O3 but the partials stand: close the
+			// stream the way single-node degradation does.
+			r.metrics.Degraded.Add(1)
+			baseRep.Degraded = true
+			baseRep.PartialOnly = true
+			baseRep.TotalTuples = partialsEmitted
+			return r.finishQuery(sess, baseRep, start)
+		}
+		return r.writeErr(bw, fmt.Errorf("router: query execution failed: %w", execErr))
+	}
+
+	// Exactly-once audit: on a clean completion every recorded partial
+	// must have been matched by an O3 row. Deadline truncation excuses
+	// leftovers (O3 stopped early by contract).
+	if !execRep.DeadlineExpired {
+		leftover := 0
+		for _, n := range ds {
+			leftover += n
+		}
+		if leftover > 0 {
+			r.metrics.DSLeftover.Add(1)
+			return r.writeErr(bw, fmt.Errorf("router: consistency violation: %d partial tuples never produced by execution", leftover))
+		}
+	}
+
+	r.metrics.Exec.Observe(execRep.ExecLatency)
+	baseRep.DeadlineExpired = execRep.DeadlineExpired
+	baseRep.TotalTuples = partialsEmitted + execRows
+	baseRep.ExecLatency = execRep.ExecLatency
+
+	if len(refill) > 0 {
+		r.spawnRefill(meta, refill)
+	}
+	return r.finishQuery(sess, baseRep, start)
+}
+
+// finishQuery records the closing metrics and writes the MsgDone frame.
+func (r *Router) finishQuery(sess *rsession, rep wire.Report, start time.Time) error {
+	r.metrics.Queries.Add(1)
+	r.metrics.Rows.Add(int64(rep.TotalTuples))
+	if rep.Shed {
+		r.metrics.Shed.Add(1)
+	}
+	if rep.PartialOnly {
+		r.metrics.PartialOnly.Add(1)
+	}
+	if rep.DeadlineExpired {
+		r.metrics.DeadlineExpired.Add(1)
+	}
+	if rep.Degraded && !rep.PartialOnly {
+		r.metrics.Degraded.Add(1)
+	}
+	r.metrics.Total.Observe(time.Since(start))
+	sess.armWrite()
+	return wire.WriteFrame(sess.bw, wire.MsgDone, wire.EncodeReport(nil, rep))
+}
+
+// scatterProbes groups parts by owner and probes the owning shards
+// concurrently. emit is called once per cached Ls′ tuple (from probe
+// goroutines — it must be internally synchronized). Returns whether any
+// bcp hit and whether any shard's partials were lost to failure.
+func (r *Router) scatterProbes(ctx context.Context, meta *viewMeta, parts []core.ConditionPart, emit func(value.Tuple) error) (hit, degraded bool) {
+	if len(parts) == 0 {
+		return false, false
+	}
+	m := r.shardMap()
+	groups := make(map[int][]wire.ProbePart)
+	for i := range parts {
+		p := &parts[i]
+		wp := wire.ProbePart{Key: p.BCPKey, Exact: p.Exact}
+		if !p.Exact {
+			wp.Conds = p.CondInstances()
+		}
+		owner := m.Owner(p.BCPKey)
+		groups[owner] = append(groups[owner], wp)
+	}
+
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for shard, batch := range groups {
+		wg.Add(1)
+		go func(shard int, batch []wire.ProbePart) {
+			defer wg.Done()
+			rep, err := r.probeShard(ctx, shard, meta.name, m, batch, emit)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				degraded = true
+				return
+			}
+			if rep.Hit {
+				hit = true
+			}
+		}(shard, batch)
+	}
+	wg.Wait()
+	return hit, degraded
+}
+
+// probeShard sends one probe batch, re-installing the shard map and
+// retrying once when the shard answers MsgErrEpoch (the deterministic
+// restart-recovery path: a rebooted shard holds epoch 0 until a router
+// re-teaches it the map). Epoch errors arrive before any row, so the
+// retry can never duplicate a partial.
+func (r *Router) probeShard(ctx context.Context, shard int, view string, m *ShardMap, batch []wire.ProbePart, emit func(value.Tuple) error) (client.Report, error) {
+	sm := r.metrics.Shards[shard]
+	for attempt := 0; ; attempt++ {
+		sm.Probes.Add(1)
+		start := time.Now()
+		c := r.pools[shard].get()
+		rows := 0
+		rep, err := c.ProbeParts(ctx, view, m.Epoch(), batch, func(t client.Tuple) error {
+			rows++
+			return emit(t)
+		})
+		r.pools[shard].put(c, err == nil || errors.Is(err, client.ErrRemote) || errors.Is(err, wire.ErrEpoch))
+		sm.ProbeLatency.Observe(time.Since(start))
+		sm.ProbeRows.Add(int64(rows))
+		if err == nil {
+			return rep, nil
+		}
+		if errors.Is(err, wire.ErrEpoch) && attempt == 0 && ctx.Err() == nil {
+			if r.installOn(shard, m) {
+				continue
+			}
+		}
+		sm.ProbeFailures.Add(1)
+		return rep, err
+	}
+}
+
+// spawnRefill fans the query's uncached O3 tuples back to their bcp
+// owners asynchronously. Fire-and-forget by design: refill is free
+// work, the shard side is idempotent at entry granularity, and the
+// query's answer is already complete — so a lost refill costs a future
+// cache miss, nothing else.
+func (r *Router) spawnRefill(meta *viewMeta, tuples []value.Tuple) {
+	select {
+	case <-r.closing:
+		return
+	default:
+	}
+	m := r.shardMap()
+	condVals := make([]value.Value, len(meta.condPos))
+	groups := make(map[int][]value.Tuple)
+	for _, t := range tuples {
+		for i, p := range meta.condPos {
+			condVals[i] = t[p]
+		}
+		owner := m.Owner(meta.coder.KeyFromCondValues(condVals))
+		groups[owner] = append(groups[owner], t)
+	}
+	for shard, batch := range groups {
+		r.refillWG.Add(1)
+		go func(shard int, batch []value.Tuple) {
+			defer r.refillWG.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.RefillTimeout)
+			defer cancel()
+			sm := r.metrics.Shards[shard]
+			sm.RefillsSent.Add(1)
+			c := r.pools[shard].get()
+			cached, err := c.Refill(ctx, meta.name, m.Epoch(), batch)
+			r.pools[shard].put(c, err == nil || errors.Is(err, client.ErrRemote) || errors.Is(err, wire.ErrEpoch))
+			if err != nil {
+				sm.RefillFailures.Add(1)
+				if errors.Is(err, wire.ErrEpoch) {
+					// This batch is lost (refill never retries), but
+					// re-teaching the map saves the ones after it.
+					r.installOn(shard, m)
+				}
+				return
+			}
+			sm.RefillTuples.Add(int64(cached))
+		}(shard, batch)
+	}
+}
+
+// pool is a small free-list of self-healing clients for one shard.
+// Clients that saw transport trouble are closed rather than pooled, so
+// a session that died mid-stream never pollutes a later request.
+type pool struct {
+	addr  string
+	limit int
+
+	mu     sync.Mutex
+	free   []*client.Client
+	seq    int64
+	closed bool
+
+	dialTimeout time.Duration
+}
+
+func newPool(addr string, dialTimeout time.Duration, limit int) *pool {
+	return &pool{addr: addr, limit: limit, dialTimeout: dialTimeout}
+}
+
+func (p *pool) get() *client.Client {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c
+	}
+	p.seq++
+	seq := p.seq
+	p.mu.Unlock()
+	return client.NewConfig(client.Config{
+		Addr:        p.addr,
+		DialTimeout: p.dialTimeout,
+		MaxRetries:  2,
+		BackoffBase: 20 * time.Millisecond,
+		BackoffMax:  250 * time.Millisecond,
+		Seed:        seq,
+	})
+}
+
+// put returns a client to the pool when its last call ended healthy;
+// otherwise (or when the pool is full or closed) the client is closed.
+func (p *pool) put(c *client.Client, healthy bool) {
+	if healthy {
+		p.mu.Lock()
+		if !p.closed && len(p.free) < p.limit {
+			p.free = append(p.free, c)
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+	}
+	c.Close()
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	free := p.free
+	p.free, p.closed = nil, true
+	p.mu.Unlock()
+	for _, c := range free {
+		c.Close()
+	}
+}

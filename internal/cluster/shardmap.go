@@ -1,0 +1,128 @@
+// Package cluster is the sharded PMV plane: a consistent-hash shard
+// map over encoded bcp keys and a scatter-gather router that runs the
+// paper's protocol across shards — Operation O1 locally, O2 probes
+// fanned to the owners of each condition part, the DS duplicate
+// multiset merged router-side, Operation O3 on any one shard (every
+// shard holds the full base data; only the hot cache is partitioned),
+// and refill deltas fanned back to the owners.
+//
+// The shard map is epoch-stamped. Shards validate the epoch on every
+// probe/refill and answer the typed MsgErrEpoch when it is stale or
+// missing (a freshly restarted shard has epoch 0), so misrouted cache
+// traffic fails typed and the router re-installs the map instead of
+// silently building hot sets on the wrong shard.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"pmv/internal/wire"
+)
+
+// ShardMap assigns encoded bcp keys to shards by consistent hashing
+// with virtual nodes: each shard address is hashed at VNodes points
+// onto a 64-bit ring, and a key belongs to the shard owning the first
+// ring point at or after the key's hash. Adding or removing one shard
+// therefore moves only ~1/n of the key space — the property every
+// future rebalancing PR depends on.
+//
+// A ShardMap is immutable after Build; routers swap whole maps (with a
+// bumped epoch) rather than mutating one in place.
+type ShardMap struct {
+	epoch  uint64
+	vnodes int
+	shards []string
+	ring   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// DefaultVNodes is the virtual-node count used when none is given:
+// enough that a 3-shard ring's load imbalance stays within a few
+// percent, small enough that map install payloads stay trivial.
+const DefaultVNodes = 64
+
+// New builds a shard map over the given shard addresses (index =
+// shard id). epoch must be nonzero — epoch 0 is reserved to mean "no
+// map installed" on shards.
+func NewShardMap(epoch uint64, shards []string, vnodes int) (*ShardMap, error) {
+	if epoch == 0 {
+		return nil, fmt.Errorf("cluster: epoch 0 is reserved for 'no map installed'")
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: shard map needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	m := &ShardMap{
+		epoch:  epoch,
+		vnodes: vnodes,
+		shards: append([]string(nil), shards...),
+		ring:   make([]ringPoint, 0, len(shards)*vnodes),
+	}
+	for si, addr := range m.shards {
+		for v := 0; v < vnodes; v++ {
+			m.ring = append(m.ring, ringPoint{
+				hash:  hashKey(fmt.Sprintf("%s#%d", addr, v)),
+				shard: si,
+			})
+		}
+	}
+	sort.Slice(m.ring, func(i, j int) bool {
+		if m.ring[i].hash != m.ring[j].hash {
+			return m.ring[i].hash < m.ring[j].hash
+		}
+		// Deterministic tie-break so every router derives the identical
+		// ring from the same (epoch, shards, vnodes) triple.
+		return m.ring[i].shard < m.ring[j].shard
+	})
+	return m, nil
+}
+
+// FromWire rebuilds a shard map from its wire form.
+func FromWire(r wire.ShardMapReply) (*ShardMap, error) {
+	return NewShardMap(r.Epoch, r.Shards, r.VNodes)
+}
+
+// Wire renders the map for installation on shards.
+func (m *ShardMap) Wire() wire.ShardMapReply {
+	return wire.ShardMapReply{
+		Epoch:  m.epoch,
+		VNodes: m.vnodes,
+		Shards: append([]string(nil), m.shards...),
+	}
+}
+
+// Epoch returns the map's epoch.
+func (m *ShardMap) Epoch() uint64 { return m.epoch }
+
+// Shards returns the shard addresses (index = shard id).
+func (m *ShardMap) Shards() []string { return append([]string(nil), m.shards...) }
+
+// NumShards returns the shard count.
+func (m *ShardMap) NumShards() int { return len(m.shards) }
+
+// Owner returns the shard id owning an encoded bcp key.
+func (m *ShardMap) Owner(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= h })
+	if i == len(m.ring) {
+		i = 0 // wrap around the ring
+	}
+	return m.ring[i].shard
+}
+
+// hashKey is FNV-1a over the key bytes — fast, dependency-free, and
+// stable across processes (the property the epoch protocol relies on:
+// every router and rebuild derives the same ring).
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}

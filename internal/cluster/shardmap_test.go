@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testShards(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:7070", i+1)
+	}
+	return out
+}
+
+func TestShardMapRejectsBadInputs(t *testing.T) {
+	if _, err := NewShardMap(0, testShards(3), 8); err == nil {
+		t.Fatal("epoch 0 accepted; it is reserved for 'no map installed'")
+	}
+	if _, err := NewShardMap(1, nil, 8); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+}
+
+func TestShardMapDeterministic(t *testing.T) {
+	a, err := NewShardMap(1, testShards(3), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewShardMap(1, testShards(3), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		key := fmt.Sprintf("bcp-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q owned by %d on one ring, %d on an identical one", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestShardMapDistribution(t *testing.T) {
+	m, err := NewShardMap(1, testShards(3), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	const n = 30_000
+	for i := 0; i < n; i++ {
+		counts[m.Owner(fmt.Sprintf("bcp-%d", i))]++
+	}
+	for s, c := range counts {
+		frac := float64(c) / n
+		// 64 vnodes keeps a 3-shard ring within a loose band of fair
+		// share; a broken hash or an unsorted ring lands far outside it.
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("shard %d owns %.1f%% of keys; ring badly skewed: %v", s, frac*100, counts)
+		}
+	}
+}
+
+func TestShardMapStabilityUnderGrowth(t *testing.T) {
+	m3, err := NewShardMap(1, testShards(3), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := NewShardMap(2, testShards(4), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20_000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("bcp-%d", i)
+		if m3.Owner(key) != m4.Owner(key) {
+			moved++
+		}
+	}
+	// Consistent hashing's whole point: adding shard 4 of 4 should move
+	// roughly 1/4 of the key space, nowhere near a full reshuffle.
+	if frac := float64(moved) / n; frac > 0.45 {
+		t.Fatalf("adding one shard moved %.1f%% of keys; not consistent hashing", frac*100)
+	}
+}
+
+func TestShardMapWireRoundTrip(t *testing.T) {
+	m, err := NewShardMap(7, testShards(3), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromWire(m.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Epoch() != 7 || back.NumShards() != 3 {
+		t.Fatalf("round trip lost identity: epoch=%d shards=%d", back.Epoch(), back.NumShards())
+	}
+	for i := 0; i < 5_000; i++ {
+		key := fmt.Sprintf("bcp-%d", i)
+		if m.Owner(key) != back.Owner(key) {
+			t.Fatalf("key %q changed owner across the wire", key)
+		}
+	}
+}

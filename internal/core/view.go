@@ -111,24 +111,7 @@ func NewView(eng *engine.Engine, cfg Config) (*View, error) {
 	// Expanded select list Ls′: Ls plus every Cselect attribute
 	// (Section 3.2) — the search procedure needs them to recover the
 	// conceptual bcp from a stored tuple.
-	selectPlus := append([]expr.ColumnRef(nil), tpl.Select...)
-	pos := func(ref expr.ColumnRef) int {
-		for i, c := range selectPlus {
-			if c == ref {
-				return i
-			}
-		}
-		return -1
-	}
-	condPos := make([]int, len(tpl.Conds))
-	for i, ct := range tpl.Conds {
-		p := pos(ct.Col)
-		if p < 0 {
-			selectPlus = append(selectPlus, ct.Col)
-			p = len(selectPlus) - 1
-		}
-		condPos[i] = p
-	}
+	selectPlus, condPos := SelectPlusLayout(tpl)
 
 	coder := bcpCoder{
 		forms: make([]expr.CondForm, len(tpl.Conds)),

@@ -143,6 +143,18 @@ func (in *Injector) Add(r Rule) {
 	in.fired = append(in.fired, false)
 }
 
+// Clear disarms every rule and resets their scripted-trigger state;
+// shaping and stats are untouched. Conns already blackholed stay dead
+// (the silence is per-conn), but fresh conns run clean until new rules
+// are armed — this is how a chaos driver heals a link.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+	in.matched = nil
+	in.fired = nil
+}
+
 // SetShape installs always-on traffic shaping.
 func (in *Injector) SetShape(s Shape) {
 	in.mu.Lock()

@@ -1,0 +1,253 @@
+// cluster.go implements the shard half of the cluster plane: the
+// hello/version handshake, remote O2 probes and plain O3 execution
+// over Ls′, refill ingestion, and shard-map storage with epoch
+// validation. Every handler keeps the session's framing discipline —
+// per-request failures answer MsgError (or the typed MsgErrEpoch) and
+// leave the stream in sync; only a version mismatch terminates the
+// session, and it does so after a typed frame, never a mid-stream
+// decode failure.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"pmv/internal/core"
+	"pmv/internal/expr"
+	"pmv/internal/value"
+	"pmv/internal/wire"
+)
+
+// errVersionMismatch terminates a session whose hello announced a
+// protocol version this build does not speak. The peer has already
+// received a MsgErrVersion frame by the time it is returned.
+var errVersionMismatch = errors.New("server: protocol version mismatch")
+
+// handleHello answers the session-opening version handshake. Matching
+// versions get a HelloReply; anything else gets the typed
+// MsgErrVersion frame and loses the session — by contract, before any
+// other traffic could desync the stream.
+func (s *Server) handleHello(sess *session, payload []byte) error {
+	v, err := wire.DecodeHello(payload)
+	if err != nil {
+		return s.writeErr(sess.bw, err)
+	}
+	if v != wire.ProtocolVersion {
+		if werr := wire.WriteFrame(sess.bw, wire.MsgErrVersion, wire.EncodeVersionErr(wire.ProtocolVersion)); werr != nil {
+			return werr
+		}
+		if werr := sess.bw.Flush(); werr != nil {
+			return werr
+		}
+		return fmt.Errorf("%w: peer speaks %d, server speaks %d", errVersionMismatch, v, wire.ProtocolVersion)
+	}
+	return s.reply(sess.bw, wire.HelloReply{Version: int(wire.ProtocolVersion)})
+}
+
+// clusterEpoch returns the installed shard map's epoch (0 = none).
+func (s *Server) clusterEpoch() uint64 {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	return s.shardMap.Epoch
+}
+
+// checkEpoch validates a request's shard-map epoch, answering the
+// typed MsgErrEpoch frame on mismatch. Returns true when the request
+// may proceed.
+func (s *Server) checkEpoch(bw *bufio.Writer, epoch uint64) (bool, error) {
+	cur := s.clusterEpoch()
+	if epoch == cur && cur != 0 {
+		return true, nil
+	}
+	return false, wire.WriteFrame(bw, wire.MsgErrEpoch, wire.EncodeEpochErr(cur))
+}
+
+// handleProbeParts runs Operation O2 for a router-computed batch of
+// condition parts, streaming each cached Ls′ tuple as a MsgRow with
+// RowPartial set (flushed per row — the partial-first contract is the
+// whole point of probing before O3).
+func (s *Server) handleProbeParts(sess *session, payload []byte) error {
+	bw := sess.bw
+	req, err := wire.DecodeProbe(payload)
+	if err != nil {
+		return s.writeErr(bw, err)
+	}
+	ok, err := s.checkEpoch(bw, req.Epoch)
+	if err != nil || !ok {
+		return err
+	}
+	v, found := s.db.ViewByName(req.View)
+	if !found {
+		return s.writeErr(bw, fmt.Errorf("server: no view %q", req.View))
+	}
+	parts := make([]core.RemotePart, len(req.Parts))
+	for i, p := range req.Parts {
+		parts[i] = core.RemotePart{Key: p.Key, Exact: p.Exact, Conds: p.Conds}
+	}
+
+	var (
+		rowBuf   []byte
+		emitFail error
+	)
+	start := time.Now()
+	rep, perr := v.ProbeBCPs(context.Background(), parts, func(t value.Tuple) error {
+		sess.armWrite()
+		rowBuf = wire.EncodeRow(rowBuf[:0], t, true)
+		if err := wire.WriteFrame(bw, wire.MsgRow, rowBuf); err != nil {
+			emitFail = err
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			emitFail = err
+			return err
+		}
+		return nil
+	})
+	if emitFail != nil {
+		return emitFail
+	}
+	if perr != nil {
+		return s.writeErr(bw, perr)
+	}
+	s.metrics.PartialRows.Add(int64(rep.PartialTuples))
+	s.metrics.PartialPhase.Observe(time.Since(start))
+	sess.armWrite()
+	return wire.WriteFrame(bw, wire.MsgDone, wire.EncodeReport(nil, wire.Report{
+		Hit:            rep.Hit,
+		ConditionParts: len(parts),
+		PartialTuples:  rep.PartialTuples,
+		TotalTuples:    rep.PartialTuples,
+		PartialLatency: time.Since(start),
+	}))
+}
+
+// handleExec executes a query plainly over Ls′ — the shard half of a
+// routed Operation O3. Unlike MsgQuery it blocks for an admission slot
+// instead of shedding: the router already holds the query's partials
+// and is counting on a complete remainder, so a bounded wait beats a
+// useless empty answer. The request deadline (or the server default)
+// bounds both the wait and the execution.
+func (s *Server) handleExec(sess *session, payload []byte) error {
+	bw := sess.bw
+	req, err := wire.DecodeExec(payload)
+	if err != nil {
+		return s.writeErr(bw, err)
+	}
+	v, found := s.db.ViewByName(req.View)
+	if !found {
+		return s.writeErr(bw, fmt.Errorf("server: no view %q", req.View))
+	}
+	q := &expr.Query{Template: v.Config().Template, Conds: req.Conds}
+
+	ctx := context.Background()
+	deadline := req.Deadline
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return s.writeErr(bw, fmt.Errorf("server: no admission slot within deadline: %w", ctx.Err()))
+	case <-s.closing:
+		return s.writeErr(bw, errors.New("server: shutting down"))
+	}
+
+	var (
+		rowBuf   []byte
+		emitFail error
+		rows     int
+	)
+	start := time.Now()
+	execDur, qerr := v.ExecutePlainCtx(ctx, q, func(t value.Tuple) error {
+		sess.armWrite()
+		rowBuf = wire.EncodeRow(rowBuf[:0], t, false)
+		if err := wire.WriteFrame(bw, wire.MsgRow, rowBuf); err != nil {
+			emitFail = err
+			return err
+		}
+		rows++
+		return nil
+	})
+	<-s.sem
+	if emitFail != nil {
+		return emitFail
+	}
+	rep := wire.Report{TotalTuples: rows, ExecLatency: execDur}
+	if qerr != nil {
+		if ctxErr := ctx.Err(); errors.Is(ctxErr, context.DeadlineExceeded) && errors.Is(qerr, ctxErr) {
+			// Deadline truncation is the service contract, not a failure:
+			// the rows delivered stand, flagged.
+			rep.DeadlineExpired = true
+		} else {
+			return s.writeErr(bw, qerr)
+		}
+	}
+	s.metrics.Queries.Add(1)
+	s.metrics.Rows.Add(int64(rows))
+	if rep.DeadlineExpired {
+		s.metrics.DeadlineExpired.Add(1)
+	}
+	s.metrics.ExecPhase.Observe(execDur)
+	s.metrics.Total.Observe(time.Since(start))
+	sess.armWrite()
+	return wire.WriteFrame(bw, wire.MsgDone, wire.EncodeReport(nil, rep))
+}
+
+// handleRefill caches router-observed O3 result tuples under their
+// bcps, with the same epoch discipline as probes (a refill routed by a
+// stale map could cache tuples on a shard that no longer owns them).
+func (s *Server) handleRefill(sess *session, payload []byte) error {
+	bw := sess.bw
+	req, err := wire.DecodeRefill(payload)
+	if err != nil {
+		return s.writeErr(bw, err)
+	}
+	ok, err := s.checkEpoch(bw, req.Epoch)
+	if err != nil || !ok {
+		return err
+	}
+	v, found := s.db.ViewByName(req.View)
+	if !found {
+		return s.writeErr(bw, fmt.Errorf("server: no view %q", req.View))
+	}
+	cached, ferr := v.FillTuples(req.Tuples)
+	if ferr != nil {
+		return s.writeErr(bw, ferr)
+	}
+	return s.reply(bw, wire.RefillReply{Cached: cached})
+}
+
+// handleShardMap reads (empty payload) or installs the shard map. An
+// install with an epoch below the current one is refused by answering
+// with the newer installed map — the stale router sees the epoch in
+// the reply and refreshes; regressing the epoch would reopen the very
+// misrouting window epochs exist to close.
+func (s *Server) handleShardMap(bw *bufio.Writer, payload []byte) error {
+	if len(payload) > 0 {
+		var m wire.ShardMapReply
+		if err := json.Unmarshal(payload, &m); err != nil {
+			return s.writeErr(bw, fmt.Errorf("server: bad shard map: %w", err))
+		}
+		if m.Epoch == 0 || len(m.Shards) == 0 || m.VNodes <= 0 {
+			return s.writeErr(bw, errors.New("server: shard map needs epoch, shards, and vnodes"))
+		}
+		s.shardMu.Lock()
+		if m.Epoch >= s.shardMap.Epoch {
+			s.shardMap = m
+		}
+		s.shardMu.Unlock()
+	}
+	s.shardMu.Lock()
+	cur := s.shardMap
+	s.shardMu.Unlock()
+	return s.reply(bw, cur)
+}

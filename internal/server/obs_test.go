@@ -275,11 +275,17 @@ func TestConcurrentTracedSessions(t *testing.T) {
 		t.Fatalf("slowlog holds %d entries after %d logged queries, want the full ring of %d",
 			len(slog.Queries), sessions*queriesPerSession, slowLogCap)
 	}
-	for i := 1; i < len(slog.Queries); i++ {
-		if slog.Queries[i].ID >= slog.Queries[i-1].ID {
-			t.Fatalf("slowlog not newest-first: ID %d before %d",
-				slog.Queries[i-1].ID, slog.Queries[i].ID)
+	// The ring is ordered by completion, and trace IDs are assigned at
+	// query start — with concurrent sessions those orders can differ,
+	// so assert each logged query appears at most once rather than a
+	// strict ID order (TestTracedQueryReconcilesWithReport covers
+	// newest-first on the sequential path).
+	seen := make(map[uint64]bool, len(slog.Queries))
+	for _, q := range slog.Queries {
+		if seen[q.ID] {
+			t.Fatalf("slowlog holds query ID %d twice", q.ID)
 		}
+		seen[q.ID] = true
 	}
 }
 

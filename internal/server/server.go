@@ -125,6 +125,11 @@ type Server struct {
 	sessions map[*session]struct{}
 	closing  chan struct{}
 	wg       sync.WaitGroup
+
+	// Cluster plane: the shard map a router installed (epoch 0 until
+	// one does), validated against every probe/refill request.
+	shardMu  sync.Mutex
+	shardMap wire.ShardMapReply
 }
 
 // session is one accepted connection's state: the conn with its
@@ -451,6 +456,9 @@ func (s *Server) classifyReadErr(sess *session, err error) {
 func (s *Server) classifyDispatchErr(sess *session, err error) {
 	switch {
 	case sess.reaped.Load():
+	case errors.Is(err, errVersionMismatch):
+		// Clean, typed rejection: the peer got MsgErrVersion and the
+		// session is closed on purpose.
 	case errors.Is(err, errUnknownRequest):
 		s.metrics.CorruptFrames.Add(1)
 	case errors.Is(err, os.ErrDeadlineExceeded):
@@ -507,6 +515,18 @@ func (s *Server) dispatch(sess *session, typ byte, payload []byte) error {
 		return s.handleSlowlog(bw, payload)
 	case wire.MsgViewStats:
 		return s.reply(bw, s.viewStatsReply())
+	case wire.MsgHello:
+		return s.handleHello(sess, payload)
+	case wire.MsgProbeParts:
+		return s.handleProbeParts(sess, payload)
+	case wire.MsgExec:
+		return s.handleExec(sess, payload)
+	case wire.MsgRefill:
+		return s.handleRefill(sess, payload)
+	case wire.MsgShardMap:
+		return s.handleShardMap(bw, payload)
+	case wire.MsgShards:
+		return s.writeErr(bw, errors.New("server: shards is a router request; this is a shard"))
 	default:
 		return fmt.Errorf("%w 0x%02x", errUnknownRequest, typ)
 	}
@@ -767,15 +787,17 @@ func (s *Server) viewsReply() []wire.ViewInfo {
 		cfg := v.Config()
 		st := v.Stats()
 		out = append(out, wire.ViewInfo{
-			Name:         v.Name(),
-			Template:     cfg.Template,
-			MaxEntries:   cfg.MaxEntries,
-			TuplesPerBCP: cfg.TuplesPerBCP,
-			Policy:       string(cfg.Policy),
-			Entries:      v.Len(),
-			Tuples:       v.TupleCount(),
-			Bytes:        v.SizeBytes(),
-			HitProb:      st.HitProbability(),
+			Name:              v.Name(),
+			Template:          cfg.Template,
+			MaxEntries:        cfg.MaxEntries,
+			TuplesPerBCP:      cfg.TuplesPerBCP,
+			Policy:            string(cfg.Policy),
+			Entries:           v.Len(),
+			Tuples:            v.TupleCount(),
+			Bytes:             v.SizeBytes(),
+			HitProb:           st.HitProbability(),
+			MaxConditionParts: cfg.MaxConditionParts,
+			Dividers:          cfg.Dividers,
 		})
 	}
 	return out

@@ -1,0 +1,494 @@
+// clusterchaos.go tortures the cluster plane: three real shard servers
+// behind per-shard fault-injecting proxies, one router scatter-gathering
+// across them, N concurrent clients hammering the router. A seeded
+// chaos driver kills and restarts shards on their own addresses,
+// blackholes their links, and fires reset bursts while the workload
+// runs — so exec failover, probe degradation, and the epoch re-install
+// path all get exercised under load, not just in unit tests.
+//
+// The oracle is netchaos.go's, verbatim: the dataset is static, every
+// query lands in exactly one bucket (clean → exact multiset; flagged or
+// typed-interrupted → subset; typed failure → zero-or-subset), and a
+// duplicated row, fabricated row, untyped error, leaked session, or
+// leaked goroutine fails the run. A restarted shard comes back with
+// epoch 0, so correctness here additionally proves the router re-teaches
+// the shard map mid-flight without double-delivering a row.
+package torture
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"pmv"
+	"pmv/client"
+	"pmv/internal/cluster"
+	"pmv/internal/netfault"
+	"pmv/internal/server"
+)
+
+// ClusterOptions configures one cluster-chaos run.
+type ClusterOptions struct {
+	// Seed drives the chaos schedule, every injector, and the query mix.
+	Seed int64
+	// Clients is how many concurrent clients hammer the router
+	// (default 6).
+	Clients int
+	// Queries is how many queries each client issues (default 30).
+	Queries int
+	// Dir is the parent directory for the shard databases (default:
+	// fresh temp dir, removed on success, kept on failure).
+	Dir string
+}
+
+// ClusterReport summarizes one run.
+type ClusterReport struct {
+	Seed        int64
+	Queries     int
+	Clean       int
+	Flagged     int
+	Interrupted int
+	Unavailable int
+	Remote      int
+	CtxExpired  int
+	// Chaos events the driver actually delivered.
+	Kills       int
+	Blackholes  int
+	ResetBursts int
+	// EpochInstalls counts shard-map pushes across all shards; with
+	// kills > 0 it must exceed the initial install fan-out, proving the
+	// re-teach path ran.
+	EpochInstalls int64
+	Retries       int64
+	Redials       int64
+	Faults        netfault.Stats
+}
+
+const clusterShards = 3
+
+// armBackground installs the always-on low-grade chaos every shard link
+// carries between targeted events.
+func armBackground(inj *netfault.Injector) {
+	inj.SetShape(netfault.Shape{Latency: 100 * time.Microsecond, Jitter: 200 * time.Microsecond})
+	inj.Add(netfault.Rule{Kind: netfault.FaultReset, Op: netfault.OpAny, Prob: 0.002, Sticky: true})
+	inj.Add(netfault.Rule{Kind: netfault.FaultCorrupt, Op: netfault.OpAny, Prob: 0.001, Sticky: true})
+	inj.Add(netfault.Rule{Kind: netfault.FaultPartialWrite, Op: netfault.OpWrite, Prob: 0.001, Sticky: true})
+}
+
+func clusterShardConfig(clients int) server.Config {
+	return server.Config{
+		PoolSize:     2,
+		DrainTimeout: time.Second,
+		MaxConns:     4*clients + 16,
+		IdleTimeout:  time.Second,
+		FrameTimeout: time.Second,
+		WriteTimeout: time.Second,
+	}
+}
+
+// RunCluster executes one cluster-chaos cycle. A nil error means the
+// oracle held for every query and nothing leaked.
+func RunCluster(opts ClusterOptions) (ClusterReport, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 6
+	}
+	if opts.Queries <= 0 {
+		opts.Queries = 30
+	}
+	cleanup := false
+	if opts.Dir == "" {
+		dir, err := os.MkdirTemp("", "pmv-clusterchaos")
+		if err != nil {
+			return ClusterReport{}, err
+		}
+		opts.Dir = dir
+		cleanup = true
+	}
+	rep := ClusterReport{Seed: opts.Seed}
+	fail := func(format string, args ...any) (ClusterReport, error) {
+		return rep, fmt.Errorf("clusterchaos seed %d: %s (dirs kept at %s)",
+			opts.Seed, fmt.Sprintf(format, args...), opts.Dir)
+	}
+
+	baseGoroutines := runtime.NumGoroutine()
+
+	// Three shards over identical base data; any one can run O3, so the
+	// ground truth from the first applies to them all.
+	var (
+		want    map[[2]int64]map[string]int
+		srvMu   sync.Mutex
+		srvs    [clusterShards]*server.Server
+		dbs     [clusterShards]*pmv.DB
+		addrs   [clusterShards]string
+		injs    [clusterShards]*netfault.Injector
+		proxies [clusterShards]*netfault.Proxy
+	)
+	shardCfg := clusterShardConfig(opts.Clients)
+	for i := 0; i < clusterShards; i++ {
+		db, w, err := chaosDB(filepath.Join(opts.Dir, fmt.Sprintf("shard%d", i)))
+		if err != nil {
+			return fail("shard %d setup: %v", i, err)
+		}
+		defer db.Close()
+		dbs[i] = db
+		if i == 0 {
+			want = w
+		}
+		s := server.New(db, shardCfg)
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			return fail("shard %d start: %v", i, err)
+		}
+		srvs[i] = s
+		addrs[i] = s.Addr().String()
+		defer func(i int) {
+			srvMu.Lock()
+			s := srvs[i]
+			srvMu.Unlock()
+			s.Shutdown()
+		}(i)
+
+		injs[i] = netfault.NewInjector(opts.Seed*clusterShards + int64(i))
+		armBackground(injs[i])
+		p, err := netfault.NewProxy("127.0.0.1:0", addrs[i], injs[i])
+		if err != nil {
+			return fail("shard %d proxy: %v", i, err)
+		}
+		proxies[i] = p
+		defer p.Close()
+	}
+
+	proxyAddrs := make([]string, clusterShards)
+	for i, p := range proxies {
+		proxyAddrs[i] = p.Addr().String()
+	}
+	r, err := cluster.NewRouter(cluster.Config{
+		Shards:          proxyAddrs,
+		PoolSize:        2,
+		DialTimeout:     time.Second,
+		RefillTimeout:   time.Second,
+		DrainTimeout:    2 * time.Second,
+		FrameTimeout:    2 * time.Second,
+		WriteTimeout:    2 * time.Second,
+		DefaultDeadline: 3 * time.Second,
+	})
+	if err != nil {
+		return fail("router: %v", err)
+	}
+	if err := r.Start("127.0.0.1:0"); err != nil {
+		return fail("router start: %v", err)
+	}
+	defer r.Shutdown()
+
+	// The chaos driver: a seeded loop of targeted shard abuse running
+	// alongside the workload. Kill = full process death and rebind on
+	// the same address (the proxy's upstream is fixed); the replacement
+	// server has epoch 0, forcing the router's re-install path.
+	var (
+		chaosErr  error
+		chaosMu   sync.Mutex
+		stopChaos = make(chan struct{})
+		chaosDone = make(chan struct{})
+	)
+	go func() {
+		defer close(chaosDone)
+		rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
+		for {
+			select {
+			case <-stopChaos:
+				return
+			case <-time.After(time.Duration(100+rng.Intn(200)) * time.Millisecond):
+			}
+			shard := rng.Intn(clusterShards)
+			switch rng.Intn(3) {
+			case 0: // kill + restart on the same address
+				srvMu.Lock()
+				old := srvs[shard]
+				srvMu.Unlock()
+				old.Shutdown()
+				time.Sleep(time.Duration(50+rng.Intn(100)) * time.Millisecond)
+				replacement := server.New(dbs[shard], shardCfg)
+				var rerr error
+				for att := 0; att < 100; att++ {
+					if rerr = replacement.Start(addrs[shard]); rerr == nil {
+						break
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+				if rerr != nil {
+					chaosMu.Lock()
+					chaosErr = fmt.Errorf("shard %d rebind %s: %w", shard, addrs[shard], rerr)
+					chaosMu.Unlock()
+					return
+				}
+				srvMu.Lock()
+				srvs[shard] = replacement
+				srvMu.Unlock()
+				chaosMu.Lock()
+				rep.Kills++
+				chaosMu.Unlock()
+			case 1: // blackhole the link, then heal it
+				injs[shard].Add(netfault.Rule{Kind: netfault.FaultBlackhole, Op: netfault.OpAny, AfterOps: 1, Sticky: true})
+				time.Sleep(time.Duration(100+rng.Intn(200)) * time.Millisecond)
+				injs[shard].Clear()
+				armBackground(injs[shard])
+				chaosMu.Lock()
+				rep.Blackholes++
+				chaosMu.Unlock()
+			case 2: // reset burst, then heal
+				injs[shard].Add(netfault.Rule{Kind: netfault.FaultReset, Op: netfault.OpAny, Prob: 0.2, Sticky: true})
+				time.Sleep(time.Duration(100+rng.Intn(200)) * time.Millisecond)
+				injs[shard].Clear()
+				armBackground(injs[shard])
+				chaosMu.Lock()
+				rep.ResetBursts++
+				chaosMu.Unlock()
+			}
+		}
+	}()
+
+	// The workload: netchaos's client loop pointed at the router.
+	var (
+		mu        sync.Mutex
+		violation error
+		wg        sync.WaitGroup
+	)
+	abort := func(err error) {
+		mu.Lock()
+		if violation == nil {
+			violation = err
+		}
+		mu.Unlock()
+	}
+	bump := func(field *int) {
+		mu.Lock()
+		*field++
+		mu.Unlock()
+	}
+
+	clients := make([]*client.Client, opts.Clients)
+	for i := range clients {
+		clients[i] = client.NewConfig(client.Config{
+			Addr:          r.Addr().String(),
+			DialTimeout:   2 * time.Second,
+			DeadlineGrace: time.Second,
+			MaxRetries:    4,
+			BackoffBase:   5 * time.Millisecond,
+			BackoffMax:    100 * time.Millisecond,
+			Seed:          opts.Seed + int64(i) + 1,
+		})
+	}
+
+	for i, c := range clients {
+		wg.Add(1)
+		go func(id int, c *client.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed ^ int64(id)<<16))
+			for q := 0; q < opts.Queries; q++ {
+				// Pace the workload so the chaos schedule genuinely
+				// interleaves with it instead of firing into an idle
+				// cluster.
+				time.Sleep(time.Duration(5+rng.Intn(15)) * time.Millisecond)
+				pair := [2]int64{rng.Int63n(chaosCategories), rng.Int63n(chaosStores)}
+				conds := []client.Cond{
+					{Values: []client.Value{client.Int(pair[0])}},
+					{Values: []client.Value{client.Int(pair[1])}},
+				}
+				got := make(map[string]int)
+				ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				qrep, err := c.ExecutePartial(ctx, "pmv_on_sale", conds, func(row client.Row) error {
+					got[tupleKey(row.Tuple)]++
+					return nil
+				})
+				cancel()
+				switch {
+				case err == nil && !flagged(qrep):
+					if verr := classify(want[pair], got, true); verr != nil {
+						abort(fmt.Errorf("client %d query %d pair %v: %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.Clean)
+				case err == nil:
+					if verr := classify(want[pair], got, false); verr != nil {
+						abort(fmt.Errorf("client %d query %d pair %v (flagged): %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.Flagged)
+				case errors.Is(err, client.ErrInterrupted):
+					if verr := classify(want[pair], got, false); verr != nil {
+						abort(fmt.Errorf("client %d query %d pair %v (interrupted): %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.Interrupted)
+				case errors.Is(err, client.ErrUnavailable):
+					bump(&rep.Unavailable)
+				case errors.Is(err, client.ErrRemote):
+					if verr := classify(want[pair], got, false); verr != nil {
+						abort(fmt.Errorf("client %d query %d pair %v (remote): %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.Remote)
+				case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+					if verr := classify(want[pair], got, false); verr != nil {
+						abort(fmt.Errorf("client %d query %d pair %v (ctx): %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.CtxExpired)
+				default:
+					abort(fmt.Errorf("client %d query %d pair %v: untyped error %v", id, q, pair, err))
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	close(stopChaos)
+	<-chaosDone
+
+	// Chaos is over and the driver always restarts what it kills: heal
+	// every link and demand convergence. Every (category, store) pair
+	// must produce one clean, exact answer — this probes every bcp key,
+	// so any shard that came back with epoch 0 is forced through the
+	// re-teach path before the run can pass.
+	for _, inj := range injs {
+		inj.Clear()
+	}
+	violated := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return violation != nil
+	}
+	chaosMu.Lock()
+	cerr := chaosErr
+	chaosMu.Unlock()
+	if cerr == nil && !violated() {
+		sweep := client.NewConfig(client.Config{
+			Addr:        r.Addr().String(),
+			DialTimeout: 2 * time.Second,
+			MaxRetries:  4,
+			Seed:        opts.Seed + 1000,
+		})
+		for cat := int64(0); cat < chaosCategories && !violated(); cat++ {
+			for st := int64(0); st < chaosStores && !violated(); st++ {
+				pair := [2]int64{cat, st}
+				conds := []client.Cond{
+					{Values: []client.Value{client.Int(cat)}},
+					{Values: []client.Value{client.Int(st)}},
+				}
+				converged := false
+				var lastErr error
+				for att := 0; att < 8 && !converged; att++ {
+					got := make(map[string]int)
+					ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+					qrep, err := sweep.ExecutePartial(ctx, "pmv_on_sale", conds, func(row client.Row) error {
+						got[tupleKey(row.Tuple)]++
+						return nil
+					})
+					cancel()
+					switch {
+					case err == nil && !flagged(qrep):
+						if verr := classify(want[pair], got, true); verr != nil {
+							abort(fmt.Errorf("sweep pair %v: %w", pair, verr))
+						}
+						converged = true
+					case err == nil || errors.Is(err, client.ErrInterrupted) ||
+						errors.Is(err, context.DeadlineExceeded):
+						// Leftover chaos-era state (stale pooled conns,
+						// blackholed sessions timing out) may degrade the
+						// first attempts; any delivery must still be a
+						// subset.
+						if verr := classify(want[pair], got, false); verr != nil {
+							abort(fmt.Errorf("sweep pair %v (attempt %d): %w", pair, att, verr))
+						}
+						lastErr = err
+					case errors.Is(err, client.ErrUnavailable) || errors.Is(err, client.ErrRemote):
+						lastErr = err
+					default:
+						abort(fmt.Errorf("sweep pair %v: untyped error %v", pair, err))
+					}
+					if violated() {
+						break
+					}
+				}
+				if !converged && !violated() {
+					abort(fmt.Errorf("sweep pair %v never converged to a clean exact answer (last: %v)", pair, lastErr))
+				}
+			}
+		}
+		sweep.Close()
+	}
+
+	for _, c := range clients {
+		rep.Retries += c.Counters().Retries
+		rep.Redials += c.Counters().Redials
+		c.Close()
+	}
+	rep.Queries = opts.Clients * opts.Queries
+	for _, inj := range injs {
+		st := inj.Stats()
+		rep.Faults.Conns += st.Conns
+		rep.Faults.Ops += st.Ops
+		rep.Faults.BytesRead += st.BytesRead
+		rep.Faults.BytesWritten += st.BytesWritten
+		rep.Faults.Resets += st.Resets
+		rep.Faults.Corruptions += st.Corruptions
+		rep.Faults.Blackholes += st.Blackholes
+		rep.Faults.PartialWrites += st.PartialWrites
+	}
+	for _, sm := range r.Metrics().Shards {
+		rep.EpochInstalls += sm.EpochInstalls.Load()
+	}
+
+	if cerr != nil {
+		return fail("chaos driver: %v", cerr)
+	}
+	if violation != nil {
+		return fail("%v", violation)
+	}
+	if rep.Kills > 0 && rep.EpochInstalls <= clusterShards {
+		return fail("%d shard kills but only %d epoch installs; the re-teach path never ran", rep.Kills, rep.EpochInstalls)
+	}
+
+	// Teardown must leave nothing behind. Order matters: the router
+	// first (drains client sessions and its shard pools), then the
+	// proxies, then the shards.
+	if err := r.Shutdown(); err != nil {
+		return fail("router shutdown: %v", err)
+	}
+	if n := r.Metrics().SessionsActive.Load(); n != 0 {
+		return fail("%d router sessions still active after shutdown", n)
+	}
+	for i, p := range proxies {
+		if err := p.Close(); err != nil {
+			return fail("proxy %d close: %v", i, err)
+		}
+	}
+	for i := 0; i < clusterShards; i++ {
+		srvMu.Lock()
+		s := srvs[i]
+		srvMu.Unlock()
+		if err := s.Shutdown(); err != nil {
+			return fail("shard %d shutdown: %v", i, err)
+		}
+		if n := s.Metrics().Snapshot().SessionsActive; n != 0 {
+			return fail("shard %d: %d sessions still active after shutdown", i, n)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseGoroutines {
+		if time.Now().After(deadline) {
+			return fail("goroutine leak: %d running, %d at start", runtime.NumGoroutine(), baseGoroutines)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if cleanup {
+		os.RemoveAll(opts.Dir)
+	}
+	return rep, nil
+}

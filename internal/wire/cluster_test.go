@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"pmv/internal/expr"
+	"pmv/internal/value"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	v, err := DecodeHello(EncodeHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != ProtocolVersion {
+		t.Fatalf("hello carries version %d, built with %d", v, ProtocolVersion)
+	}
+	if _, err := DecodeHello(nil); err == nil {
+		t.Fatal("empty hello accepted")
+	}
+	if _, err := DecodeHello([]byte{1, 2}); err == nil {
+		t.Fatal("oversized hello accepted")
+	}
+}
+
+func TestVersionErrRoundTrip(t *testing.T) {
+	v, err := DecodeVersionErr(EncodeVersionErr(7))
+	if err != nil || v != 7 {
+		t.Fatalf("version-error round trip = %d, %v", v, err)
+	}
+	if _, err := DecodeVersionErr(nil); err == nil {
+		t.Fatal("empty version-error accepted")
+	}
+}
+
+func TestEpochErrRoundTrip(t *testing.T) {
+	for _, e := range []uint64{0, 1, 1 << 40} {
+		got, err := DecodeEpochErr(EncodeEpochErr(e))
+		if err != nil || got != e {
+			t.Fatalf("epoch-error round trip for %d = %d, %v", e, got, err)
+		}
+	}
+	if _, err := DecodeEpochErr([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short epoch-error accepted")
+	}
+}
+
+func probeFixture() ProbeRequest {
+	return ProbeRequest{
+		View:  "pmv_on_sale",
+		Epoch: 42,
+		Parts: []ProbePart{
+			{Key: "k1", Exact: true},
+			{Key: "k2", Conds: []expr.CondInstance{
+				{Values: []value.Value{value.Int(3)}},
+				{Intervals: []expr.Interval{{Lo: value.Int(1), Hi: value.Int(9), LoIncl: true}}},
+			}},
+		},
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	req := probeFixture()
+	b, err := EncodeProbe(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeProbe(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DeepEqual would trip on nil-vs-empty slice canonicalization, so
+	// pin the semantic content field by field.
+	if got.View != req.View || got.Epoch != req.Epoch || len(got.Parts) != len(req.Parts) {
+		t.Fatalf("probe round trip changed request:\n got  %+v\n want %+v", got, req)
+	}
+	for i, p := range got.Parts {
+		w := req.Parts[i]
+		if p.Key != w.Key || p.Exact != w.Exact || len(p.Conds) != len(w.Conds) {
+			t.Fatalf("part %d changed: got %+v want %+v", i, p, w)
+		}
+	}
+	if len(got.Parts[1].Conds[0].Values) != 1 || len(got.Parts[1].Conds[1].Intervals) != 1 {
+		t.Fatalf("part conditions lost content: %+v", got.Parts[1].Conds)
+	}
+	// Truncations at every byte boundary must error, never panic.
+	for i := 0; i < len(b); i++ {
+		if _, err := DecodeProbe(b[:i]); err == nil {
+			t.Fatalf("probe truncated to %d/%d bytes decoded cleanly", i, len(b))
+		}
+	}
+}
+
+func TestRefillRoundTrip(t *testing.T) {
+	req := RefillRequest{
+		View:  "pmv_on_sale",
+		Epoch: 9,
+		Tuples: []value.Tuple{
+			{value.Int(1), value.Str("a"), value.Int(3), value.Int(0)},
+			{value.Int(2), value.Null(), value.Int(3), value.Int(1)},
+		},
+	}
+	b, err := EncodeRefill(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRefill(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("refill round trip changed request:\n got  %+v\n want %+v", got, req)
+	}
+	for i := 0; i < len(b); i++ {
+		if _, err := DecodeRefill(b[:i]); err == nil {
+			t.Fatalf("refill truncated to %d/%d bytes decoded cleanly", i, len(b))
+		}
+	}
+}
+
+// TestVersionAndEpochSentinels pins the sentinel identities the client
+// and router match on.
+func TestVersionAndEpochSentinels(t *testing.T) {
+	if ErrVersion == nil || ErrEpoch == nil {
+		t.Fatal("cluster sentinels missing")
+	}
+	if errors.Is(ErrVersion, ErrEpoch) {
+		t.Fatal("version and epoch sentinels alias each other")
+	}
+}
+
+func FuzzDecodeProbe(f *testing.F) {
+	if b, err := EncodeProbe(probeFixture()); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeProbe(ProbeRequest{View: "v", Epoch: 1}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q1, err := DecodeProbe(data)
+		if err != nil {
+			return
+		}
+		// One encode/decode cycle reaches a fixed point (the first
+		// cycle may canonicalize empty-slice representations).
+		b2, err := EncodeProbe(q1)
+		if err != nil {
+			t.Fatalf("re-encode of decoded probe failed: %v", err)
+		}
+		q2, err := DecodeProbe(b2)
+		if err != nil {
+			t.Fatalf("decode of re-encoded probe failed: %v", err)
+		}
+		b3, err := EncodeProbe(q2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b2, b3) {
+			t.Fatal("probe encoding not a fixed point after one cycle")
+		}
+	})
+}
+
+func FuzzDecodeRefill(f *testing.F) {
+	if b, err := EncodeRefill(RefillRequest{
+		View: "v", Epoch: 3,
+		Tuples: []value.Tuple{{value.Int(1), value.Bool(true)}},
+	}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q1, err := DecodeRefill(data)
+		if err != nil {
+			return
+		}
+		b2, err := EncodeRefill(q1)
+		if err != nil {
+			t.Fatalf("re-encode of decoded refill failed: %v", err)
+		}
+		q2, err := DecodeRefill(b2)
+		if err != nil {
+			t.Fatalf("decode of re-encoded refill failed: %v", err)
+		}
+		b3, err := EncodeRefill(q2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b2, b3) {
+			t.Fatal("refill encoding not a fixed point after one cycle")
+		}
+	})
+}
+
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(EncodeHello())
+	f.Add(EncodeVersionErr(3))
+	f.Add(EncodeEpochErr(17))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if v, err := DecodeHello(data); err == nil {
+			if !bytes.Equal([]byte{v}, data) {
+				t.Fatal("hello round trip changed bytes")
+			}
+		}
+		if v, err := DecodeVersionErr(data); err == nil {
+			if !bytes.Equal(EncodeVersionErr(v), data) {
+				t.Fatal("version-error round trip changed bytes")
+			}
+		}
+		if e, err := DecodeEpochErr(data); err == nil {
+			if !bytes.Equal(EncodeEpochErr(e), data) {
+				t.Fatal("epoch-error round trip changed bytes")
+			}
+		}
+	})
+}

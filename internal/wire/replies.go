@@ -22,6 +22,12 @@ type ViewInfo struct {
 	Tuples       int            `json:"tuples"`
 	Bytes        int            `json:"bytes"`
 	HitProb      float64        `json:"hit_prob"`
+	// Cluster routing metadata: the interval dividers (keyed by
+	// condition position) and the O1 part cap a router needs to run
+	// BreakConditions locally and compute bcp keys that agree with the
+	// shard's own coder.
+	MaxConditionParts int                   `json:"max_condition_parts,omitempty"`
+	Dividers          map[int][]value.Value `json:"dividers,omitempty"`
 }
 
 // TableInfo describes one base relation.
@@ -180,6 +186,44 @@ type SlowlogReply struct {
 	// Threshold is the active slow threshold (-1 = disabled).
 	ThresholdNs int64       `json:"threshold_ns"`
 	Queries     []SlowQuery `json:"queries"`
+}
+
+// HelloReply answers MsgHello when the versions agree.
+type HelloReply struct {
+	Version int `json:"version"`
+}
+
+// RefillReply answers MsgRefill with how many tuples the shard
+// actually cached (admission policy and the F bound may decline some).
+type RefillReply struct {
+	Cached int `json:"cached"`
+}
+
+// ShardMapReply is the serialized shard map: the epoch stamping every
+// probe/refill, the virtual-node count, and the shard addresses in
+// ring order (index = shard id).
+type ShardMapReply struct {
+	Epoch  uint64   `json:"epoch"`
+	VNodes int      `json:"vnodes"`
+	Shards []string `json:"shards"`
+}
+
+// ShardInfo is one shard's row in a router's MsgShards answer.
+type ShardInfo struct {
+	Addr  string `json:"addr"`
+	Up    bool   `json:"up"`
+	Epoch uint64 `json:"epoch"`
+	Error string `json:"error,omitempty"`
+	// Views carries the shard's view occupancy/hit-probability so
+	// `pmvcli shards` can show per-shard cache health.
+	Views []ViewInfo `json:"views,omitempty"`
+}
+
+// ShardsReply answers MsgShards on a router.
+type ShardsReply struct {
+	Epoch  uint64      `json:"epoch"`
+	VNodes int         `json:"vnodes"`
+	Shards []ShardInfo `json:"shards"`
 }
 
 // ViewStatsEntry flattens one view's core counters for MsgViewStats.
