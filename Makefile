@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench experiments examples torture net-torture cluster-smoke cluster-torture fuzz-smoke obs-smoke clean
+.PHONY: all build vet test test-race cover bench experiments examples torture net-torture cluster-smoke cluster-torture restart-smoke restart-torture snapshot-torture fuzz-smoke obs-smoke clean
 
 all: build vet test test-race
 
@@ -53,12 +53,30 @@ cluster-smoke:
 cluster-torture:
 	$(GO) run -race ./cmd/pmvtorture -cluster -seeds 10 -v
 
+# Warm-restart chaos smoke: full shard reboots from snapshots under
+# chaos, each seed run warm then cold to prove the snapshot pays off,
+# plus the corrupt/stale rejection ladder
+# (see internal/torture/restartchaos.go).
+restart-smoke:
+	$(GO) run -race ./cmd/pmvtorture -restart -seeds 3 -clients 4 -queries 20 -v
+
+# Warm-restart chaos sweep: the wide seeded run.
+restart-torture:
+	$(GO) run -race ./cmd/pmvtorture -restart -seeds 10 -v
+
+# Snapshot-fault sweep: fill→snapshot→reboot cycles with torn writes,
+# sticky fsync failures, read bit rot, and crashes injected under the
+# snapshot file (see internal/torture/snapfault.go).
+snapshot-torture:
+	$(GO) run -race ./cmd/pmvtorture -snap -seeds 10 -v
+
 # Short coverage-guided fuzz of the wire codecs (the seed corpus and
 # any fuzzer-found regressions always run as part of plain `make test`).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzDecodeQuery -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzDecodeRow -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=30s ./internal/snapshot
 
 # Observability smoke test: boot pmvd with -obs on a scratch database,
 # probe /healthz and /metrics, and require the key metric families.
@@ -66,7 +84,8 @@ obs-smoke:
 	@set -e; dir=$$(mktemp -d); \
 	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$dir"' EXIT; \
 	$(GO) build -o "$$dir/pmvd" ./cmd/pmvd; \
-	"$$dir/pmvd" -dir "$$dir/db" -addr 127.0.0.1:7071 -obs 127.0.0.1:9091 & pid=$$!; \
+	"$$dir/pmvd" -dir "$$dir/db" -addr 127.0.0.1:7071 -obs 127.0.0.1:9091 \
+		-snapshot-dir "$$dir/snap" -snapshot-interval 1s & pid=$$!; \
 	ok=0; for i in $$(seq 1 50); do \
 		if curl -fs http://127.0.0.1:9091/healthz >/dev/null 2>&1; then ok=1; break; fi; \
 		sleep 0.2; \
@@ -75,7 +94,9 @@ obs-smoke:
 	curl -fs http://127.0.0.1:9091/healthz | grep -q '"status":"ok"'; \
 	curl -fs http://127.0.0.1:9091/metrics > "$$dir/metrics.txt"; \
 	for fam in pmvd_sessions_total pmvd_queries_total pmvd_query_seconds \
-	           pmvd_trace_enabled pmvd_slowlog_threshold_seconds go_goroutines; do \
+	           pmvd_trace_enabled pmvd_slowlog_threshold_seconds go_goroutines \
+	           pmvd_snapshot_age_seconds pmvd_snapshot_writes_total \
+	           pmvd_snapshot_stale_rejects_total; do \
 		grep -q "^# TYPE $$fam " "$$dir/metrics.txt" || { echo "obs-smoke: missing family $$fam"; exit 1; }; \
 	done; \
 	echo "obs-smoke: OK"

@@ -196,7 +196,24 @@ func (r *remoteBackend) stats() error {
 		time.Duration(s.Total.P50Ns), time.Duration(s.Total.P99Ns))
 	fmt.Printf("  buffer pool: %d hits, %d misses\n", st.DB.BufferHits, st.DB.BufferMisses)
 	fmt.Printf("  physical io: %d reads, %d writes\n", st.DB.PhysicalReads, st.DB.PhysicalWrites)
+	if ss := st.Snapshot; ss != nil {
+		fmt.Printf("  snapshot: %s\n", snapshotLine(ss))
+		fmt.Printf("  snapshot boot: %s\n", ss.LastBoot)
+	}
 	return nil
+}
+
+// snapshotLine renders one shard's warm-restart health compactly.
+func snapshotLine(ss *wire.SnapshotStats) string {
+	age := "never written"
+	if ss.AgeSeconds >= 0 {
+		age = fmt.Sprintf("age %s, %d B in %v",
+			(time.Duration(ss.AgeSeconds*float64(time.Second))).Round(time.Millisecond),
+			ss.LastWriteBytes, time.Duration(ss.LastWriteNs).Round(time.Microsecond))
+	}
+	return fmt.Sprintf("%s; %d writes (%d errors), warm-admitted %d entries/%d tuples, rejected %d stale + %d corrupt, epoch %d",
+		age, ss.Writes, ss.WriteErrors, ss.WarmEntries, ss.WarmTuples,
+		ss.StaleRejects, ss.CorruptRejects, ss.Epoch)
 }
 
 func (r *remoteBackend) viewstats() error {
@@ -317,6 +334,9 @@ func (r *remoteBackend) shards() error {
 		for _, v := range si.Views {
 			fmt.Printf("      %s: %d/%d entries, %d tuples, hit-prob %.3f\n",
 				v.Name, v.Entries, v.MaxEntries, v.Tuples, v.HitProb)
+		}
+		if si.Snapshot != nil {
+			fmt.Printf("      snapshot: %s\n", snapshotLine(si.Snapshot))
 		}
 	}
 	return nil

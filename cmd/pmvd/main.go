@@ -21,6 +21,7 @@ import (
 	"pmv"
 	"pmv/internal/obs"
 	"pmv/internal/server"
+	"pmv/internal/snapshot"
 )
 
 func main() {
@@ -39,6 +40,8 @@ func main() {
 		idle     = flag.Duration("idle-timeout", 0, "reap sessions idle between requests for this long (0 = never)")
 		frameTO  = flag.Duration("frame-timeout", 30*time.Second, "max time for one request frame to finish arriving after its first byte (slowloris guard; negative = off)")
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "max time for each response write before the session is dropped (negative = off)")
+		snapDir  = flag.String("snapshot-dir", "", "directory for PMV cache snapshots enabling warm restarts (empty = off); validated and loaded on boot, written every -snapshot-interval and once on graceful shutdown")
+		snapInt  = flag.Duration("snapshot-interval", 30*time.Second, "period of the background cache snapshot writer (requires -snapshot-dir; 0 = only the final shutdown snapshot)")
 	)
 	flag.Parse()
 
@@ -46,6 +49,25 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmvd: open %s: %v\n", *dir, err)
 		os.Exit(1)
+	}
+
+	var snaps *snapshot.Manager
+	if *snapDir != "" {
+		snaps, err = snapshot.NewManager(snapshot.Config{
+			Dir:      *snapDir,
+			Source:   db,
+			Interval: *snapInt,
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			db.Close()
+			fmt.Fprintf(os.Stderr, "pmvd: snapshots in %s: %v\n", *snapDir, err)
+			os.Exit(1)
+		}
+		// Load before serving: warm entries are admitted through the
+		// normal cache machinery; any mismatch degrades to cold start.
+		snaps.Load()
+		snaps.Start()
 	}
 
 	srv := server.New(db, server.Config{
@@ -59,6 +81,7 @@ func main() {
 		FrameTimeout:    *frameTO,
 		WriteTimeout:    *writeTO,
 	})
+	srv.SetSnapshots(snaps)
 	if err := srv.Start(*addr); err != nil {
 		db.Close()
 		fmt.Fprintf(os.Stderr, "pmvd: listen %s: %v\n", *addr, err)
@@ -85,6 +108,13 @@ func main() {
 	log.Printf("pmvd: %v, draining sessions", s)
 
 	srv.Shutdown()
+	if snaps != nil {
+		// Final snapshot after the drain, while the database is still
+		// open — the next boot starts warm.
+		if err := snaps.Close(); err != nil {
+			log.Printf("pmvd: final snapshot: %v", err)
+		}
+	}
 	if err := db.Close(); err != nil {
 		log.Printf("pmvd: close: %v", err)
 		os.Exit(1)

@@ -17,11 +17,25 @@
 // a seeded driver kills/restarts shards, blackholes links, and fires
 // reset bursts (see internal/torture/clusterchaos.go).
 //
+// With -restart it runs the warm-restart chaos harness: the cluster
+// topology, but kills are full process deaths (snapshot written,
+// database closed, reopened from disk), and each seed runs twice —
+// snapshots on, then off — to prove the warm boot's sweep hit rate
+// beats cold by a decisive margin while corrupted and stale snapshots
+// degrade to cold starts (see internal/torture/restartchaos.go).
+//
+// With -snap it runs the snapshot-fault harness: fill→snapshot→reboot
+// cycles with torn writes, sticky fsync failures, read bit rot, and
+// crashes injected under the snapshot file (see
+// internal/torture/snapfault.go).
+//
 // Usage:
 //
 //	pmvtorture [-seeds 50] [-start 0] [-ops 300] [-v]
 //	pmvtorture -net [-seeds 10] [-start 0] [-clients 8] [-queries 50] [-v]
 //	pmvtorture -cluster [-seeds 3] [-start 0] [-clients 6] [-queries 30] [-v]
+//	pmvtorture -restart [-seeds 3] [-start 0] [-clients 6] [-queries 30] [-v]
+//	pmvtorture -snap [-seeds 10] [-start 0] [-cycles 10] [-v]
 package main
 
 import (
@@ -38,11 +52,22 @@ func main() {
 	ops := flag.Int("ops", 300, "workload operations per faulty phase (storage mode)")
 	netMode := flag.Bool("net", false, "run the network-plane chaos harness instead of the storage one")
 	clusterMode := flag.Bool("cluster", false, "run the cluster-plane chaos harness (3 shards + router) instead of the storage one")
-	clients := flag.Int("clients", 8, "concurrent self-healing clients per seed (net/cluster mode)")
-	queries := flag.Int("queries", 50, "queries per client per seed (net/cluster mode)")
+	restartMode := flag.Bool("restart", false, "run the warm-restart chaos harness (full shard reboots from snapshots, warm-vs-cold compared per seed)")
+	snapMode := flag.Bool("snap", false, "run the snapshot-fault harness (faulted snapshot write/boot cycles)")
+	clients := flag.Int("clients", 8, "concurrent self-healing clients per seed (net/cluster/restart mode)")
+	queries := flag.Int("queries", 50, "queries per client per seed (net/cluster/restart mode)")
+	cycles := flag.Int("cycles", 10, "fill→snapshot→reboot cycles per seed (snap mode)")
 	verbose := flag.Bool("v", false, "print one line per seed")
 	flag.Parse()
 
+	if *snapMode {
+		runSnap(*seeds, *start, *cycles, *verbose)
+		return
+	}
+	if *restartMode {
+		runRestart(*seeds, *start, *clients, *queries, *verbose)
+		return
+	}
 	if *clusterMode {
 		runCluster(*seeds, *start, *clients, *queries, *verbose)
 		return
@@ -94,6 +119,52 @@ func runNet(seeds int, start int64, clients, queries int, verbose bool) {
 		}
 	}
 	fmt.Printf("pmvtorture -net: %d seeds, %d failed\n", seeds, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runRestart(seeds int, start int64, clients, queries int, verbose bool) {
+	failed := 0
+	for i := 0; i < seeds; i++ {
+		seed := start + int64(i)
+		warm, cold, err := torture.RunRestartCompare(torture.RestartOptions{Seed: seed, Clients: clients, Queries: queries})
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", seed, err)
+			continue
+		}
+		if verbose {
+			fmt.Printf("ok   seed=%d queries=%d clean=%d flagged=%d reboots=%d warmboots=%d entries=%d hitrate=%.3f coldrate=%.3f corrupt-rejected=%v stale-rejected=%v installs=%d\n",
+				seed, warm.Queries, warm.Clean, warm.Flagged, warm.Reboots, warm.WarmBoots,
+				warm.WarmEntries, warm.SweepHitRate, cold.SweepHitRate,
+				warm.CorruptRejected, warm.StaleRejected, warm.EpochInstalls)
+		}
+	}
+	fmt.Printf("pmvtorture -restart: %d seeds, %d failed\n", seeds, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runSnap(seeds int, start int64, cycles int, verbose bool) {
+	failed := 0
+	for i := 0; i < seeds; i++ {
+		seed := start + int64(i)
+		rep, err := torture.RunSnapFault(torture.SnapFaultOptions{Seed: seed, Cycles: cycles})
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", seed, err)
+			continue
+		}
+		if verbose {
+			fmt.Printf("ok   seed=%d cycles=%d warm=%d cold=%d write-errors=%d reasons=%v torn=%d syncfail=%d rot=%d crashes=%d\n",
+				seed, rep.Cycles, rep.WarmBoots, rep.ColdBoots, rep.WriteErrors,
+				rep.ColdReasons, rep.Faults.TornWrites, rep.Faults.SyncFailures,
+				rep.Faults.CorruptReads, rep.Faults.Crashes)
+		}
+	}
+	fmt.Printf("pmvtorture -snap: %d seeds, %d failed\n", seeds, failed)
 	if failed > 0 {
 		os.Exit(1)
 	}

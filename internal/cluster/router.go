@@ -590,6 +590,9 @@ func (r *Router) handleShards(bw *bufio.Writer) error {
 				if views, verr := c.Views(ctx); verr == nil {
 					info.Views = views
 				}
+				if st, serr := c.Stats(ctx); serr == nil {
+					info.Snapshot = st.Snapshot
+				}
 			} else {
 				info.Error = err.Error()
 			}

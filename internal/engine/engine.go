@@ -259,6 +259,14 @@ func (e *Engine) IOStats() (reads, writes int64) { return e.mgr.Stats.Snapshot()
 // injection covers them).
 func (e *Engine) FS() vfs.FS { return e.mgr.FS() }
 
+// DataStamp identifies the base data's mutation state: the WAL
+// operation sequence number. With WAL enabled it advances on every
+// logged statement (and is restored across restarts), so equal stamps
+// mean no base-relation change happened in between. With WAL disabled
+// it is always zero — callers that compare stamps across restarts get
+// a trivially-true match and must rely on coarser checks.
+func (e *Engine) DataStamp() uint64 { return e.opSeq.Load() }
+
 // Stats returns a snapshot of the robustness counters.
 func (e *Engine) Stats() Stats {
 	return Stats{

@@ -241,10 +241,17 @@ func (s *Server) handleShardMap(bw *bufio.Writer, payload []byte) error {
 			return s.writeErr(bw, errors.New("server: shard map needs epoch, shards, and vnodes"))
 		}
 		s.shardMu.Lock()
+		installed := false
 		if m.Epoch >= s.shardMap.Epoch {
 			s.shardMap = m
+			installed = true
 		}
 		s.shardMu.Unlock()
+		if installed && s.snap != nil {
+			// Stamp future snapshots with the epoch the cluster just
+			// taught us, so a reboot can tell fresh from stale.
+			s.snap.SetEpoch(m.Epoch)
+		}
 	}
 	s.shardMu.Lock()
 	cur := s.shardMap

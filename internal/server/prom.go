@@ -36,6 +36,19 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.Gauge("pmvd_trace_enabled", "1 when per-query tracing is on.", b2f(s.traceOn.Load()))
 	p.Gauge("pmvd_slowlog_threshold_seconds", "Slow-query log threshold (-1 = disabled).", slowSeconds(s.slowNs.Load()))
 
+	if ss := s.snapshotStats(); ss != nil {
+		p.Gauge("pmvd_snapshot_age_seconds", "Seconds since the last successful cache snapshot (-1 = never).", ss.AgeSeconds)
+		p.Gauge("pmvd_snapshot_last_write_bytes", "Size of the last successful cache snapshot.", float64(ss.LastWriteBytes))
+		p.Gauge("pmvd_snapshot_last_write_seconds", "Duration of the last successful cache snapshot write.", float64(ss.LastWriteNs)/1e9)
+		p.Counter("pmvd_snapshot_writes_total", "Cache snapshots committed.", float64(ss.Writes))
+		p.Counter("pmvd_snapshot_write_errors_total", "Cache snapshot commits that failed.", float64(ss.WriteErrors))
+		p.Gauge("pmvd_snapshot_warm_entries", "View entries admitted from the snapshot at the last boot.", float64(ss.WarmEntries))
+		p.Gauge("pmvd_snapshot_warm_tuples", "Cached tuples admitted from the snapshot at the last boot.", float64(ss.WarmTuples))
+		p.Counter("pmvd_snapshot_stale_rejects_total", "Snapshots rejected at boot for stamp mismatches (epoch, generation, revision).", float64(ss.StaleRejects))
+		p.Counter("pmvd_snapshot_corrupt_rejects_total", "Snapshots rejected at boot for structural damage.", float64(ss.CorruptRejects))
+		p.Gauge("pmvd_snapshot_epoch", "Shard-map epoch persisted beside the snapshot.", float64(ss.Epoch))
+	}
+
 	p.Header("pmvd_query_seconds", "histogram", "Query latency by phase (partial = O1+O2, exec = O3, total = whole query).")
 	for _, ph := range []struct {
 		name string

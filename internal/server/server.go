@@ -49,6 +49,7 @@ import (
 	"pmv"
 	"pmv/internal/expr"
 	"pmv/internal/heap"
+	"pmv/internal/snapshot"
 	"pmv/internal/storage"
 	"pmv/internal/value"
 	"pmv/internal/wire"
@@ -130,7 +131,15 @@ type Server struct {
 	// one does), validated against every probe/refill request.
 	shardMu  sync.Mutex
 	shardMap wire.ShardMapReply
+
+	// Warm-restart plane: nil unless the process runs with snapshots.
+	// The server reports the manager's health and forwards shard-map
+	// installs to it so snapshots are stamped with the live epoch.
+	snap *snapshot.Manager
 }
+
+// SetSnapshots attaches the snapshot manager (call before Start).
+func (s *Server) SetSnapshots(m *snapshot.Manager) { s.snap = m }
 
 // session is one accepted connection's state: the conn with its
 // buffered streams, plus the activity tracking the idle reaper and
@@ -777,6 +786,29 @@ func (s *Server) statsReply() wire.StatsReply {
 			DegradedQueries: es.DegradedQueries,
 			TornPageRepairs: es.TornPageRepairs,
 		},
+		Snapshot: s.snapshotStats(),
+	}
+}
+
+// snapshotStats renders the snapshot manager's health for the wire
+// (nil when warm restarts are off).
+func (s *Server) snapshotStats() *wire.SnapshotStats {
+	if s.snap == nil {
+		return nil
+	}
+	st := s.snap.Stats()
+	return &wire.SnapshotStats{
+		Epoch:          st.Epoch,
+		AgeSeconds:     s.snap.AgeSeconds(),
+		LastWriteBytes: st.LastWriteBytes,
+		LastWriteNs:    st.LastWriteDurNs,
+		Writes:         st.Writes,
+		WriteErrors:    st.WriteErrors,
+		WarmEntries:    st.WarmEntries,
+		WarmTuples:     st.WarmTuples,
+		StaleRejects:   st.StaleRejects,
+		CorruptRejects: st.CorruptRejects,
+		LastBoot:       st.LastBoot,
 	}
 }
 

@@ -1,0 +1,344 @@
+// Package snapshot persists the PMV cache across restarts. A snapshot
+// is a throwaway, FMC1-style file — not a WAL: each commit rewrites
+// the whole file, the index section sits right after the header so
+// boot can probe it without touching the body, every section carries a
+// CRC-32C, and the header is stamped with the shard-map epoch, the
+// discretizer generation, the view/catalog revision, the engine data
+// stamp, and a relation-count fingerprint. Any mismatch or corruption
+// on boot degrades to a cold start; a snapshot can make a restart
+// faster, never wrong.
+//
+// File layout (all integers big-endian, offsets relative to the data
+// section start, u32 offsets bound the file below 4 GiB):
+//
+//	header  88 B   magic "PMVS", version, stamps, section dirs, CRCs
+//	index   view records (16 B) then entry records (24 B)
+//	data    view names, bcp keys, value.EncodeTuple-encoded tuples
+//
+// Commit protocol (vfs.FS has no rename): truncate to zero, write a
+// zeroed guard header plus index and data, sync, then write the real
+// header and sync again. A torn or crashed commit leaves an invalid
+// magic or a failing CRC — a typed rejection, never a stale admit.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"pmv/internal/value"
+	"pmv/internal/vfs"
+)
+
+const (
+	// Version is the current snapshot format version.
+	Version = 1
+
+	headerSize   = 88
+	viewRecSize  = 16
+	entryRecSize = 24
+)
+
+var magic = [4]byte{'P', 'M', 'V', 'S'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed boot outcomes. The manager logs which rung of the validation
+// ladder rejected a snapshot; all of them degrade to a cold start.
+var (
+	// ErrAbsent marks a missing or empty snapshot file (first boot).
+	ErrAbsent = errors.New("snapshot: no snapshot")
+	// ErrCorrupt marks a snapshot that failed structural validation
+	// (magic, CRC, bounds) — a torn write, bit rot, or a lost page.
+	ErrCorrupt = errors.New("snapshot: corrupt")
+	// ErrStale marks a structurally-valid snapshot written under a
+	// different world (epoch, discretizer generation, view revision,
+	// data stamp, or relation fingerprint).
+	ErrStale = errors.New("snapshot: stale")
+)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Stamps identify the world a snapshot was written under. A snapshot
+// is admissible only when every stamp matches the booting shard's.
+type Stamps struct {
+	// Epoch is the last shard-map epoch installed on this shard (0
+	// until a router teaches one).
+	Epoch uint64
+	// DiscGen hashes the discretizer configuration (condition forms
+	// and dividing values) of every view: bcp keys from a different
+	// generation would silently mis-bucket.
+	DiscGen uint64
+	// ViewRev hashes the full view definitions and the catalog's
+	// relation schemas.
+	ViewRev uint64
+	// DataStamp is the engine's WAL operation sequence at write time
+	// (0 with WAL disabled on both sides).
+	DataStamp uint64
+	// Fingerprint hashes relation names and tuple counts — a coarse
+	// guard against base data replaced behind the snapshot's back.
+	Fingerprint uint64
+}
+
+// Entry is one cached bcp: its key, popularity, and result tuples.
+type Entry struct {
+	Key      string
+	Accesses int64
+	Tuples   []value.Tuple
+}
+
+// ViewSnap is one view's section of a snapshot, hottest entries first.
+type ViewSnap struct {
+	Name    string
+	Entries []Entry
+}
+
+// Snapshot is the decoded in-memory form.
+type Snapshot struct {
+	Stamps
+	WrittenUnixNs int64
+	Views         []ViewSnap
+}
+
+// Encode renders the full file image (header, index, data).
+func Encode(s *Snapshot) []byte {
+	var data []byte
+	nEntries := 0
+	for _, vs := range s.Views {
+		nEntries += len(vs.Entries)
+	}
+	index := make([]byte, 0, len(s.Views)*viewRecSize+nEntries*entryRecSize)
+	entryRecs := make([]byte, 0, nEntries*entryRecSize)
+
+	for _, vs := range s.Views {
+		nameOff := uint32(len(data))
+		data = append(data, vs.Name...)
+		index = binary.BigEndian.AppendUint32(index, nameOff)
+		index = binary.BigEndian.AppendUint32(index, uint32(len(vs.Name)))
+		index = binary.BigEndian.AppendUint32(index, uint32(len(entryRecs)/entryRecSize))
+		index = binary.BigEndian.AppendUint32(index, uint32(len(vs.Entries)))
+		for _, e := range vs.Entries {
+			keyOff := uint32(len(data))
+			data = append(data, e.Key...)
+			tupOff := uint32(len(data))
+			for _, t := range e.Tuples {
+				data = value.EncodeTuple(data, t)
+			}
+			acc := e.Accesses
+			if acc < 0 {
+				acc = 0
+			}
+			if acc > math.MaxUint32 {
+				acc = math.MaxUint32
+			}
+			entryRecs = binary.BigEndian.AppendUint32(entryRecs, keyOff)
+			entryRecs = binary.BigEndian.AppendUint32(entryRecs, uint32(len(e.Key)))
+			entryRecs = binary.BigEndian.AppendUint32(entryRecs, tupOff)
+			entryRecs = binary.BigEndian.AppendUint32(entryRecs, uint32(len(data))-tupOff)
+			entryRecs = binary.BigEndian.AppendUint32(entryRecs, uint32(len(e.Tuples)))
+			entryRecs = binary.BigEndian.AppendUint32(entryRecs, uint32(acc))
+		}
+	}
+	index = append(index, entryRecs...)
+
+	img := make([]byte, headerSize, headerSize+len(index)+len(data))
+	copy(img[0:4], magic[:])
+	binary.BigEndian.PutUint32(img[4:], Version)
+	binary.BigEndian.PutUint64(img[8:], s.Epoch)
+	binary.BigEndian.PutUint64(img[16:], s.DiscGen)
+	binary.BigEndian.PutUint64(img[24:], s.ViewRev)
+	binary.BigEndian.PutUint64(img[32:], s.DataStamp)
+	binary.BigEndian.PutUint64(img[40:], s.Fingerprint)
+	binary.BigEndian.PutUint64(img[48:], uint64(s.WrittenUnixNs))
+	binary.BigEndian.PutUint32(img[56:], uint32(len(s.Views)))
+	binary.BigEndian.PutUint32(img[60:], uint32(len(index)))
+	binary.BigEndian.PutUint32(img[64:], uint32(len(data)))
+	binary.BigEndian.PutUint32(img[68:], uint32(nEntries))
+	binary.BigEndian.PutUint32(img[72:], crc32.Checksum(index, castagnoli))
+	binary.BigEndian.PutUint32(img[76:], crc32.Checksum(data, castagnoli))
+	binary.BigEndian.PutUint32(img[80:], 0) // reserved
+	binary.BigEndian.PutUint32(img[84:], crc32.Checksum(img[:84], castagnoli))
+	img = append(img, index...)
+	img = append(img, data...)
+	return img
+}
+
+// Decode parses and structurally validates a snapshot image. It never
+// panics on corrupt input (FuzzReadSnapshot holds it to that); every
+// failure wraps ErrCorrupt or ErrStale. Stamp comparison against the
+// booting shard's world is the caller's job.
+func Decode(b []byte) (*Snapshot, error) {
+	if len(b) == 0 {
+		return nil, ErrAbsent
+	}
+	if len(b) < headerSize {
+		return nil, corruptf("short header: %d bytes", len(b))
+	}
+	if [4]byte(b[0:4]) != magic {
+		return nil, corruptf("bad magic %q", b[0:4])
+	}
+	if got, want := binary.BigEndian.Uint32(b[84:]), crc32.Checksum(b[:84], castagnoli); got != want {
+		return nil, corruptf("header CRC %08x, want %08x", got, want)
+	}
+	if v := binary.BigEndian.Uint32(b[4:]); v != Version {
+		// A valid header from another format version is not damage —
+		// it is a snapshot from a different world.
+		return nil, fmt.Errorf("%w: format version %d, want %d", ErrStale, v, Version)
+	}
+
+	s := &Snapshot{
+		Stamps: Stamps{
+			Epoch:       binary.BigEndian.Uint64(b[8:]),
+			DiscGen:     binary.BigEndian.Uint64(b[16:]),
+			ViewRev:     binary.BigEndian.Uint64(b[24:]),
+			DataStamp:   binary.BigEndian.Uint64(b[32:]),
+			Fingerprint: binary.BigEndian.Uint64(b[40:]),
+		},
+		WrittenUnixNs: int64(binary.BigEndian.Uint64(b[48:])),
+	}
+	viewCount := uint64(binary.BigEndian.Uint32(b[56:]))
+	indexLen := uint64(binary.BigEndian.Uint32(b[60:]))
+	dataLen := uint64(binary.BigEndian.Uint32(b[64:]))
+	entryCount := uint64(binary.BigEndian.Uint32(b[68:]))
+
+	if viewCount*viewRecSize+entryCount*entryRecSize != indexLen {
+		return nil, corruptf("index directory claims %d views + %d entries, index length %d", viewCount, entryCount, indexLen)
+	}
+	if headerSize+indexLen+dataLen > uint64(len(b)) {
+		return nil, corruptf("sections need %d bytes, file has %d", headerSize+indexLen+dataLen, len(b))
+	}
+	index := b[headerSize : headerSize+indexLen]
+	data := b[headerSize+indexLen : headerSize+indexLen+dataLen]
+	if got, want := binary.BigEndian.Uint32(b[72:]), crc32.Checksum(index, castagnoli); got != want {
+		return nil, corruptf("index CRC %08x, want %08x", got, want)
+	}
+	if got, want := binary.BigEndian.Uint32(b[76:]), crc32.Checksum(data, castagnoli); got != want {
+		return nil, corruptf("data CRC %08x, want %08x", got, want)
+	}
+
+	entryRecs := index[viewCount*viewRecSize:]
+	s.Views = make([]ViewSnap, 0, int(min(viewCount, 64)))
+	for vi := uint64(0); vi < viewCount; vi++ {
+		rec := index[vi*viewRecSize:]
+		nameOff := uint64(binary.BigEndian.Uint32(rec))
+		nameLen := uint64(binary.BigEndian.Uint32(rec[4:]))
+		entryStart := uint64(binary.BigEndian.Uint32(rec[8:]))
+		n := uint64(binary.BigEndian.Uint32(rec[12:]))
+		if nameOff+nameLen > dataLen {
+			return nil, corruptf("view %d: name [%d:+%d] outside data section", vi, nameOff, nameLen)
+		}
+		if entryStart+n > entryCount || entryStart+n < entryStart {
+			return nil, corruptf("view %d: entries [%d:+%d] outside entry directory (%d)", vi, entryStart, n, entryCount)
+		}
+		vs := ViewSnap{
+			Name:    string(data[nameOff : nameOff+nameLen]),
+			Entries: make([]Entry, 0, int(min(n, 1024))),
+		}
+		for ei := entryStart; ei < entryStart+n; ei++ {
+			e, err := decodeEntry(entryRecs[ei*entryRecSize:], data, vi, ei)
+			if err != nil {
+				return nil, err
+			}
+			vs.Entries = append(vs.Entries, e)
+		}
+		s.Views = append(s.Views, vs)
+	}
+	return s, nil
+}
+
+func decodeEntry(rec, data []byte, vi, ei uint64) (Entry, error) {
+	keyOff := uint64(binary.BigEndian.Uint32(rec))
+	keyLen := uint64(binary.BigEndian.Uint32(rec[4:]))
+	tupOff := uint64(binary.BigEndian.Uint32(rec[8:]))
+	tupLen := uint64(binary.BigEndian.Uint32(rec[12:]))
+	nTuples := uint64(binary.BigEndian.Uint32(rec[16:]))
+	accesses := int64(binary.BigEndian.Uint32(rec[20:]))
+	if keyOff+keyLen > uint64(len(data)) {
+		return Entry{}, corruptf("view %d entry %d: key [%d:+%d] outside data section", vi, ei, keyOff, keyLen)
+	}
+	if tupOff+tupLen > uint64(len(data)) {
+		return Entry{}, corruptf("view %d entry %d: tuples [%d:+%d] outside data section", vi, ei, tupOff, tupLen)
+	}
+	e := Entry{
+		Key:      string(data[keyOff : keyOff+keyLen]),
+		Accesses: accesses,
+		Tuples:   make([]value.Tuple, 0, int(min(nTuples, 64))),
+	}
+	buf := data[tupOff : tupOff+tupLen]
+	for ti := uint64(0); ti < nTuples; ti++ {
+		t, n, err := value.DecodeTuple(buf)
+		if err != nil {
+			return Entry{}, corruptf("view %d entry %d tuple %d: %v", vi, ei, ti, err)
+		}
+		buf = buf[n:]
+		e.Tuples = append(e.Tuples, t)
+	}
+	if len(buf) != 0 {
+		return Entry{}, corruptf("view %d entry %d: %d trailing tuple bytes", vi, ei, len(buf))
+	}
+	return e, nil
+}
+
+// WriteTo commits img (an Encode image) to f crash-safely without
+// rename: zero guard header + sections, sync, real header, sync. Any
+// interruption leaves a file Decode rejects.
+func WriteTo(f vfs.File, img []byte) error {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	guard := make([]byte, headerSize)
+	if _, err := f.WriteAt(guard, 0); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(img[headerSize:], headerSize); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(img[:headerSize], 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Read loads and decodes the snapshot at path. Real OS files are
+// mmapped (Decode copies everything it keeps, so the mapping is
+// released before returning); files without the capability — notably
+// the fault-injecting FS — are read through ReadAt so injected read
+// faults reach the validation ladder.
+func Read(fs vfs.FS, path string) (*Snapshot, int64, error) {
+	f, err := fs.OpenFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	if info.Size == 0 {
+		return nil, 0, ErrAbsent
+	}
+	if mm, ok := f.(vfs.MemMapper); ok {
+		if data, unmap, merr := mm.Mmap(info.Size); merr == nil {
+			s, derr := Decode(data)
+			if uerr := unmap(); uerr != nil && derr == nil {
+				derr = uerr
+			}
+			return s, info.Size, derr
+		}
+	}
+	buf := make([]byte, info.Size)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil && !(err == io.EOF && int64(n) == info.Size) {
+		return nil, info.Size, err
+	}
+	s, err := Decode(buf)
+	return s, info.Size, err
+}

@@ -1,0 +1,80 @@
+package snapshot_test
+
+import (
+	"testing"
+
+	"pmv/internal/snapshot"
+	"pmv/internal/value"
+)
+
+// FuzzReadSnapshot holds the boot path to the graceful-degradation
+// contract the wire and value fuzzers enforce on their decoders: a
+// corrupt snapshot header, index, or body must produce a typed error,
+// never a panic or a runaway allocation. The seed corpus covers every
+// validation rung: valid images, truncations at each section boundary,
+// bit flips in each section, and adversarial length fields.
+func FuzzReadSnapshot(f *testing.F) {
+	valid := snapshot.Encode(sampleSnapshot())
+	f.Add(valid)
+	f.Add(snapshot.Encode(&snapshot.Snapshot{}))
+	f.Add([]byte{})
+	f.Add([]byte("PMVS"))
+	f.Add(valid[:40])                 // mid-header truncation
+	f.Add(valid[:88])                 // header only, sections missing
+	f.Add(valid[:len(valid)-1])       // body truncation
+	f.Add(append([]byte(nil), make([]byte, 88)...)) // zeroed guard header (torn commit)
+	for _, off := range []int{0, 7, 16, 57, 61, 66, 70, 85, 90, 120} {
+		if off < len(valid) {
+			img := append([]byte(nil), valid...)
+			img[off] ^= 0xff
+			f.Add(img)
+		}
+	}
+	// Adversarial counts: huge viewCount/entryCount/length fields with
+	// a resealed header CRC so the bounds checks, not the CRC, face
+	// them.
+	huge := append([]byte(nil), valid...)
+	for _, off := range []int{56, 60, 64, 68} {
+		huge[off] = 0xff
+		huge[off+1] = 0xff
+	}
+	reseal(huge)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := snapshot.Decode(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("Decode returned both a snapshot and an error")
+			}
+			return
+		}
+		// A decoded snapshot must re-encode and decode to the same
+		// stamps and shape (the round-trip invariant the manager's
+		// boot path relies on).
+		img := snapshot.Encode(s)
+		s2, err := snapshot.Decode(img)
+		if err != nil {
+			t.Fatalf("re-encode of decoded snapshot does not decode: %v", err)
+		}
+		if s2.Stamps != s.Stamps || len(s2.Views) != len(s.Views) {
+			t.Fatalf("round trip changed snapshot: %+v vs %+v", s2.Stamps, s.Stamps)
+		}
+		for i := range s.Views {
+			if s2.Views[i].Name != s.Views[i].Name || len(s2.Views[i].Entries) != len(s.Views[i].Entries) {
+				t.Fatalf("round trip changed view %d", i)
+			}
+			for j, e := range s.Views[i].Entries {
+				e2 := s2.Views[i].Entries[j]
+				if e2.Key != e.Key || len(e2.Tuples) != len(e.Tuples) {
+					t.Fatalf("round trip changed view %d entry %d", i, j)
+				}
+				for k := range e.Tuples {
+					if string(value.EncodeTuple(nil, e2.Tuples[k])) != string(value.EncodeTuple(nil, e.Tuples[k])) {
+						t.Fatalf("round trip changed view %d entry %d tuple %d", i, j, k)
+					}
+				}
+			}
+		}
+	})
+}

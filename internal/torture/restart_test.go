@@ -1,0 +1,40 @@
+package torture
+
+import "testing"
+
+// One warm-vs-cold restart comparison rides in the suite;
+// cmd/pmvtorture -restart runs the wide sweep. The compare form is
+// deliberate: it asserts not just that the oracle held but that the
+// snapshot visibly paid for itself.
+func TestRestartChaosSmoke(t *testing.T) {
+	warm, cold, err := RunRestartCompare(RestartOptions{Seed: 1, Clients: 4, Queries: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("restartchaos seed 1 warm: %d queries: clean=%d flagged=%d reboots=%d warmboots=%d entries=%d hitrate=%.3f installs=%d",
+		warm.Queries, warm.Clean, warm.Flagged, warm.Reboots, warm.WarmBoots,
+		warm.WarmEntries, warm.SweepHitRate, warm.EpochInstalls)
+	t.Logf("restartchaos seed 1 cold: hitrate=%.3f (probed=%d hits=%d)",
+		cold.SweepHitRate, cold.SweepProbed, cold.SweepHits)
+	if !warm.CorruptRejected || !warm.StaleRejected {
+		t.Fatalf("rejection ladder incomplete: corrupt=%v stale=%v",
+			warm.CorruptRejected, warm.StaleRejected)
+	}
+	if warm.Clean == 0 {
+		t.Fatal("no query completed cleanly — the harness is all noise")
+	}
+}
+
+// One seeded snapshot-fault cycle sequence rides in the suite;
+// cmd/pmvtorture -snap runs the wide sweep.
+func TestSnapFaultSmoke(t *testing.T) {
+	rep, err := RunSnapFault(SnapFaultOptions{Seed: 1, Cycles: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("snapfault seed 1: %d cycles: warm=%d cold=%d write-errors=%d reasons=%v faults=%+v",
+		rep.Cycles, rep.WarmBoots, rep.ColdBoots, rep.WriteErrors, rep.ColdReasons, rep.Faults)
+	if rep.WarmBoots == 0 {
+		t.Fatal("no cycle booted warm — the control scenario never ran")
+	}
+}

@@ -1,0 +1,784 @@
+// restartchaos.go tortures warm restarts: the cluster-chaos topology
+// (three shards behind fault proxies, one router, concurrent clients),
+// but a "kill" here is a full process death — server drained, snapshot
+// manager closed, database closed — followed by a genuine reboot:
+// pmv.Open on the same directory, snapshot load, a fresh server rebound
+// on the same address. Nothing survives a kill in memory; whatever the
+// replacement shard knows, it learned from disk.
+//
+// On top of netchaos's oracle (clean → exact multiset; flagged or
+// typed-interrupted → subset; typed failure → zero-or-subset; no
+// fabricated or duplicated rows ever) the run proves three snapshot
+// properties:
+//
+//  1. Warm beats cold. After the chaos settles, every (category, store)
+//     pair is warmed through the router, all three shards are rebooted
+//     deterministically, and a convergence sweep runs. With snapshots
+//     on, every shard must come back warm and the sweep's probe hit
+//     rate is measured; RunRestartCompare reruns the same seed with
+//     snapshots off and demands a decisive hit-rate gap.
+//  2. Corruption degrades, never lies. A deliberately bit-flipped
+//     snapshot must produce a cold boot with a "corrupt" reason — and
+//     the shard must then serve exact answers anyway.
+//  3. Staleness degrades, never lies. A snapshot stamped with an epoch
+//     the shard no longer trusts must produce a cold boot with a
+//     stale-epoch reason, again followed by exact answers.
+package torture
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"pmv"
+	"pmv/client"
+	"pmv/internal/cluster"
+	"pmv/internal/netfault"
+	"pmv/internal/server"
+	"pmv/internal/snapshot"
+	"pmv/internal/vfs"
+)
+
+// RestartOptions configures one restart-chaos run.
+type RestartOptions struct {
+	// Seed drives the chaos schedule, every injector, and the query mix.
+	Seed int64
+	// Clients is how many concurrent clients hammer the router
+	// (default 6).
+	Clients int
+	// Queries is how many queries each client issues (default 30).
+	Queries int
+	// Dir is the parent directory for the shard databases and snapshot
+	// directories (default: fresh temp dir, removed on success, kept on
+	// failure).
+	Dir string
+	// Snapshots enables the per-shard snapshot manager. Off, every
+	// reboot is a cold start — the control arm RunRestartCompare uses.
+	Snapshots bool
+	// SnapshotInterval is the background writer period (default 150ms,
+	// fast enough that mid-chaos kills race the writer).
+	SnapshotInterval time.Duration
+}
+
+// RestartReport summarizes one run.
+type RestartReport struct {
+	Seed        int64
+	Snapshots   bool
+	Queries     int
+	Clean       int
+	Flagged     int
+	Interrupted int
+	Unavailable int
+	Remote      int
+	CtxExpired  int
+	// Reboots counts full kill→reopen cycles the chaos driver delivered
+	// (the deterministic final reboot of all shards is extra).
+	Reboots     int
+	Blackholes  int
+	ResetBursts int
+	// WarmBoots / ColdBoots classify every reboot, chaos-driven and
+	// final alike.
+	WarmBoots int
+	ColdBoots int
+	// FinalWarm counts shards that booted warm at the deterministic
+	// post-chaos reboot; with Snapshots it must equal the shard count.
+	FinalWarm int
+	// WarmEntries totals cache entries admitted across the final warm
+	// boots.
+	WarmEntries int64
+	// SweepProbed / SweepHits aggregate the shards' O2 probe counters
+	// over the post-reboot convergence sweep; their ratio is the
+	// warm-restart payoff RunRestartCompare asserts on.
+	SweepProbed  int64
+	SweepHits    int64
+	SweepHitRate float64
+	// CorruptRejected / StaleRejected confirm the tampered-snapshot
+	// reboots were refused for the right reason (Snapshots runs only).
+	CorruptRejected bool
+	StaleRejected   bool
+	EpochInstalls   int64
+	Retries         int64
+	Redials         int64
+	Faults          netfault.Stats
+}
+
+const restartShards = clusterShards
+
+// RunRestart executes one restart-chaos cycle. A nil error means the
+// oracle held for every query, every boot outcome matched the
+// snapshot state, and nothing leaked.
+func RunRestart(opts RestartOptions) (RestartReport, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 6
+	}
+	if opts.Queries <= 0 {
+		opts.Queries = 30
+	}
+	if opts.SnapshotInterval <= 0 {
+		opts.SnapshotInterval = 150 * time.Millisecond
+	}
+	cleanup := false
+	if opts.Dir == "" {
+		dir, err := os.MkdirTemp("", "pmv-restartchaos")
+		if err != nil {
+			return RestartReport{}, err
+		}
+		opts.Dir = dir
+		cleanup = true
+	}
+	rep := RestartReport{Seed: opts.Seed, Snapshots: opts.Snapshots}
+	fail := func(format string, args ...any) (RestartReport, error) {
+		return rep, fmt.Errorf("restartchaos seed %d: %s (dirs kept at %s)",
+			opts.Seed, fmt.Sprintf(format, args...), opts.Dir)
+	}
+
+	baseGoroutines := runtime.NumGoroutine()
+
+	var (
+		want     map[[2]int64]map[string]int
+		srvMu    sync.Mutex
+		srvs     [restartShards]*server.Server
+		dbs      [restartShards]*pmv.DB
+		mgrs     [restartShards]*snapshot.Manager
+		dbDirs   [restartShards]string
+		snapDirs [restartShards]string
+		addrs    [restartShards]string
+		injs     [restartShards]*netfault.Injector
+		proxies  [restartShards]*netfault.Proxy
+	)
+	shardCfg := clusterShardConfig(opts.Clients)
+
+	// newManager builds (and boots) a shard's snapshot manager. The
+	// load result is returned so callers can classify the boot.
+	newManager := func(shard int, db *pmv.DB) (*snapshot.Manager, snapshot.LoadResult, error) {
+		if !opts.Snapshots {
+			return nil, snapshot.LoadResult{Reason: "snapshots disabled"}, nil
+		}
+		m, err := snapshot.NewManager(snapshot.Config{
+			Dir:      snapDirs[shard],
+			Source:   db,
+			Interval: opts.SnapshotInterval,
+		})
+		if err != nil {
+			return nil, snapshot.LoadResult{}, err
+		}
+		res := m.Load()
+		m.Start()
+		return m, res, nil
+	}
+
+	// teardownShard fully stops a shard: drain the server, write the
+	// final snapshot, close the database.
+	teardownShard := func(shard int) error {
+		srvMu.Lock()
+		s, db, m := srvs[shard], dbs[shard], mgrs[shard]
+		srvs[shard], dbs[shard], mgrs[shard] = nil, nil, nil
+		srvMu.Unlock()
+		if s == nil {
+			return nil
+		}
+		if err := s.Shutdown(); err != nil {
+			return fmt.Errorf("shard %d shutdown: %w", shard, err)
+		}
+		if m != nil {
+			if err := m.Close(); err != nil {
+				return fmt.Errorf("shard %d final snapshot: %w", shard, err)
+			}
+		}
+		if err := db.Close(); err != nil {
+			return fmt.Errorf("shard %d close: %w", shard, err)
+		}
+		return nil
+	}
+
+	// viewEntries reports a shard's current cache size (0 when the
+	// shard is down).
+	viewEntries := func(shard int) int {
+		srvMu.Lock()
+		db := dbs[shard]
+		srvMu.Unlock()
+		if db == nil {
+			return 0
+		}
+		if v, ok := db.ViewByName("pmv_on_sale"); ok {
+			return v.Len()
+		}
+		return 0
+	}
+
+	// rebootShard is the tentpole's moment: full teardown, optional
+	// on-disk tampering, then a genuine cold-process boot — reopen the
+	// database, load the snapshot, rebind the same address. preEntries
+	// reports what the cache held just before the shard died, the
+	// yardstick for the warm boot that follows.
+	rebootShard := func(shard int, tamper func() error) (res snapshot.LoadResult, preEntries int, err error) {
+		preEntries = viewEntries(shard)
+		if err := teardownShard(shard); err != nil {
+			return snapshot.LoadResult{}, preEntries, err
+		}
+		if tamper != nil {
+			if err := tamper(); err != nil {
+				return snapshot.LoadResult{}, preEntries, fmt.Errorf("shard %d tamper: %w", shard, err)
+			}
+		}
+		db, err := pmv.Open(dbDirs[shard], pmv.Options{})
+		if err != nil {
+			return snapshot.LoadResult{}, preEntries, fmt.Errorf("shard %d reopen: %w", shard, err)
+		}
+		m, res, err := newManager(shard, db)
+		if err != nil {
+			db.Close()
+			return snapshot.LoadResult{}, preEntries, fmt.Errorf("shard %d snapshot manager: %w", shard, err)
+		}
+		replacement := server.New(db, shardCfg)
+		replacement.SetSnapshots(m)
+		var rerr error
+		for att := 0; att < 100; att++ {
+			if rerr = replacement.Start(addrs[shard]); rerr == nil {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if rerr != nil {
+			if m != nil {
+				m.Close()
+			}
+			db.Close()
+			return snapshot.LoadResult{}, preEntries, fmt.Errorf("shard %d rebind %s: %w", shard, addrs[shard], rerr)
+		}
+		srvMu.Lock()
+		srvs[shard], dbs[shard], mgrs[shard] = replacement, db, m
+		srvMu.Unlock()
+		return res, preEntries, nil
+	}
+
+	// On any failure path, stop whatever is currently running so the
+	// leak and address state doesn't bleed into the next test.
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		for i := 0; i < restartShards; i++ {
+			teardownShard(i)
+		}
+	}()
+
+	for i := 0; i < restartShards; i++ {
+		dbDirs[i] = filepath.Join(opts.Dir, fmt.Sprintf("shard%d", i))
+		snapDirs[i] = filepath.Join(opts.Dir, fmt.Sprintf("snap%d", i))
+		db, w, err := chaosDB(dbDirs[i])
+		if err != nil {
+			return fail("shard %d setup: %v", i, err)
+		}
+		if i == 0 {
+			want = w
+		}
+		m, res, err := newManager(i, db)
+		if err != nil {
+			db.Close()
+			return fail("shard %d snapshot manager: %v", i, err)
+		}
+		if res.Warm {
+			db.Close()
+			return fail("shard %d first boot claims warm from an empty directory", i)
+		}
+		s := server.New(db, shardCfg)
+		s.SetSnapshots(m)
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			if m != nil {
+				m.Close()
+			}
+			db.Close()
+			return fail("shard %d start: %v", i, err)
+		}
+		srvMu.Lock()
+		srvs[i], dbs[i], mgrs[i] = s, db, m
+		srvMu.Unlock()
+		addrs[i] = s.Addr().String()
+
+		injs[i] = netfault.NewInjector(opts.Seed*restartShards + int64(i))
+		armBackground(injs[i])
+		p, err := netfault.NewProxy("127.0.0.1:0", addrs[i], injs[i])
+		if err != nil {
+			return fail("shard %d proxy: %v", i, err)
+		}
+		proxies[i] = p
+		defer p.Close()
+	}
+
+	proxyAddrs := make([]string, restartShards)
+	for i, p := range proxies {
+		proxyAddrs[i] = p.Addr().String()
+	}
+	r, err := cluster.NewRouter(cluster.Config{
+		Shards:          proxyAddrs,
+		PoolSize:        2,
+		DialTimeout:     time.Second,
+		RefillTimeout:   time.Second,
+		DrainTimeout:    2 * time.Second,
+		FrameTimeout:    2 * time.Second,
+		WriteTimeout:    2 * time.Second,
+		DefaultDeadline: 3 * time.Second,
+	})
+	if err != nil {
+		return fail("router: %v", err)
+	}
+	if err := r.Start("127.0.0.1:0"); err != nil {
+		return fail("router start: %v", err)
+	}
+	defer r.Shutdown()
+
+	// The chaos driver. The kill branch is the one that differs from
+	// clusterchaos: the whole shard process dies and reboots from disk.
+	var (
+		chaosErr  error
+		chaosMu   sync.Mutex
+		stopChaos = make(chan struct{})
+		chaosDone = make(chan struct{})
+	)
+	go func() {
+		defer close(chaosDone)
+		rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
+		for {
+			select {
+			case <-stopChaos:
+				return
+			case <-time.After(time.Duration(100+rng.Intn(200)) * time.Millisecond):
+			}
+			shard := rng.Intn(restartShards)
+			switch rng.Intn(3) {
+			case 0: // kill the shard process; reboot it from disk
+				res, _, err := rebootShard(shard, nil)
+				if err != nil {
+					chaosMu.Lock()
+					chaosErr = err
+					chaosMu.Unlock()
+					return
+				}
+				chaosMu.Lock()
+				rep.Reboots++
+				if res.Warm {
+					rep.WarmBoots++
+				} else {
+					rep.ColdBoots++
+				}
+				chaosMu.Unlock()
+			case 1: // blackhole the link, then heal it
+				injs[shard].Add(netfault.Rule{Kind: netfault.FaultBlackhole, Op: netfault.OpAny, AfterOps: 1, Sticky: true})
+				time.Sleep(time.Duration(100+rng.Intn(200)) * time.Millisecond)
+				injs[shard].Clear()
+				armBackground(injs[shard])
+				chaosMu.Lock()
+				rep.Blackholes++
+				chaosMu.Unlock()
+			case 2: // reset burst, then heal
+				injs[shard].Add(netfault.Rule{Kind: netfault.FaultReset, Op: netfault.OpAny, Prob: 0.2, Sticky: true})
+				time.Sleep(time.Duration(100+rng.Intn(200)) * time.Millisecond)
+				injs[shard].Clear()
+				armBackground(injs[shard])
+				chaosMu.Lock()
+				rep.ResetBursts++
+				chaosMu.Unlock()
+			}
+		}
+	}()
+
+	// The workload: netchaos's client loop pointed at the router.
+	var (
+		mu        sync.Mutex
+		violation error
+		wg        sync.WaitGroup
+	)
+	abort := func(err error) {
+		mu.Lock()
+		if violation == nil {
+			violation = err
+		}
+		mu.Unlock()
+	}
+	bump := func(field *int) {
+		mu.Lock()
+		*field++
+		mu.Unlock()
+	}
+
+	clients := make([]*client.Client, opts.Clients)
+	for i := range clients {
+		clients[i] = client.NewConfig(client.Config{
+			Addr:          r.Addr().String(),
+			DialTimeout:   2 * time.Second,
+			DeadlineGrace: time.Second,
+			MaxRetries:    4,
+			BackoffBase:   5 * time.Millisecond,
+			BackoffMax:    100 * time.Millisecond,
+			Seed:          opts.Seed + int64(i) + 1,
+		})
+	}
+
+	for i, c := range clients {
+		wg.Add(1)
+		go func(id int, c *client.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed ^ int64(id)<<16))
+			for q := 0; q < opts.Queries; q++ {
+				time.Sleep(time.Duration(5+rng.Intn(15)) * time.Millisecond)
+				pair := [2]int64{rng.Int63n(chaosCategories), rng.Int63n(chaosStores)}
+				conds := []client.Cond{
+					{Values: []client.Value{client.Int(pair[0])}},
+					{Values: []client.Value{client.Int(pair[1])}},
+				}
+				got := make(map[string]int)
+				ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				qrep, err := c.ExecutePartial(ctx, "pmv_on_sale", conds, func(row client.Row) error {
+					got[tupleKey(row.Tuple)]++
+					return nil
+				})
+				cancel()
+				switch {
+				case err == nil && !flagged(qrep):
+					if verr := classify(want[pair], got, true); verr != nil {
+						abort(fmt.Errorf("client %d query %d pair %v: %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.Clean)
+				case err == nil:
+					if verr := classify(want[pair], got, false); verr != nil {
+						abort(fmt.Errorf("client %d query %d pair %v (flagged): %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.Flagged)
+				case errors.Is(err, client.ErrInterrupted):
+					if verr := classify(want[pair], got, false); verr != nil {
+						abort(fmt.Errorf("client %d query %d pair %v (interrupted): %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.Interrupted)
+				case errors.Is(err, client.ErrUnavailable):
+					bump(&rep.Unavailable)
+				case errors.Is(err, client.ErrRemote):
+					if verr := classify(want[pair], got, false); verr != nil {
+						abort(fmt.Errorf("client %d query %d pair %v (remote): %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.Remote)
+				case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+					if verr := classify(want[pair], got, false); verr != nil {
+						abort(fmt.Errorf("client %d query %d pair %v (ctx): %w", id, q, pair, verr))
+						return
+					}
+					bump(&rep.CtxExpired)
+				default:
+					abort(fmt.Errorf("client %d query %d pair %v: untyped error %v", id, q, pair, err))
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	close(stopChaos)
+	<-chaosDone
+
+	// Chaos over: heal every link for the deterministic phases.
+	for _, inj := range injs {
+		inj.Clear()
+	}
+	violated := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return violation != nil
+	}
+	chaosMu.Lock()
+	cerr := chaosErr
+	chaosMu.Unlock()
+
+	// sweepAll demands one clean, exact answer for every (category,
+	// store) pair, retrying through post-chaos residue (stale pooled
+	// conns, epoch re-teach after reboots). It is both the convergence
+	// oracle and the cache warmer.
+	sweep := client.NewConfig(client.Config{
+		Addr:        r.Addr().String(),
+		DialTimeout: 2 * time.Second,
+		MaxRetries:  4,
+		Seed:        opts.Seed + 1000,
+	})
+	sweepAll := func(stage string) {
+		for cat := int64(0); cat < chaosCategories && !violated(); cat++ {
+			for st := int64(0); st < chaosStores && !violated(); st++ {
+				pair := [2]int64{cat, st}
+				conds := []client.Cond{
+					{Values: []client.Value{client.Int(cat)}},
+					{Values: []client.Value{client.Int(st)}},
+				}
+				converged := false
+				var lastErr error
+				for att := 0; att < 8 && !converged; att++ {
+					got := make(map[string]int)
+					ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+					qrep, err := sweep.ExecutePartial(ctx, "pmv_on_sale", conds, func(row client.Row) error {
+						got[tupleKey(row.Tuple)]++
+						return nil
+					})
+					cancel()
+					switch {
+					case err == nil && !flagged(qrep):
+						if verr := classify(want[pair], got, true); verr != nil {
+							abort(fmt.Errorf("%s pair %v: %w", stage, pair, verr))
+						}
+						converged = true
+					case err == nil || errors.Is(err, client.ErrInterrupted) ||
+						errors.Is(err, context.DeadlineExceeded):
+						if verr := classify(want[pair], got, false); verr != nil {
+							abort(fmt.Errorf("%s pair %v (attempt %d): %w", stage, pair, att, verr))
+						}
+						lastErr = err
+					case errors.Is(err, client.ErrUnavailable) || errors.Is(err, client.ErrRemote):
+						lastErr = err
+					default:
+						abort(fmt.Errorf("%s pair %v: untyped error %v", stage, pair, err))
+					}
+					if violated() {
+						break
+					}
+				}
+				if !converged && !violated() {
+					abort(fmt.Errorf("%s pair %v never converged to a clean exact answer (last: %v)", stage, pair, lastErr))
+				}
+			}
+		}
+	}
+
+	if cerr == nil && !violated() {
+		// Warm every pair twice (a 2Q policy needs two sightings before
+		// it caches; one suffices for CLOCK) so the final snapshots hold
+		// the full working set.
+		sweepAll("warming round 1")
+		sweepAll("warming round 2")
+	}
+
+	// The deterministic reboot: every shard dies and comes back from
+	// disk. With snapshots on, every shard must boot warm and recover
+	// exactly the entries it held at death — a shard that owns none of
+	// the workload's bcp keys legitimately recovers zero, which is why
+	// the lower bound is on the cluster-wide total, not per shard.
+	if cerr == nil && !violated() {
+		for i := 0; i < restartShards; i++ {
+			res, pre, err := rebootShard(i, nil)
+			if err != nil {
+				cerr = err
+				break
+			}
+			if res.Warm {
+				rep.WarmBoots++
+				rep.FinalWarm++
+				rep.WarmEntries += int64(res.Entries)
+			} else {
+				rep.ColdBoots++
+			}
+			if opts.Snapshots && !res.Warm {
+				abort(fmt.Errorf("final reboot of shard %d was cold (%s) with snapshots enabled", i, res.Reason))
+			}
+			if opts.Snapshots && res.Entries != pre {
+				abort(fmt.Errorf("final reboot of shard %d admitted %d entries, cache held %d at death: %s", i, res.Entries, pre, res.Reason))
+			}
+			if opts.Snapshots && res.Rejected != 0 {
+				abort(fmt.Errorf("final reboot of shard %d rejected %d snapshot entries: %s", i, res.Rejected, res.Reason))
+			}
+		}
+		if opts.Snapshots && rep.WarmEntries == 0 && !violated() && cerr == nil {
+			abort(fmt.Errorf("final reboots recovered zero entries cluster-wide; the warming rounds left nothing to snapshot"))
+		}
+	}
+
+	// The measured sweep: fresh views (reopened above) count O2 probes
+	// and hits from zero, so the hit rate isolates the snapshot's
+	// contribution.
+	if cerr == nil && !violated() {
+		sweepAll("post-reboot sweep")
+		srvMu.Lock()
+		for i := 0; i < restartShards; i++ {
+			if v, ok := dbs[i].ViewByName("pmv_on_sale"); ok {
+				st := v.Stats()
+				rep.SweepProbed += st.PartsProbed
+				rep.SweepHits += st.PartHits
+			}
+		}
+		srvMu.Unlock()
+		if rep.SweepProbed > 0 {
+			rep.SweepHitRate = float64(rep.SweepHits) / float64(rep.SweepProbed)
+		}
+	}
+
+	// The rejection ladder, snapshot runs only: tampered snapshots must
+	// produce cold boots with the right reason, and the shards must
+	// then serve exact answers from nothing.
+	if opts.Snapshots && cerr == nil && !violated() {
+		res, _, err := rebootShard(0, func() error {
+			path := filepath.Join(snapDirs[0], snapshot.FileName)
+			img, rerr := os.ReadFile(path)
+			if rerr != nil {
+				return rerr
+			}
+			if len(img) == 0 {
+				return errors.New("snapshot file empty before corruption")
+			}
+			img[len(img)-1] ^= 0x40
+			return os.WriteFile(path, img, 0o644)
+		})
+		switch {
+		case err != nil:
+			cerr = err
+		case res.Warm:
+			abort(fmt.Errorf("shard 0 booted warm from a corrupted snapshot: %s", res.Reason))
+		case !strings.Contains(res.Reason, "corrupt"):
+			abort(fmt.Errorf("shard 0 cold boot reason %q does not name corruption", res.Reason))
+		default:
+			rep.CorruptRejected = true
+			rep.ColdBoots++
+		}
+	}
+	if opts.Snapshots && cerr == nil && !violated() {
+		srvMu.Lock()
+		epoch := mgrs[1].Epoch()
+		srvMu.Unlock()
+		res, _, err := rebootShard(1, func() error {
+			// The shard's trusted epoch moves past the snapshot's stamp,
+			// as if the cluster reconfigured while the shard was down.
+			return snapshot.WriteEpochState(vfs.OS(), snapDirs[1], epoch+100)
+		})
+		switch {
+		case err != nil:
+			cerr = err
+		case res.Warm:
+			abort(fmt.Errorf("shard 1 booted warm from an epoch-stale snapshot: %s", res.Reason))
+		case !strings.Contains(res.Reason, "epoch"):
+			abort(fmt.Errorf("shard 1 cold boot reason %q does not name the epoch", res.Reason))
+		default:
+			rep.StaleRejected = true
+			rep.ColdBoots++
+		}
+	}
+	if opts.Snapshots && cerr == nil && !violated() {
+		// Both rejected shards are cold now; they must still answer
+		// exactly.
+		sweepAll("post-rejection sweep")
+	}
+	sweep.Close()
+
+	for _, c := range clients {
+		rep.Retries += c.Counters().Retries
+		rep.Redials += c.Counters().Redials
+		c.Close()
+	}
+	rep.Queries = opts.Clients * opts.Queries
+	for _, inj := range injs {
+		st := inj.Stats()
+		rep.Faults.Conns += st.Conns
+		rep.Faults.Ops += st.Ops
+		rep.Faults.BytesRead += st.BytesRead
+		rep.Faults.BytesWritten += st.BytesWritten
+		rep.Faults.Resets += st.Resets
+		rep.Faults.Corruptions += st.Corruptions
+		rep.Faults.Blackholes += st.Blackholes
+		rep.Faults.PartialWrites += st.PartialWrites
+	}
+	for _, sm := range r.Metrics().Shards {
+		rep.EpochInstalls += sm.EpochInstalls.Load()
+	}
+
+	if cerr != nil {
+		return fail("chaos driver: %v", cerr)
+	}
+	if violation != nil {
+		return fail("%v", violation)
+	}
+	// Every run reboots all shards at least once, so the router's
+	// re-teach path must have fired beyond the initial install fan-out.
+	if rep.EpochInstalls <= restartShards {
+		return fail("%d reboots but only %d epoch installs; the re-teach path never ran", rep.Reboots+restartShards, rep.EpochInstalls)
+	}
+
+	// Teardown: router first, then proxies, then shards (server, final
+	// snapshot, database).
+	if err := r.Shutdown(); err != nil {
+		return fail("router shutdown: %v", err)
+	}
+	if n := r.Metrics().SessionsActive.Load(); n != 0 {
+		return fail("%d router sessions still active after shutdown", n)
+	}
+	for i, p := range proxies {
+		if err := p.Close(); err != nil {
+			return fail("proxy %d close: %v", i, err)
+		}
+	}
+	for i := 0; i < restartShards; i++ {
+		srvMu.Lock()
+		s := srvs[i]
+		srvMu.Unlock()
+		if err := s.Shutdown(); err != nil {
+			return fail("shard %d shutdown: %v", i, err)
+		}
+		if n := s.Metrics().Snapshot().SessionsActive; n != 0 {
+			return fail("shard %d: %d sessions still active after shutdown", i, n)
+		}
+		if err := teardownShard(i); err != nil {
+			return fail("%v", err)
+		}
+	}
+	finished = true
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseGoroutines {
+		if time.Now().After(deadline) {
+			return fail("goroutine leak: %d running, %d at start", runtime.NumGoroutine(), baseGoroutines)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if cleanup {
+		os.RemoveAll(opts.Dir)
+	}
+	return rep, nil
+}
+
+// RunRestartCompare runs the same seed twice — snapshots on, then off —
+// and demands the warm restart visibly pay for itself: the warm sweep's
+// probe hit rate must beat the cold one by a decisive margin.
+func RunRestartCompare(opts RestartOptions) (warm, cold RestartReport, err error) {
+	base := opts.Dir
+	warmOpts := opts
+	warmOpts.Snapshots = true
+	if base != "" {
+		warmOpts.Dir = filepath.Join(base, "warm")
+	}
+	warm, err = RunRestart(warmOpts)
+	if err != nil {
+		return warm, cold, err
+	}
+	coldOpts := opts
+	coldOpts.Snapshots = false
+	if base != "" {
+		coldOpts.Dir = filepath.Join(base, "cold")
+	}
+	cold, err = RunRestart(coldOpts)
+	if err != nil {
+		return warm, cold, err
+	}
+	if warm.FinalWarm != restartShards {
+		return warm, cold, fmt.Errorf("restartchaos seed %d: only %d/%d shards booted warm", opts.Seed, warm.FinalWarm, restartShards)
+	}
+	const margin = 0.25
+	if warm.SweepHitRate < cold.SweepHitRate+margin {
+		return warm, cold, fmt.Errorf(
+			"restartchaos seed %d: warm sweep hit rate %.3f (%d/%d) does not beat cold %.3f (%d/%d) by %.2f — warm restarts are not paying off",
+			opts.Seed, warm.SweepHitRate, warm.SweepHits, warm.SweepProbed,
+			cold.SweepHitRate, cold.SweepHits, cold.SweepProbed, margin)
+	}
+	return warm, cold, nil
+}

@@ -1,0 +1,19 @@
+//go:build unix
+
+package vfs
+
+import "syscall"
+
+// Mmap implements MemMapper for real OS files: a read-only shared
+// mapping of the file's first length bytes. Callers must not write
+// through the returned slice and must call unmap exactly once.
+func (f osFile) Mmap(length int64) ([]byte, func() error, error) {
+	if length <= 0 || int64(int(length)) != length {
+		return nil, nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.File.Fd()), 0, int(length), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -51,6 +51,16 @@ type FS interface {
 	WriteFile(path string, data []byte) error
 }
 
+// MemMapper is an optional File capability: map the file's first
+// length bytes read-only into memory. The snapshot boot path uses it
+// to validate a snapshot without copying it through the heap; files
+// that do not implement it (the fault-injecting FS) are read normally,
+// which keeps the whole path under fault injection. The returned unmap
+// must be called exactly once, after which the mapping is invalid.
+type MemMapper interface {
+	Mmap(length int64) (data []byte, unmap func() error, err error)
+}
+
 // OS returns the passthrough filesystem over the real OS.
 func OS() FS { return osFS{} }
 

@@ -126,11 +126,35 @@ type DBStatsReply struct {
 	ViewBytes      int   `json:"view_bytes"`
 }
 
+// SnapshotStats is the snapshot manager's health: how warm restarts
+// are doing and how fresh the on-disk snapshot is.
+type SnapshotStats struct {
+	// Epoch is the shard-map epoch persisted beside the snapshot.
+	Epoch uint64 `json:"epoch"`
+	// AgeSeconds since the last successful write (-1 = never written).
+	AgeSeconds float64 `json:"age_seconds"`
+	// LastWriteBytes / LastWriteNs describe the last successful write.
+	LastWriteBytes int64 `json:"last_write_bytes"`
+	LastWriteNs    int64 `json:"last_write_ns"`
+	Writes         int64 `json:"writes"`
+	WriteErrors    int64 `json:"write_errors"`
+	// WarmEntries / WarmTuples were admitted at the last boot.
+	WarmEntries int64 `json:"warm_entries"`
+	WarmTuples  int64 `json:"warm_tuples"`
+	// StaleRejects / CorruptRejects count snapshots refused at boot.
+	StaleRejects   int64 `json:"stale_rejects"`
+	CorruptRejects int64 `json:"corrupt_rejects"`
+	// LastBoot is the human-readable outcome of the last Load.
+	LastBoot string `json:"last_boot"`
+}
+
 // StatsReply answers MsgStats.
 type StatsReply struct {
 	Server ServerStats      `json:"server"`
 	DB     DBStatsReply     `json:"db"`
 	Engine EngineStatsReply `json:"engine"`
+	// Snapshot is nil when the shard runs without warm restarts.
+	Snapshot *SnapshotStats `json:"snapshot,omitempty"`
 }
 
 // TraceRequest is the MsgTrace payload (JSON). Nil fields leave the
@@ -217,6 +241,9 @@ type ShardInfo struct {
 	// Views carries the shard's view occupancy/hit-probability so
 	// `pmvcli shards` can show per-shard cache health.
 	Views []ViewInfo `json:"views,omitempty"`
+	// Snapshot carries the shard's warm-restart health (nil when the
+	// shard runs without snapshots).
+	Snapshot *SnapshotStats `json:"snapshot,omitempty"`
 }
 
 // ShardsReply answers MsgShards on a router.
