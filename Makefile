@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench experiments examples torture net-torture cluster-smoke cluster-torture restart-smoke restart-torture snapshot-torture fuzz-smoke obs-smoke clean
+.PHONY: all build vet test test-race cover bench experiments examples torture net-torture cluster-smoke cluster-torture restart-smoke restart-torture snapshot-torture maint-smoke write-torture fuzz-smoke obs-smoke clean
 
 all: build vet test test-race
 
@@ -64,6 +64,17 @@ restart-smoke:
 restart-torture:
 	$(GO) run -race ./cmd/pmvtorture -restart -seeds 10 -v
 
+# Write-plane smoke: the maint package tests plus a short seeded write
+# torture run (concurrent ΔR writers vs the per-pid version-timeline
+# oracle) under the race detector (see internal/torture/writechaos.go).
+maint-smoke:
+	$(GO) test -race -count=1 ./internal/maint/
+	$(GO) run -race ./cmd/pmvtorture -write -seeds 3 -v
+
+# Write-plane torture sweep: the wide seeded run.
+write-torture:
+	$(GO) run -race ./cmd/pmvtorture -write -seeds 10 -v
+
 # Snapshot-fault sweep: fill→snapshot→reboot cycles with torn writes,
 # sticky fsync failures, read bit rot, and crashes injected under the
 # snapshot file (see internal/torture/snapfault.go).
@@ -76,6 +87,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzDecodeQuery -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzDecodeRow -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzDecodeUpdate -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=30s ./internal/snapshot
 
 # Observability smoke test: boot pmvd with -obs on a scratch database,

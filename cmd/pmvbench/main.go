@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pmvbench [-fig all|6|7|8|9|10|11|12|t1|serve|cluster|ablation-policy|ablation-maint|ablation-f|ablation-planner|ablation-dividers]
+//	pmvbench [-fig all|6|7|8|9|10|11|12|t1|serve|cluster|write|ablation-policy|ablation-maint|ablation-f|ablation-planner|ablation-dividers]
 //	         [-scale s] [-sim-div n] [-rounds n] [-dir path]
 //
 // -sim-div divides the simulation's 1M warm-up/measure query counts
@@ -34,6 +34,11 @@ func main() {
 	serveQueries := flag.Int("serve-queries", 50, "queries per session for the serve benchmark")
 	serveJSON := flag.String("serve-json", "BENCH_serve.json", "output path for the serve benchmark's JSON result")
 	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "output path for the cluster benchmark's JSON result")
+	writeFrac := flag.Float64("write-frac", 0.5, "fraction of sessions that are writers in the write benchmark")
+	writeBatch := flag.Int("write-batch", 64, "statements per ΔR update request in the write benchmark")
+	writeOps := flag.Int("write-ops", 320, "statements each writer session lands in the write benchmark")
+	zipfS := flag.Float64("zipf", 1.2, "Zipf skew exponent for the write benchmark's key choice")
+	writeJSON := flag.String("write-json", "BENCH_write.json", "output path for the write benchmark's JSON result")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -80,6 +85,9 @@ func main() {
 	run("sim-policies", func() error { return simPolicies(*simDiv) })
 	run("serve", func() error { return serveBench(baseDir, *serveSessions, *serveQueries, *serveJSON) })
 	run("cluster", func() error { return clusterBench(baseDir, *serveSessions, *serveQueries, *clusterJSON) })
+	run("write", func() error {
+		return writeBench(baseDir, *serveSessions, *writeOps, *writeBatch, *writeFrac, *zipfS, *writeJSON)
+	})
 }
 
 func title(name string) string {
@@ -104,6 +112,8 @@ func title(name string) string {
 		return "Service: loopback pmvd throughput and partial-first latency"
 	case "cluster":
 		return "Cluster: scatter-gather router vs single-node pmvd"
+	case "write":
+		return "Write: batched maintenance plane vs per-statement"
 	default:
 		return name
 	}

@@ -1,0 +1,308 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"pmv"
+	"pmv/client"
+	"pmv/internal/maint"
+	"pmv/internal/server"
+	"pmv/internal/wire"
+)
+
+// writeModeResult is one maintenance regime's share of the write
+// benchmark: throughput and latency for the write side, and the read
+// latency the regime sustains alongside it.
+type writeModeResult struct {
+	Writes       int64   `json:"writes"`
+	WriteRows    int64   `json:"write_rows"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+	WriteP50Ns   int64   `json:"write_p50_ns"`
+	WriteP99Ns   int64   `json:"write_p99_ns"`
+	Reads        int64   `json:"reads"`
+	ReadsPerSec  float64 `json:"reads_per_sec"`
+	ReadP50Ns    int64   `json:"read_p50_ns"`
+	ReadP99Ns    int64   `json:"read_p99_ns"`
+	// ReadStaleRetries counts reads that tripped the DS staleness
+	// audit and were retried — the batched plane's loud-never-stale
+	// window between base apply and invalidation. Zero per-statement.
+	ReadStaleRetries int64 `json:"read_stale_retries"`
+	DurationNs       int64 `json:"duration_ns"`
+}
+
+// writeResult is the machine-readable output of the write benchmark
+// (BENCH_write.json): the same workload run twice at equal durability
+// — every acked write is WAL-synced — once with synchronous
+// per-statement maintenance (fsync per statement), once with the
+// batched write plane (coalesced scans, one fsync per batch), plus
+// the headline ratio.
+type writeResult struct {
+	Sessions   int     `json:"sessions"`
+	Writers    int     `json:"writers"`
+	Readers    int     `json:"readers"`
+	OpsPerSess int     `json:"ops_per_session"`
+	ReqBatch   int     `json:"statements_per_request"`
+	WriteFrac  float64 `json:"write_fraction"`
+	ZipfS      float64 `json:"zipf_s"`
+
+	PerStatement writeModeResult `json:"per_statement"`
+	Batched      writeModeResult `json:"batched"`
+	// Plane is the batched regime's plane counters — batch sizes,
+	// coalesced ops, and group commits are the mechanism behind the
+	// speedup.
+	Plane *wire.MaintStats `json:"plane,omitempty"`
+
+	// WriteSpeedup is batched/per-statement write throughput.
+	WriteSpeedup float64 `json:"write_speedup"`
+	// ReadP50Ratio is batched/per-statement read p50 (≈1 means the
+	// batching paid for itself without taxing readers).
+	ReadP50Ratio float64 `json:"read_p50_ratio"`
+}
+
+// writeWorkload drives one regime: writers sessions each land ops
+// discount overwrites on Zipf-skewed pids, submitted as ΔR requests
+// of reqBatch statements (the bulk-feed shape both regimes receive
+// identically — the per-statement server walks each statement through
+// barrier+scan+fsync, the plane group-commits the lot). readers
+// sessions loop partial-view reads on the matching Zipf-skewed
+// (category, store) pairs until the writers finish. The measurement
+// window is the writer span, so both regimes report write throughput
+// under the same concurrent read pressure.
+func writeWorkload(addr string, writers, readers, ops, reqBatch int, zipfS float64) (writeModeResult, error) {
+	var (
+		mu        sync.Mutex
+		writeLats []time.Duration
+		readLats  []time.Duration
+		res       writeModeResult
+		firstErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wwg, rwg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(seed int64) {
+			defer wwg.Done()
+			c := client.New(addr)
+			defer c.Close()
+			rng := rand.New(rand.NewSource(seed))
+			zipf := rand.NewZipf(rng, zipfS, 1, 1999)
+			lats := make([]time.Duration, 0, ops/reqBatch+1)
+			var rows int64
+			for landed := 0; landed < ops; {
+				n := reqBatch
+				if left := ops - landed; n > left {
+					n = left
+				}
+				req := make([]client.Op, n)
+				for i := range req {
+					pid := int64(zipf.Uint64())
+					req[i] = client.Set("sale", "pid", client.Int(pid), "discount", client.Int(rng.Int63n(50)))
+				}
+				t0 := time.Now()
+				rep, err := c.Update(ctx, true, req...)
+				if err != nil {
+					fail(err)
+					return
+				}
+				lats = append(lats, time.Since(t0))
+				rows += int64(rep.Rows)
+				landed += n
+			}
+			mu.Lock()
+			writeLats = append(writeLats, lats...)
+			res.Writes += int64(ops)
+			res.WriteRows += rows
+			mu.Unlock()
+		}(int64(w + 1))
+	}
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(seed int64) {
+			defer rwg.Done()
+			c := client.New(addr)
+			defer c.Close()
+			rng := rand.New(rand.NewSource(seed))
+			zipf := rand.NewZipf(rng, zipfS, 1, 1999)
+			var lats []time.Duration
+			var stale int64
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					readLats = append(readLats, lats...)
+					res.Reads += int64(len(lats))
+					res.ReadStaleRetries += stale
+					mu.Unlock()
+					return
+				default:
+				}
+				pid := int64(zipf.Uint64())
+				t0 := time.Now()
+				if _, err := c.ExecutePartial(ctx, "pmv_bench_sale",
+					serveConds(pid%8, (pid/8)%5), nil); err != nil {
+					// The DS audit turning staleness into a loud error is
+					// the designed signal during the plane's apply→
+					// invalidate window; retry like a production client.
+					if strings.Contains(err.Error(), "consistency violation") {
+						stale++
+						continue
+					}
+					fail(err)
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+		}(int64(1000 + r))
+	}
+	wwg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	rwg.Wait()
+
+	if firstErr != nil {
+		return res, firstErr
+	}
+	res.DurationNs = elapsed.Nanoseconds()
+	res.WritesPerSec = float64(res.Writes) / elapsed.Seconds()
+	res.ReadsPerSec = float64(res.Reads) / elapsed.Seconds()
+	res.WriteP50Ns, res.WriteP99Ns = quantilesNs(writeLats)
+	res.ReadP50Ns, res.ReadP99Ns = quantilesNs(readLats)
+	return res, nil
+}
+
+// writeBench measures batched vs per-statement maintenance at equal
+// per-ack durability and writes BENCH_write.json. writeFrac sets the
+// writer/reader session split; reqBatch the statements per ΔR request.
+func writeBench(dir string, sessions, ops, reqBatch int, writeFrac, zipfS float64, outPath string) error {
+	if reqBatch < 1 {
+		reqBatch = 1
+	}
+	writers := int(float64(sessions)*writeFrac + 0.5)
+	if writers < 1 {
+		writers = 1
+	}
+	if writers > sessions-1 {
+		writers = sessions - 1
+	}
+	readers := sessions - writers
+
+	var planeStats *wire.MaintStats
+	runMode := func(batched bool) (writeModeResult, error) {
+		dbDir, err := os.MkdirTemp(dir, "write")
+		if err != nil {
+			return writeModeResult{}, err
+		}
+		defer os.RemoveAll(dbDir)
+		// Equal durability contract in both regimes: an acked write is
+		// WAL-synced. Per-statement pays one fsync per statement; the
+		// plane group-commits one fsync per batch before acking.
+		db, err := pmv.Open(dbDir, pmv.Options{EnableWAL: true, SyncEveryOp: !batched})
+		if err != nil {
+			return writeModeResult{}, err
+		}
+		defer db.Close()
+		if err := serveSchema(db); err != nil {
+			return writeModeResult{}, err
+		}
+		srv := server.New(db, server.Config{})
+		if batched {
+			// BatchSize above the per-request op count lets concurrent
+			// writers' requests merge into one group commit.
+			p, err := maint.New(maint.Config{Source: db, BatchSize: 256})
+			if err != nil {
+				return writeModeResult{}, err
+			}
+			defer func() {
+				st := p.Stats()
+				planeStats = &st
+				p.Close()
+			}()
+			srv.SetMaint(p)
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			return writeModeResult{}, err
+		}
+		defer srv.Shutdown()
+		addr := srv.Addr().String()
+
+		// Warm every combination so both regimes start from the same
+		// steady state: reads answered from the view.
+		warm := client.New(addr)
+		for c := int64(0); c < 8; c++ {
+			for st := int64(0); st < 5; st++ {
+				if _, err := warm.ExecutePartial(context.Background(), "pmv_bench_sale", serveConds(c, st), nil); err != nil {
+					return writeModeResult{}, err
+				}
+			}
+		}
+		warm.Close()
+
+		return writeWorkload(addr, writers, readers, ops, reqBatch, zipfS)
+	}
+
+	per, err := runMode(false)
+	if err != nil {
+		return fmt.Errorf("per-statement run: %w", err)
+	}
+	bat, err := runMode(true)
+	if err != nil {
+		return fmt.Errorf("batched run: %w", err)
+	}
+
+	res := writeResult{
+		Sessions:     sessions,
+		Writers:      writers,
+		Readers:      readers,
+		OpsPerSess:   ops,
+		ReqBatch:     reqBatch,
+		WriteFrac:    writeFrac,
+		ZipfS:        zipfS,
+		PerStatement: per,
+		Batched:      bat,
+		Plane:        planeStats,
+	}
+	if per.WritesPerSec > 0 {
+		res.WriteSpeedup = bat.WritesPerSec / per.WritesPerSec
+	}
+	if per.ReadP50Ns > 0 {
+		res.ReadP50Ratio = float64(bat.ReadP50Ns) / float64(per.ReadP50Ns)
+	}
+
+	fmt.Printf("  per-statement: %.0f writes/s (p50=%v), %.0f reads/s (p50=%v)\n",
+		per.WritesPerSec, time.Duration(per.WriteP50Ns), per.ReadsPerSec, time.Duration(per.ReadP50Ns))
+	fmt.Printf("  batched:       %.0f writes/s (p50=%v), %.0f reads/s (p50=%v)\n",
+		bat.WritesPerSec, time.Duration(bat.WriteP50Ns), bat.ReadsPerSec, time.Duration(bat.ReadP50Ns))
+	if planeStats != nil && planeStats.Batches > 0 {
+		fmt.Printf("  plane:         %d batches (mean %.1f ops), %d coalesced ops, %d group syncs\n",
+			planeStats.Batches, float64(planeStats.OpsApplied)/float64(planeStats.Batches),
+			planeStats.CoalescedOps, planeStats.GroupSyncs)
+	}
+	fmt.Printf("  write speedup: %.1fx, read p50 ratio: %.2f\n", res.WriteSpeedup, res.ReadP50Ratio)
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
+}

@@ -194,3 +194,7 @@ func (l *localBackend) shards() error {
 func (l *localBackend) slowlog(int) error {
 	return fmt.Errorf("the slow-query log lives in pmvd; use -addr (server mode)")
 }
+
+func (l *localBackend) maint() error {
+	return fmt.Errorf("the write plane lives in pmvd; use -addr (server mode)")
+}

@@ -28,6 +28,9 @@
 //	                           traces (server mode)
 //	shards                     shard map epoch and per-shard cache health
 //	                           (-addr must point at a pmvrouter)
+//	maint                      write-plane health: ingest queue, batch
+//	                           sizes, heavy/light key split, invalidation
+//	                           and fan-out counters (server mode)
 //	help / quit
 package main
 
@@ -71,6 +74,7 @@ type backend interface {
 	trace(args []string) error
 	slowlog(n int) error
 	shards() error
+	maint() error
 	close() error
 }
 
@@ -116,7 +120,7 @@ func main() {
 			fmt.Println("tables | schema <rel> | count <rel> | peek <rel> [n] | views |")
 			fmt.Println("partial <view> <cond0> <cond1> ... | analyze | checkpoint | stats |")
 			fmt.Println("viewstats | trace [on|off|slow <dur>|slow off] | slowlog [n] |")
-			fmt.Println("shards | quit")
+			fmt.Println("shards | maint | quit")
 		case "tables":
 			err = be.tables()
 		case "schema":
@@ -171,6 +175,8 @@ func main() {
 			err = be.slowlog(n)
 		case "shards":
 			err = be.shards()
+		case "maint":
+			err = be.maint()
 		default:
 			fmt.Printf("unknown command %q (try 'help')\n", fields[0])
 		}

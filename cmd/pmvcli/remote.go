@@ -196,9 +196,51 @@ func (r *remoteBackend) stats() error {
 		time.Duration(s.Total.P50Ns), time.Duration(s.Total.P99Ns))
 	fmt.Printf("  buffer pool: %d hits, %d misses\n", st.DB.BufferHits, st.DB.BufferMisses)
 	fmt.Printf("  physical io: %d reads, %d writes\n", st.DB.PhysicalReads, st.DB.PhysicalWrites)
+	if s.Updates > 0 || s.Invalidations > 0 {
+		fmt.Printf("  writes: %d batches, %d ops, %d rows; %d invalidation requests\n",
+			s.Updates, s.UpdateOps, s.UpdateRows, s.Invalidations)
+	}
 	if ss := st.Snapshot; ss != nil {
 		fmt.Printf("  snapshot: %s\n", snapshotLine(ss))
 		fmt.Printf("  snapshot boot: %s\n", ss.LastBoot)
+	}
+	if ms := st.Maint; ms != nil {
+		fmt.Printf("  maint: queue %d/%d, %d batches (max %d ops, %d size / %d age flushes)\n",
+			ms.QueueDepth, ms.QueueCap, ms.Batches, ms.MaxBatchOps, ms.SizeFlushes, ms.AgeFlushes)
+	}
+	return nil
+}
+
+// maint renders the write plane's full counter set (`pmvcli maint`).
+func (r *remoteBackend) maint() error {
+	st, err := r.c.Stats(r.ctx())
+	if err != nil {
+		return err
+	}
+	ms := st.Maint
+	if ms == nil {
+		fmt.Println("  no write plane (server runs per-statement maintenance; start pmvd with -maint)")
+		return nil
+	}
+	fmt.Printf("  queue: %d/%d deep; %d ops ingested, %d applied, %d errors\n",
+		ms.QueueDepth, ms.QueueCap, ms.OpsIngested, ms.OpsApplied, ms.OpErrors)
+	fmt.Printf("  batches: %d (%d size-flushed, %d age-flushed, max %d ops)\n",
+		ms.Batches, ms.SizeFlushes, ms.AgeFlushes, ms.MaxBatchOps)
+	fmt.Printf("  group commit: %d coalesced ops, %d syncs in %v\n",
+		ms.CoalescedOps, ms.GroupSyncs, time.Duration(ms.SyncNs))
+	fmt.Printf("  time: lock-wait %v, apply %v, maintain %v\n",
+		time.Duration(ms.LockWaitNs), time.Duration(ms.ApplyNs), time.Duration(ms.MaintNs))
+	fmt.Printf("  keys: %d affected (%d light -> purge, %d heavy -> lazy invalidation)\n",
+		ms.KeysAffected, ms.LightKeys, ms.HeavyKeys)
+	fmt.Printf("  invalidation: %d entries / %d tuples purged, %d key bumps, %d wide bumps, %d purge degrades\n",
+		ms.EntriesPurged, ms.TuplesPurged, ms.KeyGenBumps, ms.WideGenBumps, ms.PurgeDegrades)
+	if ms.FanoutSent > 0 || ms.FanoutFailures > 0 {
+		lag := time.Duration(0)
+		if ms.FanoutSent > 0 {
+			lag = time.Duration(ms.FanoutLagNs / ms.FanoutSent)
+		}
+		fmt.Printf("  fan-out: %d sent (%d epoch retries, %d degrades, %d lost), mean lag %v\n",
+			ms.FanoutSent, ms.FanoutRetries, ms.FanoutDegrades, ms.FanoutFailures, lag.Round(time.Microsecond))
 	}
 	return nil
 }

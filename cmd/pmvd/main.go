@@ -19,10 +19,20 @@ import (
 	"time"
 
 	"pmv"
+	"pmv/internal/maint"
 	"pmv/internal/obs"
 	"pmv/internal/server"
 	"pmv/internal/snapshot"
 )
+
+// pendingFn adapts the plane's gate for the snapshot manager (nil
+// plane = never pending).
+func pendingFn(p *maint.Plane) func() bool {
+	if p == nil {
+		return nil
+	}
+	return p.Pending
+}
 
 func main() {
 	var (
@@ -42,6 +52,13 @@ func main() {
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "max time for each response write before the session is dropped (negative = off)")
 		snapDir  = flag.String("snapshot-dir", "", "directory for PMV cache snapshots enabling warm restarts (empty = off); validated and loaded on boot, written every -snapshot-interval and once on graceful shutdown")
 		snapInt  = flag.Duration("snapshot-interval", 30*time.Second, "period of the background cache snapshot writer (requires -snapshot-dir; 0 = only the final shutdown snapshot)")
+
+		maintOn    = flag.Bool("maint", true, "batched deferred view maintenance for writes (off = synchronous per-statement maintenance)")
+		maintBatch = flag.Int("maint-batch", 0, "ops per maintenance batch before a size flush (0 = default 64)")
+		maintDelay = flag.Duration("maint-delay", 0, "max age of a non-empty batch before a flush (0 = default 2ms); bounds write latency")
+		maintHeavy = flag.Int("maint-heavy", 0, "touches per window that classify a bcp key heavy, switching purge to lazy invalidation (0 = default 32)")
+		maintWin   = flag.Duration("maint-window", 0, "heavy/light classifier sliding-window rotation (0 = default 1s)")
+		maintQueue = flag.Int("maint-queue", 0, "bounded ingest queue depth; writers block when full (0 = default 1024)")
 	)
 	flag.Parse()
 
@@ -51,12 +68,31 @@ func main() {
 		os.Exit(1)
 	}
 
+	var plane *maint.Plane
+	if *maintOn {
+		plane, err = maint.New(maint.Config{
+			Source:         db,
+			BatchSize:      *maintBatch,
+			MaxDelay:       *maintDelay,
+			QueueDepth:     *maintQueue,
+			HeavyThreshold: *maintHeavy,
+			WindowInterval: *maintWin,
+			Logf:           log.Printf,
+		})
+		if err != nil {
+			db.Close()
+			fmt.Fprintf(os.Stderr, "pmvd: maintenance plane: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	var snaps *snapshot.Manager
 	if *snapDir != "" {
 		snaps, err = snapshot.NewManager(snapshot.Config{
 			Dir:      *snapDir,
 			Source:   db,
 			Interval: *snapInt,
+			Pending:  pendingFn(plane),
 			Logf:     log.Printf,
 		})
 		if err != nil {
@@ -82,6 +118,7 @@ func main() {
 		WriteTimeout:    *writeTO,
 	})
 	srv.SetSnapshots(snaps)
+	srv.SetMaint(plane)
 	if err := srv.Start(*addr); err != nil {
 		db.Close()
 		fmt.Fprintf(os.Stderr, "pmvd: listen %s: %v\n", *addr, err)
@@ -108,6 +145,14 @@ func main() {
 	log.Printf("pmvd: %v, draining sessions", s)
 
 	srv.Shutdown()
+	if plane != nil {
+		// Drain queued maintenance and re-attach per-statement observers
+		// before the final snapshot, so the snapshot is cut with no
+		// batch pending.
+		if err := plane.Close(); err != nil {
+			log.Printf("pmvd: maintenance drain: %v", err)
+		}
+	}
 	if snaps != nil {
 		// Final snapshot after the drain, while the database is still
 		// open — the next boot starts warm.

@@ -37,6 +37,7 @@ func main() {
 		deadline = flag.Duration("deadline", 0, "default per-query deadline for requests that carry none (0 = unbounded)")
 		dialTO   = flag.Duration("dial-timeout", 2*time.Second, "per-shard dial timeout")
 		refillTO = flag.Duration("refill-timeout", 2*time.Second, "budget for each asynchronous refill fan-out")
+		invalTO  = flag.Duration("inval-timeout", 2*time.Second, "budget for each asynchronous invalidation fan-out after a write")
 		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout before connections are force-closed")
 		obsAddr  = flag.String("obs", "", "observability HTTP address (e.g. :9091) serving /metrics, /healthz and /debug/pprof; empty = off")
 		maxConns = flag.Int("max-conns", 0, "max concurrently open client sessions (0 = unlimited)")
@@ -66,6 +67,7 @@ func main() {
 		DefaultDeadline: *deadline,
 		DialTimeout:     *dialTO,
 		RefillTimeout:   *refillTO,
+		InvalTimeout:    *invalTO,
 		DrainTimeout:    *drain,
 		MaxConns:        *maxConns,
 		IdleTimeout:     *idle,

@@ -29,6 +29,13 @@
 // crashes injected under the snapshot file (see
 // internal/torture/snapfault.go).
 //
+// With -write it runs the write-plane chaos harness: the 3-shard
+// topology with a batched maintenance plane on every shard, hammered
+// by concurrent writers (idempotent monotone overwrites) and readers
+// while links blackhole and reset, verified by a per-pid version
+// timeline proving no stale tuple is ever served unflagged (see
+// internal/torture/writechaos.go).
+//
 // Usage:
 //
 //	pmvtorture [-seeds 50] [-start 0] [-ops 300] [-v]
@@ -36,6 +43,7 @@
 //	pmvtorture -cluster [-seeds 3] [-start 0] [-clients 6] [-queries 30] [-v]
 //	pmvtorture -restart [-seeds 3] [-start 0] [-clients 6] [-queries 30] [-v]
 //	pmvtorture -snap [-seeds 10] [-start 0] [-cycles 10] [-v]
+//	pmvtorture -write [-seeds 3] [-start 0] [-writers 4] [-writes 40] [-readers 4] [-v]
 package main
 
 import (
@@ -54,12 +62,20 @@ func main() {
 	clusterMode := flag.Bool("cluster", false, "run the cluster-plane chaos harness (3 shards + router) instead of the storage one")
 	restartMode := flag.Bool("restart", false, "run the warm-restart chaos harness (full shard reboots from snapshots, warm-vs-cold compared per seed)")
 	snapMode := flag.Bool("snap", false, "run the snapshot-fault harness (faulted snapshot write/boot cycles)")
+	writeMode := flag.Bool("write", false, "run the write-plane chaos harness (concurrent writers + readers against 3 planed shards, per-pid staleness oracle)")
 	clients := flag.Int("clients", 8, "concurrent self-healing clients per seed (net/cluster/restart mode)")
 	queries := flag.Int("queries", 50, "queries per client per seed (net/cluster/restart mode)")
 	cycles := flag.Int("cycles", 10, "fill→snapshot→reboot cycles per seed (snap mode)")
+	writers := flag.Int("writers", 4, "concurrent writers per seed (write mode)")
+	writes := flag.Int("writes", 40, "acked updates each writer lands per seed (write mode)")
+	readers := flag.Int("readers", 4, "concurrent readers per seed (write mode)")
 	verbose := flag.Bool("v", false, "print one line per seed")
 	flag.Parse()
 
+	if *writeMode {
+		runWrite(*seeds, *start, *writers, *writes, *readers, *verbose)
+		return
+	}
 	if *snapMode {
 		runSnap(*seeds, *start, *cycles, *verbose)
 		return
@@ -165,6 +181,29 @@ func runSnap(seeds int, start int64, cycles int, verbose bool) {
 		}
 	}
 	fmt.Printf("pmvtorture -snap: %d seeds, %d failed\n", seeds, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runWrite(seeds int, start int64, writers, writes, readers int, verbose bool) {
+	failed := 0
+	for i := 0; i < seeds; i++ {
+		seed := start + int64(i)
+		rep, err := torture.RunWrite(torture.WriteOptions{Seed: seed, Writers: writers, Writes: writes, Readers: readers})
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", seed, err)
+			continue
+		}
+		if verbose {
+			fmt.Printf("ok   seed=%d writes=%d retries=%d failures=%d fanout=%d reads=%d clean=%d flagged=%d interrupted=%d unavailable=%d remote=%d ctx=%d blackholes=%d bursts=%d\n",
+				seed, rep.Writes, rep.WriteRetries, rep.WriteFailures, rep.FanoutSent,
+				rep.Reads, rep.Clean, rep.Flagged, rep.Interrupted, rep.Unavailable, rep.Remote,
+				rep.CtxExpired, rep.Blackholes, rep.ResetBursts)
+		}
+	}
+	fmt.Printf("pmvtorture -write: %d seeds, %d failed\n", seeds, failed)
 	if failed > 0 {
 		os.Exit(1)
 	}

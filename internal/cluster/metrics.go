@@ -31,6 +31,19 @@ type Metrics struct {
 	// matched by Operation O3 — the cluster-level consistency oracle.
 	DSLeftover atomic.Int64
 
+	// Write plane: batches acked (all shards applied), ops/rows from the
+	// primary's reply, batches failed on any shard, and the invalidation
+	// fan-out's delivery ladder.
+	Updates        atomic.Int64
+	UpdateOps      atomic.Int64
+	UpdateRows     atomic.Int64
+	UpdateFailures atomic.Int64
+	FanoutSent     atomic.Int64
+	FanoutRetries  atomic.Int64
+	FanoutDegrades atomic.Int64
+	FanoutFailures atomic.Int64
+	FanoutLagNs    atomic.Int64 // cumulative ack-to-delivered lag
+
 	// Scatter times the probe fan-out (O1 + the slowest shard's O2),
 	// Exec the routed O3, Total whole routed queries.
 	Scatter server.Hist
@@ -54,6 +67,10 @@ type ShardMetrics struct {
 	RefillsSent    atomic.Int64 // refill batches dispatched
 	RefillTuples   atomic.Int64 // tuples the shard confirmed cached
 	RefillFailures atomic.Int64 // refill batches lost (never retried)
+	Updates        atomic.Int64 // update batches sent
+	UpdateFailures atomic.Int64 // update batches the shard failed
+	InvalsSent     atomic.Int64 // invalidation requests dispatched
+	InvalFailures  atomic.Int64 // invalidations lost after the full ladder
 
 	// ProbeLatency times this shard's probe round trips.
 	ProbeLatency server.Hist
@@ -82,6 +99,9 @@ func (m *Metrics) ServerStats() wire.ServerStats {
 		Degraded:        m.Degraded.Load(),
 		PartialOnly:     m.PartialOnly.Load(),
 		Errors:          m.Errors.Load(),
+		Updates:         m.Updates.Load(),
+		UpdateOps:       m.UpdateOps.Load(),
+		UpdateRows:      m.UpdateRows.Load(),
 		ConnRejected:    m.ConnRejected.Load(),
 		IdleReaped:      m.IdleReaped.Load(),
 		CorruptFrames:   m.CorruptFrames.Load(),

@@ -26,6 +26,15 @@ func (r *Router) WritePrometheus(w io.Writer) error {
 	p.Counter("pmvrouter_partial_only_total", "Queries closed from the PMV plane alone.", float64(m.PartialOnly.Load()))
 	p.Counter("pmvrouter_errors_total", "Requests answered with an error frame.", float64(m.Errors.Load()))
 	p.Counter("pmvrouter_ds_leftover_total", "Queries failed by the duplicate-multiset consistency audit.", float64(m.DSLeftover.Load()))
+	p.Counter("pmvrouter_updates_total", "Update batches acked (applied on every shard).", float64(m.Updates.Load()))
+	p.Counter("pmvrouter_update_ops_total", "Update ops applied (primary's count).", float64(m.UpdateOps.Load()))
+	p.Counter("pmvrouter_update_rows_total", "Base-relation rows touched by updates (primary's count).", float64(m.UpdateRows.Load()))
+	p.Counter("pmvrouter_update_failures_total", "Update batches failed on at least one shard.", float64(m.UpdateFailures.Load()))
+	p.Counter("pmvrouter_fanout_sent_total", "Invalidation requests dispatched to key owners.", float64(m.FanoutSent.Load()))
+	p.Counter("pmvrouter_fanout_retries_total", "Invalidations retried after re-teaching the shard map.", float64(m.FanoutRetries.Load()))
+	p.Counter("pmvrouter_fanout_degrades_total", "Invalidations degraded to whole-view bumps.", float64(m.FanoutDegrades.Load()))
+	p.Counter("pmvrouter_fanout_failures_total", "Invalidations lost after the full degradation ladder.", float64(m.FanoutFailures.Load()))
+	p.Counter("pmvrouter_fanout_lag_seconds_total", "Cumulative ack-to-delivered invalidation lag.", float64(m.FanoutLagNs.Load())/1e9)
 	p.Counter("pmvrouter_conn_rejected_total", "Connections refused by the MaxConns cap.", float64(m.ConnRejected.Load()))
 	p.Counter("pmvrouter_idle_reaped_total", "Sessions closed for idling past IdleTimeout.", float64(m.IdleReaped.Load()))
 	p.Counter("pmvrouter_corrupt_frames_total", "Sessions dropped on framing violations.", float64(m.CorruptFrames.Load()))
@@ -68,6 +77,14 @@ func (r *Router) WritePrometheus(w io.Writer) error {
 		func(sm *ShardMetrics) int64 { return sm.RefillTuples.Load() })
 	shardCounter("pmvrouter_shard_refill_failures_total", "Refill batches lost (refill never retries).",
 		func(sm *ShardMetrics) int64 { return sm.RefillFailures.Load() })
+	shardCounter("pmvrouter_shard_updates_total", "Update batches sent to the shard.",
+		func(sm *ShardMetrics) int64 { return sm.Updates.Load() })
+	shardCounter("pmvrouter_shard_update_failures_total", "Update batches the shard failed.",
+		func(sm *ShardMetrics) int64 { return sm.UpdateFailures.Load() })
+	shardCounter("pmvrouter_shard_invals_total", "Invalidation requests dispatched to the shard.",
+		func(sm *ShardMetrics) int64 { return sm.InvalsSent.Load() })
+	shardCounter("pmvrouter_shard_inval_failures_total", "Invalidations the shard never received.",
+		func(sm *ShardMetrics) int64 { return sm.InvalFailures.Load() })
 
 	p.Header("pmvrouter_shard_probe_seconds", "histogram", "Per-shard probe round-trip latency.")
 	for _, sm := range m.Shards {

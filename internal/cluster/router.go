@@ -69,6 +69,9 @@ type Config struct {
 	DialTimeout time.Duration
 	// RefillTimeout bounds each asynchronous refill fan-out (default 2s).
 	RefillTimeout time.Duration
+	// InvalTimeout bounds each asynchronous invalidation fan-out after
+	// a write batch (default 2s).
+	InvalTimeout time.Duration
 	// DrainTimeout bounds Shutdown's wait for in-flight sessions.
 	// Default 5s.
 	DrainTimeout time.Duration
@@ -107,6 +110,9 @@ func (c *Config) fill() error {
 	if c.RefillTimeout <= 0 {
 		c.RefillTimeout = 2 * time.Second
 	}
+	if c.InvalTimeout <= 0 {
+		c.InvalTimeout = 2 * time.Second
+	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
@@ -142,6 +148,7 @@ type Router struct {
 	wg       sync.WaitGroup
 
 	refillWG sync.WaitGroup
+	invalWG  sync.WaitGroup
 }
 
 // viewMeta is the router's cached routing metadata for one view:
@@ -283,6 +290,7 @@ func (r *Router) Shutdown() error {
 		<-done
 	}
 	r.refillWG.Wait() // bounded: each refill runs under RefillTimeout
+	r.invalWG.Wait()  // bounded: each invalidation runs under InvalTimeout
 	for _, p := range r.pools {
 		p.close()
 	}
@@ -440,7 +448,11 @@ func (r *Router) dispatch(sess *rsession, typ byte, payload []byte) error {
 	case wire.MsgQuery:
 		return r.handleQuery(sess, payload)
 	case wire.MsgStats:
-		return r.reply(bw, wire.StatsReply{Server: r.metrics.ServerStats()})
+		return r.reply(bw, wire.StatsReply{Server: r.metrics.ServerStats(), Maint: r.metrics.maintStats()})
+	case wire.MsgUpdate:
+		return r.handleUpdate(sess, payload)
+	case wire.MsgInvalidate:
+		return r.writeErr(bw, errors.New("router: invalidate is a shard request; this is a router"))
 	case wire.MsgViews, wire.MsgTables, wire.MsgSchema, wire.MsgCount, wire.MsgPeek, wire.MsgViewStats:
 		// Reads against base data or view metadata: any healthy shard's
 		// answer is as good as another's.

@@ -1,0 +1,227 @@
+// inval.go is the view-side surface of the write plane
+// (internal/maint): invalidation generations, per-key purges, and the
+// affected-key computation batched maintenance is built on.
+//
+// Two invalidation mechanisms coexist, chosen per key by the plane's
+// heavy/light classifier:
+//
+//   - Light keys are purged outright under a short X-lock grab
+//     (PurgeKeys) — precise, but serializes briefly with readers.
+//   - Heavy keys get a generation bump (BumpKeyGens/BumpAllGen): the
+//     view's invalidation sequence advances and the key records the new
+//     floor; an entry whose stamp is below the floor is discarded
+//     lazily on its next probe. Bumps take only the view mutex, so a
+//     hot key's write burst never serializes against its read burst.
+//
+// Over-invalidation is always safe — it loses cache, never
+// correctness — and under-delivery (a fan-out frame that never
+// arrives) is backstopped by the DS multiset audit: a cached tuple the
+// re-execution cannot account for fails the query loudly instead of
+// serving stale data unflagged.
+package core
+
+import (
+	"time"
+
+	"pmv/internal/lock"
+	"pmv/internal/value"
+)
+
+// entryLiveLocked reports whether e survives every generation bump
+// recorded against key. Caller holds v.mu.
+func (v *View) entryLiveLocked(key string, e *entry) bool {
+	return e.gen >= v.invalAll && e.gen >= v.invalGen[key]
+}
+
+// discardStaleLocked drops one invalidated entry. Caller holds v.mu.
+func (v *View) discardStaleLocked(key string, e *entry) {
+	delete(v.entries, key)
+	delete(v.invalGen, key)
+	v.stats.EntriesInvalidated++
+	v.stats.TuplesInvalidated += int64(len(e.tuples))
+	if v.maint != nil {
+		v.maint.dropEntry(key)
+	}
+}
+
+// liveEntryLocked returns the live entry for key, lazily discarding a
+// stale one. Caller holds v.mu.
+func (v *View) liveEntryLocked(key string) (*entry, bool) {
+	e, ok := v.entries[key]
+	if !ok {
+		return nil, false
+	}
+	if !v.entryLiveLocked(key, e) {
+		v.discardStaleLocked(key, e)
+		return nil, false
+	}
+	return e, true
+}
+
+// BumpKeyGens invalidates keys by generation bump — the heavy-key
+// path, and the receiving side of a cluster invalidation fan-out.
+// Cheap (view mutex only, no view lock, no entry traversal); stale
+// entries are discarded on their next probe. Returns how many keys
+// currently cache an entry (the useful work; keys without entries need
+// no floor — any future fill is stamped at or above the new sequence).
+func (v *View) BumpKeyGens(keys []string) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.invalSeq++
+	bumped := 0
+	for _, k := range keys {
+		if _, ok := v.entries[k]; ok {
+			v.invalGen[k] = v.invalSeq
+			bumped++
+		}
+	}
+	v.stats.KeyGenBumps += int64(len(keys))
+	return bumped
+}
+
+// BumpAllGen invalidates the whole view: every current entry is stale,
+// discarded lazily. This is the degradation step when key damage could
+// not be bounded (a failed fan-out, an unjoinable delta) — correctness
+// by total cache loss.
+func (v *View) BumpAllGen() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.invalSeq++
+	v.invalAll = v.invalSeq
+	v.invalGen = make(map[string]uint64) // superseded by the floor
+	v.stats.ViewGenBumps++
+}
+
+// LockForMaintenance acquires the view's X lock through the engine's
+// retrying acquire, returning its release. The write plane holds it
+// across a batch apply so in-flight queries (S lock from O2 through
+// O3) never observe a half-applied batch — the same barrier
+// per-statement maintenance gets from engine.ChangeBarrier, amortized
+// over the batch.
+func (v *View) LockForMaintenance() (release func(), err error) {
+	txn := v.eng.NewTxnID()
+	if err := v.eng.AcquireLock(txn, v.lockRes(), lock.Exclusive); err != nil {
+		return nil, err
+	}
+	return func() { v.eng.Locks().ReleaseAll(txn) }, nil
+}
+
+// PurgeKeys drops the entries for keys under one short X-lock grab —
+// the light-key maintenance path. When the lock cannot be had (a
+// long-running reader) it degrades to generation bumps rather than
+// blocking the write stream; the damage is identical, only lazier.
+// Returns entries/tuples purged and whether it degraded.
+func (v *View) PurgeKeys(keys []string) (entries, tuples int, degraded bool) {
+	release, err := v.LockForMaintenance()
+	if err != nil {
+		v.BumpKeyGens(keys)
+		return 0, 0, true
+	}
+	defer release()
+	start := time.Now()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, k := range keys {
+		if e, ok := v.entries[k]; ok {
+			entries++
+			tuples += len(e.tuples)
+			v.stats.EntriesPurged++
+			v.stats.TuplesPurged += int64(len(e.tuples))
+			delete(v.entries, k)
+			delete(v.invalGen, k)
+			if v.maint != nil {
+				v.maint.dropEntry(k)
+			}
+		}
+	}
+	v.stats.MaintTime += time.Since(start)
+	return entries, tuples, false
+}
+
+// AffectedKeys computes the bcp keys whose cached results a deletion
+// of base (a full-schema tuple of rel, already removed from the heap)
+// may have invalidated: ΔR ⋈ rest projected to condition values,
+// encoded with the view's own coder. The keys are global — derived
+// from the victim's condition-attribute values, not from this node's
+// cache — so a router can fan them to whichever shards own them. wide
+// is true when the damage could not be bounded (the delta join failed)
+// and the caller must invalidate the whole view instead.
+//
+// Co-deleted join partners in the same batch can hide rows from the
+// delta join (the partner is already gone when this victim is joined);
+// the resulting under-approximation is caught loudly by the DS audit
+// on the next query touching the missed key, never served silently.
+func (v *View) AffectedKeys(rel string, base value.Tuple) (keys []string, wide bool) {
+	if !v.inTemplate(rel) {
+		return nil, false
+	}
+	rows, err := v.deltaJoin(rel, []value.Tuple{base})
+	if err != nil {
+		return nil, true
+	}
+	seen := make(map[string]bool, len(rows))
+	for _, jt := range rows {
+		k := v.coder.KeyFromCondValues(v.condValues(jt))
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys, false
+}
+
+// UpdateAffects is the batched counterpart of OnUpdate's
+// relevant-attribute check (the paper's case 3 optimization): it
+// reports whether an update of rel from old to new can affect cached
+// results, bumping UpdatesSeen/UpdatesSkipped so batched and
+// per-statement paths account identically. An update that touches no
+// Ls′/Cjoin/fixed column of rel needs no maintenance at all.
+func (v *View) UpdateAffects(rel string, old, new value.Tuple) (bool, error) {
+	if !v.inTemplate(rel) {
+		return false, nil
+	}
+	r, err := v.eng.Catalog().GetRelation(rel)
+	if err != nil {
+		return false, err
+	}
+	changed := false
+	for _, ci := range v.relevantCols(rel, r) {
+		if !value.Equal(old[ci], new[ci]) {
+			changed = true
+			break
+		}
+	}
+	v.mu.Lock()
+	v.stats.UpdatesSeen++
+	if !changed {
+		v.stats.UpdatesSkipped++
+	}
+	v.mu.Unlock()
+	return changed, nil
+}
+
+// NoteInsert / NoteDelete record batched change notifications so the
+// plane's detached views keep the same maintenance counters the
+// per-statement observer path maintains.
+func (v *View) NoteInsert(rel string) {
+	if !v.inTemplate(rel) {
+		return
+	}
+	v.mu.Lock()
+	v.stats.InsertsSeen++
+	v.mu.Unlock()
+}
+
+// NoteDelete records one batched delete notification (see NoteInsert).
+func (v *View) NoteDelete(rel string) {
+	if !v.inTemplate(rel) {
+		return
+	}
+	v.mu.Lock()
+	v.stats.DeletesSeen++
+	v.mu.Unlock()
+}
+
+// InTemplate reports whether rel is one of the view's base relations
+// (exported for the write plane's per-view routing).
+func (v *View) InTemplate(rel string) bool { return v.inTemplate(rel) }

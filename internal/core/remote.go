@@ -169,7 +169,7 @@ func (v *View) ProbeBCPs(ctx context.Context, parts []RemotePart, emit func(valu
 		}
 		p := &parts[pi]
 		var hit bool
-		e, ok := v.entries[p.Key]
+		e, ok := v.liveEntryLocked(p.Key)
 		switch {
 		case ok:
 			v.policy.Lookup(p.Key)
@@ -283,7 +283,7 @@ func (v *View) FillTuples(tuples []value.Tuple) (int, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	for _, key := range order {
-		if e, ok := v.entries[key]; ok && len(e.tuples) > 0 {
+		if e, ok := v.liveEntryLocked(key); ok && len(e.tuples) > 0 {
 			continue // idempotence: never append to a populated entry
 		}
 		if !v.policy.Contains(key) {
@@ -295,7 +295,7 @@ func (v *View) FillTuples(tuples []value.Tuple) (int, error) {
 		}
 		e, ok := v.entries[key]
 		if !ok {
-			e = &entry{}
+			e = &entry{gen: v.invalSeq}
 			v.entries[key] = e
 			v.stats.EntriesCreated++
 		}

@@ -30,6 +30,9 @@ func (v *View) SnapshotEntries(fn func(key string, accesses int64, tuples []valu
 	}
 	rows := make([]row, 0, len(v.entries))
 	for k, e := range v.entries {
+		if !v.entryLiveLocked(k, e) {
+			continue // never snapshot an invalidated entry
+		}
 		rows = append(rows, row{k, e})
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -90,7 +93,7 @@ func (v *View) WarmAdmit(key string, accesses int64, tuples []value.Tuple) (int,
 			}
 		}
 	}
-	e := &entry{accesses: accesses, tuples: make([]value.Tuple, 0, len(tuples))}
+	e := &entry{accesses: accesses, gen: v.invalSeq, tuples: make([]value.Tuple, 0, len(tuples))}
 	for _, t := range tuples {
 		ct := t.Clone()
 		e.tuples = append(e.tuples, ct)

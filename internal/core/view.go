@@ -81,6 +81,10 @@ func (c *Config) fill() error {
 type entry struct {
 	tuples   []value.Tuple
 	accesses int64
+	// gen is the view's invalidation sequence at fill time; an entry
+	// whose gen falls below a bumped per-key or view-wide floor is
+	// stale and lazily discarded on its next probe (see inval.go).
+	gen uint64
 }
 
 // View is one live partial materialized view.
@@ -96,6 +100,13 @@ type View struct {
 	entries map[string]*entry
 	policy  cache.Policy
 	maint   *maintIndex // nil unless UseMaintIndex
+
+	// Invalidation generations (see inval.go): invalSeq stamps new
+	// entries, invalGen/invalAll are per-key and view-wide staleness
+	// floors.
+	invalSeq uint64
+	invalGen map[string]uint64
+	invalAll uint64
 
 	stats Stats
 }
@@ -137,6 +148,7 @@ func NewView(eng *engine.Engine, cfg Config) (*View, error) {
 		nUserCols:  len(tpl.Select),
 		condPos:    condPos,
 		entries:    make(map[string]*entry),
+		invalGen:   make(map[string]uint64),
 		policy:     pol,
 	}
 	if cfg.UseMaintIndex {
@@ -459,7 +471,7 @@ func (v *View) probeO2(run *partialRun, emit func(Result) error) error {
 		}
 		before := rep.PartialTuples
 		var hit int64
-		e, ok := v.entries[cp.BCPKey]
+		e, ok := v.liveEntryLocked(cp.BCPKey)
 		switch {
 		case ok:
 			v.policy.Lookup(cp.BCPKey)
@@ -577,9 +589,9 @@ func (v *View) fill(t value.Tuple, run *partialRun) {
 			return
 		}
 	}
-	e, ok := v.entries[key]
+	e, ok := v.liveEntryLocked(key)
 	if !ok {
-		e = &entry{}
+		e = &entry{gen: v.invalSeq}
 		v.entries[key] = e
 		v.stats.EntriesCreated++
 		run.refEntries++

@@ -435,6 +435,16 @@ func (e *Engine) DeleteWhereCtx(ctx context.Context, rel string, pred func(value
 	if err != nil {
 		return nil, err
 	}
+	// The barrier comes BEFORE the victim scan: scanning first would
+	// let a concurrent statement commit between scan and apply, and the
+	// observers would then be notified with stale pre-images — view
+	// maintenance would purge the wrong cache keys and leave stale
+	// entries behind.
+	release, err := e.changeBarrier(rel)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	type victim struct {
 		rid storage.RID
 		t   value.Tuple
@@ -448,13 +458,6 @@ func (e *Engine) DeleteWhereCtx(ctx context.Context, rel string, pred func(value
 	})
 	if err != nil {
 		return nil, err
-	}
-	if len(victims) > 0 {
-		release, err := e.changeBarrier(rel)
-		if err != nil {
-			return nil, err
-		}
-		defer release()
 	}
 	deleted := make([]value.Tuple, 0, len(victims))
 	for _, v := range victims {
@@ -500,6 +503,14 @@ func (e *Engine) UpdateWhereCtx(ctx context.Context, rel string, pred func(value
 	if err != nil {
 		return 0, err
 	}
+	// Barrier before the scan — see DeleteWhereCtx: a scan-time
+	// snapshot taken outside the barrier can go stale under a
+	// concurrent statement, feeding observers wrong pre-images.
+	release, err := e.changeBarrier(rel)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
 	type hit struct {
 		rid storage.RID
 		t   value.Tuple
@@ -513,13 +524,6 @@ func (e *Engine) UpdateWhereCtx(ctx context.Context, rel string, pred func(value
 	})
 	if err != nil {
 		return 0, err
-	}
-	if len(hits) > 0 {
-		release, err := e.changeBarrier(rel)
-		if err != nil {
-			return 0, err
-		}
-		defer release()
 	}
 	for i, h := range hits {
 		newT := apply(h.t.Clone())

@@ -147,6 +147,67 @@ func TestObserverNotifications(t *testing.T) {
 	}
 }
 
+type barrierObserver struct {
+	recordingObserver
+	held     bool
+	acquired int
+}
+
+func (o *barrierObserver) BeforeChange(string) (func(), error) {
+	o.acquired++
+	o.held = true
+	return func() { o.held = false }, nil
+}
+
+// TestChangeBarrierPrecedesScan pins the ordering that closes the
+// lost-update window: delete/update statements must take the change
+// barrier BEFORE scanning for victims — scanning first would let a
+// concurrent statement commit in between, and observers would then be
+// notified with stale pre-images.
+func TestChangeBarrierPrecedesScan(t *testing.T) {
+	e := newEngine(t)
+	simpleRel(t, e)
+	for i := 0; i < 5; i++ {
+		e.Insert("kv", value.Tuple{value.Int(int64(i)), value.Str("x")})
+	}
+	obs := &barrierObserver{}
+	e.RegisterObserver(obs)
+
+	heldDuringScan := true
+	pred := func(tu value.Tuple) bool {
+		if !obs.held {
+			heldDuringScan = false
+		}
+		return tu[0].Int64() == 3
+	}
+	if _, err := e.UpdateWhere("kv", pred, func(tu value.Tuple) value.Tuple { return tu }); err != nil {
+		t.Fatal(err)
+	}
+	if !heldDuringScan {
+		t.Error("update scanned the heap before acquiring the change barrier")
+	}
+	if _, err := e.DeleteWhere("kv", pred); err != nil {
+		t.Fatal(err)
+	}
+	if !heldDuringScan {
+		t.Error("delete scanned the heap before acquiring the change barrier")
+	}
+
+	// Zero-victim statements still take — and release — the barrier:
+	// the barrier cannot be gated on the scan result without reopening
+	// the window.
+	before := obs.acquired
+	if _, err := e.DeleteWhere("kv", func(value.Tuple) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.acquired - before; got != 1 {
+		t.Errorf("zero-victim delete acquired the barrier %d times, want 1", got)
+	}
+	if obs.held {
+		t.Error("barrier still held after statement completed")
+	}
+}
+
 func TestInsertBulkNotifyFlag(t *testing.T) {
 	e := newEngine(t)
 	simpleRel(t, e)

@@ -1,0 +1,46 @@
+package maint
+
+import (
+	"sync"
+	"time"
+)
+
+// classifier partitions the update stream's bcp keys into heavy and
+// light against a sliding frequency window (the heavy-light IVM idea:
+// maintain light keys eagerly, let heavy keys amortize). Frequencies
+// live in two buckets rotated every interval; a key's score is the sum
+// of both, so the effective window slides between one and two
+// intervals without per-key timestamps. Rotation is lazy — driven by
+// the classify calls themselves — so an idle plane costs nothing.
+type classifier struct {
+	mu        sync.Mutex
+	threshold int
+	interval  time.Duration
+	cur, prev map[string]int
+	rotated   time.Time
+}
+
+func newClassifier(threshold int, interval time.Duration) *classifier {
+	return &classifier{
+		threshold: threshold,
+		interval:  interval,
+		cur:       make(map[string]int),
+		prev:      make(map[string]int),
+		rotated:   time.Now(),
+	}
+}
+
+// heavy records one touch of key and reports whether it currently
+// classifies as heavy (touched at least threshold times across the
+// sliding window, counting this touch).
+func (c *classifier) heavy(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.rotated) >= c.interval {
+		c.prev = c.cur
+		c.cur = make(map[string]int)
+		c.rotated = now
+	}
+	c.cur[key]++
+	return c.cur[key]+c.prev[key] >= c.threshold
+}

@@ -116,6 +116,13 @@ type Metrics struct {
 	PartialOnly     atomic.Int64
 	Errors          atomic.Int64
 
+	// Write plane: batches accepted, ops/rows applied, invalidation
+	// requests honored.
+	Updates       atomic.Int64
+	UpdateOps     atomic.Int64
+	UpdateRows    atomic.Int64
+	Invalidations atomic.Int64
+
 	// Network-plane failure modes, one counter each so a chaos run can
 	// audit exactly how its injected faults were absorbed.
 	ConnRejected  atomic.Int64 // connections refused by the MaxConns cap
@@ -143,6 +150,10 @@ func (m *Metrics) Snapshot() wire.ServerStats {
 		Degraded:        m.Degraded.Load(),
 		PartialOnly:     m.PartialOnly.Load(),
 		Errors:          m.Errors.Load(),
+		Updates:         m.Updates.Load(),
+		UpdateOps:       m.UpdateOps.Load(),
+		UpdateRows:      m.UpdateRows.Load(),
+		Invalidations:   m.Invalidations.Load(),
 		ConnRejected:    m.ConnRejected.Load(),
 		IdleReaped:      m.IdleReaped.Load(),
 		ReadTimeouts:    m.ReadTimeouts.Load(),

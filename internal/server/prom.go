@@ -26,6 +26,10 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.Counter("pmvd_degraded_total", "Queries answered without the view (S-lock timeout).", float64(m.Degraded.Load()))
 	p.Counter("pmvd_partial_only_total", "Queries answered by Operations O1+O2 alone.", float64(m.PartialOnly.Load()))
 	p.Counter("pmvd_errors_total", "Per-request failures reported to clients.", float64(m.Errors.Load()))
+	p.Counter("pmvd_updates_total", "Update batches accepted.", float64(m.Updates.Load()))
+	p.Counter("pmvd_update_ops_total", "Update ops applied.", float64(m.UpdateOps.Load()))
+	p.Counter("pmvd_update_rows_total", "Base-relation rows touched by updates.", float64(m.UpdateRows.Load()))
+	p.Counter("pmvd_invalidations_total", "Invalidation requests honored.", float64(m.Invalidations.Load()))
 	p.Counter("pmvd_conn_rejected_total", "Connections refused by the MaxConns cap.", float64(m.ConnRejected.Load()))
 	p.Counter("pmvd_idle_reaped_total", "Sessions closed for idling past IdleTimeout.", float64(m.IdleReaped.Load()))
 	p.Counter("pmvd_read_timeouts_total", "Request frames that stalled mid-arrival.", float64(m.ReadTimeouts.Load()))
@@ -46,7 +50,34 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		p.Gauge("pmvd_snapshot_warm_tuples", "Cached tuples admitted from the snapshot at the last boot.", float64(ss.WarmTuples))
 		p.Counter("pmvd_snapshot_stale_rejects_total", "Snapshots rejected at boot for stamp mismatches (epoch, generation, revision).", float64(ss.StaleRejects))
 		p.Counter("pmvd_snapshot_corrupt_rejects_total", "Snapshots rejected at boot for structural damage.", float64(ss.CorruptRejects))
+		p.Counter("pmvd_snapshot_pending_skips_total", "Snapshot writes skipped for an in-flight maintenance batch.", float64(ss.PendingSkips))
 		p.Gauge("pmvd_snapshot_epoch", "Shard-map epoch persisted beside the snapshot.", float64(ss.Epoch))
+	}
+
+	if ms := s.maintStats(); ms != nil {
+		p.Gauge("pmvd_maint_queue_depth", "Update requests waiting in the ingest queue.", float64(ms.QueueDepth))
+		p.Gauge("pmvd_maint_queue_cap", "Ingest queue capacity.", float64(ms.QueueCap))
+		p.Counter("pmvd_maint_ops_ingested_total", "Ops accepted by the write plane.", float64(ms.OpsIngested))
+		p.Counter("pmvd_maint_ops_applied_total", "Ops applied to base relations.", float64(ms.OpsApplied))
+		p.Counter("pmvd_maint_op_errors_total", "Ops that failed to apply.", float64(ms.OpErrors))
+		p.Counter("pmvd_maint_batches_total", "Batches flushed.", float64(ms.Batches))
+		p.Counter("pmvd_maint_size_flushes_total", "Batches flushed on size.", float64(ms.SizeFlushes))
+		p.Counter("pmvd_maint_age_flushes_total", "Batches flushed on age.", float64(ms.AgeFlushes))
+		p.Gauge("pmvd_maint_max_batch_ops", "Largest batch applied so far.", float64(ms.MaxBatchOps))
+		p.Counter("pmvd_maint_lock_wait_seconds_total", "Time batches waited for view X locks.", float64(ms.LockWaitNs)/1e9)
+		p.Counter("pmvd_maint_apply_seconds_total", "Time spent applying base-relation ops.", float64(ms.ApplyNs)/1e9)
+		p.Counter("pmvd_maint_coalesced_ops_total", "Ops applied through shared-scan coalesced runs.", float64(ms.CoalescedOps))
+		p.Counter("pmvd_maint_group_syncs_total", "Per-batch WAL group commits.", float64(ms.GroupSyncs))
+		p.Counter("pmvd_maint_sync_seconds_total", "Time spent in group-commit WAL syncs.", float64(ms.SyncNs)/1e9)
+		p.Counter("pmvd_maint_maintain_seconds_total", "Time spent in view maintenance.", float64(ms.MaintNs)/1e9)
+		p.Counter("pmvd_maint_keys_affected_total", "Affected bcp keys computed.", float64(ms.KeysAffected))
+		p.Counter("pmvd_maint_light_keys_total", "Keys classified light (purged eagerly).", float64(ms.LightKeys))
+		p.Counter("pmvd_maint_heavy_keys_total", "Keys classified heavy (invalidated lazily).", float64(ms.HeavyKeys))
+		p.Counter("pmvd_maint_entries_purged_total", "View entries purged by the light path.", float64(ms.EntriesPurged))
+		p.Counter("pmvd_maint_tuples_purged_total", "Cached tuples purged by the light path.", float64(ms.TuplesPurged))
+		p.Counter("pmvd_maint_key_gen_bumps_total", "Per-key invalidation-generation bumps.", float64(ms.KeyGenBumps))
+		p.Counter("pmvd_maint_wide_gen_bumps_total", "View-wide invalidation-generation bumps.", float64(ms.WideGenBumps))
+		p.Counter("pmvd_maint_purge_degrades_total", "Purges degraded to generation bumps on lock failure.", float64(ms.PurgeDegrades))
 	}
 
 	p.Header("pmvd_query_seconds", "histogram", "Query latency by phase (partial = O1+O2, exec = O3, total = whole query).")

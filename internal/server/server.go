@@ -49,6 +49,7 @@ import (
 	"pmv"
 	"pmv/internal/expr"
 	"pmv/internal/heap"
+	"pmv/internal/maint"
 	"pmv/internal/snapshot"
 	"pmv/internal/storage"
 	"pmv/internal/value"
@@ -136,6 +137,10 @@ type Server struct {
 	// The server reports the manager's health and forwards shard-map
 	// installs to it so snapshots are stamped with the live epoch.
 	snap *snapshot.Manager
+
+	// Write plane: nil unless the process runs with batched update
+	// ingest; updates then fall back to per-statement application.
+	maint *maint.Plane
 }
 
 // SetSnapshots attaches the snapshot manager (call before Start).
@@ -534,6 +539,10 @@ func (s *Server) dispatch(sess *session, typ byte, payload []byte) error {
 		return s.handleRefill(sess, payload)
 	case wire.MsgShardMap:
 		return s.handleShardMap(bw, payload)
+	case wire.MsgUpdate:
+		return s.handleUpdate(sess, payload)
+	case wire.MsgInvalidate:
+		return s.handleInvalidate(sess, payload)
 	case wire.MsgShards:
 		return s.writeErr(bw, errors.New("server: shards is a router request; this is a shard"))
 	default:
@@ -752,6 +761,10 @@ func (s *Server) viewStatsReply() []wire.ViewStatsEntry {
 			DeletesSeen:        st.DeletesSeen,
 			UpdatesSeen:        st.UpdatesSeen,
 			UpdatesSkipped:     st.UpdatesSkipped,
+			EntriesInvalidated: st.EntriesInvalidated,
+			TuplesInvalidated:  st.TuplesInvalidated,
+			KeyGenBumps:        st.KeyGenBumps,
+			ViewGenBumps:       st.ViewGenBumps,
 			MaintTimeNs:        int64(st.MaintTime),
 			LockWaitTimeNs:     int64(st.LockWaitTime),
 			O3TimeNs:           int64(st.O3Time),
@@ -787,6 +800,7 @@ func (s *Server) statsReply() wire.StatsReply {
 			TornPageRepairs: es.TornPageRepairs,
 		},
 		Snapshot: s.snapshotStats(),
+		Maint:    s.maintStats(),
 	}
 }
 
@@ -808,6 +822,7 @@ func (s *Server) snapshotStats() *wire.SnapshotStats {
 		WarmTuples:     st.WarmTuples,
 		StaleRejects:   st.StaleRejects,
 		CorruptRejects: st.CorruptRejects,
+		PendingSkips:   st.PendingSkips,
 		LastBoot:       st.LastBoot,
 	}
 }

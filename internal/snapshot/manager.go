@@ -47,9 +47,21 @@ type Config struct {
 	// Interval is the background write period (0 = no background
 	// writer; WriteNow/Close still snapshot on demand).
 	Interval time.Duration
+	// Pending reports whether a maintenance batch is in flight (nil =
+	// never). While it returns true, snapshot writes are skipped: the
+	// base data already carries the batch's WAL stamp, so a snapshot
+	// cut before the views catch up would warm-boot entries the batch
+	// invalidated. Skipping keeps the previous (pre-batch) snapshot on
+	// disk, which the boot-time DataStamp check rejects — a restart in
+	// the window cold-starts and replays, never serves stale warmth.
+	Pending func() bool
 	// Logf receives boot/validation outcomes (nil = silent).
 	Logf func(format string, args ...any)
 }
+
+// ErrPending is returned by WriteNow when Config.Pending reported an
+// in-flight maintenance batch and the write was skipped.
+var ErrPending = errors.New("snapshot: skipped: maintenance batch pending")
 
 // LoadResult reports one boot-time load.
 type LoadResult struct {
@@ -76,6 +88,7 @@ type Stats struct {
 	WarmTuples      int64
 	StaleRejects    int64
 	CorruptRejects  int64
+	PendingSkips    int64
 	LastBoot        string
 }
 
@@ -87,6 +100,7 @@ type Manager struct {
 	dir      string
 	src      Source
 	interval time.Duration
+	pending  func() bool
 	logf     func(string, ...any)
 
 	epoch atomic.Uint64
@@ -96,7 +110,7 @@ type Manager struct {
 	stop   chan struct{}
 	done   chan struct{}
 
-	writes, writeErrs                               atomic.Int64
+	writes, writeErrs, pendingSkips                 atomic.Int64
 	lastWriteUnixNs, lastWriteBytes, lastWriteDurNs atomic.Int64
 	warmEntries, warmTuples                         atomic.Int64
 	staleRejects, corruptRejects                    atomic.Int64
@@ -124,6 +138,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		dir:      cfg.Dir,
 		src:      cfg.Source,
 		interval: cfg.Interval,
+		pending:  cfg.Pending,
 		logf:     cfg.Logf,
 	}
 	if m.logf == nil {
@@ -228,6 +243,10 @@ func (m *Manager) WriteNow() error {
 }
 
 func (m *Manager) writeLocked() error {
+	if m.pending != nil && m.pending() {
+		m.pendingSkips.Add(1)
+		return ErrPending
+	}
 	start := time.Now()
 	snap := &Snapshot{Stamps: m.stamps(), WrittenUnixNs: start.UnixNano()}
 	for _, v := range m.src.Views() {
@@ -428,6 +447,7 @@ func (m *Manager) Stats() Stats {
 		WarmTuples:      m.warmTuples.Load(),
 		StaleRejects:    m.staleRejects.Load(),
 		CorruptRejects:  m.corruptRejects.Load(),
+		PendingSkips:    m.pendingSkips.Load(),
 		LastBoot:        m.lastBoot.Load().(string),
 	}
 }

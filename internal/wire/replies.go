@@ -94,6 +94,12 @@ type ServerStats struct {
 	PartialOnly     int64 `json:"partial_only"`
 	Errors          int64 `json:"errors"`
 
+	// Write plane.
+	Updates       int64 `json:"updates"`
+	UpdateOps     int64 `json:"update_ops"`
+	UpdateRows    int64 `json:"update_rows"`
+	Invalidations int64 `json:"invalidations"`
+
 	// Network-plane failure modes.
 	ConnRejected  int64 `json:"conn_rejected"`
 	IdleReaped    int64 `json:"idle_reaped"`
@@ -144,8 +150,56 @@ type SnapshotStats struct {
 	// StaleRejects / CorruptRejects count snapshots refused at boot.
 	StaleRejects   int64 `json:"stale_rejects"`
 	CorruptRejects int64 `json:"corrupt_rejects"`
+	// PendingSkips counts snapshot writes skipped because a
+	// maintenance batch was in flight (warm-booting across that window
+	// could serve invalidated entries).
+	PendingSkips int64 `json:"pending_skips"`
 	// LastBoot is the human-readable outcome of the last Load.
 	LastBoot string `json:"last_boot"`
+}
+
+// MaintStats is the write plane's counter snapshot: ingest queue
+// health, batching behavior, the heavy/light split, and invalidation
+// accounting.
+type MaintStats struct {
+	// Ingest queue.
+	QueueDepth  int64 `json:"queue_depth"`
+	QueueCap    int64 `json:"queue_cap"`
+	OpsIngested int64 `json:"ops_ingested"`
+	OpsApplied  int64 `json:"ops_applied"`
+	OpErrors    int64 `json:"op_errors"`
+
+	// Batching.
+	Batches     int64 `json:"batches"`
+	SizeFlushes int64 `json:"size_flushes"`
+	AgeFlushes  int64 `json:"age_flushes"`
+	MaxBatchOps int64 `json:"max_batch_ops"`
+	LockWaitNs  int64 `json:"lock_wait_ns"`
+	ApplyNs     int64 `json:"apply_ns"`
+	MaintNs     int64 `json:"maint_ns"`
+	// CoalescedOps counts ops applied through a multi-op scan run
+	// (point ops on the same relation+column share one heap scan);
+	// GroupSyncs/SyncNs count the per-batch WAL group commits.
+	CoalescedOps int64 `json:"coalesced_ops"`
+	GroupSyncs   int64 `json:"group_syncs"`
+	SyncNs       int64 `json:"sync_ns"`
+
+	// Heavy/light classification and local maintenance.
+	KeysAffected  int64 `json:"keys_affected"`
+	LightKeys     int64 `json:"light_keys"`
+	HeavyKeys     int64 `json:"heavy_keys"`
+	EntriesPurged int64 `json:"entries_purged"`
+	TuplesPurged  int64 `json:"tuples_purged"`
+	KeyGenBumps   int64 `json:"key_gen_bumps"`
+	WideGenBumps  int64 `json:"wide_gen_bumps"`
+	PurgeDegrades int64 `json:"purge_degrades"`
+
+	// Cluster fan-out (router side; zero on shards).
+	FanoutSent     int64 `json:"fanout_sent"`
+	FanoutRetries  int64 `json:"fanout_retries"`
+	FanoutDegrades int64 `json:"fanout_degrades"`
+	FanoutFailures int64 `json:"fanout_failures"`
+	FanoutLagNs    int64 `json:"fanout_lag_ns"`
 }
 
 // StatsReply answers MsgStats.
@@ -155,6 +209,8 @@ type StatsReply struct {
 	Engine EngineStatsReply `json:"engine"`
 	// Snapshot is nil when the shard runs without warm restarts.
 	Snapshot *SnapshotStats `json:"snapshot,omitempty"`
+	// Maint is nil when the node runs without the write plane.
+	Maint *MaintStats `json:"maint,omitempty"`
 }
 
 // TraceRequest is the MsgTrace payload (JSON). Nil fields leave the
@@ -223,6 +279,31 @@ type RefillReply struct {
 	Cached int `json:"cached"`
 }
 
+// UpdateReply answers MsgUpdate: how much of the batch applied, and —
+// when maintenance ran — which bcp keys each view saw invalidated, so
+// a router can fan the damage to the shards owning those keys. Keys
+// are raw key bytes ([]byte → base64 under JSON, since bcp keys are
+// binary).
+type UpdateReply struct {
+	// Applied counts ops that executed cleanly; Rows is the total
+	// affected row count across them.
+	Applied int `json:"applied"`
+	Rows    int `json:"rows"`
+	// Keys maps view name → affected bcp keys (maintenance runs only).
+	Keys map[string][][]byte `json:"keys,omitempty"`
+	// Wide marks views whose damage could not be bounded to keys — the
+	// whole view's invalidation generation was bumped.
+	Wide map[string]bool `json:"wide,omitempty"`
+}
+
+// InvalidateReply answers MsgInvalidate.
+type InvalidateReply struct {
+	// Keys is how many per-key generations were bumped; Wide is true
+	// when the whole view was invalidated instead.
+	Keys int  `json:"keys"`
+	Wide bool `json:"wide"`
+}
+
 // ShardMapReply is the serialized shard map: the epoch stamping every
 // probe/refill, the virtual-node count, and the shard addresses in
 // ring order (index = shard id).
@@ -273,6 +354,10 @@ type ViewStatsEntry struct {
 	DeletesSeen        int64   `json:"deletes_seen"`
 	UpdatesSeen        int64   `json:"updates_seen"`
 	UpdatesSkipped     int64   `json:"updates_skipped"`
+	EntriesInvalidated int64   `json:"entries_invalidated"`
+	TuplesInvalidated  int64   `json:"tuples_invalidated"`
+	KeyGenBumps        int64   `json:"key_gen_bumps"`
+	ViewGenBumps       int64   `json:"view_gen_bumps"`
 	MaintTimeNs        int64   `json:"maint_time_ns"`
 	LockWaitTimeNs     int64   `json:"lock_wait_time_ns"`
 	O3TimeNs           int64   `json:"o3_time_ns"`
