@@ -1,14 +1,20 @@
 GO ?= go
 
-.PHONY: all build vet test test-race cover bench experiments examples torture net-torture cluster-smoke cluster-torture restart-smoke restart-torture snapshot-torture maint-smoke write-torture fuzz-smoke obs-smoke clean
+.PHONY: all build vet staticcheck test test-race cover bench experiments examples torture net-torture cluster-smoke cluster-torture restart-smoke restart-torture snapshot-torture maint-smoke write-torture fuzz-smoke obs-smoke trace-smoke clean
 
-all: build vet test test-race
+all: build vet staticcheck test test-race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Skips politely when the tool is not
+# installed (dev and CI images are not required to carry it).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
 
 test:
 	$(GO) test ./...
@@ -88,6 +94,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeQuery -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzDecodeRow -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzDecodeUpdate -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzDecodeTraceContext -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=30s ./internal/snapshot
 
 # Observability smoke test: boot pmvd with -obs on a scratch database,
@@ -112,6 +119,36 @@ obs-smoke:
 		grep -q "^# TYPE $$fam " "$$dir/metrics.txt" || { echo "obs-smoke: missing family $$fam"; exit 1; }; \
 	done; \
 	echo "obs-smoke: OK"
+
+# Cluster-trace smoke: the trace/slowlog/fleet loopback tests under the
+# race detector, then a binary-level pass — two scratch pmvd shards
+# behind a tracing pmvrouter, checked through pmvcli (fleet, trace
+# recent) and the router's /metrics trace and cost families.
+trace-smoke:
+	$(GO) test -race -count=1 -run 'Trace|Slow|Fleet|Degraded' ./internal/wire/ ./internal/server/ ./internal/cluster/
+	@set -e; dir=$$(mktemp -d); \
+	trap 'kill $$spid1 $$spid2 $$rpid 2>/dev/null || true; rm -rf "$$dir"' EXIT; \
+	$(GO) build -o "$$dir/pmvd" ./cmd/pmvd; \
+	$(GO) build -o "$$dir/pmvrouter" ./cmd/pmvrouter; \
+	$(GO) build -o "$$dir/pmvcli" ./cmd/pmvcli; \
+	"$$dir/pmvd" -dir "$$dir/s1" -addr 127.0.0.1:7181 & spid1=$$!; \
+	"$$dir/pmvd" -dir "$$dir/s2" -addr 127.0.0.1:7182 & spid2=$$!; \
+	"$$dir/pmvrouter" -addr 127.0.0.1:7180 -shards 127.0.0.1:7181,127.0.0.1:7182 \
+		-trace -obs 127.0.0.1:9190 & rpid=$$!; \
+	ok=0; for i in $$(seq 1 50); do \
+		if printf 'fleet\nquit\n' | "$$dir/pmvcli" -addr 127.0.0.1:7180 2>/dev/null \
+			| grep -q '2 up, 0 down'; then ok=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "trace-smoke: fleet never saw both shards up"; exit 1; }; \
+	printf 'trace recent\nquit\n' | "$$dir/pmvcli" -addr 127.0.0.1:7180 | grep -q 'no traces retained'; \
+	curl -fs http://127.0.0.1:9190/metrics > "$$dir/metrics.txt"; \
+	for fam in pmvrouter_traces_sampled_total pmvrouter_trace_slow_recorded_total \
+	           pmvrouter_trace_degraded_recorded_total pmvrouter_trace_store_depth \
+	           pmvrouter_query_cost_rows_total pmvrouter_query_cost_wire_bytes_total; do \
+		grep -q "^# TYPE $$fam " "$$dir/metrics.txt" || { echo "trace-smoke: missing family $$fam"; exit 1; }; \
+	done; \
+	echo "trace-smoke: OK"
 
 examples:
 	$(GO) run ./examples/quickstart

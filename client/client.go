@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"pmv/internal/expr"
+	"pmv/internal/obs"
 	"pmv/internal/value"
 	"pmv/internal/wire"
 )
@@ -479,10 +480,12 @@ func (c *Client) ExecutePartial(ctx context.Context, view string, conds []Cond, 
 	if err != nil {
 		return Report{}, err
 	}
+	tr := obs.FromContext(ctx)
+	reqTyp, payload := wrapTraced(ctx, wire.MsgQuery, payload)
 	var rep Report
 	rows, partials := 0, 0
 	streamBroken := false
-	err = c.roundTrip(ctx, wire.MsgQuery, payload,
+	err = c.roundTrip(ctx, reqTyp, payload,
 		func() bool { return rows == 0 },
 		func() error {
 			for {
@@ -492,6 +495,8 @@ func (c *Client) ExecutePartial(ctx context.Context, view string, conds []Cond, 
 					return &transient{err}
 				}
 				switch typ {
+				case wire.MsgSpans:
+					c.absorbSpans(tr, body)
 				case wire.MsgRow:
 					t, partial, err := wire.DecodeRow(body)
 					if err != nil {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"pmv/internal/obs"
 	"pmv/internal/value"
 	"pmv/internal/wire"
 )
@@ -85,6 +86,8 @@ func (c *Client) ExecPlain(ctx context.Context, view string, conds []Cond, fn fu
 // calls: MsgRow frames to fn, MsgDone closes with the report, MsgError
 // and MsgErrEpoch come back typed with the session intact.
 func (c *Client) stream(ctx context.Context, typ byte, payload []byte, fn func(Tuple, bool) error) (Report, error) {
+	tr := obs.FromContext(ctx)
+	typ, payload = wrapTraced(ctx, typ, payload)
 	var rep Report
 	rows := 0
 	streamBroken := false
@@ -98,6 +101,8 @@ func (c *Client) stream(ctx context.Context, typ byte, payload []byte, fn func(T
 					return &transient{err}
 				}
 				switch rtyp {
+				case wire.MsgSpans:
+					c.absorbSpans(tr, body)
 				case wire.MsgRow:
 					t, partial, err := wire.DecodeRow(body)
 					if err != nil {
@@ -150,32 +155,38 @@ func (c *Client) Refill(ctx context.Context, view string, epoch uint64, tuples [
 	if err != nil {
 		return 0, err
 	}
+	tr := obs.FromContext(ctx)
+	typ, payload := wrapTraced(ctx, wire.MsgRefill, payload)
 	cached := 0
-	err = c.roundTrip(ctx, wire.MsgRefill, payload,
+	err = c.roundTrip(ctx, typ, payload,
 		nil, // never retry
 		func() error {
-			rtyp, body, err := c.readFrame()
-			if err != nil {
-				return &transient{err}
-			}
-			switch rtyp {
-			case wire.MsgReply:
-				var out wire.RefillReply
-				if err := json.Unmarshal(body, &out); err != nil {
-					return err
+			for {
+				rtyp, body, err := c.readFrame()
+				if err != nil {
+					return &transient{err}
 				}
-				cached = out.Cached
-				return nil
-			case wire.MsgError:
-				return fmt.Errorf("%w: %s", ErrRemote, body)
-			case wire.MsgErrEpoch:
-				cur, derr := wire.DecodeEpochErr(body)
-				if derr != nil {
-					return &transient{derr}
+				switch rtyp {
+				case wire.MsgSpans:
+					c.absorbSpans(tr, body)
+				case wire.MsgReply:
+					var out wire.RefillReply
+					if err := json.Unmarshal(body, &out); err != nil {
+						return err
+					}
+					cached = out.Cached
+					return nil
+				case wire.MsgError:
+					return fmt.Errorf("%w: %s", ErrRemote, body)
+				case wire.MsgErrEpoch:
+					cur, derr := wire.DecodeEpochErr(body)
+					if derr != nil {
+						return &transient{derr}
+					}
+					return &EpochError{Current: cur}
+				default:
+					return &transient{fmt.Errorf("client: unexpected frame 0x%02x", rtyp)}
 				}
-				return &EpochError{Current: cur}
-			default:
-				return &transient{fmt.Errorf("client: unexpected frame 0x%02x", rtyp)}
 			}
 		})
 	return cached, err

@@ -1,0 +1,91 @@
+// trace.go is the client half of the distributed-tracing plane. A
+// caller that wants a request traced attaches an obs.Trace to the
+// context (obs.WithTrace); the client then wraps the request frame in
+// a MsgTraced envelope carrying the trace context, and absorbs the
+// MsgSpans frame the server piggybacks on the response into that same
+// trace, tagging each span with the serving address. An untraced
+// context costs one pointer compare per call and zero wire bytes —
+// the envelope only exists when a trace rides the context.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"pmv/internal/obs"
+	"pmv/internal/wire"
+)
+
+// wrapTraced wraps one request in a MsgTraced envelope when ctx
+// carries a trace. The trace's own id doubles as the parent span id —
+// spans are flat within a trace, so "parented under the caller's
+// trace" is the whole hierarchy. On any encoding failure the request
+// simply goes untraced; tracing must never fail a request.
+func wrapTraced(ctx context.Context, typ byte, payload []byte) (byte, []byte) {
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		return typ, payload
+	}
+	wrapped, err := wire.EncodeTraced(wire.TraceContext{
+		TraceID:    tr.ID,
+		ParentSpan: tr.ID,
+		Sampled:    true,
+	}, typ, payload)
+	if err != nil {
+		return typ, payload
+	}
+	return wire.MsgTraced, wrapped
+}
+
+// absorbSpans folds one MsgSpans frame into tr via the thread-safe
+// AddSpans sink, tagging every span with the serving peer's address.
+// Frames that fail to decode or carry a foreign trace id (a late
+// delivery from an abandoned attempt) are dropped silently — span
+// frames are telemetry, never worth failing a call over.
+func (c *Client) absorbSpans(tr *obs.Trace, body []byte) {
+	if tr == nil {
+		return
+	}
+	id, recs, err := wire.DecodeSpans(body)
+	if err != nil || id != tr.ID {
+		return
+	}
+	spans := make([]obs.Span, len(recs))
+	for i, r := range recs {
+		spans[i] = obs.Span{
+			Kind:   obs.Kind(r.Kind),
+			Start:  time.Duration(r.StartNs),
+			Dur:    time.Duration(r.DurNs),
+			N1:     r.N1,
+			N2:     r.N2,
+			N3:     r.N3,
+			Rows:   r.Rows,
+			Bytes:  r.Bytes,
+			Allocs: r.Allocs,
+			Fsyncs: r.Fsyncs,
+			Source: c.cfg.Addr,
+		}
+	}
+	tr.AddSpans(spans...)
+}
+
+// TraceGet fetches one assembled trace from a router. With Found false
+// the reply's Recent lists the ids the router still holds.
+func (c *Client) TraceGet(ctx context.Context, id uint64) (wire.TraceGetReply, error) {
+	payload, err := json.Marshal(wire.TraceGetRequest{ID: id})
+	if err != nil {
+		return wire.TraceGetReply{}, err
+	}
+	var out wire.TraceGetReply
+	err = c.admin(ctx, wire.MsgTraceGet, payload, &out)
+	return out, err
+}
+
+// Fleet asks a router for its federated fleet view: router counters
+// plus every shard's health and stats in one reply.
+func (c *Client) Fleet(ctx context.Context) (wire.FleetReply, error) {
+	var out wire.FleetReply
+	err := c.admin(ctx, wire.MsgFleet, nil, &out)
+	return out, err
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"pmv/internal/obs"
 	"pmv/internal/wire"
 )
 
@@ -52,8 +53,9 @@ func (c *Client) Update(ctx context.Context, maint bool, ops ...Op) (wire.Update
 	if err != nil {
 		return wire.UpdateReply{}, err
 	}
+	typ, payload := wrapTraced(ctx, wire.MsgUpdate, payload)
 	var out wire.UpdateReply
-	err = c.roundTrip(ctx, wire.MsgUpdate, payload, nil, c.replyRecv(&out))
+	err = c.roundTrip(ctx, typ, payload, nil, c.replyRecv(obs.FromContext(ctx), &out))
 	return out, err
 }
 
@@ -68,31 +70,37 @@ func (c *Client) Invalidate(ctx context.Context, req wire.InvalidateRequest) (wi
 	}
 	var out wire.InvalidateReply
 	err = c.roundTrip(ctx, wire.MsgInvalidate, payload,
-		func() bool { return true }, c.replyRecv(&out))
+		func() bool { return true }, c.replyRecv(nil, &out))
 	return out, err
 }
 
 // replyRecv returns a recv callback decoding one JSON MsgReply frame
 // into out (the admin reply shape, reusable for typed round trips).
-func (c *Client) replyRecv(out any) func() error {
+// A non-nil tr absorbs any MsgSpans frame piggybacked ahead of the
+// reply.
+func (c *Client) replyRecv(tr *obs.Trace, out any) func() error {
 	return func() error {
-		rtyp, body, err := c.readFrame()
-		if err != nil {
-			return &transient{err}
-		}
-		switch rtyp {
-		case wire.MsgReply:
-			return json.Unmarshal(body, out)
-		case wire.MsgError:
-			return fmt.Errorf("%w: %s", ErrRemote, body)
-		case wire.MsgErrEpoch:
-			cur, derr := wire.DecodeEpochErr(body)
-			if derr != nil {
-				return &transient{derr}
+		for {
+			rtyp, body, err := c.readFrame()
+			if err != nil {
+				return &transient{err}
 			}
-			return &EpochError{Current: cur}
-		default:
-			return &transient{fmt.Errorf("client: unexpected frame 0x%02x", rtyp)}
+			switch rtyp {
+			case wire.MsgSpans:
+				c.absorbSpans(tr, body)
+			case wire.MsgReply:
+				return json.Unmarshal(body, out)
+			case wire.MsgError:
+				return fmt.Errorf("%w: %s", ErrRemote, body)
+			case wire.MsgErrEpoch:
+				cur, derr := wire.DecodeEpochErr(body)
+				if derr != nil {
+					return &transient{derr}
+				}
+				return &EpochError{Current: cur}
+			default:
+				return &transient{fmt.Errorf("client: unexpected frame 0x%02x", rtyp)}
+			}
 		}
 	}
 }

@@ -39,6 +39,8 @@ func main() {
 	writeOps := flag.Int("write-ops", 320, "statements each writer session lands in the write benchmark")
 	zipfS := flag.Float64("zipf", 1.2, "Zipf skew exponent for the write benchmark's key choice")
 	writeJSON := flag.String("write-json", "BENCH_write.json", "output path for the write benchmark's JSON result")
+	probeIters := flag.Int("probe-iters", 5000, "measured queries per pass in the probe benchmark")
+	probeJSON := flag.String("probe-json", "BENCH_probe.json", "output path for the probe benchmark's JSON result")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -88,6 +90,7 @@ func main() {
 	run("write", func() error {
 		return writeBench(baseDir, *serveSessions, *writeOps, *writeBatch, *writeFrac, *zipfS, *writeJSON)
 	})
+	run("probe", func() error { return probeBench(baseDir, *probeIters, *probeJSON) })
 }
 
 func title(name string) string {
@@ -114,6 +117,8 @@ func title(name string) string {
 		return "Cluster: scatter-gather router vs single-node pmvd"
 	case "write":
 		return "Write: batched maintenance plane vs per-statement"
+	case "probe":
+		return "Probe: single-session hot path, per-phase latency and allocation"
 	default:
 		return name
 	}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"pmv"
+	"pmv/internal/expr"
+	"pmv/internal/obs"
+	"pmv/internal/value"
+)
+
+// probePhase is one protocol phase's aggregate over the traced pass:
+// how many spans of this kind a query records, how long the phase runs,
+// and how many heap bytes it allocates (the span's Allocs bill, sampled
+// per phase via runtime/metrics when tracing is on).
+type probePhase struct {
+	Kind            string  `json:"kind"`
+	SpansPerOp      float64 `json:"spans_per_op"`
+	AvgNs           int64   `json:"avg_ns"`
+	AllocBytesPerOp int64   `json:"alloc_bytes_per_op"`
+}
+
+// probeResult is the machine-readable output of the probe benchmark
+// (BENCH_probe.json): the single-session hot path — warm ExecutePartial
+// runs answered mostly from the view — measured untraced (the
+// production default; its alloc figure is the whole protocol's bill)
+// and traced (per-phase latency and allocation breakdown, plus what
+// tracing itself costs).
+type probeResult struct {
+	Iters     int     `json:"iters"`
+	RowsPerOp float64 `json:"rows_per_op"`
+	HitRate   float64 `json:"hit_rate"`
+
+	// Tracing disabled: every obs call site is one nil compare.
+	UntracedP50Ns           int64 `json:"untraced_p50_ns"`
+	UntracedP99Ns           int64 `json:"untraced_p99_ns"`
+	UntracedAllocBytesPerOp int64 `json:"untraced_alloc_bytes_per_op"`
+
+	// Tracing enabled: same queries with a per-query obs.Trace.
+	TracedP50Ns           int64 `json:"traced_p50_ns"`
+	TracedP99Ns           int64 `json:"traced_p99_ns"`
+	TracedAllocBytesPerOp int64 `json:"traced_alloc_bytes_per_op"`
+
+	// Per-phase breakdown aggregated from the traced pass's spans.
+	Phases []probePhase `json:"phases"`
+}
+
+// probeBench measures the single-session PMV hot path in-process: no
+// wire, no concurrency, one warmed view answering the paper's protocol.
+// In-process is what makes the allocation numbers attributable — the
+// process-wide runtime/metrics deltas cover exactly the queries under
+// measurement, so the untraced pass doubles as the zero-overhead pin
+// for disabled tracing.
+func probeBench(dir string, iters int, outPath string) error {
+	dbDir, err := os.MkdirTemp(dir, "probe")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dbDir)
+	db, err := pmv.Open(dbDir, pmv.Options{})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if err := serveSchema(db); err != nil {
+		return err
+	}
+	v, ok := db.ViewByName("pmv_bench_sale")
+	if !ok {
+		return fmt.Errorf("probe: view pmv_bench_sale missing")
+	}
+
+	// Pre-build every query so the loop measures the protocol, not
+	// argument parsing, then warm each combination twice: the first run
+	// refills the view, the second confirms the steady state is hits.
+	tpl := v.Config().Template
+	queries := make([]*expr.Query, 0, 8*5)
+	for c := int64(0); c < 8; c++ {
+		for st := int64(0); st < 5; st++ {
+			queries = append(queries, &expr.Query{Template: tpl, Conds: []expr.CondInstance{
+				{Values: []value.Value{value.Int(c)}},
+				{Values: []value.Value{value.Int(st)}},
+			}})
+		}
+	}
+	discard := func(pmv.Result) error { return nil }
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range queries {
+			if _, err := v.ExecutePartialCtx(context.Background(), q, discard); err != nil {
+				return err
+			}
+		}
+	}
+
+	res := probeResult{Iters: iters}
+
+	// Pass 1: tracing disabled (nil trace on a bare context).
+	runtime.GC()
+	lats := make([]time.Duration, 0, iters)
+	var rows, hits int64
+	mark := obs.AllocBytes()
+	for i := 0; i < iters; i++ {
+		q := queries[i%len(queries)]
+		start := time.Now()
+		rep, err := v.ExecutePartialCtx(context.Background(), q, discard)
+		if err != nil {
+			return err
+		}
+		lats = append(lats, time.Since(start))
+		rows += int64(rep.TotalTuples)
+		if rep.Hit {
+			hits++
+		}
+	}
+	res.UntracedAllocBytesPerOp = (obs.AllocBytes() - mark) / int64(iters)
+	res.UntracedP50Ns, res.UntracedP99Ns = quantilesNs(lats)
+	res.RowsPerOp = float64(rows) / float64(iters)
+	res.HitRate = float64(hits) / float64(iters)
+
+	// Pass 2: tracing enabled — a fresh obs.Trace per query, spans
+	// aggregated per phase kind.
+	type phaseAgg struct {
+		spans  int64
+		durNs  int64
+		allocs int64
+	}
+	agg := map[obs.Kind]*phaseAgg{}
+	runtime.GC()
+	lats = lats[:0]
+	mark = obs.AllocBytes()
+	for i := 0; i < iters; i++ {
+		q := queries[i%len(queries)]
+		tr := obs.New(uint64(i+1), "pmv_bench_sale")
+		start := time.Now()
+		if _, err := v.ExecutePartialCtx(obs.WithTrace(context.Background(), tr), q, discard); err != nil {
+			return err
+		}
+		lats = append(lats, time.Since(start))
+		for _, sp := range tr.Spans() {
+			a := agg[sp.Kind]
+			if a == nil {
+				a = &phaseAgg{}
+				agg[sp.Kind] = a
+			}
+			a.spans++
+			a.durNs += sp.Dur.Nanoseconds()
+			a.allocs += sp.Allocs
+		}
+	}
+	res.TracedAllocBytesPerOp = (obs.AllocBytes() - mark) / int64(iters)
+	res.TracedP50Ns, res.TracedP99Ns = quantilesNs(lats)
+
+	kinds := make([]obs.Kind, 0, len(agg))
+	for k := range agg {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		a := agg[k]
+		res.Phases = append(res.Phases, probePhase{
+			Kind:            k.String(),
+			SpansPerOp:      float64(a.spans) / float64(iters),
+			AvgNs:           a.durNs / a.spans,
+			AllocBytesPerOp: a.allocs / int64(iters),
+		})
+	}
+
+	fmt.Printf("  %d warm queries, %.1f rows/op, hit rate %.2f\n", iters, res.RowsPerOp, res.HitRate)
+	fmt.Printf("  untraced: p50=%v p99=%v  %d B/op\n",
+		time.Duration(res.UntracedP50Ns), time.Duration(res.UntracedP99Ns), res.UntracedAllocBytesPerOp)
+	fmt.Printf("  traced:   p50=%v p99=%v  %d B/op\n",
+		time.Duration(res.TracedP50Ns), time.Duration(res.TracedP99Ns), res.TracedAllocBytesPerOp)
+	for _, p := range res.Phases {
+		fmt.Printf("    %-10s %.2f spans/op  avg=%-10v %d B/op\n",
+			p.Kind, p.SpansPerOp, time.Duration(p.AvgNs), p.AllocBytesPerOp)
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
+}

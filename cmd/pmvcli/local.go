@@ -187,6 +187,14 @@ func (l *localBackend) trace([]string) error {
 	return fmt.Errorf("trace controls a running pmvd; use -addr (server mode)")
 }
 
+func (l *localBackend) traceGet(uint64) error {
+	return fmt.Errorf("assembled traces live in pmvrouter; use -addr (router mode)")
+}
+
+func (l *localBackend) fleet() error {
+	return fmt.Errorf("fleet federates a running pmvrouter's shards; use -addr (router mode)")
+}
+
 func (l *localBackend) shards() error {
 	return fmt.Errorf("shards queries a running pmvrouter; use -addr (server mode)")
 }

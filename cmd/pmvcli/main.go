@@ -24,9 +24,15 @@
 //	                           lock waits, maintenance cost)
 //	trace [on|off|slow <dur>]  show or change server-side query tracing
 //	                           and the slow-query threshold (server mode)
+//	trace <id>                 print one assembled cross-shard trace from
+//	                           a pmvrouter's trace store; `trace recent`
+//	                           lists retained ids (router mode)
 //	slowlog [n]                dump the newest n slow queries with their
 //	                           traces (server mode)
 //	shards                     shard map epoch and per-shard cache health
+//	                           (-addr must point at a pmvrouter)
+//	fleet                      federated fleet view: per-shard health,
+//	                           epoch, snapshot freshness, maint backlog
 //	                           (-addr must point at a pmvrouter)
 //	maint                      write-plane health: ingest queue, batch
 //	                           sizes, heavy/light key split, invalidation
@@ -72,8 +78,10 @@ type backend interface {
 	stats() error
 	viewstats() error
 	trace(args []string) error
+	traceGet(id uint64) error
 	slowlog(n int) error
 	shards() error
+	fleet() error
 	maint() error
 	close() error
 }
@@ -119,8 +127,8 @@ func main() {
 		case "help":
 			fmt.Println("tables | schema <rel> | count <rel> | peek <rel> [n] | views |")
 			fmt.Println("partial <view> <cond0> <cond1> ... | analyze | checkpoint | stats |")
-			fmt.Println("viewstats | trace [on|off|slow <dur>|slow off] | slowlog [n] |")
-			fmt.Println("shards | maint | quit")
+			fmt.Println("viewstats | trace [on|off|slow <dur>|slow off] | trace <id|recent> |")
+			fmt.Println("slowlog [n] | shards | fleet | maint | quit")
 		case "tables":
 			err = be.tables()
 		case "schema":
@@ -164,6 +172,16 @@ func main() {
 		case "viewstats":
 			err = be.viewstats()
 		case "trace":
+			if len(fields) == 2 {
+				if fields[1] == "recent" {
+					err = be.traceGet(0)
+					break
+				}
+				if id, perr := strconv.ParseUint(fields[1], 10, 64); perr == nil {
+					err = be.traceGet(id)
+					break
+				}
+			}
 			err = be.trace(fields[1:])
 		case "slowlog":
 			n := 10
@@ -175,6 +193,8 @@ func main() {
 			err = be.slowlog(n)
 		case "shards":
 			err = be.shards()
+		case "fleet":
+			err = be.fleet()
 		case "maint":
 			err = be.maint()
 		default:

@@ -337,14 +337,108 @@ func (r *remoteBackend) slowlog(n int) error {
 		return nil
 	}
 	for _, q := range rep.Queries {
-		fmt.Printf("  #%d %s view=%s %v (%d rows, %d cached%s)\n",
+		reason := ""
+		if q.Reason != "" && q.Reason != "slow" {
+			reason = "; " + q.Reason
+		}
+		fmt.Printf("  #%d %s view=%s %v (%d rows, %d cached%s%s)\n",
 			q.ID, time.Unix(0, q.UnixNs).Format("15:04:05.000"), q.View,
 			time.Duration(q.DurNs), q.Report.TotalTuples, q.Report.PartialTuples,
-			shedTag(q.Report.Shed))
-		for _, sp := range q.Spans {
-			fmt.Printf("    %-9s +%-12v %-12v %s\n",
-				sp.Kind, time.Duration(sp.StartNs), time.Duration(sp.DurNs), sp.Detail)
+			shedTag(q.Report.Shed), reason)
+		printSpans(q.Spans)
+	}
+	return nil
+}
+
+// printSpans renders one trace's span table, tagging spans reported by
+// other nodes with their source.
+func printSpans(spans []wire.TraceSpan) {
+	for _, sp := range spans {
+		src := ""
+		if sp.Source != "" {
+			src = " @" + sp.Source
 		}
+		fmt.Printf("    %-9s +%-12v %-12v %s%s\n",
+			sp.Kind, time.Duration(sp.StartNs), time.Duration(sp.DurNs), sp.Detail, src)
+	}
+}
+
+// traceGet implements `trace <id>` and `trace recent` against a
+// pmvrouter's assembled-trace store.
+func (r *remoteBackend) traceGet(id uint64) error {
+	rep, err := r.c.TraceGet(r.ctx(), id)
+	if err != nil {
+		return fmt.Errorf("%w (trace <id> needs -addr of a pmvrouter with tracing on)", err)
+	}
+	if !rep.Found {
+		if id != 0 {
+			fmt.Printf("  trace %d not retained\n", id)
+		}
+		if len(rep.Recent) == 0 {
+			fmt.Println("  no traces retained (enable: trace on, then run queries)")
+			return nil
+		}
+		fmt.Print("  retained (newest first):")
+		for _, rid := range rep.Recent {
+			fmt.Printf(" %d", rid)
+		}
+		fmt.Println()
+		return nil
+	}
+	at := rep.Trace
+	fmt.Printf("  trace %d view=%s %s %v\n", at.ID, at.View,
+		time.Unix(0, at.UnixNs).Format("15:04:05.000"), time.Duration(at.DurNs))
+	if at.Reason != "" {
+		fmt.Printf("  recorded: %s\n", at.Reason)
+	}
+	fmt.Printf("  report: %d rows (%d cached), hit=%v degraded=%v shed=%v\n",
+		at.Report.TotalTuples, at.Report.PartialTuples,
+		at.Report.Hit, at.Report.Degraded, at.Report.Shed)
+	fmt.Printf("  cost: %d rows, %d wire bytes, %d heap bytes, %d fsyncs\n",
+		at.CostRows, at.CostBytes, at.CostAllocs, at.CostFsyncs)
+	printSpans(at.Spans)
+	return nil
+}
+
+// fleet renders a router's federated fleet view.
+func (r *remoteBackend) fleet() error {
+	fl, err := r.c.Fleet(r.ctx())
+	if err != nil {
+		return fmt.Errorf("%w (fleet needs -addr of a pmvrouter)", err)
+	}
+	fmt.Printf("  fleet: epoch %d, %d shards (%d up, %d down, %d stale)\n",
+		fl.Epoch, len(fl.Shards), fl.ShardsUp, fl.ShardsDown, fl.ShardsStale)
+	fmt.Printf("  router: %d queries, %d rows, %d errors, %d traces sampled\n",
+		fl.Router.Queries, fl.Router.Rows, fl.Router.Errors, fl.Router.TracesSampled)
+	fmt.Printf("  shards: %d queries, %d rows, %d errors; maint backlog %d\n",
+		fl.FleetQueries, fl.FleetRows, fl.FleetErrors, fl.MaintBacklog)
+	oldest := "never"
+	if fl.OldestSnapshotS >= 0 {
+		oldest = time.Duration(fl.OldestSnapshotS * float64(time.Second)).Round(time.Second).String()
+	}
+	fmt.Printf("  oldest snapshot: %s\n", oldest)
+	for i, fs := range fl.Shards {
+		if !fs.Up {
+			fmt.Printf("  [%d] %-22s DOWN (%s)\n", i, fs.Addr, fs.Error)
+			continue
+		}
+		state := "in sync"
+		if fs.Epoch != fl.Epoch {
+			state = fmt.Sprintf("epoch %d (stale)", fs.Epoch)
+		}
+		line := fmt.Sprintf("  [%d] %-22s up, %s", i, fs.Addr, state)
+		if st := fs.Stats; st != nil {
+			line += fmt.Sprintf("; %d queries, %d rows, %d errors",
+				st.Server.Queries, st.Server.Rows, st.Server.Errors)
+			if st.Maint != nil {
+				line += fmt.Sprintf(", maint queue %d/%d", st.Maint.QueueDepth, st.Maint.QueueCap)
+			}
+			if st.Snapshot != nil && st.Snapshot.AgeSeconds >= 0 {
+				line += fmt.Sprintf(", snapshot %s old",
+					time.Duration(st.Snapshot.AgeSeconds*float64(time.Second)).Round(time.Second))
+			}
+		}
+		fmt.Println(line)
 	}
 	return nil
 }

@@ -44,6 +44,8 @@ func main() {
 		idle     = flag.Duration("idle-timeout", 0, "reap client sessions idle between requests for this long (0 = never)")
 		frameTO  = flag.Duration("frame-timeout", 30*time.Second, "max time for one request frame to finish arriving after its first byte (negative = off)")
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "max time for each response write before the session is dropped (negative = off)")
+		trace    = flag.Bool("trace", false, "sample every routed query into the trace store (pmvcli trace); togglable at runtime via pmvcli trace on|off")
+		slow     = flag.Duration("slow", 0, "record routed queries at or above this duration in the slow ring (0 = off; degraded queries are recorded regardless)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,8 @@ func main() {
 		IdleTimeout:     *idle,
 		FrameTimeout:    *frameTO,
 		WriteTimeout:    *writeTO,
+		Trace:           *trace,
+		SlowThreshold:   *slow,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmvrouter: %v\n", err)

@@ -31,6 +31,18 @@ type Metrics struct {
 	// matched by Operation O3 — the cluster-level consistency oracle.
 	DSLeftover atomic.Int64
 
+	// Observability plane: per-query cost accounting (rows streamed to
+	// clients, bytes on the wire, heap bytes attributed to traced
+	// queries) and the trace/slow-ring recording counters. Degraded
+	// records count queries the slow ring captured because they shrank
+	// to a flagged subset, independent of latency.
+	CostRows         atomic.Int64
+	CostBytes        atomic.Int64
+	CostAllocs       atomic.Int64
+	TracesSampled    atomic.Int64
+	SlowRecorded     atomic.Int64
+	DegradedRecorded atomic.Int64
+
 	// Write plane: batches acked (all shards applied), ops/rows from the
 	// primary's reply, batches failed on any shard, and the invalidation
 	// fan-out's delivery ladder.
@@ -106,6 +118,10 @@ func (m *Metrics) ServerStats() wire.ServerStats {
 		IdleReaped:      m.IdleReaped.Load(),
 		CorruptFrames:   m.CorruptFrames.Load(),
 		SessionResets:   m.SessionResets.Load(),
+		CostRows:        m.CostRows.Load(),
+		CostBytes:       m.CostBytes.Load(),
+		CostAllocs:      m.CostAllocs.Load(),
+		TracesSampled:   m.TracesSampled.Load(),
 		PartialPhase:    m.Scatter.Snapshot(),
 		ExecPhase:       m.Exec.Snapshot(),
 		Total:           m.Total.Snapshot(),

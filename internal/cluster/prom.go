@@ -40,6 +40,14 @@ func (r *Router) WritePrometheus(w io.Writer) error {
 	p.Counter("pmvrouter_corrupt_frames_total", "Sessions dropped on framing violations.", float64(m.CorruptFrames.Load()))
 	p.Counter("pmvrouter_session_resets_total", "Sessions torn down by abrupt transport errors.", float64(m.SessionResets.Load()))
 
+	p.Counter("pmvrouter_query_cost_rows_total", "Result rows billed by per-query cost accounting.", float64(m.CostRows.Load()))
+	p.Counter("pmvrouter_query_cost_wire_bytes_total", "Row-stream bytes (payload plus framing) written to clients.", float64(m.CostBytes.Load()))
+	p.Counter("pmvrouter_query_cost_alloc_bytes_total", "Heap bytes attributed to traced routed requests.", float64(m.CostAllocs.Load()))
+	p.Counter("pmvrouter_traces_sampled_total", "Routed requests that recorded a trace.", float64(m.TracesSampled.Load()))
+	p.Counter("pmvrouter_trace_slow_recorded_total", "Queries recorded in the slow ring by the latency threshold.", float64(m.SlowRecorded.Load()))
+	p.Counter("pmvrouter_trace_degraded_recorded_total", "Queries recorded in the slow ring for degrading, regardless of latency.", float64(m.DegradedRecorded.Load()))
+	p.Gauge("pmvrouter_trace_store_depth", "Assembled traces currently retained for pmvcli trace.", float64(r.traces.depth()))
+
 	p.Gauge("pmvrouter_shard_map_epoch", "Epoch of the authoritative shard map.", float64(r.shardMap().Epoch()))
 
 	hist := func(name, help string, h interface {

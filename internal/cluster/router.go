@@ -46,6 +46,7 @@ import (
 	"pmv/client"
 	"pmv/internal/core"
 	"pmv/internal/expr"
+	"pmv/internal/obs"
 	"pmv/internal/value"
 	"pmv/internal/wire"
 )
@@ -86,6 +87,12 @@ type Config struct {
 	// WriteTimeout bounds each response write. Default 30s; negative
 	// disables.
 	WriteTimeout time.Duration
+	// Trace samples every routed query into the trace store at startup
+	// (togglable at runtime via MsgTrace).
+	Trace bool
+	// SlowThreshold records routed queries at or above this duration in
+	// the slow ring (0 = disabled at startup; togglable via MsgTrace).
+	SlowThreshold time.Duration
 }
 
 func (c *Config) fill() error {
@@ -149,6 +156,12 @@ type Router struct {
 
 	refillWG sync.WaitGroup
 	invalWG  sync.WaitGroup
+
+	traceOn atomic.Bool   // sample every routed query
+	slowNs  atomic.Int64  // slow threshold in ns; -1 = off
+	queryID atomic.Uint64 // local trace/slow-record id source
+	traces  *traceStore
+	slow    *slowRing
 }
 
 // viewMeta is the router's cached routing metadata for one view:
@@ -179,6 +192,14 @@ func NewRouter(cfg Config) (*Router, error) {
 		views:    make(map[string]*viewMeta),
 		sessions: make(map[*rsession]struct{}),
 		closing:  make(chan struct{}),
+		traces:   newTraceStore(),
+		slow:     &slowRing{},
+	}
+	r.traceOn.Store(cfg.Trace)
+	if cfg.SlowThreshold > 0 {
+		r.slowNs.Store(int64(cfg.SlowThreshold))
+	} else {
+		r.slowNs.Store(-1)
 	}
 	for i, addr := range cfg.Shards {
 		r.pools[i] = newPool(addr, cfg.DialTimeout, cfg.ClientsPerShard)
@@ -305,6 +326,9 @@ type rsession struct {
 	bw   *bufio.Writer
 	// inFrame distinguishes an idle close from a mid-frame stall.
 	inFrame bool
+	// traceCtx is the wire trace context of the MsgTraced envelope
+	// currently being served, nil outside one.
+	traceCtx *wire.TraceContext
 }
 
 func (sess *rsession) armWrite() {
@@ -463,8 +487,16 @@ func (r *Router) dispatch(sess *rsession, typ byte, payload []byte) error {
 		return r.handleShardMap(bw, payload)
 	case wire.MsgShards:
 		return r.handleShards(bw)
-	case wire.MsgTrace, wire.MsgSlowlog:
-		return r.writeErr(bw, errors.New("router: per-node observability command; address a shard directly"))
+	case wire.MsgTrace:
+		return r.handleTrace(bw, payload)
+	case wire.MsgSlowlog:
+		return r.handleSlowlog(bw, payload)
+	case wire.MsgTraced:
+		return r.handleTraced(sess, payload)
+	case wire.MsgTraceGet:
+		return r.handleTraceGet(bw, payload)
+	case wire.MsgFleet:
+		return r.handleFleet(bw)
 	case wire.MsgProbeParts, wire.MsgExec, wire.MsgRefill:
 		return r.writeErr(bw, errors.New("router: shard-internal request; this is a router"))
 	default:
@@ -669,6 +701,12 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 		return r.writeErr(bw, err)
 	}
 
+	// Trace setup before any shard call: the trace rides the context
+	// into every probe/exec/refill, so shard span reports fan back into
+	// it automatically through the client layer.
+	tr, external := r.sessionTrace(sess, req.View, r.slowNs.Load())
+	o := &queryObs{tr: tr, external: external, view: req.View, allocMark: tr.AllocMark()}
+
 	ctx := context.Background()
 	deadline := req.Deadline
 	if deadline <= 0 {
@@ -679,6 +717,7 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
+	ctx = obs.WithTrace(ctx, tr)
 
 	meta, err := r.viewMeta(ctx, req.View)
 	if err != nil {
@@ -690,6 +729,10 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 	}
 
 	// Operation O1, locally.
+	var o1Start time.Time
+	if tr.Enabled() {
+		o1Start = time.Now()
+	}
 	skipped := false
 	parts, o1err := meta.coder.BreakConditions(q)
 	if o1err != nil {
@@ -698,14 +741,25 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 		}
 		skipped, parts = true, nil
 	}
+	if tr.Enabled() {
+		var inexact int64
+		for i := range parts {
+			if !parts[i].Exact {
+				inexact++
+			}
+		}
+		tr.Span(obs.KindO1, o1Start, int64(len(parts)), inexact, 0)
+	}
 
 	// Admission: decided before any work, like the single-node server.
 	shed := false
 	select {
 	case r.sem <- struct{}{}:
 		defer func() { <-r.sem }()
+		tr.Event(obs.KindQueue, 1, 0, 0)
 	default:
 		shed = true
+		tr.Event(obs.KindQueue, 0, 0, 0)
 	}
 
 	// Shared emission state. ds is the DS duplicate multiset, keyed on
@@ -721,6 +775,7 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 	emitLocked := func(t value.Tuple, partial bool) error {
 		sess.armWrite()
 		rowBuf = wire.EncodeRow(rowBuf[:0], t[:meta.nUserCols], partial)
+		o.wireBytes += int64(len(rowBuf)) + frameOverhead
 		if werr := wire.WriteFrame(bw, wire.MsgRow, rowBuf); werr != nil {
 			emitFail = werr
 			return werr
@@ -748,6 +803,11 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 	}
 	r.metrics.Scatter.Observe(partialLatency)
 	r.metrics.PartialRows.Add(int64(partialsEmitted))
+	if degraded {
+		// The query may still close cleanly, but some shard's cached
+		// partials were silently lost — record it either way.
+		o.degrade("probe degraded: shard partials lost")
+	}
 
 	baseRep := wire.Report{
 		Hit:            hit,
@@ -763,7 +823,8 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 		// Probes-only answer: bounded work under overload, flagged.
 		baseRep.PartialOnly = true
 		baseRep.TotalTuples = partialsEmitted
-		return r.finishQuery(sess, baseRep, start)
+		o.degrade("shed: partial-only answer")
+		return r.finishQuery(sess, baseRep, start, o)
 	}
 
 	// Operation O3 on one shard, with failover while zero O3 rows have
@@ -780,8 +841,14 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 		execRows int
 		refill   []value.Tuple
 		execOK   bool
+		attempts int
 	)
+	var o3Start time.Time
+	if tr.Enabled() {
+		o3Start = time.Now()
+	}
 	for attempt := 0; attempt < nShards; attempt++ {
+		attempts++
 		shard := (firstShard + attempt) % nShards
 		ds = maps.Clone(snapshot)
 		execRows, refill = 0, nil
@@ -830,14 +897,21 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 	if !execOK {
 		if execRows == 0 && partialsEmitted > 0 && ctx.Err() == nil {
 			// Every shard refused O3 but the partials stand: close the
-			// stream the way single-node degradation does.
+			// stream the way single-node degradation does. This is the
+			// slow-ring's most important customer: the query degraded to
+			// the flagged PMV-only subset, so it is recorded with a
+			// reason regardless of how fast it was.
 			r.metrics.Degraded.Add(1)
 			baseRep.Degraded = true
 			baseRep.PartialOnly = true
 			baseRep.TotalTuples = partialsEmitted
-			return r.finishQuery(sess, baseRep, start)
+			o.degrade(fmt.Sprintf("o3 failed on every shard: %v", execErr))
+			return r.finishQuery(sess, baseRep, start, o)
 		}
 		return r.writeErr(bw, fmt.Errorf("router: query execution failed: %w", execErr))
+	}
+	if tr.Enabled() {
+		tr.Span(obs.KindO3, o3Start, int64(execRows), int64(attempts), 0)
 	}
 
 	// Exactly-once audit: on a clean completion every recorded partial
@@ -860,13 +934,14 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 	baseRep.ExecLatency = execRep.ExecLatency
 
 	if len(refill) > 0 {
-		r.spawnRefill(meta, refill)
+		r.spawnRefill(tr, meta, refill)
 	}
-	return r.finishQuery(sess, baseRep, start)
+	return r.finishQuery(sess, baseRep, start, o)
 }
 
-// finishQuery records the closing metrics and writes the MsgDone frame.
-func (r *Router) finishQuery(sess *rsession, rep wire.Report, start time.Time) error {
+// finishQuery records the closing metrics and observability (trace
+// store, slow ring, span fan-back), then writes the MsgDone frame.
+func (r *Router) finishQuery(sess *rsession, rep wire.Report, start time.Time, o *queryObs) error {
 	r.metrics.Queries.Add(1)
 	r.metrics.Rows.Add(int64(rep.TotalTuples))
 	if rep.Shed {
@@ -882,6 +957,7 @@ func (r *Router) finishQuery(sess *rsession, rep wire.Report, start time.Time) e
 		r.metrics.Degraded.Add(1)
 	}
 	r.metrics.Total.Observe(time.Since(start))
+	r.recordQuery(sess, rep, start, o)
 	sess.armWrite()
 	return wire.WriteFrame(sess.bw, wire.MsgDone, wire.EncodeReport(nil, rep))
 }
@@ -906,6 +982,7 @@ func (r *Router) scatterProbes(ctx context.Context, meta *viewMeta, parts []core
 		groups[owner] = append(groups[owner], wp)
 	}
 
+	tr := obs.FromContext(ctx)
 	var (
 		mu sync.Mutex
 		wg sync.WaitGroup
@@ -914,11 +991,27 @@ func (r *Router) scatterProbes(ctx context.Context, meta *viewMeta, parts []core
 		wg.Add(1)
 		go func(shard int, batch []wire.ProbePart) {
 			defer wg.Done()
+			var pStart time.Time
+			if tr.Enabled() {
+				pStart = time.Now()
+			}
 			rep, err := r.probeShard(ctx, shard, meta.name, m, batch, emit)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				degraded = true
+				if tr.Enabled() {
+					// A successful probe's spans fan back from the shard
+					// itself; only a lost shard needs a router-observed
+					// span, or it would vanish from the timeline.
+					tr.AddSpans(obs.Span{
+						Kind:   obs.KindO2Probe,
+						Start:  pStart.Sub(tr.Begin),
+						Dur:    time.Since(pStart),
+						N1:     int64(len(batch)),
+						Source: r.cfg.Shards[shard] + " (lost)",
+					})
+				}
 				return
 			}
 			if rep.Hit {
@@ -966,8 +1059,11 @@ func (r *Router) probeShard(ctx context.Context, shard int, view string, m *Shar
 // owners asynchronously. Fire-and-forget by design: refill is free
 // work, the shard side is idempotent at entry granularity, and the
 // query's answer is already complete — so a lost refill costs a future
-// cache miss, nothing else.
-func (r *Router) spawnRefill(meta *viewMeta, tuples []value.Tuple) {
+// cache miss, nothing else. A non-nil tr rides into the refill
+// contexts so the shards' refill spans land in the router's stored
+// trace — after the reply, which is why `pmvcli trace` reads the live
+// trace rather than a snapshot.
+func (r *Router) spawnRefill(tr *obs.Trace, meta *viewMeta, tuples []value.Tuple) {
 	select {
 	case <-r.closing:
 		return
@@ -989,6 +1085,7 @@ func (r *Router) spawnRefill(meta *viewMeta, tuples []value.Tuple) {
 			defer r.refillWG.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.RefillTimeout)
 			defer cancel()
+			ctx = obs.WithTrace(ctx, tr)
 			sm := r.metrics.Shards[shard]
 			sm.RefillsSent.Add(1)
 			c := r.pools[shard].get()

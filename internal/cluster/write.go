@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"pmv/client"
+	"pmv/internal/obs"
 	"pmv/internal/wire"
 )
 
@@ -42,8 +43,13 @@ func (r *Router) handleUpdate(sess *rsession, payload []byte) error {
 		return r.writeErr(bw, errors.New("router: empty update batch"))
 	}
 
+	tr, external := r.sessionTrace(sess, "update", -1)
+	allocMark := tr.AllocMark()
+	start := time.Now()
+
 	ctx, cancel := r.adminCtx()
 	defer cancel()
+	ctx = obs.WithTrace(ctx, tr)
 
 	nShards := len(r.pools)
 	primary := int(r.rr.Add(1)-1) % nShards
@@ -82,6 +88,14 @@ func (r *Router) handleUpdate(sess *rsession, payload []byte) error {
 	r.metrics.UpdateOps.Add(int64(prim.Applied))
 	r.metrics.UpdateRows.Add(int64(prim.Rows))
 	r.spawnInvalidate(primary, prim.Keys, prim.Wide)
+	if tr != nil {
+		allocd := tr.AllocMark() - allocMark
+		tr.SpanCost(obs.KindServe, start, int64(prim.Rows), 0, 0,
+			obs.Cost{Rows: int64(prim.Rows), Allocs: allocd})
+		r.metrics.TracesSampled.Add(1)
+		r.metrics.CostAllocs.Add(allocd)
+	}
+	r.emitSpans(sess, tr, external)
 	return r.reply(bw, prim)
 }
 

@@ -16,6 +16,7 @@ import (
 	"pmv/internal/cache"
 	"pmv/internal/expr"
 	"pmv/internal/lock"
+	"pmv/internal/obs"
 	"pmv/internal/value"
 )
 
@@ -138,6 +139,7 @@ type ProbeReport struct {
 // replacement policy identically.
 func (v *View) ProbeBCPs(ctx context.Context, parts []RemotePart, emit func(value.Tuple) error) (ProbeReport, error) {
 	var rep ProbeReport
+	tr := obs.FromContext(ctx)
 	nConds := len(v.coder.forms)
 	for i := range parts {
 		if !parts[i].Exact && len(parts[i].Conds) != nConds {
@@ -156,8 +158,10 @@ func (v *View) ProbeBCPs(ctx context.Context, parts []RemotePart, emit func(valu
 		// No degraded fallback here: a probe is an optimization, and the
 		// router treats any typed failure as "no partials from this
 		// shard" — the O3 shard still delivers complete results.
+		tr.Span(obs.KindLockWait, lockStart, 0, 0, 0)
 		return rep, lockErr
 	}
+	tr.Span(obs.KindLockWait, lockStart, 1, 0, 0)
 	defer v.eng.Locks().ReleaseAll(txn)
 
 	admitDecided := make(map[string]bool)
@@ -167,6 +171,11 @@ func (v *View) ProbeBCPs(ctx context.Context, parts []RemotePart, emit func(valu
 			v.mu.Unlock()
 			return rep, ctx.Err()
 		}
+		var pStart time.Time
+		if tr.Enabled() {
+			pStart = time.Now()
+		}
+		before := rep.PartialTuples
 		p := &parts[pi]
 		var hit bool
 		e, ok := v.liveEntryLocked(p.Key)
@@ -204,6 +213,13 @@ func (v *View) ProbeBCPs(ctx context.Context, parts []RemotePart, emit func(valu
 					return rep, err
 				}
 			}
+		}
+		if tr.Enabled() {
+			var hitN int64
+			if hit {
+				hitN = 1
+			}
+			tr.Span(obs.KindO2Probe, pStart, int64(pi), int64(rep.PartialTuples-before), hitN)
 		}
 	}
 	v.stats.PartsProbed += int64(len(parts))

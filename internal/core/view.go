@@ -285,6 +285,10 @@ func (v *View) ExecutePartialCtx(ctx context.Context, q *expr.Query, emit func(R
 
 	// --- Operation O3 ---
 	execStart := time.Now()
+	var execMark int64
+	if run.tr != nil {
+		execMark = run.tr.AllocMark()
+	}
 	var o3Overhead time.Duration
 	var dups int64
 	ds := run.ds
@@ -314,7 +318,8 @@ func (v *View) ExecutePartialCtx(ctx context.Context, q *expr.Query, emit func(R
 	run.rep.ExecLatency = time.Since(execStart)
 	run.rep.Overhead = run.rep.PartialLatency + o3Overhead
 	if run.tr != nil {
-		run.tr.Span(obs.KindO3, execStart, emitted+dups, emitted, dups)
+		run.tr.SpanCost(obs.KindO3, execStart, emitted+dups, emitted, dups,
+			obs.Cost{Allocs: run.tr.AllocMark() - execMark})
 		run.tr.Event(obs.KindRefill, run.refTuples, run.refEntries, run.refEvicted)
 	}
 	if err != nil {
@@ -429,8 +434,10 @@ func (v *View) beginPartial(ctx context.Context, q *expr.Query, emit func(Result
 
 	// --- Operation O1 ---
 	var o1Start time.Time
+	var o1Mark int64
 	if run.tr != nil {
 		o1Start = time.Now()
+		o1Mark = run.tr.AllocMark()
 	}
 	parts, err := v.coder.BreakConditions(q, v.cfg.MaxConditionParts)
 	if errors.Is(err, ErrTooManyParts) {
@@ -447,7 +454,8 @@ func (v *View) beginPartial(ctx context.Context, q *expr.Query, emit func(Result
 				inexact++
 			}
 		}
-		run.tr.Span(obs.KindO1, o1Start, int64(len(parts)), inexact, 0)
+		run.tr.SpanCost(obs.KindO1, o1Start, int64(len(parts)), inexact, 0,
+			obs.Cost{Allocs: run.tr.AllocMark() - o1Mark})
 	}
 	run.parts = parts
 	run.rep.ConditionParts = len(parts)
@@ -466,8 +474,10 @@ func (v *View) probeO2(run *partialRun, emit func(Result) error) error {
 	for pi := range parts {
 		cp := &parts[pi]
 		var pStart time.Time
+		var pMark int64
 		if tr != nil {
 			pStart = time.Now()
+			pMark = tr.AllocMark()
 		}
 		before := rep.PartialTuples
 		var hit int64
@@ -513,7 +523,8 @@ func (v *View) probeO2(run *partialRun, emit func(Result) error) error {
 			}
 		}
 		if tr != nil {
-			tr.Span(obs.KindO2Probe, pStart, int64(pi), int64(rep.PartialTuples-before), hit)
+			tr.SpanCost(obs.KindO2Probe, pStart, int64(pi), int64(rep.PartialTuples-before), hit,
+				obs.Cost{Allocs: tr.AllocMark() - pMark})
 		}
 	}
 	v.statsO2Locked(rep)

@@ -44,6 +44,7 @@ import (
 	"pmv/internal/core"
 	"pmv/internal/engine"
 	"pmv/internal/keycodec"
+	"pmv/internal/obs"
 	"pmv/internal/value"
 	"pmv/internal/wire"
 )
@@ -120,6 +121,12 @@ type request struct {
 	ops  []wire.UpdateOp
 	ack  chan struct{} // closed after base apply (ops/rows/err valid)
 	done chan struct{} // closed after maintenance (keys/wide valid)
+
+	// tr is the caller's trace (nil when untraced). The flush worker
+	// bills the group-commit fsync to it via the thread-safe AddSpans
+	// sink, always before ack closes so the span is visible when Apply
+	// returns.
+	tr *obs.Trace
 
 	applied int
 	rows    int
@@ -231,7 +238,7 @@ func (p *Plane) Pending() bool { return p.pending.Load() > 0 }
 // counted, and reported as this request's error; the other ops stand
 // (the queue is not transactional — it is a maintenance conduit).
 func (p *Plane) Apply(ctx context.Context, ops []wire.UpdateOp, wantKeys bool) (Result, error) {
-	r := &request{ops: ops, ack: make(chan struct{}), done: make(chan struct{})}
+	r := &request{ops: ops, ack: make(chan struct{}), done: make(chan struct{}), tr: obs.FromContext(ctx)}
 	select {
 	case <-p.closing:
 		return Result{}, ErrClosed
@@ -429,6 +436,23 @@ func (p *Plane) applyBatch(batch []*request) {
 		}
 		if p.cfg.Logf != nil {
 			p.cfg.Logf("maint: group commit sync failed: %v", syncErr)
+		}
+	}
+	// Bill the shared fsync to every traced request in the batch —
+	// each rider carries the full sync duration (they all waited for
+	// it) and one attributed fsync, with N1 recording how many requests
+	// shared the group commit. Delivered through AddSpans because the
+	// flush worker is not the trace's owner goroutine, and before ack
+	// so the span is visible the moment Apply returns.
+	for _, r := range batch {
+		if r.tr != nil {
+			r.tr.AddSpans(obs.Span{
+				Kind:   obs.KindSync,
+				Start:  syncStart.Sub(r.tr.Begin),
+				Dur:    syncDur,
+				N1:     int64(len(batch)),
+				Fsyncs: 1,
+			})
 		}
 	}
 	for _, r := range batch {

@@ -1,0 +1,137 @@
+// cost.go is the per-query cost-accounting side of the observability
+// plane: a Cost bill (rows, wire bytes, heap allocation, WAL fsyncs)
+// attachable to any span, a cheap cumulative-allocation sampler built
+// on runtime/metrics, and the thread-safe remote-span sink the cluster
+// plane uses to fan shard span reports back into the router's trace.
+//
+// The cost model matches the rest of the package: every method is
+// nil-safe, and on a nil *Trace each call is exactly one pointer
+// compare — no runtime/metrics read, no lock, no allocation (pinned by
+// TestDisabledCostZeroAlloc and the probe benchmark).
+package obs
+
+import (
+	"runtime/metrics"
+	"sort"
+	"time"
+)
+
+// Cost is one span's resource bill. Fields are cumulative within the
+// span: rows the phase scanned or streamed, bytes it put on the wire,
+// heap bytes it allocated (sampled via AllocMark deltas), and WAL
+// fsyncs attributed to it (group commit bills the triggering batch).
+type Cost struct {
+	Rows   int64
+	Bytes  int64
+	Allocs int64
+	Fsyncs int64
+}
+
+// add accumulates c into the receiver.
+func (c *Cost) add(d Cost) {
+	c.Rows += d.Rows
+	c.Bytes += d.Bytes
+	c.Allocs += d.Allocs
+	c.Fsyncs += d.Fsyncs
+}
+
+// allocMetric is the runtime/metrics key for cumulative heap
+// allocation. Unlike runtime.ReadMemStats it does not stop the world,
+// so sampling per phase is cheap enough for the traced path.
+const allocMetric = "/gc/heap/allocs:bytes"
+
+// AllocBytes reads the process's cumulative heap allocation. Deltas
+// between two reads bound what ran in between (background goroutines
+// included — the number is attribution, not an exact bill).
+func AllocBytes() int64 {
+	var s [1]metrics.Sample
+	s[0].Name = allocMetric
+	metrics.Read(s[:])
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return int64(s[0].Value.Uint64())
+}
+
+// AllocMark samples cumulative heap allocation for a later delta.
+// Nil-safe: on a nil trace it returns 0 without touching the runtime,
+// keeping the disabled path at one pointer compare.
+func (t *Trace) AllocMark() int64 {
+	if t == nil {
+		return 0
+	}
+	return AllocBytes()
+}
+
+// SpanCost records one interval like Span, with a resource bill
+// attached. Nil-safe.
+func (t *Trace) SpanCost(k Kind, start time.Time, n1, n2, n3 int64, c Cost) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, Span{
+		Kind:   k,
+		Start:  start.Sub(t.Begin),
+		Dur:    time.Since(start),
+		N1:     n1,
+		N2:     n2,
+		N3:     n3,
+		Rows:   c.Rows,
+		Bytes:  c.Bytes,
+		Allocs: c.Allocs,
+		Fsyncs: c.Fsyncs,
+	})
+}
+
+// AddSpans appends externally-produced spans (a shard's fan-back
+// report, a maintenance batch's fsync bill). Unlike the owner-side
+// recording methods it is safe for concurrent use: the cluster plane
+// delivers spans from scatter and refill goroutines while the query
+// goroutine records its own. Nil-safe.
+func (t *Trace) AddSpans(spans ...Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.remote = append(t.remote, spans...)
+	t.mu.Unlock()
+}
+
+// AllSpans returns a copy of every recorded span — the owner's plus
+// the remote fan-back — ordered by start offset. Call it only after
+// the owning goroutine has finished recording (remote deliveries may
+// still be in flight; they are snapshotted under the lock). Nil-safe.
+func (t *Trace) AllSpans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, 0, len(t.spans)+len(t.remote))
+	out = append(out, t.spans...)
+	out = append(out, t.remote...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Cost sums the resource bills of every span recorded so far (local
+// and remote). Nil-safe: a nil trace bills zero.
+func (t *Trace) Cost() Cost {
+	if t == nil {
+		return Cost{}
+	}
+	var c Cost
+	t.mu.Lock()
+	for i := range t.spans {
+		c.add(spanCost(&t.spans[i]))
+	}
+	for i := range t.remote {
+		c.add(spanCost(&t.remote[i]))
+	}
+	t.mu.Unlock()
+	return c
+}
+
+func spanCost(s *Span) Cost {
+	return Cost{Rows: s.Rows, Bytes: s.Bytes, Allocs: s.Allocs, Fsyncs: s.Fsyncs}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanCostRecordsBill(t *testing.T) {
+	tr := New(9, "cost")
+	start := time.Now()
+	tr.SpanCost(KindExec, start, 12, 0, 0, Cost{Rows: 12, Bytes: 480, Allocs: 2048})
+	tr.SpanCost(KindO2Probe, start, 0, 3, 1, Cost{Rows: 3, Bytes: 96})
+	tr.AddSpans(Span{Kind: KindSync, N1: 4, Fsyncs: 1, Source: "shard-1"})
+
+	c := tr.Cost()
+	if c.Rows != 15 || c.Bytes != 576 || c.Allocs != 2048 || c.Fsyncs != 1 {
+		t.Fatalf("aggregate cost = %+v", c)
+	}
+	all := tr.AllSpans()
+	if len(all) != 3 {
+		t.Fatalf("got %d spans, want 3", len(all))
+	}
+	var sawRemote bool
+	for _, s := range all {
+		if s.Source == "shard-1" {
+			sawRemote = true
+			if s.Fsyncs != 1 {
+				t.Fatalf("remote span lost its bill: %+v", s)
+			}
+		}
+	}
+	if !sawRemote {
+		t.Fatal("remote span missing from AllSpans")
+	}
+	exec, ok := tr.Find(KindExec)
+	if !ok || exec.Rows != 12 || exec.Bytes != 480 {
+		t.Fatalf("exec span = %+v ok=%v", exec, ok)
+	}
+	d := exec.Detail()
+	if !strings.Contains(d, "cost rows=12") || !strings.Contains(d, "bytes=480") {
+		t.Fatalf("Detail misses the bill: %q", d)
+	}
+}
+
+func TestAllocBytesMonotone(t *testing.T) {
+	tr := New(1, "alloc")
+	before := tr.AllocMark()
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 4096))
+	}
+	// runtime/metrics folds per-P allocation counters in lazily; a GC
+	// flushes them so the delta fully covers what was just allocated.
+	runtime.GC()
+	after := tr.AllocMark()
+	if after < before {
+		t.Fatalf("alloc counter went backwards: %d -> %d", before, after)
+	}
+	if after-before < 64*4096 {
+		t.Fatalf("delta %d does not cover the %d bytes just allocated", after-before, 64*4096)
+	}
+	_ = fmt.Sprint(len(sink)) // keep sink live past the second mark
+}
+
+func TestAddSpansConcurrent(t *testing.T) {
+	tr := New(2, "conc")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.AddSpans(Span{Kind: KindO2Probe, N1: int64(g), Rows: 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.AllSpans()); got != 800 {
+		t.Fatalf("got %d spans, want 800", got)
+	}
+	if c := tr.Cost(); c.Rows != 800 {
+		t.Fatalf("aggregate rows = %d, want 800", c.Rows)
+	}
+}
+
+func TestNilTraceCostIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.SpanCost(KindExec, time.Now(), 1, 0, 0, Cost{Rows: 1})
+	tr.AddSpans(Span{Kind: KindExec})
+	if tr.AllocMark() != 0 {
+		t.Fatal("nil AllocMark should be 0")
+	}
+	if got := tr.AllSpans(); got != nil {
+		t.Fatalf("nil AllSpans = %v", got)
+	}
+	if c := tr.Cost(); c != (Cost{}) {
+		t.Fatalf("nil Cost = %+v", c)
+	}
+}
+
+// TestDisabledCostZeroAlloc pins the tentpole contract for the new
+// cost surface: with tracing disabled every cost call site is one
+// pointer compare — no runtime/metrics read, no lock, no allocation.
+func TestDisabledCostZeroAlloc(t *testing.T) {
+	var tr *Trace
+	start := time.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		m := tr.AllocMark()
+		tr.SpanCost(KindExec, start, 1, 0, 0, Cost{Allocs: m})
+		tr.AddSpans()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled cost path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledCostPath is the regression benchmark for the
+// disabled path: run with -benchmem, it must report 0 allocs/op.
+func BenchmarkDisabledCostPath(b *testing.B) {
+	var tr *Trace
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := tr.AllocMark()
+		tr.SpanCost(KindO2Probe, start, int64(i), 0, 1, Cost{Rows: 1, Allocs: m})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -61,6 +62,18 @@ const (
 	// N1 = tuples purged, N2 = 1 when the in-memory maintenance index
 	// was used, 0 for the delta-join path.
 	KindMaint
+	// KindQueue is time spent waiting for an admission slot (the
+	// router's or server's bounded worker pool).
+	// N1 = 1 when admitted, 0 when the query was shed.
+	KindQueue
+	// KindSync is a WAL group-commit fsync billed to the maintenance
+	// batch that triggered it. N1 = requests sharing the sync.
+	KindSync
+	// KindServe is one node's whole-request serving summary: the span
+	// every traced request reports exactly once, carrying the request's
+	// cost bill (rows streamed, wire bytes written, heap bytes
+	// allocated). N1 = rows streamed.
+	KindServe
 )
 
 // String returns the kind's wire/rendering name.
@@ -82,6 +95,12 @@ func (k Kind) String() string {
 		return "refill"
 	case KindMaint:
 		return "maint_purge"
+	case KindQueue:
+		return "queue_wait"
+	case KindSync:
+		return "wal_sync"
+	case KindServe:
+		return "serve"
 	default:
 		return fmt.Sprintf("kind_%d", uint8(k))
 	}
@@ -89,16 +108,39 @@ func (k Kind) String() string {
 
 // Span is one recorded interval within a trace. Start is the offset
 // from the trace's beginning; N1..N3 carry per-kind counters (see the
-// Kind constants).
+// Kind constants). Rows/Bytes/Allocs/Fsyncs are the span's resource
+// bill when cost accounting recorded one (see cost.go), zero
+// otherwise. Source is empty for spans recorded by the trace's owner
+// and names the reporting peer (a shard address) for spans fanned back
+// over the wire by the cluster plane.
 type Span struct {
 	Kind       Kind
 	Start      time.Duration
 	Dur        time.Duration
 	N1, N2, N3 int64
+
+	Rows   int64
+	Bytes  int64
+	Allocs int64
+	Fsyncs int64
+	Source string
 }
 
-// Detail renders the span's counters with their per-kind meaning.
+// Detail renders the span's counters with their per-kind meaning,
+// with the resource bill appended when one was recorded.
 func (s Span) Detail() string {
+	d := s.detail()
+	if s.Rows != 0 || s.Bytes != 0 || s.Allocs != 0 || s.Fsyncs != 0 {
+		d += fmt.Sprintf(" [cost rows=%d bytes=%d allocs=%d fsyncs=%d]",
+			s.Rows, s.Bytes, s.Allocs, s.Fsyncs)
+	}
+	if s.Source != "" {
+		d += " @" + s.Source
+	}
+	return d
+}
+
+func (s Span) detail() string {
 	switch s.Kind {
 	case KindO1:
 		return fmt.Sprintf("parts=%d inexact=%d", s.N1, s.N2)
@@ -127,25 +169,47 @@ func (s Span) Detail() string {
 			path = "index"
 		}
 		return fmt.Sprintf("purged=%d path=%s", s.N1, path)
+	case KindQueue:
+		if s.N1 == 1 {
+			return "admitted"
+		}
+		return "shed"
+	case KindSync:
+		return fmt.Sprintf("group_commit batch=%d", s.N1)
+	case KindServe:
+		return fmt.Sprintf("rows=%d", s.N1)
 	default:
 		return fmt.Sprintf("n1=%d n2=%d n3=%d", s.N1, s.N2, s.N3)
 	}
 }
 
 // Trace is one query's (or one maintenance statement's) recorded
-// timeline. A Trace belongs to a single goroutine; its methods are not
-// safe for concurrent use, matching the one-goroutine-per-session
-// execution model. The zero of *Trace (nil) is "tracing disabled":
-// every method is safe to call and does nothing.
+// timeline. A Trace belongs to a single goroutine; the owner-side
+// recording methods (Span, Event, SpanCost) are not safe for
+// concurrent use, matching the one-goroutine-per-session execution
+// model. The cluster plane delivers shard span reports from other
+// goroutines through the mutex-guarded AddSpans sink (cost.go). The
+// zero of *Trace (nil) is "tracing disabled": every method is safe to
+// call and does nothing.
 type Trace struct {
-	// ID tags the trace (the server uses its query sequence number).
+	// ID tags the trace. Single-node servers use their query sequence
+	// number; the cluster plane uses the wire trace id so router and
+	// shard spans correlate.
 	ID uint64
+	// Parent is the parent span/trace id carried in from the wire's
+	// trace context (0 = this trace is the root).
+	Parent uint64
 	// Label names what is being traced (e.g. the view name).
 	Label string
 	// Begin anchors span offsets.
 	Begin time.Time
 
 	spans []Span
+
+	// remote collects spans delivered by other goroutines (shard
+	// fan-back, maintenance fsync bills); see AddSpans in cost.go.
+	mu     sync.Mutex
+	remote []Span
 }
 
 // New starts a trace anchored at now.

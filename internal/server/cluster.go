@@ -18,6 +18,7 @@ import (
 
 	"pmv/internal/core"
 	"pmv/internal/expr"
+	"pmv/internal/obs"
 	"pmv/internal/value"
 	"pmv/internal/wire"
 )
@@ -89,12 +90,15 @@ func (s *Server) handleProbeParts(sess *session, payload []byte) error {
 		parts[i] = core.RemotePart{Key: p.Key, Exact: p.Exact, Conds: p.Conds}
 	}
 
+	tr, external := s.sessionTrace(sess, req.View, -1)
+	allocMark := tr.AllocMark()
 	var (
-		rowBuf   []byte
-		emitFail error
+		rowBuf    []byte
+		emitFail  error
+		wireBytes int64
 	)
 	start := time.Now()
-	rep, perr := v.ProbeBCPs(context.Background(), parts, func(t value.Tuple) error {
+	rep, perr := v.ProbeBCPs(obs.WithTrace(context.Background(), tr), parts, func(t value.Tuple) error {
 		sess.armWrite()
 		rowBuf = wire.EncodeRow(rowBuf[:0], t, true)
 		if err := wire.WriteFrame(bw, wire.MsgRow, rowBuf); err != nil {
@@ -105,6 +109,7 @@ func (s *Server) handleProbeParts(sess *session, payload []byte) error {
 			emitFail = err
 			return err
 		}
+		wireBytes += int64(len(rowBuf)) + frameOverhead
 		return nil
 	})
 	if emitFail != nil {
@@ -115,6 +120,16 @@ func (s *Server) handleProbeParts(sess *session, payload []byte) error {
 	}
 	s.metrics.PartialRows.Add(int64(rep.PartialTuples))
 	s.metrics.PartialPhase.Observe(time.Since(start))
+	s.metrics.CostRows.Add(int64(rep.PartialTuples))
+	s.metrics.CostBytes.Add(wireBytes)
+	if tr != nil {
+		allocd := tr.AllocMark() - allocMark
+		tr.SpanCost(obs.KindServe, start, int64(rep.PartialTuples), 0, 0,
+			obs.Cost{Rows: int64(rep.PartialTuples), Bytes: wireBytes, Allocs: allocd})
+		s.metrics.TracesSampled.Add(1)
+		s.metrics.CostAllocs.Add(allocd)
+	}
+	s.emitSpans(sess, tr, external)
 	sess.armWrite()
 	return wire.WriteFrame(bw, wire.MsgDone, wire.EncodeReport(nil, wire.Report{
 		Hit:            rep.Hit,
@@ -143,7 +158,9 @@ func (s *Server) handleExec(sess *session, payload []byte) error {
 	}
 	q := &expr.Query{Template: v.Config().Template, Conds: req.Conds}
 
-	ctx := context.Background()
+	tr, external := s.sessionTrace(sess, req.View, -1)
+	allocMark := tr.AllocMark()
+	ctx := obs.WithTrace(context.Background(), tr)
 	deadline := req.Deadline
 	if deadline <= 0 {
 		deadline = s.cfg.DefaultDeadline
@@ -153,8 +170,10 @@ func (s *Server) handleExec(sess *session, payload []byte) error {
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
+	admitStart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
+		tr.Span(obs.KindQueue, admitStart, 1, 0, 0)
 	case <-ctx.Done():
 		return s.writeErr(bw, fmt.Errorf("server: no admission slot within deadline: %w", ctx.Err()))
 	case <-s.closing:
@@ -162,9 +181,10 @@ func (s *Server) handleExec(sess *session, payload []byte) error {
 	}
 
 	var (
-		rowBuf   []byte
-		emitFail error
-		rows     int
+		rowBuf    []byte
+		emitFail  error
+		rows      int
+		wireBytes int64
 	)
 	start := time.Now()
 	execDur, qerr := v.ExecutePlainCtx(ctx, q, func(t value.Tuple) error {
@@ -175,6 +195,7 @@ func (s *Server) handleExec(sess *session, payload []byte) error {
 			return err
 		}
 		rows++
+		wireBytes += int64(len(rowBuf)) + frameOverhead
 		return nil
 	})
 	<-s.sem
@@ -198,6 +219,16 @@ func (s *Server) handleExec(sess *session, payload []byte) error {
 	}
 	s.metrics.ExecPhase.Observe(execDur)
 	s.metrics.Total.Observe(time.Since(start))
+	s.metrics.CostRows.Add(int64(rows))
+	s.metrics.CostBytes.Add(wireBytes)
+	if tr != nil {
+		allocd := tr.AllocMark() - allocMark
+		tr.SpanCost(obs.KindServe, start, int64(rows), 0, 0,
+			obs.Cost{Rows: int64(rows), Bytes: wireBytes, Allocs: allocd})
+		s.metrics.TracesSampled.Add(1)
+		s.metrics.CostAllocs.Add(allocd)
+	}
+	s.emitSpans(sess, tr, external)
 	sess.armWrite()
 	return wire.WriteFrame(bw, wire.MsgDone, wire.EncodeReport(nil, rep))
 }
@@ -219,10 +250,18 @@ func (s *Server) handleRefill(sess *session, payload []byte) error {
 	if !found {
 		return s.writeErr(bw, fmt.Errorf("server: no view %q", req.View))
 	}
+	tr, external := s.sessionTrace(sess, req.View, -1)
+	start := time.Now()
 	cached, ferr := v.FillTuples(req.Tuples)
 	if ferr != nil {
 		return s.writeErr(bw, ferr)
 	}
+	if tr != nil {
+		tr.SpanCost(obs.KindRefill, start, int64(cached), 0, 0,
+			obs.Cost{Rows: int64(len(req.Tuples)), Bytes: int64(len(payload)) + frameOverhead})
+		s.metrics.TracesSampled.Add(1)
+	}
+	s.emitSpans(sess, tr, external)
 	return s.reply(bw, wire.RefillReply{Cached: cached})
 }
 

@@ -14,8 +14,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"pmv/internal/maint"
+	"pmv/internal/obs"
 	"pmv/internal/value"
 	"pmv/internal/wire"
 )
@@ -40,9 +42,12 @@ func (s *Server) handleUpdate(sess *session, payload []byte) error {
 	if len(req.Ops) == 0 {
 		return s.writeErr(bw, errors.New("server: empty update batch"))
 	}
+	tr, external := s.sessionTrace(sess, "update", -1)
+	allocMark := tr.AllocMark()
+	start := time.Now()
 	var rep wire.UpdateReply
 	if s.maint != nil {
-		res, aerr := s.maint.Apply(context.Background(), req.Ops, req.Maint)
+		res, aerr := s.maint.Apply(obs.WithTrace(context.Background(), tr), req.Ops, req.Maint)
 		if aerr != nil {
 			return s.writeErr(bw, aerr)
 		}
@@ -78,6 +83,15 @@ func (s *Server) handleUpdate(sess *session, payload []byte) error {
 	s.metrics.Updates.Add(1)
 	s.metrics.UpdateOps.Add(int64(rep.Applied))
 	s.metrics.UpdateRows.Add(int64(rep.Rows))
+	if tr != nil {
+		allocd := tr.AllocMark() - allocMark
+		tr.SpanCost(obs.KindServe, start, int64(rep.Rows), 0, 0,
+			obs.Cost{Rows: int64(rep.Rows), Bytes: int64(len(payload)) + frameOverhead, Allocs: allocd})
+		s.metrics.TracesSampled.Add(1)
+		s.metrics.CostAllocs.Add(allocd)
+		s.metrics.CostFsyncs.Add(tr.Cost().Fsyncs)
+	}
+	s.emitSpans(sess, tr, external)
 	return s.reply(bw, rep)
 }
 

@@ -132,6 +132,17 @@ type Metrics struct {
 	CorruptFrames atomic.Int64 // sessions dropped on checksum/framing violations
 	SessionResets atomic.Int64 // sessions torn down by abrupt transport errors
 
+	// Per-query cost accounting (the resource bill, not just the
+	// count): rows streamed to clients, wire bytes written for them,
+	// heap bytes allocated by traced requests, and WAL fsyncs billed
+	// to write batches. CostAllocs only advances for traced requests
+	// (sampling the allocator is not free); the others are always on.
+	CostRows      atomic.Int64
+	CostBytes     atomic.Int64
+	CostAllocs    atomic.Int64
+	CostFsyncs    atomic.Int64
+	TracesSampled atomic.Int64
+
 	PartialPhase Hist // O1+O2: time to the last partial row
 	ExecPhase    Hist // O3: query execution
 	Total        Hist // whole query, admission wait included
@@ -160,6 +171,11 @@ func (m *Metrics) Snapshot() wire.ServerStats {
 		WriteTimeouts:   m.WriteTimeouts.Load(),
 		CorruptFrames:   m.CorruptFrames.Load(),
 		SessionResets:   m.SessionResets.Load(),
+		CostRows:        m.CostRows.Load(),
+		CostBytes:       m.CostBytes.Load(),
+		CostAllocs:      m.CostAllocs.Load(),
+		CostFsyncs:      m.CostFsyncs.Load(),
+		TracesSampled:   m.TracesSampled.Load(),
 		PartialPhase:    m.PartialPhase.Snapshot(),
 		ExecPhase:       m.ExecPhase.Snapshot(),
 		Total:           m.Total.Snapshot(),

@@ -40,6 +40,14 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	p.Gauge("pmvd_trace_enabled", "1 when per-query tracing is on.", b2f(s.traceOn.Load()))
 	p.Gauge("pmvd_slowlog_threshold_seconds", "Slow-query log threshold (-1 = disabled).", slowSeconds(s.slowNs.Load()))
 
+	// Per-query cost accounting: the resource bill behind the request
+	// counters above.
+	p.Counter("pmvd_query_cost_rows_total", "Rows streamed to clients across all request types.", float64(m.CostRows.Load()))
+	p.Counter("pmvd_query_cost_wire_bytes_total", "Row-frame bytes written to clients (payload plus framing).", float64(m.CostBytes.Load()))
+	p.Counter("pmvd_query_cost_alloc_bytes_total", "Heap bytes allocated while serving traced requests.", float64(m.CostAllocs.Load()))
+	p.Counter("pmvd_query_cost_fsyncs_total", "WAL fsyncs attributed to traced write batches.", float64(m.CostFsyncs.Load()))
+	p.Counter("pmvd_traces_sampled_total", "Requests that recorded a trace.", float64(m.TracesSampled.Load()))
+
 	if ss := s.snapshotStats(); ss != nil {
 		p.Gauge("pmvd_snapshot_age_seconds", "Seconds since the last successful cache snapshot (-1 = never).", ss.AgeSeconds)
 		p.Gauge("pmvd_snapshot_last_write_bytes", "Size of the last successful cache snapshot.", float64(ss.LastWriteBytes))

@@ -50,6 +50,7 @@ import (
 	"pmv/internal/expr"
 	"pmv/internal/heap"
 	"pmv/internal/maint"
+	"pmv/internal/obs"
 	"pmv/internal/snapshot"
 	"pmv/internal/storage"
 	"pmv/internal/value"
@@ -167,6 +168,11 @@ type session struct {
 	// inFrame is true once the first byte of a request has been read,
 	// distinguishing an idle-timeout close from a slowloris kill.
 	inFrame bool
+
+	// traceCtx is the wire trace context of the request currently being
+	// served, set by handleTraced for the inner dispatch only. Nil for
+	// every untraced request (the common case).
+	traceCtx *wire.TraceContext
 }
 
 func (sess *session) touch() { sess.lastActive.Store(time.Now().UnixNano()) }
@@ -543,8 +549,12 @@ func (s *Server) dispatch(sess *session, typ byte, payload []byte) error {
 		return s.handleUpdate(sess, payload)
 	case wire.MsgInvalidate:
 		return s.handleInvalidate(sess, payload)
+	case wire.MsgTraced:
+		return s.handleTraced(sess, payload)
 	case wire.MsgShards:
 		return s.writeErr(bw, errors.New("server: shards is a router request; this is a shard"))
+	case wire.MsgTraceGet, wire.MsgFleet:
+		return s.writeErr(bw, errors.New("server: trace assembly and fleet federation live in the router; address a pmvrouter"))
 	default:
 		return fmt.Errorf("%w 0x%02x", errUnknownRequest, typ)
 	}
@@ -582,8 +592,9 @@ func (s *Server) handleQuery(sess *session, payload []byte) error {
 	q := &expr.Query{Template: v.Config().Template, Conds: req.Conds}
 
 	var (
-		rowBuf   []byte
-		emitFail error // distinguishes our write failures from query errors
+		rowBuf    []byte
+		emitFail  error // distinguishes our write failures from query errors
+		wireBytes int64 // response bytes, for the query's cost bill
 	)
 	emit := func(r pmv.Result) error {
 		// Re-arm the write deadline per row: progress, not total
@@ -594,6 +605,7 @@ func (s *Server) handleQuery(sess *session, payload []byte) error {
 			emitFail = err
 			return err
 		}
+		wireBytes += int64(len(rowBuf)) + frameOverhead
 		if r.Partial {
 			// Partial-first contract: O2 rows reach the client now,
 			// not when the buffer happens to fill.
@@ -605,15 +617,13 @@ func (s *Server) handleQuery(sess *session, payload []byte) error {
 		return nil
 	}
 
-	// A trace is allocated when tracing is on or the slow-query log is
-	// armed (the log needs spans to be worth dumping). Otherwise tr
-	// stays nil and every recording site downstream is a pointer
-	// compare.
-	var tr *pmv.Trace
+	// A trace is allocated when the request carries a sampled wire
+	// context, when tracing is on, or when the slow-query log is armed
+	// (the log needs spans to be worth dumping). Otherwise tr stays nil
+	// and every recording site downstream is a pointer compare.
 	slowNs := s.slowNs.Load()
-	if s.traceOn.Load() || slowNs >= 0 {
-		tr = pmv.NewTrace(s.queryID.Add(1), req.View)
-	}
+	tr, external := s.sessionTrace(sess, req.View, slowNs)
+	allocMark := tr.AllocMark()
 
 	start := time.Now()
 	var rep pmv.QueryReport
@@ -680,15 +690,34 @@ func (s *Server) handleQuery(sess *session, payload []byte) error {
 		ExecLatency:     rep.ExecLatency,
 		Overhead:        rep.Overhead,
 	}
+	// Cost accounting: rows/bytes are always-on cheap adds; the heap
+	// bill is sampled only on traced queries (AllocMark reads the
+	// runtime, so the untraced path must never pay it).
+	s.metrics.CostRows.Add(int64(rep.TotalTuples))
+	s.metrics.CostBytes.Add(wireBytes)
+	if tr != nil {
+		allocd := tr.AllocMark() - allocMark
+		tr.SpanCost(obs.KindServe, start, int64(rep.TotalTuples), 0, 0, obs.Cost{
+			Rows:   int64(rep.TotalTuples),
+			Bytes:  wireBytes,
+			Allocs: allocd,
+		})
+		s.metrics.TracesSampled.Add(1)
+		s.metrics.CostAllocs.Add(allocd)
+	}
 	if tr != nil && slowNs >= 0 && int64(total) >= slowNs {
 		s.slowlog.add(wire.SlowQuery{
 			ID:     tr.ID,
 			UnixNs: time.Now().UnixNano(),
 			View:   req.View,
 			DurNs:  int64(total),
+			Reason: "slow",
 			Report: wrep,
-			Spans:  wireSpans(tr),
+			Spans:  WireSpans(tr),
 		})
+	}
+	if err := s.emitSpans(sess, tr, external); err != nil {
+		return err
 	}
 	sess.armWrite()
 	return wire.WriteFrame(bw, wire.MsgDone, wire.EncodeReport(nil, wrep))

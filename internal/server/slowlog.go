@@ -3,7 +3,6 @@ package server
 import (
 	"sync"
 
-	"pmv/internal/obs"
 	"pmv/internal/wire"
 )
 
@@ -45,20 +44,3 @@ func (l *slowLog) snapshot(limit int) []wire.SlowQuery {
 	return out
 }
 
-// wireSpans converts a trace's spans for the wire.
-func wireSpans(tr *obs.Trace) []wire.TraceSpan {
-	spans := tr.Spans()
-	out := make([]wire.TraceSpan, len(spans))
-	for i, sp := range spans {
-		out[i] = wire.TraceSpan{
-			Kind:    sp.Kind.String(),
-			StartNs: int64(sp.Start),
-			DurNs:   int64(sp.Dur),
-			N1:      sp.N1,
-			N2:      sp.N2,
-			N3:      sp.N3,
-			Detail:  sp.Detail(),
-		}
-	}
-	return out
-}

@@ -1,0 +1,144 @@
+// trace.go is the shard half of the distributed-tracing plane: it
+// unwraps MsgTraced requests into the session's trace context, builds
+// traces that parent correctly under the caller's span, and piggybacks
+// the recorded span summary back as one MsgSpans frame immediately
+// before the request's closing frame.
+//
+// Overhead contract: an untraced request never touches any of this —
+// sess.traceCtx stays nil, sessionTrace falls back to the node-local
+// trace/slowlog gate that PR 3 established, and emitSpans is a nil
+// check. The trace context costs zero wire bytes when tracing is off
+// because it only exists inside a MsgTraced wrapper.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"pmv/internal/obs"
+	"pmv/internal/wire"
+)
+
+// frameOverhead is the per-frame wire cost beyond the payload: u32
+// length, u32 CRC-32C, u8 type. Used to bill response bytes.
+const frameOverhead = 9
+
+// handleTraced unwraps one trace-context-carrying request and serves
+// the inner request under that context. Only the request types that
+// participate in the distributed query/write path may be wrapped;
+// admin commands have no spans worth parenting.
+func (s *Server) handleTraced(sess *session, payload []byte) error {
+	tc, inner, innerPayload, err := wire.DecodeTraced(payload)
+	if err != nil {
+		return s.writeErr(sess.bw, err)
+	}
+	switch inner {
+	case wire.MsgQuery, wire.MsgProbeParts, wire.MsgExec, wire.MsgRefill, wire.MsgUpdate:
+	default:
+		return s.writeErr(sess.bw, fmt.Errorf("server: request type 0x%02x cannot carry a trace context", inner))
+	}
+	sess.traceCtx = &tc
+	defer func() { sess.traceCtx = nil }()
+	return s.dispatch(sess, inner, innerPayload)
+}
+
+// sessionTrace builds the trace for one request: a remote-rooted trace
+// when the session carries a sampled wire context (the trace id and
+// parent span come from the caller so assembly correlates), otherwise
+// the node-local gate — a fresh trace when tracing is on or the
+// slow-query log is armed, nil when both are off.
+func (s *Server) sessionTrace(sess *session, label string, slowNs int64) (tr *obs.Trace, external bool) {
+	if tc := sess.traceCtx; tc != nil && tc.Sampled {
+		tr = obs.New(tc.TraceID, label)
+		tr.Parent = tc.ParentSpan
+		return tr, true
+	}
+	if s.traceOn.Load() || slowNs >= 0 {
+		return obs.New(s.queryID.Add(1), label), false
+	}
+	return nil, false
+}
+
+// spanRecords flattens a trace (local plus fanned-back spans) for a
+// MsgSpans frame.
+func spanRecords(tr *obs.Trace) []wire.SpanRecord {
+	spans := tr.AllSpans()
+	recs := make([]wire.SpanRecord, len(spans))
+	for i, sp := range spans {
+		recs[i] = wire.SpanRecord{
+			Kind:    uint8(sp.Kind),
+			StartNs: int64(sp.Start),
+			DurNs:   int64(sp.Dur),
+			N1:      sp.N1,
+			N2:      sp.N2,
+			N3:      sp.N3,
+			Rows:    sp.Rows,
+			Bytes:   sp.Bytes,
+			Allocs:  sp.Allocs,
+			Fsyncs:  sp.Fsyncs,
+		}
+	}
+	return recs
+}
+
+// emitSpans piggybacks the trace's span summary onto the response when
+// (and only when) the request arrived wrapped in a sampled MsgTraced.
+// It is written right before the closing MsgDone/MsgReply so stream
+// consumers see it in a deterministic place.
+func (s *Server) emitSpans(sess *session, tr *obs.Trace, external bool) error {
+	if !external || tr == nil {
+		return nil
+	}
+	payload, err := wire.EncodeSpans(tr.ID, spanRecords(tr))
+	if err != nil {
+		return nil // a spans frame is telemetry; never fail the request over it
+	}
+	sess.armWrite()
+	return wire.WriteFrame(sess.bw, wire.MsgSpans, payload)
+}
+
+// WireSpans converts a trace's spans (local plus fanned-back) to the
+// JSON wire shape used by the slowlog and assembled-trace replies.
+func WireSpans(tr *obs.Trace) []wire.TraceSpan {
+	spans := tr.AllSpans()
+	out := make([]wire.TraceSpan, len(spans))
+	for i, sp := range spans {
+		out[i] = wire.TraceSpan{
+			Kind:    sp.Kind.String(),
+			StartNs: int64(sp.Start),
+			DurNs:   int64(sp.Dur),
+			N1:      sp.N1,
+			N2:      sp.N2,
+			N3:      sp.N3,
+			Rows:    sp.Rows,
+			Bytes:   sp.Bytes,
+			Allocs:  sp.Allocs,
+			Fsyncs:  sp.Fsyncs,
+			Source:  sp.Source,
+			Detail:  sp.Detail(),
+		}
+	}
+	return out
+}
+
+// RecordsToSpans converts received MsgSpans records into obs spans
+// tagged with the reporting peer's address, ready for Trace.AddSpans.
+func RecordsToSpans(source string, recs []wire.SpanRecord) []obs.Span {
+	out := make([]obs.Span, len(recs))
+	for i, r := range recs {
+		out[i] = obs.Span{
+			Kind:   obs.Kind(r.Kind),
+			Start:  time.Duration(r.StartNs),
+			Dur:    time.Duration(r.DurNs),
+			N1:     r.N1,
+			N2:     r.N2,
+			N3:     r.N3,
+			Rows:   r.Rows,
+			Bytes:  r.Bytes,
+			Allocs: r.Allocs,
+			Fsyncs: r.Fsyncs,
+			Source: source,
+		}
+	}
+	return out
+}

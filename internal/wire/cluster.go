@@ -17,10 +17,14 @@ import (
 )
 
 // ProtocolVersion is the wire protocol generation this build speaks.
-// Version 2 added the hello handshake and the cluster frames; peers
+// Version 2 added the hello handshake and the cluster frames; version
+// 3 added the observability plane (MsgTraced trace contexts, MsgSpans
+// span piggybacks, MsgTraceGet/MsgFleet router commands). Peers
 // announcing any other version get MsgErrVersion and a closed session
-// instead of a CRC/decode failure mid-stream.
-const ProtocolVersion byte = 2
+// instead of a CRC/decode failure mid-stream — which is what gates the
+// trace frames: a v2 peer never negotiates a session that could carry
+// them.
+const ProtocolVersion byte = 3
 
 // Cluster-plane message types (requests continue the 0x0c sequence,
 // responses the 0x84 one).

@@ -108,6 +108,16 @@ type ServerStats struct {
 	CorruptFrames int64 `json:"corrupt_frames"`
 	SessionResets int64 `json:"session_resets"`
 
+	// Cost accounting: cumulative per-query resource bills (rows
+	// scanned or streamed, bytes written to the wire, heap bytes
+	// sampled on traced queries, WAL fsyncs attributed to batches).
+	CostRows   int64 `json:"cost_rows"`
+	CostBytes  int64 `json:"cost_bytes"`
+	CostAllocs int64 `json:"cost_allocs"`
+	CostFsyncs int64 `json:"cost_fsyncs"`
+	// TracesSampled counts queries that ran with a live trace.
+	TracesSampled int64 `json:"traces_sampled"`
+
 	// PartialPhase times Operations O1+O2 (time to the last partial
 	// row), ExecPhase times Operation O3, Total times whole queries.
 	PartialPhase HistSnapshot `json:"partial_phase"`
@@ -240,6 +250,15 @@ type TraceSpan struct {
 	N1      int64  `json:"n1"`
 	N2      int64  `json:"n2"`
 	N3      int64  `json:"n3"`
+	// Rows/Bytes/Allocs/Fsyncs are the span's cost bill (zero when
+	// cost accounting did not run for this span).
+	Rows   int64 `json:"rows,omitempty"`
+	Bytes  int64 `json:"bytes,omitempty"`
+	Allocs int64 `json:"allocs,omitempty"`
+	Fsyncs int64 `json:"fsyncs,omitempty"`
+	// Source names the peer that reported the span (empty = recorded
+	// locally; a shard address for spans fanned back over the wire).
+	Source string `json:"source,omitempty"`
 	// Detail is the span's human-readable counter rendering.
 	Detail string `json:"detail,omitempty"`
 }
@@ -247,10 +266,15 @@ type TraceSpan struct {
 // SlowQuery is one slow-query log record: the query's identity, its
 // closing report, and the full trace that explains where the time went.
 type SlowQuery struct {
-	ID     uint64      `json:"id"`
-	UnixNs int64       `json:"unix_ns"`
-	View   string      `json:"view"`
-	DurNs  int64       `json:"dur_ns"`
+	ID     uint64 `json:"id"`
+	UnixNs int64  `json:"unix_ns"`
+	View   string `json:"view"`
+	DurNs  int64  `json:"dur_ns"`
+	// Reason says why the query was recorded: "slow" for a threshold
+	// hit, or a degradation reason ("shard probe lost", "o3 failover
+	// exhausted", …) for routed queries that lost part of the fleet —
+	// those are recorded regardless of latency.
+	Reason string      `json:"reason,omitempty"`
 	Report Report      `json:"report"`
 	Spans  []TraceSpan `json:"spans"`
 }
@@ -332,6 +356,72 @@ type ShardsReply struct {
 	Epoch  uint64      `json:"epoch"`
 	VNodes int         `json:"vnodes"`
 	Shards []ShardInfo `json:"shards"`
+}
+
+// TraceGetRequest is the MsgTraceGet payload (JSON), addressed to a
+// router's trace store.
+type TraceGetRequest struct {
+	// ID selects one assembled trace; 0 lists retained trace ids.
+	ID uint64 `json:"id,omitempty"`
+}
+
+// AssembledTrace is one routed query's reconstructed cross-shard
+// timeline: the router's own spans plus every shard span report,
+// ordered by start offset, each tagged with its Source shard.
+type AssembledTrace struct {
+	ID     uint64 `json:"id"`
+	View   string `json:"view"`
+	UnixNs int64  `json:"unix_ns"`
+	DurNs  int64  `json:"dur_ns"`
+	// Reason is set when the query was recorded for degradation rather
+	// than (or in addition to) latency.
+	Reason string      `json:"reason,omitempty"`
+	Report Report      `json:"report"`
+	Spans  []TraceSpan `json:"spans"`
+	// Cost is the query's aggregate resource bill across all spans.
+	CostRows   int64 `json:"cost_rows"`
+	CostBytes  int64 `json:"cost_bytes"`
+	CostAllocs int64 `json:"cost_allocs"`
+	CostFsyncs int64 `json:"cost_fsyncs"`
+}
+
+// TraceGetReply answers MsgTraceGet.
+type TraceGetReply struct {
+	Found bool `json:"found"`
+	// Trace is the assembled trace when Found.
+	Trace *AssembledTrace `json:"trace,omitempty"`
+	// Recent lists retained trace ids (newest first) when ID was 0 or
+	// unknown, so an operator can pick one.
+	Recent []uint64 `json:"recent,omitempty"`
+}
+
+// FleetShard is one shard's row in the federated fleet view: reachable
+// or not, its shard-map epoch, and — when up — its full stats reply so
+// snapshot freshness and maint backlog federate through one endpoint.
+type FleetShard struct {
+	Addr  string `json:"addr"`
+	Up    bool   `json:"up"`
+	Error string `json:"error,omitempty"`
+	Epoch uint64 `json:"epoch"`
+	Stats *StatsReply `json:"stats,omitempty"`
+}
+
+// FleetReply answers MsgFleet on a router: the router's own counters
+// plus every shard's scraped stats and fleet-wide aggregates.
+type FleetReply struct {
+	Epoch  uint64       `json:"epoch"`
+	VNodes int          `json:"vnodes"`
+	Router ServerStats  `json:"router"`
+	Shards []FleetShard `json:"shards"`
+	// Aggregates across reachable shards.
+	ShardsUp        int   `json:"shards_up"`
+	ShardsDown      int   `json:"shards_down"`
+	ShardsStale     int   `json:"shards_stale"`      // epoch behind the router's
+	FleetQueries    int64 `json:"fleet_queries"`     // sum of shard query counts
+	FleetRows       int64 `json:"fleet_rows"`        // sum of shard row counts
+	FleetErrors     int64 `json:"fleet_errors"`      // sum of shard error counts
+	MaintBacklog    int64 `json:"maint_backlog"`     // sum of shard ingest queue depths
+	OldestSnapshotS float64 `json:"oldest_snapshot_s"` // stalest shard snapshot age (-1 = a shard never wrote one)
 }
 
 // ViewStatsEntry flattens one view's core counters for MsgViewStats.

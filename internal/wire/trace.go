@@ -1,0 +1,208 @@
+// trace.go defines the wire surface of the cluster observability
+// plane: the trace context carried in-band with query/probe/exec/
+// refill/update frames (Dapper-style — a trace id, the sender's span
+// id, and a sampling bit), the MsgTraced request wrapper that carries
+// it, and the MsgSpans response frame a traced peer uses to piggyback
+// its span summary back to the caller just before closing the request.
+//
+// The context costs zero bytes when tracing is off: an untraced
+// request is the plain inner frame, byte-identical to protocol v2's.
+// Only when a trace is sampled does the sender wrap the request in
+// MsgTraced, adding 18 bytes. Version 3 of the protocol gates the new
+// frames — a v2 peer never sees them because the hello handshake
+// rejects the session first.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Observability message types. Requests continue the 0x0c sequence
+// (0x13/0x14 are the write plane's), responses the 0x84 one.
+const (
+	// MsgTraced wraps one request frame with a trace context: payload =
+	// TraceContext (17 bytes) ‖ inner type byte ‖ inner payload. The
+	// receiver serves the inner request exactly as if it had arrived
+	// bare, parents its own spans under the context, and piggybacks a
+	// MsgSpans frame onto the response. Nesting is rejected.
+	MsgTraced byte = 0x15
+	// MsgTraceGet asks a router for one assembled cross-shard trace
+	// (JSON TraceGetRequest payload; answered with a MsgReply
+	// TraceGetReply). ID 0 lists the ids the trace store retains.
+	MsgTraceGet byte = 0x16
+	// MsgFleet asks a router for the federated fleet view: per-shard
+	// health, epoch, snapshot freshness, and maint backlog aggregated
+	// from every shard's stats (empty payload; answered with a MsgReply
+	// FleetReply).
+	MsgFleet byte = 0x17
+
+	// MsgSpans carries a traced peer's span summary: payload = trace id
+	// (u64) ‖ span count (u16) ‖ count × SpanRecord. It is emitted at
+	// most once per traced request, immediately before the closing
+	// MsgDone/MsgReply frame, and never for untraced requests.
+	MsgSpans byte = 0x88
+)
+
+// TraceContext is the wire trace context: enough for a shard's spans
+// to parent correctly under the router's (and the router's under the
+// client's), nothing more. Assembly happens at the trace's root from
+// the piggybacked MsgSpans reports.
+type TraceContext struct {
+	// TraceID identifies the whole distributed trace (nonzero).
+	TraceID uint64
+	// ParentSpan is the sender's span id — the id the receiver's spans
+	// hang under (0 = the receiver is the root's direct child).
+	ParentSpan uint64
+	// Sampled tells the receiver to record and report spans. A context
+	// with Sampled clear still propagates the id for log correlation.
+	Sampled bool
+}
+
+// TraceContextLen is the encoded size of a TraceContext.
+const TraceContextLen = 17
+
+// tcSampled is the only defined trace-context flag bit.
+const tcSampled byte = 1 << 0
+
+// AppendTraceContext appends the 17-byte encoding of tc to b.
+func AppendTraceContext(b []byte, tc TraceContext) []byte {
+	b = binary.BigEndian.AppendUint64(b, tc.TraceID)
+	b = binary.BigEndian.AppendUint64(b, tc.ParentSpan)
+	var fl byte
+	if tc.Sampled {
+		fl |= tcSampled
+	}
+	return append(b, fl)
+}
+
+// DecodeTraceContext parses exactly one encoded TraceContext,
+// rejecting unknown flag bits, a zero trace id, and any length
+// mismatch.
+func DecodeTraceContext(b []byte) (TraceContext, error) {
+	var tc TraceContext
+	if len(b) != TraceContextLen {
+		return tc, fmt.Errorf("wire: trace context is %d bytes, want %d", len(b), TraceContextLen)
+	}
+	fl := b[16]
+	if fl&^tcSampled != 0 {
+		return tc, fmt.Errorf("wire: unknown trace-context flags 0x%02x", fl)
+	}
+	tc.TraceID = binary.BigEndian.Uint64(b)
+	tc.ParentSpan = binary.BigEndian.Uint64(b[8:])
+	tc.Sampled = fl&tcSampled != 0
+	if tc.TraceID == 0 {
+		return tc, fmt.Errorf("wire: zero trace id")
+	}
+	return tc, nil
+}
+
+// EncodeTraced wraps an encoded inner request in a MsgTraced payload.
+func EncodeTraced(tc TraceContext, inner byte, payload []byte) ([]byte, error) {
+	if inner == MsgTraced {
+		return nil, fmt.Errorf("wire: nested traced frame")
+	}
+	if tc.TraceID == 0 {
+		return nil, fmt.Errorf("wire: zero trace id")
+	}
+	b := make([]byte, 0, TraceContextLen+1+len(payload))
+	b = AppendTraceContext(b, tc)
+	b = append(b, inner)
+	b = append(b, payload...)
+	if len(b)+1 > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	return b, nil
+}
+
+// DecodeTraced parses a MsgTraced payload into its context, the inner
+// request type, and the inner payload (a subslice of b).
+func DecodeTraced(b []byte) (TraceContext, byte, []byte, error) {
+	if len(b) < TraceContextLen+1 {
+		return TraceContext{}, 0, nil, fmt.Errorf("wire: short traced frame (%d bytes)", len(b))
+	}
+	tc, err := DecodeTraceContext(b[:TraceContextLen])
+	if err != nil {
+		return TraceContext{}, 0, nil, err
+	}
+	inner := b[TraceContextLen]
+	if inner == MsgTraced {
+		return TraceContext{}, 0, nil, fmt.Errorf("wire: nested traced frame")
+	}
+	return tc, inner, b[TraceContextLen+1:], nil
+}
+
+// SpanRecord is one span in a MsgSpans frame: the kind's numeric code
+// (obs.Kind), its timing relative to the reporting peer's own trace
+// begin, the per-kind counters, and the cost bill.
+type SpanRecord struct {
+	Kind    uint8
+	StartNs int64
+	DurNs   int64
+	N1      int64
+	N2      int64
+	N3      int64
+	Rows    int64
+	Bytes   int64
+	Allocs  int64
+	Fsyncs  int64
+}
+
+// spanRecLen is one encoded SpanRecord: kind byte + nine i64 fields.
+const spanRecLen = 1 + 9*8
+
+// MaxSpansPerFrame bounds a MsgSpans frame; a traced request that
+// records more reports the first MaxSpansPerFrame spans.
+const MaxSpansPerFrame = 4096
+
+// EncodeSpans encodes a MsgSpans payload. Spans beyond
+// MaxSpansPerFrame are dropped (the frame is a summary, not a log).
+func EncodeSpans(traceID uint64, recs []SpanRecord) ([]byte, error) {
+	if traceID == 0 {
+		return nil, fmt.Errorf("wire: zero trace id")
+	}
+	if len(recs) > MaxSpansPerFrame {
+		recs = recs[:MaxSpansPerFrame]
+	}
+	b := make([]byte, 0, 10+len(recs)*spanRecLen)
+	b = binary.BigEndian.AppendUint64(b, traceID)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(recs)))
+	for _, r := range recs {
+		b = append(b, r.Kind)
+		for _, v := range [...]int64{r.StartNs, r.DurNs, r.N1, r.N2, r.N3, r.Rows, r.Bytes, r.Allocs, r.Fsyncs} {
+			b = binary.BigEndian.AppendUint64(b, uint64(v))
+		}
+	}
+	if len(b)+1 > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	return b, nil
+}
+
+// DecodeSpans parses a MsgSpans payload, rejecting any length that is
+// not exactly header + count × record.
+func DecodeSpans(b []byte) (uint64, []SpanRecord, error) {
+	if len(b) < 10 {
+		return 0, nil, fmt.Errorf("wire: short spans header (%d bytes)", len(b))
+	}
+	traceID := binary.BigEndian.Uint64(b)
+	if traceID == 0 {
+		return 0, nil, fmt.Errorf("wire: zero trace id")
+	}
+	n := int(binary.BigEndian.Uint16(b[8:]))
+	b = b[10:]
+	if len(b) != n*spanRecLen {
+		return 0, nil, fmt.Errorf("wire: spans payload is %d bytes, want %d for %d spans", len(b), n*spanRecLen, n)
+	}
+	recs := make([]SpanRecord, n)
+	for i := range recs {
+		r := &recs[i]
+		r.Kind = b[0]
+		b = b[1:]
+		for _, dst := range [...]*int64{&r.StartNs, &r.DurNs, &r.N1, &r.N2, &r.N3, &r.Rows, &r.Bytes, &r.Allocs, &r.Fsyncs} {
+			*dst = int64(binary.BigEndian.Uint64(b))
+			b = b[8:]
+		}
+	}
+	return traceID, recs, nil
+}
