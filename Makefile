@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-race cover bench experiments examples torture net-torture cluster-smoke cluster-torture restart-smoke restart-torture snapshot-torture maint-smoke write-torture fuzz-smoke obs-smoke trace-smoke clean
+.PHONY: all build vet staticcheck test test-race cover bench experiments examples torture net-torture cluster-smoke cluster-torture hedge-smoke restart-smoke restart-torture snapshot-torture maint-smoke write-torture fuzz-smoke obs-smoke trace-smoke clean
 
 all: build vet staticcheck test test-race
 
@@ -59,6 +59,15 @@ cluster-smoke:
 cluster-torture:
 	$(GO) run -race ./cmd/pmvtorture -cluster -seeds 10 -v
 
+# Tail-tolerance smoke: the health/breaker/hedge loopback tests under
+# the race detector, then one seeded cluster chaos cycle with the tail
+# plane on — gray-ramp and flap events join the kill/blackhole/reset
+# mix, hedged probes race the slow shard, and the run must still hold
+# the exactly-once-or-flagged oracle (see internal/torture/clusterchaos.go).
+hedge-smoke:
+	$(GO) test -race -count=1 -run 'Health|Breaker|Hedge|Tail|Heartbeat|Budget|Phi|Ewma' ./internal/cluster/ ./internal/wire/ ./internal/netfault/
+	$(GO) run -race ./cmd/pmvtorture -cluster -tail -seeds 1 -clients 4 -queries 20 -v
+
 # Warm-restart chaos smoke: full shard reboots from snapshots under
 # chaos, each seed run warm then cold to prove the snapshot pays off,
 # plus the corrupt/stale rejection ladder
@@ -95,6 +104,9 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeRow -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzDecodeUpdate -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzDecodeTraceContext -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzDecodePing -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzDecodeProbe -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzDecodeRefill -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=30s ./internal/snapshot
 
 # Observability smoke test: boot pmvd with -obs on a scratch database,

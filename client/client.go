@@ -219,6 +219,7 @@ type Client struct {
 	retries     atomic.Int64
 	interrupted atomic.Int64
 	gaveUp      atomic.Int64
+	pingNonce   atomic.Uint64
 
 	mu   sync.Mutex
 	rng  *rand.Rand // backoff jitter; guarded by mu
@@ -428,6 +429,18 @@ func (c *Client) attempt(ctx context.Context, typ byte, payload []byte, recv fun
 		}
 		return &transient{err}
 	}
+	// Cancellation must unblock the request promptly even when ctx
+	// carries no deadline: a blackholed peer would otherwise hold the
+	// pending read until the far side breaks the connection. Closing
+	// the conn from the cancellation callback fails the read/write
+	// immediately; a conn closed that way is never reused.
+	conn := c.conn
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer func() {
+		if !stop() {
+			c.invalidate()
+		}
+	}()
 	if err := c.setDeadline(ctx); err != nil {
 		c.invalidate()
 		return &transient{err}

@@ -292,3 +292,92 @@ func TestRemoteErrorsAreNotRetried(t *testing.T) {
 		t.Fatalf("Retries = %d, want 0: server-reported errors are final", n)
 	}
 }
+
+// TestCancellationUnblocksStalledRead pins the probe-abandonment fix:
+// canceling the context must promptly unblock a client stuck reading
+// from a silent server — cancellation closes the connection out from
+// under the blocked read — even when the context carries no deadline,
+// and the dead conn must never be pooled for the next request.
+func TestCancellationUnblocksStalledRead(t *testing.T) {
+	f := startFake(t, "127.0.0.1:0", func(c net.Conn) {
+		if !ackHello(c) {
+			return
+		}
+		// Absorb the request and go silent: without the cancellation
+		// hook the client read would block forever.
+		buf := make([]byte, 4096)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	})
+
+	cfg := fastCfg(f.ln.Addr().String())
+	cfg.MaxRetries = 0
+	c := client.NewConfig(cfg)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Stats(ctx)
+	if err == nil {
+		t.Fatal("stalled request returned no error after cancel")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancel took %v to unblock the read, want prompt", d)
+	}
+	// The canceled conn must not have been pooled: the next request
+	// dials fresh and succeeds once the server behaves.
+	f.Close()
+	f2 := startFake(t, f.ln.Addr().String(), serveStats)
+	defer f2.Close()
+	cfg2 := fastCfg(f2.ln.Addr().String())
+	c2 := client.NewConfig(cfg2)
+	defer c2.Close()
+	if _, err := c2.Stats(context.Background()); err != nil {
+		t.Fatalf("fresh request after cancel failed: %v", err)
+	}
+}
+
+// TestPingRoundTrip exercises the heartbeat probe against a fake that
+// answers MsgPong, checking nonce echo and epoch plumbing.
+func TestPingRoundTrip(t *testing.T) {
+	f := startFake(t, "127.0.0.1:0", func(c net.Conn) {
+		if !ackHello(c) {
+			return
+		}
+		for {
+			typ, body, err := wire.ReadFrame(c)
+			if err != nil {
+				return
+			}
+			if typ != wire.MsgPing {
+				return
+			}
+			nonce, err := wire.DecodePing(body)
+			if err != nil {
+				return
+			}
+			if err := wire.WriteFrame(c, wire.MsgPong, wire.EncodePong(nil, nonce, 42)); err != nil {
+				return
+			}
+		}
+	})
+	c := client.NewConfig(fastCfg(f.ln.Addr().String()))
+	defer c.Close()
+	rtt, epoch, err := c.Ping(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 42 {
+		t.Fatalf("epoch = %d, want 42", epoch)
+	}
+	if rtt <= 0 {
+		t.Fatalf("rtt = %v, want positive", rtt)
+	}
+}

@@ -44,8 +44,14 @@ func (e *EpochError) Is(target error) bool { return target == wire.ErrEpoch }
 // a mid-stream death returns ErrInterrupted (already-delivered rows
 // stand — they are genuine result tuples the caller has recorded in
 // its DS multiset, so no retraction is ever needed).
-func (c *Client) ProbeParts(ctx context.Context, view string, epoch uint64, parts []wire.ProbePart, fn func(Tuple) error) (Report, error) {
-	payload, err := wire.EncodeProbe(wire.ProbeRequest{View: view, Epoch: epoch, Parts: parts})
+//
+// budget is the caller's remaining deadline budget: when positive it
+// rides the request so the shard abandons probe work the caller has
+// already given up on; zero adds no wire bytes.
+func (c *Client) ProbeParts(ctx context.Context, view string, epoch uint64, parts []wire.ProbePart, budget time.Duration, fn func(Tuple) error) (Report, error) {
+	payload, err := wire.EncodeProbe(wire.ProbeRequest{
+		View: view, Epoch: epoch, Parts: parts, BudgetNs: budgetNs(budget),
+	})
 	if err != nil {
 		return Report{}, err
 	}
@@ -145,13 +151,26 @@ func (c *Client) stream(ctx context.Context, typ byte, payload []byte, fn func(T
 	return rep, err
 }
 
+// budgetNs clamps a deadline budget for the wire: negative and zero
+// budgets both encode as "absent" (the caller either has no bound or
+// should not have sent the request at all).
+func budgetNs(budget time.Duration) uint64 {
+	if budget <= 0 {
+		return 0
+	}
+	return uint64(budget)
+}
+
 // Refill delivers Ls′ result tuples to the shard owning their bcps.
 // It is never retried: refill is best-effort free work, and the shard
 // side is idempotent at entry granularity, so dropping a delivery on a
 // transport failure is always safe while re-sending one is not known
-// to be. Returns how many tuples the shard cached.
-func (c *Client) Refill(ctx context.Context, view string, epoch uint64, tuples []value.Tuple) (int, error) {
-	payload, err := wire.EncodeRefill(wire.RefillRequest{View: view, Epoch: epoch, Tuples: tuples})
+// to be. Returns how many tuples the shard cached. budget follows the
+// ProbeParts contract.
+func (c *Client) Refill(ctx context.Context, view string, epoch uint64, tuples []value.Tuple, budget time.Duration) (int, error) {
+	payload, err := wire.EncodeRefill(wire.RefillRequest{
+		View: view, Epoch: epoch, Tuples: tuples, BudgetNs: budgetNs(budget),
+	})
 	if err != nil {
 		return 0, err
 	}

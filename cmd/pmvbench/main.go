@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pmvbench [-fig all|6|7|8|9|10|11|12|t1|serve|cluster|write|ablation-policy|ablation-maint|ablation-f|ablation-planner|ablation-dividers]
+//	pmvbench [-fig all|6|7|8|9|10|11|12|t1|serve|cluster|write|probe|tail|ablation-policy|ablation-maint|ablation-f|ablation-planner|ablation-dividers]
 //	         [-scale s] [-sim-div n] [-rounds n] [-dir path]
 //
 // -sim-div divides the simulation's 1M warm-up/measure query counts
@@ -41,6 +41,9 @@ func main() {
 	writeJSON := flag.String("write-json", "BENCH_write.json", "output path for the write benchmark's JSON result")
 	probeIters := flag.Int("probe-iters", 5000, "measured queries per pass in the probe benchmark")
 	probeJSON := flag.String("probe-json", "BENCH_probe.json", "output path for the probe benchmark's JSON result")
+	tailSessions := flag.Int("tail-sessions", 16, "concurrent client sessions for the tail benchmark")
+	tailQueries := flag.Int("tail-queries", 40, "queries per session for the tail benchmark")
+	tailJSON := flag.String("tail-json", "BENCH_tail.json", "output path for the tail benchmark's JSON result")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -91,6 +94,7 @@ func main() {
 		return writeBench(baseDir, *serveSessions, *writeOps, *writeBatch, *writeFrac, *zipfS, *writeJSON)
 	})
 	run("probe", func() error { return probeBench(baseDir, *probeIters, *probeJSON) })
+	run("tail", func() error { return tailBench(baseDir, *tailSessions, *tailQueries, *tailJSON) })
 }
 
 func title(name string) string {
@@ -119,6 +123,8 @@ func title(name string) string {
 		return "Write: batched maintenance plane vs per-statement"
 	case "probe":
 		return "Probe: single-session hot path, per-phase latency and allocation"
+	case "tail":
+		return "Tail: routed p99 with one gray shard, hedging + breakers vs plain"
 	default:
 		return name
 	}

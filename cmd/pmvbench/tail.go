@@ -1,0 +1,324 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"pmv"
+	"pmv/client"
+	"pmv/internal/cluster"
+	"pmv/internal/netfault"
+	"pmv/internal/server"
+)
+
+// tailSide is one measured configuration of the tail benchmark: the
+// routed storefront workload with a given router config and a given
+// amount of gray on shard 0's link.
+type tailSide struct {
+	Queries       int64   `json:"queries"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	TotalP50Ns    int64   `json:"total_p50_ns"`
+	TotalP99Ns    int64   `json:"total_p99_ns"`
+	// Flagged counts degraded answers (an open breaker skipping the gray
+	// shard's probes flags the query rather than stalling it).
+	Flagged int64 `json:"flagged"`
+	// Router-side tail counters (zero for the unhedged baseline).
+	Probes        int64   `json:"probes"`
+	Hedges        int64   `json:"hedges"`
+	HedgeWins     int64   `json:"hedge_wins"`
+	BreakerTrips  int64   `json:"breaker_trips"`
+	BreakerSkips  int64   `json:"breaker_skips"`
+	Amplification float64 `json:"hedge_amplification"`
+}
+
+// tailCase compares hedged+breakers against the plain router with one
+// gray shard at a fixed latency multiple.
+type tailCase struct {
+	GrayFactor    int      `json:"gray_factor"`
+	GrayLatencyNs int64    `json:"gray_latency_ns"`
+	Unhedged      tailSide `json:"unhedged"`
+	Hedged        tailSide `json:"hedged"`
+	// P99VsHealthy = hedged gray p99 / healthy p99 — the acceptance bar
+	// for the 10x case is <= 3.
+	P99VsHealthy float64 `json:"hedged_p99_vs_healthy"`
+}
+
+// tailResult is the machine-readable output of the tail benchmark
+// (BENCH_tail.json): routed latency quantiles with one gray shard at
+// 10x and 100x, with the tail-tolerance plane off and on.
+type tailResult struct {
+	Shards         int        `json:"shards"`
+	Sessions       int        `json:"sessions"`
+	QueriesPerSess int        `json:"queries_per_session"`
+	Healthy        tailSide   `json:"healthy"`
+	Cases          []tailCase `json:"cases"`
+}
+
+// tailWorkload drives the warm storefront mix against addr and returns
+// total-latency quantiles plus the router's tail counters.
+func tailWorkload(r *cluster.Router, sessions, queriesPerSess int) (tailSide, error) {
+	ctx := context.Background()
+	addr := r.Addr().String()
+
+	var (
+		mu      sync.Mutex
+		totals  []time.Duration
+		flagged int64
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	start := time.Now()
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c := client.New(addr)
+			defer c.Close()
+			myTotals := make([]time.Duration, 0, queriesPerSess)
+			var myFlagged int64
+			for i := int64(0); i < int64(queriesPerSess); i++ {
+				qStart := time.Now()
+				rep, err := c.ExecutePartial(ctx, "pmv_bench_sale",
+					serveConds((seed+i)%8, (seed*i)%5), nil)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				myTotals = append(myTotals, time.Since(qStart))
+				if rep.Degraded {
+					myFlagged++
+				}
+			}
+			mu.Lock()
+			totals = append(totals, myTotals...)
+			flagged += myFlagged
+			mu.Unlock()
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return tailSide{}, err
+	}
+
+	side := tailSide{
+		Queries:       int64(len(totals)),
+		QueriesPerSec: float64(len(totals)) / elapsed.Seconds(),
+		Flagged:       flagged,
+	}
+	side.TotalP50Ns, side.TotalP99Ns = quantilesNs(totals)
+	for _, sm := range r.Metrics().Shards {
+		side.Probes += sm.Probes.Load()
+		side.Hedges += sm.HedgesSent.Load()
+		side.HedgeWins += sm.HedgeWins.Load()
+		side.BreakerTrips += sm.BreakerTrips.Load()
+		side.BreakerSkips += sm.BreakerSkips.Load()
+	}
+	if side.Probes > 0 {
+		side.Amplification = float64(side.Hedges) / float64(side.Probes)
+	}
+	return side, nil
+}
+
+// tailBench measures routed tail latency with one gray shard. Three
+// shards serve the storefront workload; shard 0 sits behind a
+// fault-injecting proxy whose latency is swept from healthy to 10x and
+// 100x the healthy routed median. Each gray setting runs twice — the
+// plain router, then tail tolerance + hedged probes — and the JSON
+// records the p99 the plane claws back.
+func tailBench(dir string, sessions, queriesPerSess int, outPath string) error {
+	const shards = 3
+
+	newNode := func(name string) (*server.Server, func(), error) {
+		dbDir, err := os.MkdirTemp(dir, name)
+		if err != nil {
+			return nil, nil, err
+		}
+		db, err := pmv.Open(dbDir, pmv.Options{})
+		if err != nil {
+			os.RemoveAll(dbDir)
+			return nil, nil, err
+		}
+		if err := serveSchema(db); err != nil {
+			db.Close()
+			os.RemoveAll(dbDir)
+			return nil, nil, err
+		}
+		srv := server.New(db, server.Config{})
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			db.Close()
+			os.RemoveAll(dbDir)
+			return nil, nil, err
+		}
+		stop := func() {
+			srv.Shutdown()
+			db.Close()
+			os.RemoveAll(dbDir)
+		}
+		return srv, stop, nil
+	}
+
+	var stops []func()
+	defer func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}()
+
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		srv, stop, err := newNode(fmt.Sprintf("tail%d", i))
+		if err != nil {
+			return err
+		}
+		stops = append(stops, stop)
+		addrs[i] = srv.Addr().String()
+	}
+
+	// Shard 0 speaks through a fault proxy so the bench can dial gray in
+	// and out without touching the server.
+	inj := netfault.NewInjector(1)
+	proxy, err := netfault.NewProxy("127.0.0.1:0", addrs[0], inj)
+	if err != nil {
+		return err
+	}
+	stops = append(stops, func() { proxy.Close() })
+	addrs[0] = proxy.Addr().String()
+
+	plainCfg := cluster.Config{Shards: addrs}
+	tailCfg := cluster.Config{
+		Shards: addrs,
+		Hedge:  true,
+		// Fast heartbeats so the breaker scores a gray link within the
+		// priming phase; a long cooldown keeps half-open trial probes
+		// (which genuinely pay the gray latency, by design) rare enough
+		// that a short measured window reflects the steady state.
+		HeartbeatInterval: 50 * time.Millisecond,
+		BreakerCooldown:   4 * time.Second,
+	}
+
+	// One run = fresh router (fresh health state), shared shards (warm
+	// PMV caches persist across runs).
+	runSide := func(cfg cluster.Config, prime time.Duration) (tailSide, error) {
+		r, err := cluster.NewRouter(cfg)
+		if err != nil {
+			return tailSide{}, err
+		}
+		if err := r.Start("127.0.0.1:0"); err != nil {
+			return tailSide{}, err
+		}
+		defer r.Shutdown()
+		if prime > 0 {
+			// Let heartbeats feel the gray link and trip the breaker
+			// before measurement starts: steady state, not the slope.
+			time.Sleep(prime)
+		}
+		return tailWorkload(r, sessions, queriesPerSess)
+	}
+
+	// Warm every pair once through a throwaway router: two passes, so
+	// the measured runs all hit the refilled caches.
+	warmR, err := cluster.NewRouter(plainCfg)
+	if err != nil {
+		return err
+	}
+	if err := warmR.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	warm := client.New(warmR.Addr().String())
+	for pass := 0; pass < 2; pass++ {
+		for c := int64(0); c < 8; c++ {
+			for st := int64(0); st < 5; st++ {
+				if _, err := warm.ExecutePartial(context.Background(), "pmv_bench_sale", serveConds(c, st), nil); err != nil {
+					warm.Close()
+					warmR.Shutdown()
+					return err
+				}
+			}
+		}
+	}
+	warm.Close()
+	warmR.Shutdown()
+
+	res := tailResult{Shards: shards, Sessions: sessions, QueriesPerSess: queriesPerSess}
+
+	// Healthy reference, tail plane on: what the fleet looks like with
+	// nothing wrong.
+	res.Healthy, err = tailBenchCase(&res, inj, runSide, tailCfg, plainCfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("  healthy: p50=%v p99=%v (%.0f q/s, amplification %.3f)\n",
+		time.Duration(res.Healthy.TotalP50Ns), time.Duration(res.Healthy.TotalP99Ns),
+		res.Healthy.QueriesPerSec, res.Healthy.Amplification)
+	for _, tc := range res.Cases {
+		fmt.Printf("  gray %3dx (%v): unhedged p99=%v -> hedged p99=%v (%.2fx healthy, bar <= 3x at 10x; trips=%d skips=%d hedges=%d amplification %.3f)\n",
+			tc.GrayFactor, time.Duration(tc.GrayLatencyNs),
+			time.Duration(tc.Unhedged.TotalP99Ns), time.Duration(tc.Hedged.TotalP99Ns),
+			tc.P99VsHealthy, tc.Hedged.BreakerTrips, tc.Hedged.BreakerSkips,
+			tc.Hedged.Hedges, tc.Hedged.Amplification)
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
+}
+
+// tailBenchCase runs the healthy reference and both gray sweeps,
+// filling res.Cases, and returns the healthy side.
+func tailBenchCase(res *tailResult, inj *netfault.Injector,
+	runSide func(cluster.Config, time.Duration) (tailSide, error),
+	tailCfg, plainCfg cluster.Config) (tailSide, error) {
+
+	inj.SetShape(netfault.Shape{})
+	healthy, err := runSide(tailCfg, 0)
+	if err != nil {
+		return tailSide{}, err
+	}
+
+	for _, factor := range []int{10, 100} {
+		gray := time.Duration(healthy.TotalP50Ns) * time.Duration(factor)
+		// Keep the sweep on the regime the detector is built for: above
+		// the 5ms breaker latency floor, below a runaway bench time.
+		if gray < 8*time.Millisecond {
+			gray = 8 * time.Millisecond
+		}
+		if gray > 150*time.Millisecond {
+			gray = 150 * time.Millisecond
+		}
+		inj.SetShape(netfault.Shape{Latency: gray})
+
+		unhedged, err := runSide(plainCfg, 0)
+		if err != nil {
+			return tailSide{}, err
+		}
+		hedged, err := runSide(tailCfg, 1250*time.Millisecond)
+		if err != nil {
+			return tailSide{}, err
+		}
+		tc := tailCase{
+			GrayFactor:    factor,
+			GrayLatencyNs: int64(gray),
+			Unhedged:      unhedged,
+			Hedged:        hedged,
+		}
+		if healthy.TotalP99Ns > 0 {
+			tc.P99VsHealthy = float64(hedged.TotalP99Ns) / float64(healthy.TotalP99Ns)
+		}
+		res.Cases = append(res.Cases, tc)
+	}
+	inj.SetShape(netfault.Shape{})
+	return healthy, nil
+}

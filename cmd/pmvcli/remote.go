@@ -420,6 +420,10 @@ func (r *remoteBackend) fleet() error {
 	for i, fs := range fl.Shards {
 		if !fs.Up {
 			fmt.Printf("  [%d] %-22s DOWN (%s)\n", i, fs.Addr, fs.Error)
+			if h := fs.Health; h != nil {
+				fmt.Printf("      health: breaker %s, phi %.1f, %d consec fails, trips %d, skips %d\n",
+					h.Breaker, h.Phi, h.ConsecFails, h.Trips, h.Skips)
+			}
 			continue
 		}
 		state := "in sync"
@@ -439,6 +443,21 @@ func (r *remoteBackend) fleet() error {
 			}
 		}
 		fmt.Println(line)
+		if h := fs.Health; h != nil {
+			hline := fmt.Sprintf("      health: breaker %s, ewma %.2fms ±%.2fms, phi %.1f",
+				h.Breaker, h.EwmaMs, h.DevMs, h.Phi)
+			if h.ConsecFails > 0 {
+				hline += fmt.Sprintf(", %d consec fails", h.ConsecFails)
+			}
+			hline += fmt.Sprintf("; beats %d (%d failed)", h.Beats, h.BeatFails)
+			if h.HedgesSent > 0 {
+				hline += fmt.Sprintf(", hedges %d (%d won)", h.HedgesSent, h.HedgeWins)
+			}
+			if h.Trips > 0 {
+				hline += fmt.Sprintf(", trips %d, skips %d", h.Trips, h.Skips)
+			}
+			fmt.Println(hline)
+		}
 	}
 	return nil
 }

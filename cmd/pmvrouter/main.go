@@ -46,6 +46,14 @@ func main() {
 		writeTO  = flag.Duration("write-timeout", 30*time.Second, "max time for each response write before the session is dropped (negative = off)")
 		trace    = flag.Bool("trace", false, "sample every routed query into the trace store (pmvcli trace); togglable at runtime via pmvcli trace on|off")
 		slow     = flag.Duration("slow", 0, "record routed queries at or above this duration in the slow ring (0 = off; degraded queries are recorded regardless)")
+
+		tail       = flag.Bool("tail", false, "enable the tail-tolerance plane: per-shard health scoring, circuit breakers, heartbeats, and deadline-budget propagation")
+		hedge      = flag.Bool("hedge", false, "enable hedged O2 probes (implies -tail): race a second probe against a slow shard, first wins")
+		heartbeat  = flag.Duration("heartbeat", 0, "health heartbeat interval (0 = default 500ms; needs -tail)")
+		brkFails   = flag.Int("breaker-failures", 0, "consecutive failures that trip a shard's breaker (0 = default 3; needs -tail)")
+		brkCool    = flag.Duration("breaker-cooldown", 0, "first breaker open period before a half-open trial, doubling per re-trip (0 = default 500ms; needs -tail)")
+		hedgeAfter = flag.Duration("hedge-max-delay", 0, "upper clamp on the adaptive hedge delay (0 = default 50ms; needs -hedge)")
+		hedgeRate  = flag.Float64("hedge-rate", 0, "hedge-token income per primary probe, i.e. the amplification cap (0 = default 0.05; needs -hedge)")
 	)
 	flag.Parse()
 
@@ -77,6 +85,14 @@ func main() {
 		WriteTimeout:    *writeTO,
 		Trace:           *trace,
 		SlowThreshold:   *slow,
+
+		TailTolerance:        *tail,
+		Hedge:                *hedge,
+		HeartbeatInterval:    *heartbeat,
+		BreakerFailThreshold: *brkFails,
+		BreakerCooldown:      *brkCool,
+		HedgeMaxDelay:        *hedgeAfter,
+		HedgeRate:            *hedgeRate,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmvrouter: %v\n", err)
@@ -86,7 +102,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pmvrouter: listen %s: %v\n", *addr, err)
 		os.Exit(1)
 	}
-	log.Printf("pmvrouter: routing %d shards on %s (epoch=%d)", len(shardList), r.Addr(), *epoch)
+	mode := ""
+	if *hedge {
+		mode = ", tail tolerance + hedged probes"
+	} else if *tail {
+		mode = ", tail tolerance"
+	}
+	log.Printf("pmvrouter: routing %d shards on %s (epoch=%d%s)", len(shardList), r.Addr(), *epoch, mode)
 
 	if *obsAddr != "" {
 		obsSrv, bound, err := obs.Serve(*obsAddr, r.WritePrometheus)

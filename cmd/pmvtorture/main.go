@@ -15,7 +15,11 @@
 // With -cluster it runs the cluster-plane chaos harness: a 3-shard
 // cluster behind per-shard fault proxies with a router in front, while
 // a seeded driver kills/restarts shards, blackholes links, and fires
-// reset bursts (see internal/torture/clusterchaos.go).
+// reset bursts (see internal/torture/clusterchaos.go). Adding -tail
+// turns on the router's tail-tolerance plane (health scoring, circuit
+// breakers, hedged probes) and mixes gray-ramp and flapping-link
+// events into the schedule, so hedged duplicate row streams run
+// against the same exactly-once oracle.
 //
 // With -restart it runs the warm-restart chaos harness: the cluster
 // topology, but kills are full process deaths (snapshot written,
@@ -40,7 +44,7 @@
 //
 //	pmvtorture [-seeds 50] [-start 0] [-ops 300] [-v]
 //	pmvtorture -net [-seeds 10] [-start 0] [-clients 8] [-queries 50] [-v]
-//	pmvtorture -cluster [-seeds 3] [-start 0] [-clients 6] [-queries 30] [-v]
+//	pmvtorture -cluster [-tail] [-seeds 3] [-start 0] [-clients 6] [-queries 30] [-v]
 //	pmvtorture -restart [-seeds 3] [-start 0] [-clients 6] [-queries 30] [-v]
 //	pmvtorture -snap [-seeds 10] [-start 0] [-cycles 10] [-v]
 //	pmvtorture -write [-seeds 3] [-start 0] [-writers 4] [-writes 40] [-readers 4] [-v]
@@ -63,6 +67,7 @@ func main() {
 	restartMode := flag.Bool("restart", false, "run the warm-restart chaos harness (full shard reboots from snapshots, warm-vs-cold compared per seed)")
 	snapMode := flag.Bool("snap", false, "run the snapshot-fault harness (faulted snapshot write/boot cycles)")
 	writeMode := flag.Bool("write", false, "run the write-plane chaos harness (concurrent writers + readers against 3 planed shards, per-pid staleness oracle)")
+	tail := flag.Bool("tail", false, "cluster mode: enable the tail-tolerance plane and add gray-ramp/flap chaos events")
 	clients := flag.Int("clients", 8, "concurrent self-healing clients per seed (net/cluster/restart mode)")
 	queries := flag.Int("queries", 50, "queries per client per seed (net/cluster/restart mode)")
 	cycles := flag.Int("cycles", 10, "fill→snapshot→reboot cycles per seed (snap mode)")
@@ -85,7 +90,7 @@ func main() {
 		return
 	}
 	if *clusterMode {
-		runCluster(*seeds, *start, *clients, *queries, *verbose)
+		runCluster(*seeds, *start, *clients, *queries, *tail, *verbose)
 		return
 	}
 	if *netMode {
@@ -209,24 +214,33 @@ func runWrite(seeds int, start int64, writers, writes, readers int, verbose bool
 	}
 }
 
-func runCluster(seeds int, start int64, clients, queries int, verbose bool) {
+func runCluster(seeds int, start int64, clients, queries int, tail, verbose bool) {
 	failed := 0
 	for i := 0; i < seeds; i++ {
 		seed := start + int64(i)
-		rep, err := torture.RunCluster(torture.ClusterOptions{Seed: seed, Clients: clients, Queries: queries})
+		rep, err := torture.RunCluster(torture.ClusterOptions{Seed: seed, Clients: clients, Queries: queries, Tail: tail})
 		if err != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", seed, err)
 			continue
 		}
 		if verbose {
-			fmt.Printf("ok   seed=%d queries=%d clean=%d flagged=%d interrupted=%d unavailable=%d remote=%d ctx=%d kills=%d blackholes=%d bursts=%d installs=%d retries=%d redials=%d\n",
+			line := fmt.Sprintf("ok   seed=%d queries=%d clean=%d flagged=%d interrupted=%d unavailable=%d remote=%d ctx=%d kills=%d blackholes=%d bursts=%d installs=%d retries=%d redials=%d",
 				seed, rep.Queries, rep.Clean, rep.Flagged, rep.Interrupted, rep.Unavailable, rep.Remote,
 				rep.CtxExpired, rep.Kills, rep.Blackholes, rep.ResetBursts, rep.EpochInstalls,
 				rep.Retries, rep.Redials)
+			if tail {
+				line += fmt.Sprintf(" grays=%d flaps=%d hedges=%d hedgewins=%d trips=%d skips=%d",
+					rep.GrayRamps, rep.Flaps, rep.Hedges, rep.HedgeWins, rep.BreakerTrips, rep.BreakerSkips)
+			}
+			fmt.Println(line)
 		}
 	}
-	fmt.Printf("pmvtorture -cluster: %d seeds, %d failed\n", seeds, failed)
+	mode := "-cluster"
+	if tail {
+		mode = "-cluster -tail"
+	}
+	fmt.Printf("pmvtorture %s: %d seeds, %d failed\n", mode, seeds, failed)
 	if failed > 0 {
 		os.Exit(1)
 	}

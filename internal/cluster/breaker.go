@@ -1,0 +1,137 @@
+// breaker.go is the per-shard circuit breaker: closed (traffic flows),
+// open (probes are skipped-and-flagged instead of awaited), half-open
+// (one trial admitted after a jittered cooldown; its outcome decides).
+// The trip decision itself lives in health.go — the breaker is only
+// the admission state machine. Skipping a shard is always safe in this
+// protocol: a missing O2 answer legally degrades the query to a
+// flagged partial, exactly like a dead shard does today, and O3 never
+// consults the breaker for correctness (only for failover ordering).
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type breakerState int32
+
+const (
+	bkClosed breakerState = iota
+	bkOpen
+	bkHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case bkOpen:
+		return "open"
+	case bkHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one shard's admission state machine. state is atomic so
+// the closed-state fast path is a single load; transitions take mu.
+type breaker struct {
+	state atomic.Int32
+
+	mu       sync.Mutex
+	openedAt time.Time
+	wait     time.Duration // jittered current cooldown
+	cooldown time.Duration // escalating base, reset on close
+	trial    bool          // a half-open trial is in flight
+
+	base, max time.Duration
+	rng       *rand.Rand // jitter; guarded by mu
+}
+
+func newBreaker(base, max time.Duration, seed int64) *breaker {
+	return &breaker{base: base, max: max, cooldown: base,
+		rng: rand.New(rand.NewSource(seed))}
+}
+
+// allow asks whether one probe may be sent now. In the open state the
+// answer flips to (true, true) — admit as the half-open trial — once
+// the jittered cooldown has elapsed; while a trial is in flight every
+// other caller is refused.
+func (b *breaker) allow(now time.Time) (admit, trial bool) {
+	if b.state.Load() == int32(bkClosed) {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch breakerState(b.state.Load()) {
+	case bkClosed: // raced a close
+		return true, false
+	case bkOpen:
+		if now.Sub(b.openedAt) < b.wait {
+			return false, false
+		}
+		b.state.Store(int32(bkHalfOpen))
+		b.trial = true
+		return true, true
+	default: // half-open
+		if b.trial {
+			return false, false
+		}
+		b.trial = true
+		return true, true
+	}
+}
+
+// trip opens a closed (or half-open) breaker. Returns whether a
+// transition happened. The cooldown is jittered to [wait/2, wait) so a
+// fleet of routers does not re-trial a recovering shard in lockstep.
+func (b *breaker) trip(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tripLocked(now)
+}
+
+func (b *breaker) tripLocked(now time.Time) bool {
+	if breakerState(b.state.Load()) == bkOpen {
+		return false
+	}
+	b.state.Store(int32(bkOpen))
+	b.openedAt = now
+	b.trial = false
+	b.wait = b.cooldown/2 + time.Duration(b.rng.Int63n(int64(b.cooldown/2)+1))
+	if b.cooldown *= 2; b.cooldown > b.max {
+		b.cooldown = b.max
+	}
+	return true
+}
+
+// resolveTrial settles the in-flight half-open trial: healthy closes
+// the breaker (and resets the cooldown escalation), sick re-opens with
+// a longer cooldown. Returns whether this call performed a transition
+// (false when no trial was outstanding — e.g. the breaker was reset by
+// an epoch install while the trial flew).
+func (b *breaker) resolveTrial(healthy bool, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if breakerState(b.state.Load()) != bkHalfOpen || !b.trial {
+		return false
+	}
+	b.trial = false
+	if healthy {
+		b.state.Store(int32(bkClosed))
+		b.cooldown = b.base
+		return true
+	}
+	return b.tripLocked(now)
+}
+
+// reset force-closes the breaker (epoch-aware reset on shard-map
+// install: suspicion accrued under the old map is stale).
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state.Store(int32(bkClosed))
+	b.trial = false
+	b.cooldown = b.base
+}

@@ -56,6 +56,10 @@ type Metrics struct {
 	FanoutFailures atomic.Int64
 	FanoutLagNs    atomic.Int64 // cumulative ack-to-delivered lag
 
+	// Tail-tolerance plane: hedges refused by the token budget (the
+	// per-shard hedge counters live in ShardMetrics).
+	HedgeDenied atomic.Int64
+
 	// Scatter times the probe fan-out (O1 + the slowest shard's O2),
 	// Exec the routed O3, Total whole routed queries.
 	Scatter server.Hist
@@ -83,6 +87,15 @@ type ShardMetrics struct {
 	UpdateFailures atomic.Int64 // update batches the shard failed
 	InvalsSent     atomic.Int64 // invalidation requests dispatched
 	InvalFailures  atomic.Int64 // invalidations lost after the full ladder
+
+	// Tail-tolerance plane (all zero when Config.TailTolerance is off).
+	Beats        atomic.Int64 // heartbeat pings sent
+	BeatFailures atomic.Int64 // heartbeat pings failed
+	HedgesSent   atomic.Int64 // hedge probes launched
+	HedgeWins    atomic.Int64 // races the hedge arm won
+	BreakerTrips atomic.Int64 // closed/half-open -> open transitions
+	BreakerSkips atomic.Int64 // probes skipped-and-flagged by an open breaker
+	TrialProbes  atomic.Int64 // probes admitted as half-open trials
 
 	// ProbeLatency times this shard's probe round trips.
 	ProbeLatency server.Hist

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"io"
+	"time"
 
 	"pmv/internal/obs"
 )
@@ -93,6 +94,38 @@ func (r *Router) WritePrometheus(w io.Writer) error {
 		func(sm *ShardMetrics) int64 { return sm.InvalsSent.Load() })
 	shardCounter("pmvrouter_shard_inval_failures_total", "Invalidations the shard never received.",
 		func(sm *ShardMetrics) int64 { return sm.InvalFailures.Load() })
+
+	if r.tt != nil {
+		p.Counter("pmvrouter_hedge_denied_total", "Hedge probes refused by the token budget.", float64(m.HedgeDenied.Load()))
+		shardCounter("pmvrouter_shard_beats_total", "Heartbeat pings sent to the shard.",
+			func(sm *ShardMetrics) int64 { return sm.Beats.Load() })
+		shardCounter("pmvrouter_shard_beat_failures_total", "Heartbeat pings the shard failed.",
+			func(sm *ShardMetrics) int64 { return sm.BeatFailures.Load() })
+		shardCounter("pmvrouter_shard_hedges_total", "Hedge probes launched against the shard.",
+			func(sm *ShardMetrics) int64 { return sm.HedgesSent.Load() })
+		shardCounter("pmvrouter_shard_hedge_wins_total", "Probe races the hedge arm won.",
+			func(sm *ShardMetrics) int64 { return sm.HedgeWins.Load() })
+		shardCounter("pmvrouter_shard_breaker_trips_total", "Circuit-breaker transitions to open.",
+			func(sm *ShardMetrics) int64 { return sm.BreakerTrips.Load() })
+		shardCounter("pmvrouter_shard_breaker_skips_total", "Probes skipped-and-flagged by an open breaker.",
+			func(sm *ShardMetrics) int64 { return sm.BreakerSkips.Load() })
+		shardCounter("pmvrouter_shard_trial_probes_total", "Probes admitted as half-open breaker trials.",
+			func(sm *ShardMetrics) int64 { return sm.TrialProbes.Load() })
+
+		healthGauge := func(name, help string, get func(shard int) float64) {
+			p.Header(name, "gauge", help)
+			for shard, sm := range m.Shards {
+				p.Sample(name, obs.Label("shard", sm.Addr), get(shard))
+			}
+		}
+		now := time.Now()
+		healthGauge("pmvrouter_shard_health_ewma_seconds", "EWMA probe/heartbeat round-trip latency.",
+			func(shard int) float64 { return float64(r.tt.health[shard].ewmaNs.Load()) / 1e9 })
+		healthGauge("pmvrouter_shard_health_phi", "Phi-accrual suspicion level (0 = healthy).",
+			func(shard int) float64 { return r.tt.health[shard].phi(now) })
+		healthGauge("pmvrouter_shard_breaker_state", "Breaker state (0 closed, 1 open, 2 half-open).",
+			func(shard int) float64 { return float64(r.tt.breakers[shard].state.Load()) })
+	}
 
 	p.Header("pmvrouter_shard_probe_seconds", "histogram", "Per-shard probe round-trip latency.")
 	for _, sm := range m.Shards {

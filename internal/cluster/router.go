@@ -93,6 +93,47 @@ type Config struct {
 	// SlowThreshold records routed queries at or above this duration in
 	// the slow ring (0 = disabled at startup; togglable via MsgTrace).
 	SlowThreshold time.Duration
+
+	// TailTolerance enables the tail-tolerance plane: per-shard health
+	// scoring fed by every probe/exec/refill outcome plus a heartbeat,
+	// circuit breakers that skip-and-flag sick shards instead of
+	// awaiting them, and deadline-budget propagation on probe/refill
+	// requests. Off by default; when off, none of the machinery runs,
+	// allocates, or adds wire bytes.
+	TailTolerance bool
+	// Hedge enables hedged O2 probes (implies TailTolerance): a probe
+	// still outstanding past the shard's adaptive hedge delay races a
+	// second copy, first-wins with cancellation, capped by a token
+	// budget.
+	Hedge bool
+	// HeartbeatInterval paces the health pings (default 500ms).
+	HeartbeatInterval time.Duration
+	// BreakerFailThreshold trips a breaker after this many consecutive
+	// failures (default 3).
+	BreakerFailThreshold int
+	// BreakerPhi trips a breaker when the phi-accrual suspicion level
+	// reaches it (default 8 — the silence is ~10⁸× longer than normal).
+	BreakerPhi float64
+	// BreakerLatencyFactor trips a breaker whose shard's latency EWMA
+	// exceeds this multiple of the fleet's median EWMA (default 6),
+	// but only above BreakerLatencyFloor (default 5ms) — the gray-shard
+	// trip that decouples routed p99 from a slow-but-alive shard.
+	BreakerLatencyFactor float64
+	BreakerLatencyFloor  time.Duration
+	// BreakerCooldown is the first open period before a half-open trial
+	// (default 500ms, jittered, doubling per re-trip up to
+	// BreakerMaxCooldown, default 8s).
+	BreakerCooldown    time.Duration
+	BreakerMaxCooldown time.Duration
+	// HedgeMinDelay / HedgeMaxDelay clamp the adaptive hedge delay
+	// (defaults 1ms / 50ms).
+	HedgeMinDelay time.Duration
+	HedgeMaxDelay time.Duration
+	// HedgeRate is the hedge-token income per primary probe (default
+	// 0.05 — steady-state hedge amplification is capped at 5% extra
+	// probes); HedgeBurst is the bucket cap (default 4).
+	HedgeRate  float64
+	HedgeBurst float64
 }
 
 func (c *Config) fill() error {
@@ -129,6 +170,44 @@ func (c *Config) fill() error {
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 30 * time.Second
 	}
+	if c.Hedge {
+		c.TailTolerance = true
+	}
+	if c.TailTolerance {
+		if c.HeartbeatInterval <= 0 {
+			c.HeartbeatInterval = 500 * time.Millisecond
+		}
+		if c.BreakerFailThreshold <= 0 {
+			c.BreakerFailThreshold = 3
+		}
+		if c.BreakerPhi <= 0 {
+			c.BreakerPhi = 8
+		}
+		if c.BreakerLatencyFactor <= 0 {
+			c.BreakerLatencyFactor = 6
+		}
+		if c.BreakerLatencyFloor <= 0 {
+			c.BreakerLatencyFloor = 5 * time.Millisecond
+		}
+		if c.BreakerCooldown <= 0 {
+			c.BreakerCooldown = 500 * time.Millisecond
+		}
+		if c.BreakerMaxCooldown <= 0 {
+			c.BreakerMaxCooldown = 8 * time.Second
+		}
+		if c.HedgeMinDelay <= 0 {
+			c.HedgeMinDelay = time.Millisecond
+		}
+		if c.HedgeMaxDelay <= 0 {
+			c.HedgeMaxDelay = 50 * time.Millisecond
+		}
+		if c.HedgeRate <= 0 {
+			c.HedgeRate = 0.05
+		}
+		if c.HedgeBurst <= 0 {
+			c.HedgeBurst = 4
+		}
+	}
 	return nil
 }
 
@@ -162,6 +241,11 @@ type Router struct {
 	queryID atomic.Uint64 // local trace/slow-record id source
 	traces  *traceStore
 	slow    *slowRing
+
+	// tt is the tail-tolerance plane (health scoring, breakers, hedge
+	// budget); nil unless Config.TailTolerance — every touchpoint is a
+	// single nil check when disabled.
+	tt *tailTolerance
 }
 
 // viewMeta is the router's cached routing metadata for one view:
@@ -200,6 +284,9 @@ func NewRouter(cfg Config) (*Router, error) {
 		r.slowNs.Store(int64(cfg.SlowThreshold))
 	} else {
 		r.slowNs.Store(-1)
+	}
+	if cfg.TailTolerance {
+		r.tt = newTailTolerance(&r.cfg, len(cfg.Shards))
 	}
 	for i, addr := range cfg.Shards {
 		r.pools[i] = newPool(addr, cfg.DialTimeout, cfg.ClientsPerShard)
@@ -240,6 +327,10 @@ func (r *Router) Serve(ln net.Listener) {
 		defer r.wg.Done()
 		r.installEverywhere(r.shardMap())
 	}()
+	if r.tt != nil {
+		r.wg.Add(1)
+		go r.heartbeatLoop()
+	}
 	r.wg.Add(1)
 	go r.acceptLoop(ln)
 }
@@ -497,6 +588,8 @@ func (r *Router) dispatch(sess *rsession, typ byte, payload []byte) error {
 		return r.handleTraceGet(bw, payload)
 	case wire.MsgFleet:
 		return r.handleFleet(bw)
+	case wire.MsgPing:
+		return r.handlePing(bw, payload)
 	case wire.MsgProbeParts, wire.MsgExec, wire.MsgRefill:
 		return r.writeErr(bw, errors.New("router: shard-internal request; this is a router"))
 	default:
@@ -604,6 +697,12 @@ func (r *Router) handleShardMap(bw *bufio.Writer, payload []byte) error {
 		}
 		r.smap = m
 		r.smu.Unlock()
+		if r.tt != nil {
+			// Epoch-aware reset: the re-teach invalidates suspicion
+			// accrued under the old map, and the install traffic itself
+			// must not be refused by a breaker left open.
+			r.tt.resetBreakers()
+		}
 		r.installEverywhere(m)
 	}
 	return r.reply(bw, r.shardMap().Wire())
@@ -658,8 +757,16 @@ func (r *Router) viewMeta(ctx context.Context, name string) (*viewMeta, error) {
 	}
 	r.vmu.Unlock()
 
+	// Open-breaker shards go last: a cold metadata miss on a fresh view
+	// must not stall every first query behind a known-sick shard when
+	// any healthy one can answer.
+	order := r.execOrder(0, len(r.pools))
 	var lastErr error
-	for shard := range r.pools {
+	for i := range r.pools {
+		shard := i
+		if order != nil {
+			shard = order[i]
+		}
 		c := r.pools[shard].get()
 		views, err := c.Views(ctx)
 		r.pools[shard].put(c, err == nil)
@@ -847,9 +954,13 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 	if tr.Enabled() {
 		o3Start = time.Now()
 	}
+	order := r.execOrder(firstShard, nShards)
 	for attempt := 0; attempt < nShards; attempt++ {
 		attempts++
 		shard := (firstShard + attempt) % nShards
+		if order != nil {
+			shard = order[attempt]
+		}
 		ds = maps.Clone(snapshot)
 		execRows, refill = 0, nil
 		sm := r.metrics.Shards[shard]
@@ -875,6 +986,12 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 			return nil
 		})
 		r.pools[shard].put(c, execErr == nil || errors.Is(execErr, client.ErrRemote))
+		if execErr == nil || ctx.Err() == nil {
+			// Exec latency is workload-shaped, so only the verdict feeds
+			// the failure detector (d=0); a deadline-ended attempt blames
+			// neither side.
+			r.noteOutcome(shard, outcomeExec, 0, execErr, false)
+		}
 		if emitFail != nil {
 			return emitFail
 		}
@@ -984,18 +1101,35 @@ func (r *Router) scatterProbes(ctx context.Context, meta *viewMeta, parts []core
 
 	tr := obs.FromContext(ctx)
 	var (
-		mu sync.Mutex
-		wg sync.WaitGroup
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		skipped bool
 	)
 	for shard, batch := range groups {
+		// Breaker gate: a shard scored sick is skipped-and-flagged, the
+		// same degradation contract as a dead shard — except no one
+		// waits for it.
+		admit, trial := r.allowProbe(shard)
+		if !admit {
+			skipped = true
+			if tr.Enabled() {
+				tr.AddSpans(obs.Span{
+					Kind:   obs.KindO2Probe,
+					Start:  time.Since(tr.Begin),
+					N1:     int64(len(batch)),
+					Source: r.cfg.Shards[shard] + " (breaker open)",
+				})
+			}
+			continue
+		}
 		wg.Add(1)
-		go func(shard int, batch []wire.ProbePart) {
+		go func(shard int, batch []wire.ProbePart, trial bool) {
 			defer wg.Done()
 			var pStart time.Time
 			if tr.Enabled() {
 				pStart = time.Now()
 			}
-			rep, err := r.probeShard(ctx, shard, meta.name, m, batch, emit)
+			rep, err := r.hedgedProbeShard(ctx, shard, meta.name, m, batch, trial, emit)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -1017,10 +1151,10 @@ func (r *Router) scatterProbes(ctx context.Context, meta *viewMeta, parts []core
 			if rep.Hit {
 				hit = true
 			}
-		}(shard, batch)
+		}(shard, batch, trial)
 	}
 	wg.Wait()
-	return hit, degraded
+	return hit, degraded || skipped
 }
 
 // probeShard sends one probe batch, re-installing the shard map and
@@ -1028,14 +1162,14 @@ func (r *Router) scatterProbes(ctx context.Context, meta *viewMeta, parts []core
 // restart-recovery path: a rebooted shard holds epoch 0 until a router
 // re-teaches it the map). Epoch errors arrive before any row, so the
 // retry can never duplicate a partial.
-func (r *Router) probeShard(ctx context.Context, shard int, view string, m *ShardMap, batch []wire.ProbePart, emit func(value.Tuple) error) (client.Report, error) {
+func (r *Router) probeShard(ctx context.Context, shard int, view string, m *ShardMap, batch []wire.ProbePart, trial bool, emit func(value.Tuple) error) (client.Report, error) {
 	sm := r.metrics.Shards[shard]
 	for attempt := 0; ; attempt++ {
 		sm.Probes.Add(1)
 		start := time.Now()
 		c := r.pools[shard].get()
 		rows := 0
-		rep, err := c.ProbeParts(ctx, view, m.Epoch(), batch, func(t client.Tuple) error {
+		rep, err := c.ProbeParts(ctx, view, m.Epoch(), batch, r.probeBudget(ctx), func(t client.Tuple) error {
 			rows++
 			return emit(t)
 		})
@@ -1043,6 +1177,7 @@ func (r *Router) probeShard(ctx context.Context, shard int, view string, m *Shar
 		sm.ProbeLatency.Observe(time.Since(start))
 		sm.ProbeRows.Add(int64(rows))
 		if err == nil {
+			r.noteOutcome(shard, outcomeProbe, time.Since(start), nil, trial)
 			return rep, nil
 		}
 		if errors.Is(err, wire.ErrEpoch) && attempt == 0 && ctx.Err() == nil {
@@ -1051,6 +1186,7 @@ func (r *Router) probeShard(ctx context.Context, shard int, view string, m *Shar
 			}
 		}
 		sm.ProbeFailures.Add(1)
+		r.noteOutcome(shard, outcomeProbe, time.Since(start), err, trial)
 		return rep, err
 	}
 }
@@ -1089,8 +1225,9 @@ func (r *Router) spawnRefill(tr *obs.Trace, meta *viewMeta, tuples []value.Tuple
 			sm := r.metrics.Shards[shard]
 			sm.RefillsSent.Add(1)
 			c := r.pools[shard].get()
-			cached, err := c.Refill(ctx, meta.name, m.Epoch(), batch)
+			cached, err := c.Refill(ctx, meta.name, m.Epoch(), batch, r.probeBudget(ctx))
 			r.pools[shard].put(c, err == nil || errors.Is(err, client.ErrRemote) || errors.Is(err, wire.ErrEpoch))
+			r.noteOutcome(shard, outcomeRefill, 0, err, false)
 			if err != nil {
 				sm.RefillFailures.Add(1)
 				if errors.Is(err, wire.ErrEpoch) {

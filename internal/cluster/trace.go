@@ -294,7 +294,7 @@ func (r *Router) handleFleet(bw *bufio.Writer) error {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			fs := wire.FleetShard{Addr: r.cfg.Shards[shard]}
+			fs := wire.FleetShard{Addr: r.cfg.Shards[shard], Health: r.healthWire(shard)}
 			c := r.pools[shard].get()
 			sm, err := c.ShardMap(ctx)
 			if err == nil {

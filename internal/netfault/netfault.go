@@ -104,6 +104,22 @@ type Shape struct {
 	// BytesPerSec caps throughput per conn direction (0 = unlimited),
 	// modeled as a post-transfer sleep proportional to bytes moved.
 	BytesPerSec int
+
+	// RampLatency, when nonzero, adds extra latency that grows linearly
+	// from zero to RampLatency over RampOver (clocked from the shape's
+	// install) and then holds — the graying-shard signature, a node that
+	// degrades instead of dying. RampOver <= 0 means the full ramp is in
+	// effect immediately.
+	RampLatency time.Duration
+	RampOver    time.Duration
+
+	// FlapUp/FlapDown, when both are nonzero, gate every shaping delay
+	// (Latency, Jitter, ramp) on a square wave clocked from the shape's
+	// install: shaped for FlapUp, clean for FlapDown, repeating — a
+	// flapping link that looks healthy exactly long enough to be trusted
+	// again.
+	FlapUp   time.Duration
+	FlapDown time.Duration
 }
 
 // Stats counts injected faults by kind, plus traffic totals.
@@ -123,6 +139,7 @@ type Injector struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
 	shape   Shape
+	shapeAt time.Time // when the current shape was installed (ramp/flap clock)
 	rules   []Rule
 	matched []int64
 	fired   []bool
@@ -155,11 +172,13 @@ func (in *Injector) Clear() {
 	in.fired = nil
 }
 
-// SetShape installs always-on traffic shaping.
+// SetShape installs always-on traffic shaping and restarts the
+// ramp/flap clock.
 func (in *Injector) SetShape(s Shape) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.shape = s
+	in.shapeAt = time.Now()
 }
 
 // Stats returns the fault counters.
@@ -181,6 +200,20 @@ func (in *Injector) decide(op Op) (kind FaultKind, hit bool, delay time.Duration
 	delay = in.shape.Latency
 	if in.shape.Jitter > 0 {
 		delay += time.Duration(in.rng.Int63n(int64(in.shape.Jitter)))
+	}
+	if in.shape.RampLatency > 0 || (in.shape.FlapUp > 0 && in.shape.FlapDown > 0) {
+		elapsed := time.Since(in.shapeAt)
+		if r := in.shape.RampLatency; r > 0 {
+			if over := in.shape.RampOver; over > 0 && elapsed < over {
+				r = time.Duration(int64(r) * int64(elapsed) / int64(over))
+			}
+			delay += r
+		}
+		if up, down := in.shape.FlapUp, in.shape.FlapDown; up > 0 && down > 0 {
+			if elapsed%(up+down) >= up {
+				delay = 0 // clean half of the flap cycle
+			}
+		}
 	}
 	for i := range in.rules {
 		r := &in.rules[i]

@@ -166,6 +166,63 @@ func TestShapeLatency(t *testing.T) {
 	}
 }
 
+func TestRampLatencyGrows(t *testing.T) {
+	inj := NewInjector(8)
+	inj.SetShape(Shape{RampLatency: 100 * time.Millisecond, RampOver: 10 * time.Second})
+	// Drive the ramp clock by hand: at 25% of RampOver the added delay
+	// must be 25% of RampLatency, and past RampOver it holds at full.
+	at := func(elapsed time.Duration) time.Duration {
+		inj.mu.Lock()
+		inj.shapeAt = time.Now().Add(-elapsed)
+		inj.mu.Unlock()
+		_, _, d := inj.decide(OpRead)
+		return d
+	}
+	// The clock reads real elapsed time, so allow a scheduling margin.
+	if d := at(2500 * time.Millisecond); d < 25*time.Millisecond || d > 35*time.Millisecond {
+		t.Fatalf("delay at 25%% of ramp = %v, want ~25ms", d)
+	}
+	if d := at(20 * time.Second); d != 100*time.Millisecond {
+		t.Fatalf("delay past ramp = %v, want the full 100ms", d)
+	}
+	if d := at(0); d > 5*time.Millisecond {
+		t.Fatalf("delay at ramp start = %v, want ~0", d)
+	}
+}
+
+func TestRampWithoutOverIsImmediate(t *testing.T) {
+	inj := NewInjector(9)
+	inj.SetShape(Shape{RampLatency: 40 * time.Millisecond})
+	if _, _, d := inj.decide(OpWrite); d != 40*time.Millisecond {
+		t.Fatalf("RampOver=0 delay = %v, want the full ramp immediately", d)
+	}
+}
+
+func TestFlapGatesShaping(t *testing.T) {
+	inj := NewInjector(10)
+	inj.SetShape(Shape{
+		Latency: 30 * time.Millisecond,
+		FlapUp:  100 * time.Millisecond, FlapDown: 100 * time.Millisecond,
+	})
+	at := func(elapsed time.Duration) time.Duration {
+		inj.mu.Lock()
+		inj.shapeAt = time.Now().Add(-elapsed)
+		inj.mu.Unlock()
+		_, _, d := inj.decide(OpRead)
+		return d
+	}
+	if d := at(50 * time.Millisecond); d != 30*time.Millisecond {
+		t.Fatalf("up-phase delay = %v, want the shaped 30ms", d)
+	}
+	if d := at(150 * time.Millisecond); d != 0 {
+		t.Fatalf("down-phase delay = %v, want clean 0", d)
+	}
+	// The wave repeats: second cycle's up phase is shaped again.
+	if d := at(250 * time.Millisecond); d != 30*time.Millisecond {
+		t.Fatalf("second-cycle up-phase delay = %v, want 30ms", d)
+	}
+}
+
 func TestProxyForwardsAndResets(t *testing.T) {
 	// Echo server.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -97,8 +97,18 @@ func (s *Server) handleProbeParts(sess *session, payload []byte) error {
 		emitFail  error
 		wireBytes int64
 	)
+	ctx := obs.WithTrace(context.Background(), tr)
+	if req.BudgetNs > 0 {
+		// The router rode its remaining deadline budget on the request:
+		// past it the router has already given up on this probe, so any
+		// further work here is wasted. ProbeBCPs checks the context
+		// between parts and aborts typed.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.BudgetNs))
+		defer cancel()
+	}
 	start := time.Now()
-	rep, perr := v.ProbeBCPs(obs.WithTrace(context.Background(), tr), parts, func(t value.Tuple) error {
+	rep, perr := v.ProbeBCPs(ctx, parts, func(t value.Tuple) error {
 		sess.armWrite()
 		rowBuf = wire.EncodeRow(rowBuf[:0], t, true)
 		if err := wire.WriteFrame(bw, wire.MsgRow, rowBuf); err != nil {
@@ -250,6 +260,12 @@ func (s *Server) handleRefill(sess *session, payload []byte) error {
 	if !found {
 		return s.writeErr(bw, fmt.Errorf("server: no view %q", req.View))
 	}
+	if req.BudgetNs > 0 && time.Duration(req.BudgetNs) <= time.Millisecond {
+		// The router's deadline budget is effectively spent (it sends a
+		// 1ns sentinel for an already-expired context): refill is free
+		// best-effort work, so drop it rather than hold the session.
+		return s.writeErr(bw, errors.New("server: refill budget exhausted"))
+	}
 	tr, external := s.sessionTrace(sess, req.View, -1)
 	start := time.Now()
 	cached, ferr := v.FillTuples(req.Tuples)
@@ -263,6 +279,20 @@ func (s *Server) handleRefill(sess *session, payload []byte) error {
 	}
 	s.emitSpans(sess, tr, external)
 	return s.reply(bw, wire.RefillReply{Cached: cached})
+}
+
+// handlePing answers a router heartbeat with the echoed nonce and the
+// installed shard-map epoch. Deliberately touches no locks beyond the
+// epoch read and no engine state: the round trip must measure the
+// shard's responsiveness, and a zero/stale epoch in the pong is how a
+// rebooted shard asks to be re-taught without failing a live probe.
+func (s *Server) handlePing(bw *bufio.Writer, payload []byte) error {
+	nonce, err := wire.DecodePing(payload)
+	if err != nil {
+		return s.writeErr(bw, err)
+	}
+	var buf [16]byte
+	return wire.WriteFrame(bw, wire.MsgPong, wire.EncodePong(buf[:0], nonce, s.clusterEpoch()))
 }
 
 // handleShardMap reads (empty payload) or installs the shard map. An

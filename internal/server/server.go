@@ -545,6 +545,8 @@ func (s *Server) dispatch(sess *session, typ byte, payload []byte) error {
 		return s.handleRefill(sess, payload)
 	case wire.MsgShardMap:
 		return s.handleShardMap(bw, payload)
+	case wire.MsgPing:
+		return s.handlePing(bw, payload)
 	case wire.MsgUpdate:
 		return s.handleUpdate(sess, payload)
 	case wire.MsgInvalidate:

@@ -45,6 +45,11 @@ type ClusterOptions struct {
 	// Dir is the parent directory for the shard databases (default:
 	// fresh temp dir, removed on success, kept on failure).
 	Dir string
+	// Tail enables the router's tail-tolerance plane (health scoring,
+	// breakers, hedged probes, budget propagation) and adds gray-ramp
+	// and flap events to the chaos schedule, so the exactly-once oracle
+	// is proved with hedging racing duplicate row streams.
+	Tail bool
 }
 
 // ClusterReport summarizes one run.
@@ -61,6 +66,13 @@ type ClusterReport struct {
 	Kills       int
 	Blackholes  int
 	ResetBursts int
+	GrayRamps   int
+	Flaps       int
+	// Tail-tolerance counters (zero unless Options.Tail).
+	Hedges       int64
+	HedgeWins    int64
+	BreakerTrips int64
+	BreakerSkips int64
 	// EpochInstalls counts shard-map pushes across all shards; with
 	// kills > 0 it must exceed the initial install fan-out, proving the
 	// re-teach path ran.
@@ -167,7 +179,7 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 	for i, p := range proxies {
 		proxyAddrs[i] = p.Addr().String()
 	}
-	r, err := cluster.NewRouter(cluster.Config{
+	routerCfg := cluster.Config{
 		Shards:          proxyAddrs,
 		PoolSize:        2,
 		DialTimeout:     time.Second,
@@ -176,7 +188,15 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 		FrameTimeout:    2 * time.Second,
 		WriteTimeout:    2 * time.Second,
 		DefaultDeadline: 3 * time.Second,
-	})
+	}
+	if opts.Tail {
+		// Short heartbeats so breakers score the gray ramps within one
+		// chaos event; everything else rides the fill() defaults.
+		routerCfg.TailTolerance = true
+		routerCfg.Hedge = true
+		routerCfg.HeartbeatInterval = 100 * time.Millisecond
+	}
+	r, err := cluster.NewRouter(routerCfg)
 	if err != nil {
 		return fail("router: %v", err)
 	}
@@ -205,7 +225,11 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 			case <-time.After(time.Duration(100+rng.Intn(200)) * time.Millisecond):
 			}
 			shard := rng.Intn(clusterShards)
-			switch rng.Intn(3) {
+			nKinds := 3
+			if opts.Tail {
+				nKinds = 5 // gray ramps and flaps need the tail plane to matter
+			}
+			switch rng.Intn(nKinds) {
 			case 0: // kill + restart on the same address
 				srvMu.Lock()
 				old := srvs[shard]
@@ -247,6 +271,31 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 				armBackground(injs[shard])
 				chaosMu.Lock()
 				rep.ResetBursts++
+				chaosMu.Unlock()
+			case 3: // gray ramp: the shard slides toward 10x-slow, then heals
+				injs[shard].SetShape(netfault.Shape{
+					Latency:     100 * time.Microsecond,
+					Jitter:      200 * time.Microsecond,
+					RampLatency: time.Duration(20+rng.Intn(40)) * time.Millisecond,
+					RampOver:    time.Duration(100+rng.Intn(100)) * time.Millisecond,
+				})
+				time.Sleep(time.Duration(200+rng.Intn(200)) * time.Millisecond)
+				injs[shard].Clear()
+				armBackground(injs[shard]) // SetShape resets the ramp clock
+				chaosMu.Lock()
+				rep.GrayRamps++
+				chaosMu.Unlock()
+			case 4: // flap: the link oscillates slow/clean, then heals
+				injs[shard].SetShape(netfault.Shape{
+					Latency:  time.Duration(20+rng.Intn(40)) * time.Millisecond,
+					FlapUp:   time.Duration(50+rng.Intn(100)) * time.Millisecond,
+					FlapDown: time.Duration(50+rng.Intn(100)) * time.Millisecond,
+				})
+				time.Sleep(time.Duration(200+rng.Intn(200)) * time.Millisecond)
+				injs[shard].Clear()
+				armBackground(injs[shard])
+				chaosMu.Lock()
+				rep.Flaps++
 				chaosMu.Unlock()
 			}
 		}
@@ -382,7 +431,18 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 				}
 				converged := false
 				var lastErr error
-				for att := 0; att < 8 && !converged; att++ {
+				// With the tail plane on, a breaker that tripped during
+				// chaos may carry an escalated cooldown (up to
+				// BreakerMaxCooldown); convergence means outwaiting it so
+				// a heartbeat trial can close the breaker again.
+				attempts := 8
+				if opts.Tail {
+					attempts = 40
+				}
+				for att := 0; att < attempts && !converged; att++ {
+					if att > 0 {
+						time.Sleep(250 * time.Millisecond)
+					}
 					got := make(map[string]int)
 					ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 					qrep, err := sweep.ExecutePartial(ctx, "pmv_on_sale", conds, func(row client.Row) error {
@@ -442,6 +502,10 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 	}
 	for _, sm := range r.Metrics().Shards {
 		rep.EpochInstalls += sm.EpochInstalls.Load()
+		rep.Hedges += sm.HedgesSent.Load()
+		rep.HedgeWins += sm.HedgeWins.Load()
+		rep.BreakerTrips += sm.BreakerTrips.Load()
+		rep.BreakerSkips += sm.BreakerSkips.Load()
 	}
 
 	if cerr != nil {
@@ -452,6 +516,12 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 	}
 	if rep.Kills > 0 && rep.EpochInstalls <= clusterShards {
 		return fail("%d shard kills but only %d epoch installs; the re-teach path never ran", rep.Kills, rep.EpochInstalls)
+	}
+	// Hedging must never confuse the duplicate-multiset audit: a hedge
+	// and its primary both answering is the common case under chaos, and
+	// the arbiter has to keep DS consumption exactly-once regardless.
+	if n := r.Metrics().DSLeftover.Load(); n != 0 {
+		return fail("%d queries failed the duplicate-multiset audit", n)
 	}
 
 	// Teardown must leave nothing behind. Order matters: the router

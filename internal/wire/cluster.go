@@ -19,12 +19,14 @@ import (
 // ProtocolVersion is the wire protocol generation this build speaks.
 // Version 2 added the hello handshake and the cluster frames; version
 // 3 added the observability plane (MsgTraced trace contexts, MsgSpans
-// span piggybacks, MsgTraceGet/MsgFleet router commands). Peers
+// span piggybacks, MsgTraceGet/MsgFleet router commands); version 4
+// added the tail-tolerance plane (MsgPing/MsgPong heartbeats and the
+// optional deadline-budget tail on probe/refill payloads). Peers
 // announcing any other version get MsgErrVersion and a closed session
 // instead of a CRC/decode failure mid-stream — which is what gates the
-// trace frames: a v2 peer never negotiates a session that could carry
-// them.
-const ProtocolVersion byte = 3
+// newer frames: an old peer never negotiates a session that could
+// carry them.
+const ProtocolVersion byte = 4
 
 // Cluster-plane message types (requests continue the 0x0c sequence,
 // responses the 0x84 one).
@@ -127,6 +129,12 @@ type ProbeRequest struct {
 	View  string
 	Epoch uint64
 	Parts []ProbePart
+	// BudgetNs is the router's remaining deadline budget in
+	// nanoseconds; 0 means unbounded. It rides as an optional 8-byte
+	// tail on the payload — absent when zero, so a router with budget
+	// propagation disabled produces byte-identical frames to older
+	// builds.
+	BudgetNs uint64
 }
 
 // probe part flag bits.
@@ -242,6 +250,9 @@ func EncodeProbe(req ProbeRequest) ([]byte, error) {
 			}
 		}
 	}
+	if req.BudgetNs != 0 {
+		b = binary.BigEndian.AppendUint64(b, req.BudgetNs)
+	}
 	return b, nil
 }
 
@@ -296,7 +307,14 @@ func DecodeProbe(b []byte) (ProbeRequest, error) {
 		}
 		req.Parts = append(req.Parts, p)
 	}
-	if len(b) != 0 {
+	switch len(b) {
+	case 0:
+	case 8:
+		req.BudgetNs = binary.BigEndian.Uint64(b)
+		if req.BudgetNs == 0 {
+			return req, fmt.Errorf("wire: zero budget tail on probe")
+		}
+	default:
 		return req, fmt.Errorf("wire: %d trailing bytes after probe", len(b))
 	}
 	return req, nil
@@ -309,6 +327,9 @@ type RefillRequest struct {
 	View   string
 	Epoch  uint64
 	Tuples []value.Tuple
+	// BudgetNs mirrors ProbeRequest.BudgetNs: remaining router budget
+	// in nanoseconds as an optional 8-byte tail, absent when zero.
+	BudgetNs uint64
 }
 
 // EncodeRefill encodes a RefillRequest as a MsgRefill payload.
@@ -323,6 +344,9 @@ func EncodeRefill(req RefillRequest) ([]byte, error) {
 	b = binary.BigEndian.AppendUint32(b, uint32(len(req.Tuples)))
 	for _, t := range req.Tuples {
 		b = value.EncodeTuple(b, t)
+	}
+	if req.BudgetNs != 0 {
+		b = binary.BigEndian.AppendUint64(b, req.BudgetNs)
 	}
 	if len(b)+1 > MaxFrame {
 		return nil, ErrFrameTooLarge
@@ -359,7 +383,14 @@ func DecodeRefill(b []byte) (RefillRequest, error) {
 		b = b[used:]
 		req.Tuples = append(req.Tuples, t)
 	}
-	if len(b) != 0 {
+	switch len(b) {
+	case 0:
+	case 8:
+		req.BudgetNs = binary.BigEndian.Uint64(b)
+		if req.BudgetNs == 0 {
+			return req, fmt.Errorf("wire: zero budget tail on refill")
+		}
+	default:
 		return req, fmt.Errorf("wire: %d trailing bytes after refill", len(b))
 	}
 	return req, nil

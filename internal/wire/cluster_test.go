@@ -132,8 +132,78 @@ func TestVersionAndEpochSentinels(t *testing.T) {
 	}
 }
 
+// TestProbeBudgetTail pins the optional-tail contract: a nonzero
+// budget adds exactly 8 bytes, zero adds none (byte-identical to a
+// pre-budget encoder), and an explicit zero tail is rejected so the
+// encoding stays canonical.
+func TestProbeBudgetTail(t *testing.T) {
+	req := probeFixture()
+	plain, err := EncodeProbe(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.BudgetNs = 500e6
+	b, err := EncodeProbe(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != len(plain)+8 {
+		t.Fatalf("budget tail costs %d bytes, want 8", len(b)-len(plain))
+	}
+	got, err := DecodeProbe(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BudgetNs != 500e6 {
+		t.Fatalf("budget round trip = %d, want %d", got.BudgetNs, uint64(500e6))
+	}
+	req.BudgetNs = 0
+	again, err := EncodeProbe(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, plain) {
+		t.Fatal("zero budget changed the probe encoding")
+	}
+	if _, err := DecodeProbe(append(plain[:len(plain):len(plain)], 0, 0, 0, 0, 0, 0, 0, 0)); err == nil {
+		t.Fatal("explicit zero budget tail accepted")
+	}
+}
+
+func TestRefillBudgetTail(t *testing.T) {
+	req := RefillRequest{View: "v", Epoch: 3,
+		Tuples: []value.Tuple{{value.Int(1)}}}
+	plain, err := EncodeRefill(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.BudgetNs = 250e6
+	b, err := EncodeRefill(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != len(plain)+8 {
+		t.Fatalf("budget tail costs %d bytes, want 8", len(b)-len(plain))
+	}
+	got, err := DecodeRefill(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BudgetNs != 250e6 {
+		t.Fatalf("budget round trip = %d, want %d", got.BudgetNs, uint64(250e6))
+	}
+	if _, err := DecodeRefill(append(plain[:len(plain):len(plain)], 0, 0, 0, 0, 0, 0, 0, 0)); err == nil {
+		t.Fatal("explicit zero budget tail accepted")
+	}
+}
+
 func FuzzDecodeProbe(f *testing.F) {
 	if b, err := EncodeProbe(probeFixture()); err == nil {
+		f.Add(b)
+	}
+	budgeted := probeFixture()
+	budgeted.BudgetNs = 123456789
+	if b, err := EncodeProbe(budgeted); err == nil {
 		f.Add(b)
 	}
 	if b, err := EncodeProbe(ProbeRequest{View: "v", Epoch: 1}); err == nil {
@@ -168,6 +238,12 @@ func FuzzDecodeProbe(f *testing.F) {
 func FuzzDecodeRefill(f *testing.F) {
 	if b, err := EncodeRefill(RefillRequest{
 		View: "v", Epoch: 3,
+		Tuples: []value.Tuple{{value.Int(1), value.Bool(true)}},
+	}); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeRefill(RefillRequest{
+		View: "v", Epoch: 3, BudgetNs: 987654321,
 		Tuples: []value.Tuple{{value.Int(1), value.Bool(true)}},
 	}); err == nil {
 		f.Add(b)

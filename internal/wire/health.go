@@ -1,0 +1,52 @@
+// health.go defines the tail-tolerance heartbeat frames: a router
+// pings every shard on a fixed cadence so its phi-accrual failure
+// detector has a signal even when the query workload goes quiet, and
+// the pong carries the shard's installed shard-map epoch so a silently
+// rebooted shard (epoch 0) is noticed before the next probe fails
+// typed. The payloads are fixed-size and allocation-free to encode —
+// the heartbeat loop must cost nothing measurable.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	// MsgPing is a liveness probe (8-byte nonce payload). Any server
+	// answers MsgPong immediately, before touching the engine, so the
+	// round-trip time measures the session and scheduler, not the
+	// workload.
+	MsgPing byte = 0x18
+
+	// MsgPong answers MsgPing: the echoed nonce followed by the
+	// responder's installed shard-map epoch (0 = no map installed).
+	MsgPong byte = 0x89
+)
+
+// EncodePing encodes a MsgPing payload into dst (appended).
+func EncodePing(dst []byte, nonce uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, nonce)
+}
+
+// DecodePing parses a MsgPing payload.
+func DecodePing(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("wire: ping payload is %d bytes", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// EncodePong encodes a MsgPong payload into dst (appended).
+func EncodePong(dst []byte, nonce, epoch uint64) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, nonce)
+	return binary.BigEndian.AppendUint64(dst, epoch)
+}
+
+// DecodePong parses a MsgPong payload.
+func DecodePong(b []byte) (nonce, epoch uint64, err error) {
+	if len(b) != 16 {
+		return 0, 0, fmt.Errorf("wire: pong payload is %d bytes", len(b))
+	}
+	return binary.BigEndian.Uint64(b), binary.BigEndian.Uint64(b[8:]), nil
+}

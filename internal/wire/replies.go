@@ -404,6 +404,26 @@ type FleetShard struct {
 	Error string `json:"error,omitempty"`
 	Epoch uint64 `json:"epoch"`
 	Stats *StatsReply `json:"stats,omitempty"`
+	// Health is the router's live tail-tolerance score for this shard;
+	// absent when the plane is disabled.
+	Health *ShardHealth `json:"health,omitempty"`
+}
+
+// ShardHealth is the router's view of one shard's health: the latency
+// digest, phi-accrual suspicion, breaker state, and the tail-plane
+// counters (heartbeats, hedges, trips).
+type ShardHealth struct {
+	EwmaMs      float64 `json:"ewma_ms"`       // EWMA probe/heartbeat round trip
+	DevMs       float64 `json:"dev_ms"`        // EWMA absolute deviation
+	Phi         float64 `json:"phi"`           // phi-accrual suspicion (0 = healthy)
+	ConsecFails int64   `json:"consec_fails"`  // consecutive failed interactions
+	Breaker     string  `json:"breaker"`       // closed | open | half-open
+	Beats       int64   `json:"beats"`         // heartbeats sent
+	BeatFails   int64   `json:"beat_fails"`    // heartbeats failed
+	HedgesSent  int64   `json:"hedges_sent"`   // hedge probes launched
+	HedgeWins   int64   `json:"hedge_wins"`    // races the hedge won
+	Trips       int64   `json:"breaker_trips"` // transitions to open
+	Skips       int64   `json:"breaker_skips"` // probes skipped while open
 }
 
 // FleetReply answers MsgFleet on a router: the router's own counters

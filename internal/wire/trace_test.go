@@ -139,29 +139,32 @@ func TestSpansStrict(t *testing.T) {
 }
 
 // TestVersionNegotiationGatesTraceFrames pins the negotiation story the
-// trace plane relies on: this build announces v3, and the handshake is
-// exact-match, so a peer that would not understand MsgTraced/MsgSpans
-// never gets a session.
+// trace and tail-tolerance planes rely on: this build announces v4,
+// and the handshake is exact-match, so a peer that would not
+// understand MsgTraced/MsgSpans (v3) or MsgPing/MsgPong and budget
+// tails (v4) never gets a session.
 func TestVersionNegotiationGatesTraceFrames(t *testing.T) {
-	if ProtocolVersion != 3 {
-		t.Fatalf("ProtocolVersion = %d, want 3 (trace frames are v3)", ProtocolVersion)
+	if ProtocolVersion != 4 {
+		t.Fatalf("ProtocolVersion = %d, want 4 (heartbeat/budget frames are v4)", ProtocolVersion)
 	}
 	hello := EncodeHello()
 	v, err := DecodeHello(hello)
-	if err != nil || v != 3 {
+	if err != nil || v != 4 {
 		t.Fatalf("hello advertises %d (%v)", v, err)
 	}
-	// A v2 peer's hello must decode (so the server can answer
+	// An older peer's hello must decode (so the server can answer
 	// MsgErrVersion) but not match.
-	old, err := DecodeHello([]byte{2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if old == ProtocolVersion {
-		t.Fatal("v2 hello matches v3")
+	for _, oldV := range []byte{2, 3} {
+		old, err := DecodeHello([]byte{oldV})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if old == ProtocolVersion {
+			t.Fatalf("v%d hello matches v%d", oldV, ProtocolVersion)
+		}
 	}
 	rej, err := DecodeVersionErr(EncodeVersionErr(ProtocolVersion))
-	if err != nil || rej != 3 {
+	if err != nil || rej != 4 {
 		t.Fatalf("version-error round trip: %d, %v", rej, err)
 	}
 }
