@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-race cover bench experiments examples torture net-torture cluster-smoke cluster-torture hedge-smoke restart-smoke restart-torture snapshot-torture maint-smoke write-torture fuzz-smoke obs-smoke trace-smoke clean
+.PHONY: all build vet staticcheck test test-race cover bench experiments examples torture net-torture cluster-smoke cluster-torture hedge-smoke restart-smoke restart-torture snapshot-torture maint-smoke write-torture fuzz-smoke obs-smoke trace-smoke hot-smoke hot-torture clean
 
 all: build vet staticcheck test test-race
 
@@ -107,6 +107,8 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodePing -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzDecodeProbe -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzDecodeRefill -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzDecodeHotSet -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzDecodeHotInval -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=30s ./internal/snapshot
 
 # Observability smoke test: boot pmvd with -obs on a scratch database,
@@ -161,6 +163,49 @@ trace-smoke:
 		grep -q "^# TYPE $$fam " "$$dir/metrics.txt" || { echo "trace-smoke: missing family $$fam"; exit 1; }; \
 	done; \
 	echo "trace-smoke: OK"
+
+# Frequency-plane smoke: the freq/hot loopback tests under the race
+# detector, one seeded hot-replica invalidation chaos cycle (Zipf α=1.2
+# workload, sacrificial hot pair audited by the staleness oracle,
+# replication/suppression counters asserted to move), then a
+# binary-level pass — three -freq pmvd shards behind a -hot pmvrouter,
+# checked through the router's /metrics frequency-plane families.
+hot-smoke:
+	$(GO) test -race -count=1 -run 'Hot|Freq|Flood|TopK|Sketch|Bitset|Filter|Churn|Admit' ./internal/freq/ ./internal/core/ ./internal/cluster/ ./internal/wire/
+	$(GO) run -race ./cmd/pmvtorture -cluster -hot -zipf-alpha 1.2 -seeds 1 -clients 4 -queries 40 -v
+	@set -e; dir=$$(mktemp -d); \
+	trap 'kill $$spid1 $$spid2 $$spid3 $$rpid 2>/dev/null || true; rm -rf "$$dir"' EXIT; \
+	$(GO) build -o "$$dir/pmvd" ./cmd/pmvd; \
+	$(GO) build -o "$$dir/pmvrouter" ./cmd/pmvrouter; \
+	$(GO) build -o "$$dir/pmvcli" ./cmd/pmvcli; \
+	"$$dir/pmvd" -dir "$$dir/s1" -addr 127.0.0.1:7281 -freq -obs 127.0.0.1:9281 & spid1=$$!; \
+	"$$dir/pmvd" -dir "$$dir/s2" -addr 127.0.0.1:7282 -freq & spid2=$$!; \
+	"$$dir/pmvd" -dir "$$dir/s3" -addr 127.0.0.1:7283 -freq & spid3=$$!; \
+	"$$dir/pmvrouter" -addr 127.0.0.1:7280 \
+		-shards 127.0.0.1:7281,127.0.0.1:7282,127.0.0.1:7283 \
+		-hot -hot-push 100ms -hot-filter 100ms -obs 127.0.0.1:9280 & rpid=$$!; \
+	ok=0; for i in $$(seq 1 50); do \
+		if printf 'fleet\nquit\n' | "$$dir/pmvcli" -addr 127.0.0.1:7280 2>/dev/null \
+			| grep -q '3 up, 0 down'; then ok=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "hot-smoke: fleet never saw all three shards up"; exit 1; }; \
+	curl -fs http://127.0.0.1:9280/metrics > "$$dir/router.txt"; \
+	for fam in pmvrouter_hot_pushes_total pmvrouter_hot_invals_total \
+	           pmvrouter_hot_replica_hits_total pmvrouter_hot_suppressed_total \
+	           pmvrouter_hot_filter_refreshes_total pmvrouter_hot_topk_offers_total; do \
+		grep -q "^# TYPE $$fam " "$$dir/router.txt" || { echo "hot-smoke: missing router family $$fam"; exit 1; }; \
+	done; \
+	curl -fs http://127.0.0.1:9281/metrics > "$$dir/shard.txt"; \
+	for fam in pmvd_freq_probes_suppressed_total pmvd_freq_admit_gate_rejects_total \
+	           pmvd_freq_hot_set_keys_total pmvd_freq_filter_false_positives_total; do \
+		grep -q "^# TYPE $$fam " "$$dir/shard.txt" || { echo "hot-smoke: missing shard family $$fam"; exit 1; }; \
+	done; \
+	echo "hot-smoke: OK"
+
+# Frequency-plane chaos sweep: the wide seeded hot-replica run.
+hot-torture:
+	$(GO) run -race ./cmd/pmvtorture -cluster -hot -zipf-alpha 1.2 -seeds 10 -v
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,438 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"pmv"
+	"pmv/client"
+	"pmv/internal/cluster"
+	"pmv/internal/server"
+	"pmv/internal/wire"
+	"pmv/internal/workload"
+)
+
+// hotSide is one measured configuration of the frequency-plane
+// benchmark: the routed storefront workload at a given Zipf skew with
+// the plane off or on.
+type hotSide struct {
+	Queries       int64   `json:"queries"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	TotalP50Ns    int64   `json:"total_p50_ns"`
+	TotalP99Ns    int64   `json:"total_p99_ns"`
+	// Router-side hot-plane counters, deltas over the measured window
+	// (zero for plane-off sides).
+	ReplicaHits int64 `json:"replica_hits"`
+	Suppressed  int64 `json:"suppressed"`
+	Pushes      int64 `json:"pushes"`
+	PushKeys    int64 `json:"push_keys"`
+	// Shard-side frequency counters summed across the fleet (zero when
+	// the shards run without -freq).
+	AdmitGateRejects     int64 `json:"admit_gate_rejects"`
+	FilterPositives      int64 `json:"filter_positives"`
+	FilterFalsePositives int64 `json:"filter_false_positives"`
+}
+
+// hotCase compares the frequency plane off and on at one Zipf skew.
+type hotCase struct {
+	Alpha float64 `json:"alpha"`
+	Off   hotSide `json:"off"`
+	On    hotSide `json:"on"`
+	// P99VsUniform = plane-on p99 / plane-off uniform p99 — the
+	// acceptance bar at alpha=1.2 is <= 2.
+	P99VsUniform float64 `json:"on_p99_vs_uniform"`
+}
+
+// hotAbsent is the absent-key suppression measurement: queries for
+// keys that exist in no shard's cache, issued after a filter refresh.
+type hotAbsent struct {
+	Queries    int64 `json:"queries"`
+	Suppressed int64 `json:"suppressed"`
+	// SuppressionRate = Suppressed/Queries — bar >= 0.95. FPR is the
+	// complement: the rate at which the counting-bloom bitset claimed a
+	// provably-absent key might be present — bar <= 0.01 per filter
+	// sizing (the JSON records the measured value either way).
+	SuppressionRate float64 `json:"suppression_rate"`
+	FPR             float64 `json:"fpr"`
+}
+
+// hotResult is the machine-readable output of the frequency-plane
+// benchmark (BENCH_hot.json).
+type hotResult struct {
+	Shards         int       `json:"shards"`
+	Sessions       int       `json:"sessions"`
+	QueriesPerSess int       `json:"queries_per_session"`
+	Uniform        hotSide   `json:"uniform"`
+	Cases          []hotCase `json:"cases"`
+	Absent         hotAbsent `json:"absent"`
+}
+
+// hotCombos is the storefront key space: 8 categories x 5 stores.
+const hotCombos = 8 * 5
+
+// hotDraw returns a per-session key sampler: Zipf-ranked over the
+// combo space when alpha > 0, uniform otherwise.
+func hotDraw(seed int64, alpha float64) func() (int64, int64) {
+	rng := rand.New(rand.NewSource(seed))
+	if alpha <= 0 {
+		return func() (int64, int64) {
+			combo := int64(rng.Intn(hotCombos))
+			return combo % 8, combo / 8
+		}
+	}
+	z := workload.NewZipf(rng, hotCombos, alpha)
+	return func() (int64, int64) {
+		combo := int64(z.Draw())
+		return combo % 8, combo / 8
+	}
+}
+
+// hotWorkload drives the storefront mix against addr with keys from
+// draw and returns client-observed total-latency quantiles.
+func hotWorkload(addr string, sessions, queriesPerSess int, alpha float64) (hotSide, error) {
+	ctx := context.Background()
+	var (
+		mu     sync.Mutex
+		totals []time.Duration
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	start := time.Now()
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c := client.New(addr)
+			defer c.Close()
+			draw := hotDraw(seed, alpha)
+			myTotals := make([]time.Duration, 0, queriesPerSess)
+			for i := 0; i < queriesPerSess; i++ {
+				cat, st := draw()
+				qStart := time.Now()
+				if _, err := c.ExecutePartial(ctx, "pmv_bench_sale", serveConds(cat, st), nil); err != nil {
+					errCh <- err
+					return
+				}
+				myTotals = append(myTotals, time.Since(qStart))
+			}
+			mu.Lock()
+			totals = append(totals, myTotals...)
+			mu.Unlock()
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return hotSide{}, err
+	}
+	side := hotSide{
+		Queries:       int64(len(totals)),
+		QueriesPerSec: float64(len(totals)) / elapsed.Seconds(),
+	}
+	side.TotalP50Ns, side.TotalP99Ns = quantilesNs(totals)
+	return side, nil
+}
+
+// hotCounters snapshots the router's hot-plane counters plus the
+// fleet's summed frequency counters, for before/after deltas.
+type hotCounters struct {
+	hot  wire.HotStats
+	freq wire.FreqStats
+}
+
+func readHotCounters(routerAddr string, shardAddrs []string) (hotCounters, error) {
+	ctx := context.Background()
+	var hc hotCounters
+	c := client.New(routerAddr)
+	st, err := c.Stats(ctx)
+	c.Close()
+	if err != nil {
+		return hc, err
+	}
+	if st.Hot != nil {
+		hc.hot = *st.Hot
+	}
+	for _, addr := range shardAddrs {
+		sc := client.New(addr)
+		sst, err := sc.Stats(ctx)
+		sc.Close()
+		if err != nil {
+			return hc, err
+		}
+		if fs := sst.Freq; fs != nil {
+			hc.freq.AdmitGateRejects += fs.AdmitGateRejects
+			hc.freq.FilterPositives += fs.FilterPositives
+			hc.freq.FilterFalsePositives += fs.FilterFalsePositives
+		}
+	}
+	return hc, nil
+}
+
+func (s *hotSide) applyDeltas(before, after hotCounters) {
+	s.ReplicaHits = after.hot.ReplicaHits - before.hot.ReplicaHits
+	s.Suppressed = after.hot.Suppressed - before.hot.Suppressed
+	s.Pushes = after.hot.Pushes - before.hot.Pushes
+	s.PushKeys = after.hot.PushKeys - before.hot.PushKeys
+	s.AdmitGateRejects = after.freq.AdmitGateRejects - before.freq.AdmitGateRejects
+	s.FilterPositives = after.freq.FilterPositives - before.freq.FilterPositives
+	s.FilterFalsePositives = after.freq.FilterFalsePositives - before.freq.FilterFalsePositives
+}
+
+// hotFleet stands up a fleet of loopback shards over the storefront
+// schema, with or without the shard half of the frequency plane.
+func hotFleet(dir string, shards int, freqOn bool, stops *[]func()) ([]string, error) {
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		dbDir, err := os.MkdirTemp(dir, fmt.Sprintf("hot%d", i))
+		if err != nil {
+			return nil, err
+		}
+		db, err := pmv.Open(dbDir, pmv.Options{})
+		if err != nil {
+			os.RemoveAll(dbDir)
+			return nil, err
+		}
+		if freqOn {
+			// Before the schema: views created after EnableFreq inherit
+			// the plane, matching pmvd's flag ordering.
+			db.EnableFreq(pmv.FreqConfig{Window: 500 * time.Millisecond})
+		}
+		if err := serveSchema(db); err != nil {
+			db.Close()
+			os.RemoveAll(dbDir)
+			return nil, err
+		}
+		srv := server.New(db, server.Config{})
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			db.Close()
+			os.RemoveAll(dbDir)
+			return nil, err
+		}
+		d := dbDir
+		*stops = append(*stops, func() {
+			srv.Shutdown()
+			db.Close()
+			os.RemoveAll(d)
+		})
+		addrs[i] = srv.Addr().String()
+	}
+	return addrs, nil
+}
+
+// hotWarm sweeps every key combination through a throwaway plain
+// router so shard caches (and, with admission gating on, the
+// popularity sketches) are warm before measurement. Three passes clear
+// the default admit threshold of 2.
+func hotWarm(addrs []string) error {
+	r, err := cluster.NewRouter(cluster.Config{Shards: addrs})
+	if err != nil {
+		return err
+	}
+	if err := r.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer r.Shutdown()
+	c := client.New(r.Addr().String())
+	defer c.Close()
+	for pass := 0; pass < 3; pass++ {
+		for combo := int64(0); combo < hotCombos; combo++ {
+			if _, err := c.ExecutePartial(context.Background(), "pmv_bench_sale", serveConds(combo%8, combo/8), nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// hotBench measures the frequency plane end to end: routed latency
+// under uniform and Zipf-skewed key choice with the plane off and on,
+// plus the absent-key suppression rate after a presence-filter
+// refresh. Two fleets serve the same storefront data — one plain, one
+// with shard-side frequency planes — so each side measures a
+// consistent full stack. alphas lists the skews to sweep.
+func hotBench(dir string, sessions, queriesPerSess int, alphas []float64, outPath string) error {
+	const shards = 3
+
+	var stops []func()
+	defer func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}()
+
+	plainAddrs, err := hotFleet(dir, shards, false, &stops)
+	if err != nil {
+		return err
+	}
+	freqAddrs, err := hotFleet(dir, shards, true, &stops)
+	if err != nil {
+		return err
+	}
+	if err := hotWarm(plainAddrs); err != nil {
+		return err
+	}
+	if err := hotWarm(freqAddrs); err != nil {
+		return err
+	}
+
+	hotCfg := cluster.Config{
+		Shards: freqAddrs,
+		Hot:    true,
+		// Fast push/refresh so replicas and bitsets settle within the
+		// short prime phase; production defaults are 1s.
+		HotPushInterval:       100 * time.Millisecond,
+		FilterRefreshInterval: 100 * time.Millisecond,
+	}
+
+	// One plane-off side = fresh plain router over the plain fleet.
+	runOff := func(alpha float64) (hotSide, error) {
+		r, err := cluster.NewRouter(cluster.Config{Shards: plainAddrs})
+		if err != nil {
+			return hotSide{}, err
+		}
+		if err := r.Start("127.0.0.1:0"); err != nil {
+			return hotSide{}, err
+		}
+		defer r.Shutdown()
+		return hotWorkload(r.Addr().String(), sessions, queriesPerSess, alpha)
+	}
+
+	// One plane-on side = fresh hot router over the freq fleet: a
+	// priming pass teaches the router's top-k tracker the hot keys, a
+	// sleep lets a push and a filter refresh land, then the measured
+	// run reflects the steady state.
+	runOn := func(alpha float64) (hotSide, error) {
+		r, err := cluster.NewRouter(hotCfg)
+		if err != nil {
+			return hotSide{}, err
+		}
+		if err := r.Start("127.0.0.1:0"); err != nil {
+			return hotSide{}, err
+		}
+		defer r.Shutdown()
+		addr := r.Addr().String()
+		if _, err := hotWorkload(addr, sessions, queriesPerSess, alpha); err != nil {
+			return hotSide{}, err
+		}
+		time.Sleep(400 * time.Millisecond)
+		before, err := readHotCounters(addr, freqAddrs)
+		if err != nil {
+			return hotSide{}, err
+		}
+		side, err := hotWorkload(addr, sessions, queriesPerSess, alpha)
+		if err != nil {
+			return hotSide{}, err
+		}
+		after, err := readHotCounters(addr, freqAddrs)
+		if err != nil {
+			return hotSide{}, err
+		}
+		side.applyDeltas(before, after)
+		return side, nil
+	}
+
+	res := hotResult{Shards: shards, Sessions: sessions, QueriesPerSess: queriesPerSess}
+
+	res.Uniform, err = runOff(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  uniform (plane off): p50=%v p99=%v (%.0f q/s)\n",
+		time.Duration(res.Uniform.TotalP50Ns), time.Duration(res.Uniform.TotalP99Ns),
+		res.Uniform.QueriesPerSec)
+
+	for _, alpha := range alphas {
+		off, err := runOff(alpha)
+		if err != nil {
+			return err
+		}
+		on, err := runOn(alpha)
+		if err != nil {
+			return err
+		}
+		hc := hotCase{Alpha: alpha, Off: off, On: on}
+		if res.Uniform.TotalP99Ns > 0 {
+			hc.P99VsUniform = float64(on.TotalP99Ns) / float64(res.Uniform.TotalP99Ns)
+		}
+		res.Cases = append(res.Cases, hc)
+		fmt.Printf("  alpha=%.1f: off p99=%v -> on p99=%v (%.2fx uniform, bar <= 2x at 1.2; replica hits=%d, pushes=%d, gate rejects=%d)\n",
+			alpha, time.Duration(off.TotalP99Ns), time.Duration(on.TotalP99Ns),
+			hc.P99VsUniform, on.ReplicaHits, on.Pushes, on.AdmitGateRejects)
+	}
+
+	absent, err := hotAbsentPhase(hotCfg, freqAddrs)
+	if err != nil {
+		return err
+	}
+	res.Absent = absent
+	fmt.Printf("  absent keys: %d/%d probes suppressed (rate %.4f, bar >= 0.95; fpr %.4f, bar <= 0.01)\n",
+		absent.Suppressed, absent.Queries, absent.SuppressionRate, absent.FPR)
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
+}
+
+// hotAbsentPhase measures the negative-probe suppression rate: a hot
+// router learns the view and fetches each shard's presence bitset,
+// then 400 queries probe category values that exist nowhere. Every
+// probe the bitset proves absent is suppressed router-side; the
+// leftovers are the bitset's false positives.
+func hotAbsentPhase(hotCfg cluster.Config, freqAddrs []string) (hotAbsent, error) {
+	r, err := cluster.NewRouter(hotCfg)
+	if err != nil {
+		return hotAbsent{}, err
+	}
+	if err := r.Start("127.0.0.1:0"); err != nil {
+		return hotAbsent{}, err
+	}
+	defer r.Shutdown()
+	addr := r.Addr().String()
+	ctx := context.Background()
+	c := client.New(addr)
+	defer c.Close()
+
+	// Teach the router the view, then wait out a filter refresh so
+	// every (shard, view) bitset slot is populated.
+	if _, err := c.ExecutePartial(ctx, "pmv_bench_sale", serveConds(0, 0), nil); err != nil {
+		return hotAbsent{}, err
+	}
+	time.Sleep(400 * time.Millisecond)
+
+	before, err := readHotCounters(addr, freqAddrs)
+	if err != nil {
+		return hotAbsent{}, err
+	}
+	const absentQueries = 400
+	for i := int64(0); i < absentQueries; i++ {
+		// Categories >= 1000 exist in no product row, so no shard cache
+		// can hold these bcp keys.
+		if _, err := c.ExecutePartial(ctx, "pmv_bench_sale", serveConds(1000+i, i%5), nil); err != nil {
+			return hotAbsent{}, err
+		}
+	}
+	after, err := readHotCounters(addr, freqAddrs)
+	if err != nil {
+		return hotAbsent{}, err
+	}
+
+	abs := hotAbsent{
+		Queries:    absentQueries,
+		Suppressed: after.hot.Suppressed - before.hot.Suppressed,
+	}
+	abs.SuppressionRate = float64(abs.Suppressed) / float64(abs.Queries)
+	abs.FPR = 1 - abs.SuppressionRate
+	return abs, nil
+}

@@ -44,6 +44,10 @@ func main() {
 	tailSessions := flag.Int("tail-sessions", 16, "concurrent client sessions for the tail benchmark")
 	tailQueries := flag.Int("tail-queries", 40, "queries per session for the tail benchmark")
 	tailJSON := flag.String("tail-json", "BENCH_tail.json", "output path for the tail benchmark's JSON result")
+	hotSessions := flag.Int("hot-sessions", 16, "concurrent client sessions for the hot (frequency plane) benchmark")
+	hotQueries := flag.Int("hot-queries", 40, "queries per session for the hot benchmark")
+	zipfAlpha := flag.Float64("zipf-alpha", 0, "restrict the hot benchmark's Zipf sweep to this single skew (0 = sweep 0.8, 1.0, 1.2)")
+	hotJSON := flag.String("hot-json", "BENCH_hot.json", "output path for the hot benchmark's JSON result")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -95,6 +99,13 @@ func main() {
 	})
 	run("probe", func() error { return probeBench(baseDir, *probeIters, *probeJSON) })
 	run("tail", func() error { return tailBench(baseDir, *tailSessions, *tailQueries, *tailJSON) })
+	run("hot", func() error {
+		alphas := []float64{0.8, 1.0, 1.2}
+		if *zipfAlpha > 0 {
+			alphas = []float64{*zipfAlpha}
+		}
+		return hotBench(baseDir, *hotSessions, *hotQueries, alphas, *hotJSON)
+	})
 }
 
 func title(name string) string {
@@ -125,6 +136,8 @@ func title(name string) string {
 		return "Probe: single-session hot path, per-phase latency and allocation"
 	case "tail":
 		return "Tail: routed p99 with one gray shard, hedging + breakers vs plain"
+	case "hot":
+		return "Hot: frequency plane under Zipf skew — replication, gating, suppression"
 	default:
 		return name
 	}

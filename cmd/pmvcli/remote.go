@@ -208,7 +208,36 @@ func (r *remoteBackend) stats() error {
 		fmt.Printf("  maint: queue %d/%d, %d batches (max %d ops, %d size / %d age flushes)\n",
 			ms.QueueDepth, ms.QueueCap, ms.Batches, ms.MaxBatchOps, ms.SizeFlushes, ms.AgeFlushes)
 	}
+	if fs := st.Freq; fs != nil {
+		fmt.Printf("  freq: %s\n", freqLine(fs))
+	}
+	if hs := st.Hot; hs != nil {
+		printHot(hs)
+	}
 	return nil
+}
+
+// freqLine renders one shard's frequency-plane counters compactly.
+func freqLine(fs *wire.FreqStats) string {
+	fpr := 0.0
+	if fs.FilterPositives > 0 {
+		fpr = float64(fs.FilterFalsePositives) / float64(fs.FilterPositives)
+	}
+	return fmt.Sprintf("%d probes suppressed, filter FPR %.4f (%d/%d), %d admissions gated; hot-set %d keys/%d tuples in, %d inval keys; sketch %d touches, %d rotations, load %.3f",
+		fs.ProbesSuppressed, fpr, fs.FilterFalsePositives, fs.FilterPositives,
+		fs.AdmitGateRejects, fs.HotSetKeys, fs.HotSetTuples, fs.HotInvalKeys,
+		fs.SketchTouches, fs.SketchRotations, fs.SketchLoad)
+}
+
+// printHot renders a router's hot-replication counters.
+func printHot(hs *wire.HotStats) {
+	fmt.Printf("  hot: %d replica hits, %d keys replicated, %d evicts, %d probes suppressed\n",
+		hs.ReplicaHits, hs.ReplicaKeys, hs.ReplicaEvicts, hs.Suppressed)
+	fmt.Printf("  hot push: %d rounds, %d keys, %d tuples (%d failed); inval: %d rounds, %d keys (%d degraded)\n",
+		hs.Pushes, hs.PushKeys, hs.PushTuples, hs.PushFails,
+		hs.Invals, hs.InvalKeys, hs.InvalFails)
+	fmt.Printf("  hot tracker: %d offers, %d churn; %d filter refreshes\n",
+		hs.TopKOffers, hs.TopKChurn, hs.FilterRefreshes)
 }
 
 // maint renders the write plane's full counter set (`pmvcli maint`).
@@ -410,6 +439,11 @@ func (r *remoteBackend) fleet() error {
 		fl.Epoch, len(fl.Shards), fl.ShardsUp, fl.ShardsDown, fl.ShardsStale)
 	fmt.Printf("  router: %d queries, %d rows, %d errors, %d traces sampled\n",
 		fl.Router.Queries, fl.Router.Rows, fl.Router.Errors, fl.Router.TracesSampled)
+	if hs := fl.Hot; hs != nil {
+		fmt.Printf("  hot: %d replica hits, %d keys replicated, %d suppressed; pushes %d (%d failed), invals %d (%d degraded)\n",
+			hs.ReplicaHits, hs.ReplicaKeys, hs.Suppressed,
+			hs.Pushes, hs.PushFails, hs.Invals, hs.InvalFails)
+	}
 	fmt.Printf("  shards: %d queries, %d rows, %d errors; maint backlog %d\n",
 		fl.FleetQueries, fl.FleetRows, fl.FleetErrors, fl.MaintBacklog)
 	oldest := "never"
@@ -440,6 +474,10 @@ func (r *remoteBackend) fleet() error {
 			if st.Snapshot != nil && st.Snapshot.AgeSeconds >= 0 {
 				line += fmt.Sprintf(", snapshot %s old",
 					time.Duration(st.Snapshot.AgeSeconds*float64(time.Second)).Round(time.Second))
+			}
+			if st.Freq != nil {
+				line += fmt.Sprintf(", freq %d suppressed/%d gated",
+					st.Freq.ProbesSuppressed, st.Freq.AdmitGateRejects)
 			}
 		}
 		fmt.Println(line)

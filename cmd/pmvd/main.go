@@ -59,6 +59,10 @@ func main() {
 		maintHeavy = flag.Int("maint-heavy", 0, "touches per window that classify a bcp key heavy, switching purge to lazy invalidation (0 = default 32)")
 		maintWin   = flag.Duration("maint-window", 0, "heavy/light classifier sliding-window rotation (0 = default 1s)")
 		maintQueue = flag.Int("maint-queue", 0, "bounded ingest queue depth; writers block when full (0 = default 1024)")
+
+		freqOn     = flag.Bool("freq", false, "frequency plane: windowed popularity sketch gating cache admission, counting-bloom presence filter suppressing provably-absent O2 probes, and the shard half of hot-entry replication")
+		freqWindow = flag.Duration("freq-window", 0, "popularity sketch epoch rotation period (0 = default 1s); an estimate covers one to two windows")
+		freqAdmit  = flag.Uint("freq-admit", 0, "min windowed probe-frequency estimate before a key earns a cache entry (0 = default 2)")
 	)
 	flag.Parse()
 
@@ -66,6 +70,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmvd: open %s: %v\n", *dir, err)
 		os.Exit(1)
+	}
+	if *freqOn {
+		// Before the maintenance plane: maint.New derives its heavy/light
+		// estimator from the views' frequency planes when they exist.
+		db.EnableFreq(pmv.FreqConfig{
+			Window:         *freqWindow,
+			AdmitThreshold: uint32(*freqAdmit),
+		})
 	}
 
 	var plane *maint.Plane

@@ -54,6 +54,11 @@ func main() {
 		brkCool    = flag.Duration("breaker-cooldown", 0, "first breaker open period before a half-open trial, doubling per re-trip (0 = default 500ms; needs -tail)")
 		hedgeAfter = flag.Duration("hedge-max-delay", 0, "upper clamp on the adaptive hedge delay (0 = default 50ms; needs -hedge)")
 		hedgeRate  = flag.Float64("hedge-rate", 0, "hedge-token income per primary probe, i.e. the amplification cap (0 = default 0.05; needs -hedge)")
+
+		hot       = flag.Bool("hot", false, "frequency plane: track the hottest bcp keys per view, replicate their entries to every shard (MsgHotSet), answer hot probes from a router-side replica cache, and suppress provably-absent owner probes via shard presence-filter bitsets")
+		hotK      = flag.Int("hot-k", 0, "per-view hot-set size (0 = default 8; needs -hot)")
+		hotPush   = flag.Duration("hot-push", 0, "MsgHotSet replication interval (0 = default 1s; needs -hot)")
+		hotFilter = flag.Duration("hot-filter", 0, "presence-filter snapshot refresh interval (0 = default 1s; needs -hot)")
 	)
 	flag.Parse()
 
@@ -93,6 +98,11 @@ func main() {
 		BreakerCooldown:      *brkCool,
 		HedgeMaxDelay:        *hedgeAfter,
 		HedgeRate:            *hedgeRate,
+
+		Hot:                   *hot,
+		HotK:                  *hotK,
+		HotPushInterval:       *hotPush,
+		FilterRefreshInterval: *hotFilter,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmvrouter: %v\n", err)
@@ -107,6 +117,9 @@ func main() {
 		mode = ", tail tolerance + hedged probes"
 	} else if *tail {
 		mode = ", tail tolerance"
+	}
+	if *hot {
+		mode += ", hot replication"
 	}
 	log.Printf("pmvrouter: routing %d shards on %s (epoch=%d%s)", len(shardList), r.Addr(), *epoch, mode)
 

@@ -19,7 +19,14 @@
 // turns on the router's tail-tolerance plane (health scoring, circuit
 // breakers, hedged probes) and mixes gray-ramp and flapping-link
 // events into the schedule, so hedged duplicate row streams run
-// against the same exactly-once oracle.
+// against the same exactly-once oracle. Adding -hot (optionally with
+// -zipf-alpha for a skewed key choice) turns on the frequency plane
+// end to end and mixes hot-replica invalidation chaos into the
+// schedule: a dedicated writer makes one sacrificial pair hot, then
+// overwrites one of its rows under a monotone version sequence while
+// MsgHotInval fan-outs race MsgHotSet pushes, replica-served probes,
+// and suppressed absent-key probes; reads of that pair are judged by
+// the write-chaos staleness oracle instead of the static multiset.
 //
 // With -restart it runs the warm-restart chaos harness: the cluster
 // topology, but kills are full process deaths (snapshot written,
@@ -44,7 +51,7 @@
 //
 //	pmvtorture [-seeds 50] [-start 0] [-ops 300] [-v]
 //	pmvtorture -net [-seeds 10] [-start 0] [-clients 8] [-queries 50] [-v]
-//	pmvtorture -cluster [-tail] [-seeds 3] [-start 0] [-clients 6] [-queries 30] [-v]
+//	pmvtorture -cluster [-tail] [-hot] [-zipf-alpha 1.2] [-seeds 3] [-start 0] [-clients 6] [-queries 30] [-v]
 //	pmvtorture -restart [-seeds 3] [-start 0] [-clients 6] [-queries 30] [-v]
 //	pmvtorture -snap [-seeds 10] [-start 0] [-cycles 10] [-v]
 //	pmvtorture -write [-seeds 3] [-start 0] [-writers 4] [-writes 40] [-readers 4] [-v]
@@ -68,6 +75,8 @@ func main() {
 	snapMode := flag.Bool("snap", false, "run the snapshot-fault harness (faulted snapshot write/boot cycles)")
 	writeMode := flag.Bool("write", false, "run the write-plane chaos harness (concurrent writers + readers against 3 planed shards, per-pid staleness oracle)")
 	tail := flag.Bool("tail", false, "cluster mode: enable the tail-tolerance plane and add gray-ramp/flap chaos events")
+	hot := flag.Bool("hot", false, "cluster mode: enable the frequency plane end to end and add hot-replica invalidation chaos (versioned overwrites of a hot row racing pushes and probes, audited by the staleness oracle)")
+	zipfAlpha := flag.Float64("zipf-alpha", 0, "cluster mode: Zipf skew for the query key choice (0 = uniform); a stable hot set needs >= 0.8")
 	clients := flag.Int("clients", 8, "concurrent self-healing clients per seed (net/cluster/restart mode)")
 	queries := flag.Int("queries", 50, "queries per client per seed (net/cluster/restart mode)")
 	cycles := flag.Int("cycles", 10, "fill→snapshot→reboot cycles per seed (snap mode)")
@@ -90,7 +99,7 @@ func main() {
 		return
 	}
 	if *clusterMode {
-		runCluster(*seeds, *start, *clients, *queries, *tail, *verbose)
+		runCluster(*seeds, *start, *clients, *queries, *tail, *hot, *zipfAlpha, *verbose)
 		return
 	}
 	if *netMode {
@@ -214,11 +223,14 @@ func runWrite(seeds int, start int64, writers, writes, readers int, verbose bool
 	}
 }
 
-func runCluster(seeds int, start int64, clients, queries int, tail, verbose bool) {
+func runCluster(seeds int, start int64, clients, queries int, tail, hot bool, zipfAlpha float64, verbose bool) {
 	failed := 0
 	for i := 0; i < seeds; i++ {
 		seed := start + int64(i)
-		rep, err := torture.RunCluster(torture.ClusterOptions{Seed: seed, Clients: clients, Queries: queries, Tail: tail})
+		rep, err := torture.RunCluster(torture.ClusterOptions{
+			Seed: seed, Clients: clients, Queries: queries,
+			Tail: tail, Hot: hot, ZipfAlpha: zipfAlpha,
+		})
 		if err != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", seed, err)
@@ -233,12 +245,20 @@ func runCluster(seeds int, start int64, clients, queries int, tail, verbose bool
 				line += fmt.Sprintf(" grays=%d flaps=%d hedges=%d hedgewins=%d trips=%d skips=%d",
 					rep.GrayRamps, rep.Flaps, rep.Hedges, rep.HedgeWins, rep.BreakerTrips, rep.BreakerSkips)
 			}
+			if hot {
+				line += fmt.Sprintf(" hotwrites=%d hotreads=%d absent=%d pushes=%d invals=%d replicahits=%d suppressed=%d audits=%d",
+					rep.HotWrites, rep.HotReads, rep.AbsentQueries, rep.HotPushes, rep.HotInvals,
+					rep.HotReplicaHits, rep.HotSuppressed, rep.AuditFailures)
+			}
 			fmt.Println(line)
 		}
 	}
 	mode := "-cluster"
 	if tail {
 		mode = "-cluster -tail"
+	}
+	if hot {
+		mode += " -hot"
 	}
 	fmt.Printf("pmvtorture %s: %d seeds, %d failed\n", mode, seeds, failed)
 	if failed > 0 {

@@ -1,0 +1,57 @@
+package cache
+
+// Gated decorates a Policy with a popularity-threshold admission
+// filter: a key the base policy does not yet track must clear the
+// gate before its first RequestAdmit is even forwarded, so one-shot
+// keys from a cold scan never churn the replacement structures. Keys
+// the policy already tracks re-admit ungated — they cleared the gate
+// when they entered. The frequency plane supplies the gate (a sliding
+// count-min estimate against a threshold); the decorator keeps the
+// policies themselves frequency-oblivious.
+type Gated struct {
+	base Policy
+	gate func(key string) bool
+}
+
+// Gate wraps base with an admission gate. gate is called for fresh
+// keys only and must be cheap — it runs on the probe path.
+func Gate(base Policy, gate func(key string) bool) *Gated {
+	return &Gated{base: base, gate: gate}
+}
+
+// Unwrap returns the underlying policy (for callers that special-case
+// a concrete policy, e.g. 2Q's double-admit idiom).
+func (g *Gated) Unwrap() Policy { return g.base }
+
+// Lookup records a reference and reports main-cache membership.
+func (g *Gated) Lookup(key string) bool { return g.base.Lookup(key) }
+
+// RequestAdmit forwards to the base policy, unless key is fresh and
+// fails the gate — then it is declined without leaving any footprint.
+func (g *Gated) RequestAdmit(key string) (admitted bool, evicted []string) {
+	if !g.base.Contains(key) && !g.gate(key) {
+		return false, nil
+	}
+	return g.base.RequestAdmit(key)
+}
+
+// Admit bypasses the gate: admission for keys whose popularity was
+// proven elsewhere (a warm-restart snapshot, a router's top-k push).
+func (g *Gated) Admit(key string) (admitted bool, evicted []string) {
+	return g.base.RequestAdmit(key)
+}
+
+// Remove drops key from the base policy.
+func (g *Gated) Remove(key string) { g.base.Remove(key) }
+
+// Contains reports main-cache membership without a reference.
+func (g *Gated) Contains(key string) bool { return g.base.Contains(key) }
+
+// Len returns the base policy's main-cache size.
+func (g *Gated) Len() int { return g.base.Len() }
+
+// Cap returns the base policy's main-cache capacity.
+func (g *Gated) Cap() int { return g.base.Cap() }
+
+// Name identifies the gated policy in experiment output.
+func (g *Gated) Name() string { return g.base.Name() + "+gate" }

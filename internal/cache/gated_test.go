@@ -1,0 +1,57 @@
+package cache
+
+import "testing"
+
+// TestGatedBlocksFreshKeys pins the decorator contract: a fresh key
+// failing the gate is declined with no policy footprint; a tracked key
+// re-admits without consulting the gate; Admit bypasses the gate.
+func TestGatedBlocksFreshKeys(t *testing.T) {
+	allowed := map[string]bool{"hot": true}
+	gateCalls := 0
+	g := Gate(NewClock(4), func(key string) bool {
+		gateCalls++
+		return allowed[key]
+	})
+
+	if adm, _ := g.RequestAdmit("cold"); adm {
+		t.Fatal("cold key admitted through the gate")
+	}
+	if g.Contains("cold") || g.Len() != 0 {
+		t.Fatal("declined key left a policy footprint")
+	}
+
+	if adm, _ := g.RequestAdmit("hot"); !adm {
+		t.Fatal("hot key not admitted")
+	}
+	before := gateCalls
+	if adm, _ := g.RequestAdmit("hot"); !adm {
+		t.Fatal("tracked key re-admission declined")
+	}
+	if gateCalls != before {
+		t.Fatal("gate consulted for a tracked key")
+	}
+
+	// Bypass: a cold key with proven popularity goes straight through.
+	if adm, _ := g.Admit("cold"); !adm {
+		t.Fatal("Admit did not bypass the gate")
+	}
+	if g.Unwrap().Name() != "CLOCK" || g.Name() != "CLOCK+gate" {
+		t.Fatalf("names: %q / %q", g.Unwrap().Name(), g.Name())
+	}
+}
+
+// TestGatedTwoQueueFlow checks the gate composes with 2Q's A1
+// admission filter: a gated-through fresh key still needs the second
+// RequestAdmit to reach the main cache.
+func TestGatedTwoQueueFlow(t *testing.T) {
+	g := Gate(NewTwoQueue(4, 2), func(string) bool { return true })
+	if adm, _ := g.RequestAdmit("k"); adm {
+		t.Fatal("2Q admitted a first-sighting key to the main cache")
+	}
+	if adm, _ := g.RequestAdmit("k"); !adm {
+		t.Fatal("2Q declined the promoting second request")
+	}
+	if _, ok := g.Unwrap().(*TwoQueue); !ok {
+		t.Fatal("Unwrap lost the concrete policy type")
+	}
+}

@@ -1,0 +1,204 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pmv"
+	"pmv/client"
+	"pmv/internal/cluster"
+	"pmv/internal/server"
+	"pmv/internal/wire"
+)
+
+// hotCluster is testCluster with the frequency plane on end to end:
+// every shard runs a sketch/filter (EnableFreq) and the router runs
+// top-k tracking, replica serving, suppression, and MsgHotSet fan-out
+// on aggressive timers so convergence fits a test deadline.
+func hotCluster(t *testing.T) (*cluster.Router, map[[2]int64]int) {
+	t.Helper()
+	var (
+		addrs []string
+		want  map[[2]int64]int
+	)
+	for i := 0; i < 3; i++ {
+		db, w := shardFixture(t)
+		// AdmitThreshold 1 lets the first refill cache an entry, so the
+		// test does not depend on sketch warm-up to fill shard caches.
+		db.EnableFreq(pmv.FreqConfig{Window: time.Minute, AdmitThreshold: 1})
+		want = w
+		s := server.New(db, shardConfig())
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Shutdown() })
+		addrs = append(addrs, s.Addr().String())
+	}
+	r, err := cluster.NewRouter(cluster.Config{
+		Shards:                addrs,
+		DialTimeout:           time.Second,
+		RefillTimeout:         time.Second,
+		DrainTimeout:          2 * time.Second,
+		DefaultDeadline:       10 * time.Second,
+		Hot:                   true,
+		HotK:                  8,
+		HotPushInterval:       50 * time.Millisecond,
+		FilterRefreshInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Shutdown() })
+	return r, want
+}
+
+func routerHot(t *testing.T, c *client.Client) *wire.HotStats {
+	t.Helper()
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hot == nil {
+		t.Fatal("router stats carry no hot-plane counters with Hot on")
+	}
+	return st.Hot
+}
+
+// TestHotReplicaServesAndInvalidates drives the full replication
+// lifecycle through the wire: a repeatedly-queried pair becomes hot,
+// gets captured into the router's replica cache and pushed to the
+// shards, serves reads locally — still exact — and a routed write
+// invalidates every copy before its ack, so no later read ever sees
+// the old value.
+func TestHotReplicaServesAndInvalidates(t *testing.T) {
+	r, want := hotCluster(t)
+	c := client.New(r.Addr().String())
+	defer c.Close()
+
+	// Warm until the plane demonstrably works the pair: replica cache
+	// serving reads and at least one MsgHotSet round pushed.
+	n := want[[2]int64{3, 2}]
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runQuery(t, c, 3, 2, n)
+		hs := routerHot(t, c)
+		if hs.ReplicaHits > 0 && hs.Pushes > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hot plane never warmed: %+v", hs)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Overwrite one member's discount through the router. Pair (3,2)
+	// holds pids 19+40k; pid 19's seeded discount is 19.
+	if _, err := c.Update(context.Background(), true,
+		client.Set("sale", "pid", client.Int(19), "discount", client.Int(777))); err != nil {
+		t.Fatal(err)
+	}
+
+	// A read can still race an in-flight push or capture and trip the DS
+	// audit — that read fails loudly with a typed error and repairs the
+	// plane; it never answers wrong. A CLEAN read, though, must deliver
+	// pid 19 exactly once with the new value: a 19 on a clean read means
+	// a stale replica answered silently, the one forbidden outcome.
+	fresh := func() bool {
+		t.Helper()
+		var vals []int64
+		rows := 0
+		_, err := c.ExecutePartial(context.Background(), "pmv_on_sale", conds(3, 2), func(row client.Row) error {
+			rows++
+			if row.Tuple[0].Int64() == 19 {
+				vals = append(vals, row.Tuple[1].Int64())
+			}
+			return nil
+		})
+		if err != nil {
+			if errors.Is(err, client.ErrRemote) {
+				return false // flagged (DS audit): retry after the repair
+			}
+			t.Fatal(err)
+		}
+		if rows != n {
+			t.Fatalf("clean post-write read returned %d rows, want %d", rows, n)
+		}
+		if len(vals) != 1 {
+			t.Fatalf("clean read delivered pid 19 %d times: %v", len(vals), vals)
+		}
+		if vals[0] == 19 {
+			t.Fatal("clean post-ack read served the pre-write discount: stale replica")
+		}
+		return vals[0] == 777
+	}
+	freshDeadline := time.Now().Add(10 * time.Second)
+	for !fresh() {
+		if time.Now().After(freshDeadline) {
+			t.Fatal("post-write reads never converged on pid 19's new discount")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The write's damage report must have fanned MsgHotInval for the
+	// pushed pair; the re-queried pair then re-warms through capture.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		hs := routerHot(t, c)
+		if hs.Invals > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write to a pushed hot key fanned no MsgHotInval: %+v", hs)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	before := routerHot(t, c).ReplicaHits
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		fresh() // every clean read must stay exact and post-write
+		if routerHot(t, c).ReplicaHits > before {
+			return // replica cache re-warmed post-write, still fresh
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica cache never re-warmed after the invalidation")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestHotSuppressionProvesAbsence pins negative-probe suppression over
+// the wire: once the router holds a shard's presence-filter snapshot, a
+// query for a key no shard caches skips the owner probe entirely and
+// still answers exactly (zero rows — category 9 does not exist).
+func TestHotSuppressionProvesAbsence(t *testing.T) {
+	r, want := hotCluster(t)
+	c := client.New(r.Addr().String())
+	defer c.Close()
+
+	// Teach the router the view and give the filter loop one round.
+	runQuery(t, c, 3, 2, want[[2]int64{3, 2}])
+	deadline := time.Now().Add(10 * time.Second)
+	for routerHot(t, c).FilterRefreshes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("filter snapshots never refreshed")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		runQuery(t, c, 9, 0, 0)
+		if routerHot(t, c).Suppressed > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("absent-key probe was never suppressed")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -127,6 +127,23 @@ func (r *Router) WritePrometheus(w io.Writer) error {
 			func(shard int) float64 { return float64(r.tt.breakers[shard].state.Load()) })
 	}
 
+	if hs := r.hotStats(); hs != nil {
+		p.Counter("pmvrouter_hot_pushes_total", "MsgHotSet replication rounds fanned to the shards.", float64(hs.Pushes))
+		p.Counter("pmvrouter_hot_push_keys_total", "Hot keys carried by MsgHotSet pushes.", float64(hs.PushKeys))
+		p.Counter("pmvrouter_hot_push_tuples_total", "Tuples carried by MsgHotSet pushes.", float64(hs.PushTuples))
+		p.Counter("pmvrouter_hot_push_failures_total", "MsgHotSet sends that failed after the epoch retry.", float64(hs.PushFails))
+		p.Counter("pmvrouter_hot_invals_total", "MsgHotInval fan-outs after write batches.", float64(hs.Invals))
+		p.Counter("pmvrouter_hot_inval_keys_total", "Replicated keys invalidated by MsgHotInval fan-outs.", float64(hs.InvalKeys))
+		p.Counter("pmvrouter_hot_inval_failures_total", "MsgHotInval sends lost after the full degradation ladder.", float64(hs.InvalFails))
+		p.Counter("pmvrouter_hot_replica_hits_total", "Probes answered from the router's replica cache.", float64(hs.ReplicaHits))
+		p.Gauge("pmvrouter_hot_replica_keys", "Keys currently held in the router's replica cache.", float64(hs.ReplicaKeys))
+		p.Counter("pmvrouter_hot_replica_evicts_total", "Replica entries dropped (writes or top-k churn).", float64(hs.ReplicaEvicts))
+		p.Counter("pmvrouter_hot_suppressed_total", "Owner probes skipped because a presence-filter bitset proved the key absent.", float64(hs.Suppressed))
+		p.Counter("pmvrouter_hot_filter_refreshes_total", "Per-shard presence-filter snapshot refetches.", float64(hs.FilterRefreshes))
+		p.Counter("pmvrouter_hot_topk_offers_total", "Exact-probe observations offered to the top-k trackers.", float64(hs.TopKOffers))
+		p.Counter("pmvrouter_hot_topk_churn_total", "Space-saving counter evictions (hot-set instability).", float64(hs.TopKChurn))
+	}
+
 	p.Header("pmvrouter_shard_probe_seconds", "histogram", "Per-shard probe round-trip latency.")
 	for _, sm := range m.Shards {
 		buckets, count, sum := sm.ProbeLatency.Dump()

@@ -134,6 +134,22 @@ type Config struct {
 	// probes); HedgeBurst is the bucket cap (default 4).
 	HedgeRate  float64
 	HedgeBurst float64
+
+	// Hot enables the router half of the frequency plane: a per-view
+	// top-k tracker over probed bcp keys, a router-side replica cache
+	// answering hot probes locally, per-shard presence-filter bitsets
+	// suppressing provably-absent owner probes, and the periodic
+	// MsgHotSet fan-out replicating the hot set to every shard. Off by
+	// default; when off, none of the machinery runs, allocates, or
+	// adds wire bytes.
+	Hot bool
+	// HotK is the per-view hot-set size (default 8).
+	HotK int
+	// HotPushInterval paces MsgHotSet replication (default 1s).
+	HotPushInterval time.Duration
+	// FilterRefreshInterval paces presence-filter snapshot refetches
+	// (default 1s).
+	FilterRefreshInterval time.Duration
 }
 
 func (c *Config) fill() error {
@@ -208,6 +224,17 @@ func (c *Config) fill() error {
 			c.HedgeBurst = 4
 		}
 	}
+	if c.Hot {
+		if c.HotK <= 0 {
+			c.HotK = 8
+		}
+		if c.HotPushInterval <= 0 {
+			c.HotPushInterval = time.Second
+		}
+		if c.FilterRefreshInterval <= 0 {
+			c.FilterRefreshInterval = time.Second
+		}
+	}
 	return nil
 }
 
@@ -246,6 +273,11 @@ type Router struct {
 	// budget); nil unless Config.TailTolerance — every touchpoint is a
 	// single nil check when disabled.
 	tt *tailTolerance
+
+	// hot is the frequency plane (top-k tracking, replica cache,
+	// probe suppression, MsgHotSet fan-out); nil unless Config.Hot,
+	// same disabled-cost contract as tt.
+	hot *hotPlane
 }
 
 // viewMeta is the router's cached routing metadata for one view:
@@ -287,6 +319,9 @@ func NewRouter(cfg Config) (*Router, error) {
 	}
 	if cfg.TailTolerance {
 		r.tt = newTailTolerance(&r.cfg, len(cfg.Shards))
+	}
+	if cfg.Hot {
+		r.hot = newHotPlane(r)
 	}
 	for i, addr := range cfg.Shards {
 		r.pools[i] = newPool(addr, cfg.DialTimeout, cfg.ClientsPerShard)
@@ -330,6 +365,11 @@ func (r *Router) Serve(ln net.Listener) {
 	if r.tt != nil {
 		r.wg.Add(1)
 		go r.heartbeatLoop()
+	}
+	if r.hot != nil {
+		r.wg.Add(2)
+		go r.hotPushLoop()
+		go r.hotFilterLoop()
 	}
 	r.wg.Add(1)
 	go r.acceptLoop(ln)
@@ -563,7 +603,7 @@ func (r *Router) dispatch(sess *rsession, typ byte, payload []byte) error {
 	case wire.MsgQuery:
 		return r.handleQuery(sess, payload)
 	case wire.MsgStats:
-		return r.reply(bw, wire.StatsReply{Server: r.metrics.ServerStats(), Maint: r.metrics.maintStats()})
+		return r.reply(bw, wire.StatsReply{Server: r.metrics.ServerStats(), Maint: r.metrics.maintStats(), Hot: r.hotStats()})
 	case wire.MsgUpdate:
 		return r.handleUpdate(sess, payload)
 	case wire.MsgInvalidate:
@@ -897,8 +937,21 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 		return nil
 	}
 
+	// The capture generation: a write to this view between here and a
+	// capture discards the capture, so in-flight pre-write tuples can
+	// never repopulate a dropped replica.
+	var hotGen uint64
+	if r.hot != nil {
+		hotGen = r.hot.viewGen(meta.name)
+	}
+
 	start := time.Now()
 	hit, degraded := r.scatterProbes(ctx, meta, parts, func(t value.Tuple) error {
+		if r.hot != nil {
+			// Capture hot keys' partials into the replica cache; dup-safe
+			// (replica-served tuples re-arrive here and are deduped).
+			r.hot.capture(meta, t, hotGen)
+		}
 		emitMu.Lock()
 		defer emitMu.Unlock()
 		ds[string(value.EncodeTuple(nil, t))]++
@@ -1040,6 +1093,12 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 			leftover += n
 		}
 		if leftover > 0 {
+			if r.hot != nil {
+				// A leftover with replication in play can mean a stale
+				// shard-side hot entry whose invalidation was lost; fan a
+				// fresh one so the next read converges.
+				r.hot.repair(meta, parts)
+			}
 			r.metrics.DSLeftover.Add(1)
 			return r.writeErr(bw, fmt.Errorf("router: consistency violation: %d partial tuples never produced by execution", leftover))
 		}
@@ -1051,7 +1110,7 @@ func (r *Router) handleQuery(sess *rsession, payload []byte) error {
 	baseRep.ExecLatency = execRep.ExecLatency
 
 	if len(refill) > 0 {
-		r.spawnRefill(tr, meta, refill)
+		r.spawnRefill(tr, meta, refill, hotGen)
 	}
 	return r.finishQuery(sess, baseRep, start, o)
 }
@@ -1096,6 +1155,24 @@ func (r *Router) scatterProbes(ctx context.Context, meta *viewMeta, parts []core
 			wp.Conds = p.CondInstances()
 		}
 		owner := m.Owner(p.BCPKey)
+		// Frequency plane: an exact part may be answered from the
+		// router's replica cache (hot key) or skipped outright when the
+		// owner's presence-filter bitset proves the key absent; either
+		// way the owner probe is saved. Inexact parts need shard-side
+		// residual filtering, so only the absence proof applies.
+		if r.hot != nil {
+			if p.Exact {
+				switch r.hot.probeLocal(meta.name, owner, p.BCPKey, emit) {
+				case hotServed:
+					hit = true
+					continue
+				case hotSuppressed:
+					continue
+				}
+			} else if r.hot.suppressOnly(meta.name, owner, p.BCPKey) {
+				continue
+			}
+		}
 		groups[owner] = append(groups[owner], wp)
 	}
 
@@ -1199,7 +1276,7 @@ func (r *Router) probeShard(ctx context.Context, shard int, view string, m *Shar
 // contexts so the shards' refill spans land in the router's stored
 // trace — after the reply, which is why `pmvcli trace` reads the live
 // trace rather than a snapshot.
-func (r *Router) spawnRefill(tr *obs.Trace, meta *viewMeta, tuples []value.Tuple) {
+func (r *Router) spawnRefill(tr *obs.Trace, meta *viewMeta, tuples []value.Tuple, hotGen uint64) {
 	select {
 	case <-r.closing:
 		return
@@ -1214,6 +1291,12 @@ func (r *Router) spawnRefill(tr *obs.Trace, meta *viewMeta, tuples []value.Tuple
 		}
 		owner := m.Owner(meta.coder.KeyFromCondValues(condVals))
 		groups[owner] = append(groups[owner], t)
+		if r.hot != nil {
+			// A refilled tuple is a cache miss for a demanded key — the
+			// capture that lets a newly hot key's entry be replicated
+			// before any shard has it cached.
+			r.hot.capture(meta, t, hotGen)
+		}
 	}
 	for shard, batch := range groups {
 		r.refillWG.Add(1)

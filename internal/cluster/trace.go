@@ -284,6 +284,7 @@ func (r *Router) handleFleet(bw *bufio.Writer) error {
 		Epoch:           m.Epoch(),
 		VNodes:          m.Wire().VNodes,
 		Router:          r.metrics.ServerStats(),
+		Hot:             r.hotStats(),
 		Shards:          make([]wire.FleetShard, len(r.pools)),
 		OldestSnapshotS: -1,
 	}

@@ -87,6 +87,13 @@ func (r *Router) handleUpdate(sess *rsession, payload []byte) error {
 	r.metrics.Updates.Add(1)
 	r.metrics.UpdateOps.Add(int64(prim.Applied))
 	r.metrics.UpdateRows.Add(int64(prim.Rows))
+	if r.hot != nil {
+		// Before the ack: drop router replicas for the damaged keys
+		// synchronously (a post-ack read must never be answered from a
+		// pre-write replica) and fan MsgHotInval for pushed keys to
+		// every shard — replicas live everywhere, unlike owned entries.
+		r.hot.invalidate(prim.Keys, prim.Wide)
+	}
 	r.spawnInvalidate(primary, prim.Keys, prim.Wide)
 	if tr != nil {
 		allocd := tr.AllocMark() - allocMark

@@ -39,6 +39,7 @@ func (v *View) discardStaleLocked(key string, e *entry) {
 	delete(v.invalGen, key)
 	v.stats.EntriesInvalidated++
 	v.stats.TuplesInvalidated += int64(len(e.tuples))
+	v.freqRemoveLocked(key, e)
 	if v.maint != nil {
 		v.maint.dropEntry(key)
 	}
@@ -90,6 +91,12 @@ func (v *View) BumpAllGen() {
 	v.invalAll = v.invalSeq
 	v.invalGen = make(map[string]uint64) // superseded by the floor
 	v.stats.ViewGenBumps++
+	if v.freq != nil {
+		// Every entry just died at once; reset the filter (generation
+		// bump) instead of traversing the map. Entries stamped with the
+		// old filter generation skip their Remove on lazy discard.
+		v.freq.Filter.Reset()
+	}
 }
 
 // LockForMaintenance acquires the view's X lock through the engine's
@@ -129,6 +136,7 @@ func (v *View) PurgeKeys(keys []string) (entries, tuples int, degraded bool) {
 			v.stats.TuplesPurged += int64(len(e.tuples))
 			delete(v.entries, k)
 			delete(v.invalGen, k)
+			v.freqRemoveLocked(k, e)
 			if v.maint != nil {
 				v.maint.dropEntry(k)
 			}

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"time"
 
-	"pmv/internal/cache"
 	"pmv/internal/expr"
 	"pmv/internal/lock"
 	"pmv/internal/obs"
@@ -129,6 +128,9 @@ type ProbeReport struct {
 	PartHits int
 	// PartialTuples counts Ls′ tuples emitted.
 	PartialTuples int
+	// Suppressed counts parts skipped by the presence filter (zero
+	// with the frequency plane off).
+	Suppressed int
 }
 
 // ProbeBCPs runs Operation O2 for parts computed by a remote router:
@@ -178,7 +180,20 @@ func (v *View) ProbeBCPs(ctx context.Context, parts []RemotePart, emit func(valu
 		before := rep.PartialTuples
 		p := &parts[pi]
 		var hit bool
+		// Frequency plane: train the sketch, honor a provable absence
+		// (see probeO2 — routed and local probes suppress identically).
+		est, proceed := v.probeFreqLocked(p.Key)
+		if !proceed {
+			rep.Suppressed++
+			if tr.Enabled() {
+				tr.Span(obs.KindO2Probe, pStart, int64(pi), 0, 0)
+			}
+			continue
+		}
 		e, ok := v.liveEntryLocked(p.Key)
+		if v.freq != nil && !ok {
+			v.stats.FilterFalsePositives++
+		}
 		switch {
 		case ok:
 			v.policy.Lookup(p.Key)
@@ -187,8 +202,8 @@ func (v *View) ProbeBCPs(ctx context.Context, parts []RemotePart, emit func(valu
 		case v.policy.Lookup(p.Key):
 			hit = true // tracked but currently tupleless
 		default:
-			if _, done := admitDecided[p.Key]; !done {
-				if _, isTQ := v.policy.(*cache.TwoQueue); isTQ {
+			if _, done := admitDecided[p.Key]; !done && v.admitGateLocked(p.Key, est, true) {
+				if v.policyIsTwoQueue() {
 					adm, evicted := v.policy.RequestAdmit(p.Key)
 					v.dropEntriesLocked(evicted)
 					admitDecided[p.Key] = adm
@@ -303,6 +318,11 @@ func (v *View) FillTuples(tuples []value.Tuple) (int, error) {
 			continue // idempotence: never append to a populated entry
 		}
 		if !v.policy.Contains(key) {
+			// Popularity gate, same as the local fill path: a routed
+			// refill for a key below the threshold is declined.
+			if !v.admitGateLocked(key, 0, false) {
+				continue
+			}
 			adm, evicted := v.policy.RequestAdmit(key)
 			v.dropEntriesLocked(evicted)
 			if !adm {
@@ -314,6 +334,7 @@ func (v *View) FillTuples(tuples []value.Tuple) (int, error) {
 			e = &entry{gen: v.invalSeq}
 			v.entries[key] = e
 			v.stats.EntriesCreated++
+			v.freqAddLocked(key, e)
 		}
 		for _, t := range groups[key] {
 			if len(e.tuples) >= v.cfg.TuplesPerBCP {

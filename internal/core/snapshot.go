@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"pmv/internal/cache"
 	"pmv/internal/value"
 )
 
@@ -80,13 +79,13 @@ func (v *View) WarmAdmit(key string, accesses int64, tuples []value.Tuple) (int,
 		return 0, nil
 	}
 	if !v.policy.Contains(key) {
-		adm, evicted := v.policy.RequestAdmit(key)
+		adm, evicted := v.requestAdmitProvenLocked(key)
 		v.dropEntriesLocked(evicted)
 		if !adm {
-			if _, isTQ := v.policy.(*cache.TwoQueue); !isTQ {
+			if !v.policyIsTwoQueue() {
 				return 0, nil
 			}
-			adm, evicted = v.policy.RequestAdmit(key)
+			adm, evicted = v.requestAdmitProvenLocked(key)
 			v.dropEntriesLocked(evicted)
 			if !adm {
 				return 0, nil
@@ -102,6 +101,7 @@ func (v *View) WarmAdmit(key string, accesses int64, tuples []value.Tuple) (int,
 		}
 	}
 	v.entries[key] = e
+	v.freqAddLocked(key, e)
 	v.stats.EntriesCreated++
 	v.stats.TuplesCached += int64(len(e.tuples))
 	return len(e.tuples), nil

@@ -10,6 +10,7 @@ import (
 	"pmv/internal/cache"
 	"pmv/internal/engine"
 	"pmv/internal/expr"
+	freqpkg "pmv/internal/freq"
 	"pmv/internal/lock"
 	"pmv/internal/obs"
 	"pmv/internal/value"
@@ -85,6 +86,9 @@ type entry struct {
 	// whose gen falls below a bumped per-key or view-wide floor is
 	// stale and lazily discarded on its next probe (see inval.go).
 	gen uint64
+	// fgen is the presence-filter generation at Add time (freq.go);
+	// zero and unused when the frequency plane is off.
+	fgen uint64
 }
 
 // View is one live partial materialized view.
@@ -107,6 +111,11 @@ type View struct {
 	invalSeq uint64
 	invalGen map[string]uint64
 	invalAll uint64
+
+	// Frequency plane (freq.go): nil when off. hotFloor orders hot-set
+	// pushes against hot invalidations per replicated key.
+	freq     *freqpkg.ViewFreq
+	hotFloor map[string]uint64
 
 	stats Stats
 }
@@ -169,6 +178,9 @@ func (v *View) Drop() {
 	defer v.mu.Unlock()
 	v.entries = make(map[string]*entry)
 	v.maint = nil
+	if v.freq != nil {
+		v.freq.Filter.Reset()
+	}
 }
 
 // Config returns the (filled) configuration.
@@ -481,7 +493,21 @@ func (v *View) probeO2(run *partialRun, emit func(Result) error) error {
 		}
 		before := rep.PartialTuples
 		var hit int64
+		// Frequency plane: every probe trains the sketch; a filter
+		// negative proves no live entry exists, so the lookup (and any
+		// policy work) is skipped outright.
+		est, proceed := v.probeFreqLocked(cp.BCPKey)
+		if !proceed {
+			if tr != nil {
+				tr.SpanCost(obs.KindO2Probe, pStart, int64(pi), 0, 0,
+					obs.Cost{Allocs: tr.AllocMark() - pMark})
+			}
+			continue
+		}
 		e, ok := v.liveEntryLocked(cp.BCPKey)
+		if v.freq != nil && !ok {
+			v.stats.FilterFalsePositives++
+		}
 		switch {
 		case ok:
 			v.policy.Lookup(cp.BCPKey)
@@ -491,9 +517,11 @@ func (v *View) probeO2(run *partialRun, emit func(Result) error) error {
 			hit = 1 // bcp tracked by policy but currently tupleless
 		default:
 			// Record the reference for admission-filtered policies
-			// (2Q's A1); CLOCK/LRU admit lazily in O3 instead.
-			if _, done := admitDecided[cp.BCPKey]; !done {
-				if _, isTQ := v.policy.(*cache.TwoQueue); isTQ {
+			// (2Q's A1); CLOCK/LRU admit lazily in O3 instead. With the
+			// frequency plane on, a key below the popularity threshold
+			// is not even recorded — cold scans leave no footprint.
+			if _, done := admitDecided[cp.BCPKey]; !done && v.admitGateLocked(cp.BCPKey, est, true) {
+				if v.policyIsTwoQueue() {
 					adm, evicted := v.policy.RequestAdmit(cp.BCPKey)
 					v.dropEntriesLocked(evicted)
 					admitDecided[cp.BCPKey] = adm
@@ -593,6 +621,13 @@ func (v *View) fill(t value.Tuple, run *partialRun) {
 			// key was admitted and evicted again within this query.
 			return
 		}
+		// Popularity gate: a fresh key below the sliding threshold is
+		// not cached at all — a cold scan's one-shot keys stop churning
+		// the replacement rings.
+		if !v.admitGateLocked(key, 0, false) {
+			admitDecided[key] = false
+			return
+		}
 		adm, evicted := v.policy.RequestAdmit(key)
 		run.refEvicted += int64(v.dropEntriesLocked(evicted))
 		admitDecided[key] = adm
@@ -605,6 +640,7 @@ func (v *View) fill(t value.Tuple, run *partialRun) {
 		e = &entry{gen: v.invalSeq}
 		v.entries[key] = e
 		v.stats.EntriesCreated++
+		v.freqAddLocked(key, e)
 		run.refEntries++
 	}
 	if len(e.tuples) >= v.cfg.TuplesPerBCP {
@@ -628,6 +664,7 @@ func (v *View) dropEntriesLocked(keys []string) int {
 			v.stats.EntriesEvicted++
 			v.stats.TuplesEvicted += int64(len(e.tuples))
 			delete(v.entries, k)
+			v.freqRemoveLocked(k, e)
 			dropped++
 			if v.maint != nil {
 				v.maint.dropEntry(k)
@@ -681,6 +718,10 @@ func (v *View) CheckInvariants() error {
 		}
 		if !v.policy.Contains(key) {
 			return fmt.Errorf("core: entry %q not tracked by the replacement policy", key)
+		}
+		if v.freq != nil && v.entryLiveLocked(key, e) && e.fgen == v.freq.Filter.Gen() &&
+			!v.freq.Filter.MayContain(key) {
+			return fmt.Errorf("core: live entry %q absent from the presence filter (false negative)", key)
 		}
 	}
 	return nil

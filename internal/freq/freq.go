@@ -1,0 +1,58 @@
+package freq
+
+import "time"
+
+// Config tunes one view's frequency plane. The zero value takes the
+// documented defaults everywhere.
+type Config struct {
+	// SketchDepth / SketchWidth size the count-min sketch (defaults
+	// 4 × 1024).
+	SketchDepth int
+	SketchWidth int
+	// Window is the sketch's epoch rotation period (default 1s); an
+	// estimate covers between one and two windows.
+	Window time.Duration
+	// AdmitThreshold is the minimum windowed probe-frequency estimate a
+	// key needs before the view will cache it (default 2: a key must be
+	// asked for at least twice in a window to earn an entry, which is
+	// exactly the reuse test a cold scan's one-shot keys fail).
+	AdmitThreshold uint32
+	// FilterBitsPerKey / FilterHashes size the presence filter
+	// (defaults 12 and 8 — FPR ≈ 0.3% at full occupancy).
+	FilterBitsPerKey int
+	FilterHashes     int
+}
+
+func (c *Config) fill() {
+	if c.AdmitThreshold == 0 {
+		c.AdmitThreshold = 2
+	}
+}
+
+// ViewFreq bundles one view's estimator and presence filter. A single
+// ViewFreq is shared by the view's probe/admission path and the write
+// plane's heavy/light classifier, so "popular enough to cache" and
+// "popular enough to matter for invalidation" read the same counts.
+type ViewFreq struct {
+	cfg    Config
+	Sketch *Sketch
+	Filter *Filter
+}
+
+// New builds a view's frequency plane; capacity is the view's entry
+// bound (sizes the filter).
+func New(cfg Config, capacity int) *ViewFreq {
+	cfg.fill()
+	return &ViewFreq{
+		cfg: cfg,
+		Sketch: NewSketch(SketchConfig{
+			Depth:  cfg.SketchDepth,
+			Width:  cfg.SketchWidth,
+			Window: cfg.Window,
+		}),
+		Filter: NewFilter(capacity, cfg.FilterBitsPerKey, cfg.FilterHashes),
+	}
+}
+
+// AdmitThreshold returns the sliding admission threshold.
+func (f *ViewFreq) AdmitThreshold() uint32 { return f.cfg.AdmitThreshold }

@@ -1,0 +1,184 @@
+// Package freq is the frequency plane: online popularity estimation
+// for bcp keys. It holds three small data structures that together
+// implement the paper's Section 3.5 popularity ranking online —
+//
+//   - Sketch, a windowed (two-epoch rotating) count-min sketch that
+//     estimates per-key probe frequency over a sliding window,
+//   - Filter, a per-view counting-bloom presence filter maintained on
+//     every PMV entry insert/purge, with an exportable plain-bloom
+//     bitset for router-side negative-probe suppression,
+//   - TopK, a space-saving tracker of the hottest keys, feeding
+//     hot-entry replication.
+//
+// All three are safe for concurrent use; the probe hot path pays one
+// short mutex per touch. Sizing and error bounds are documented in
+// DESIGN.md §4j.
+package freq
+
+import (
+	"hash/maphash"
+	"sync"
+	"time"
+)
+
+// hashSeed is a fixed maphash seed so sketch/filter placements are
+// deterministic across runs (the snapshot layer never persists these
+// structures, so determinism is purely a debugging nicety).
+var hashSeed = maphash.MakeSeed()
+
+// hash2 derives two independent 32-bit hashes of key; row i of a
+// depth-d structure uses h1 + i*h2 (Kirsch–Mitzenmacher double
+// hashing, the standard trick that makes d hash functions cost one).
+func hash2(key string) (uint32, uint32) {
+	h := maphash.String(hashSeed, key)
+	h1 := uint32(h)
+	h2 := uint32(h>>32) | 1 // odd, so it strides the whole table
+	return h1, h2
+}
+
+// SketchConfig sizes a Sketch.
+type SketchConfig struct {
+	// Depth is the number of hash rows (default 4). The estimate error
+	// probability falls exponentially in depth: P[err > εN] ≤ e^-depth.
+	Depth int
+	// Width is the number of counters per row (default 1024, rounded up
+	// to a power of two). The additive error bound is ε = e/width of
+	// the window's total touch count.
+	Width int
+	// Window is the rotation period (default 1s). Counts live in two
+	// epochs — current and previous — and an estimate sums both, so the
+	// effective sliding window covers between one and two periods.
+	Window time.Duration
+}
+
+func (c *SketchConfig) fill() {
+	if c.Depth <= 0 {
+		c.Depth = 4
+	}
+	if c.Width <= 0 {
+		c.Width = 1024
+	}
+	// Round width up to a power of two so the row index is a mask.
+	w := 1
+	for w < c.Width {
+		w <<= 1
+	}
+	c.Width = w
+	if c.Window <= 0 {
+		c.Window = time.Second
+	}
+}
+
+// Sketch is a windowed count-min sketch. Touch increments the current
+// epoch; Estimate reads current+previous, so a key's estimate decays
+// to zero within two window periods of its last touch instead of
+// growing without bound. Rotation is lazy — the first Touch or
+// Estimate past the window boundary swaps the epochs — so an idle
+// sketch costs nothing.
+type Sketch struct {
+	cfg  SketchConfig
+	mask uint32
+
+	mu         sync.Mutex
+	cur, prev  []uint32 // depth*width counters each
+	curStart   time.Time
+	touches    int64 // lifetime touches (stats)
+	rotations  int64
+	curTouches int64 // touches in the current epoch
+}
+
+// NewSketch builds a sketch from cfg (zero values take defaults).
+func NewSketch(cfg SketchConfig) *Sketch {
+	cfg.fill()
+	n := cfg.Depth * cfg.Width
+	return &Sketch{
+		cfg:      cfg,
+		mask:     uint32(cfg.Width - 1),
+		cur:      make([]uint32, n),
+		prev:     make([]uint32, n),
+		curStart: time.Now(),
+	}
+}
+
+// rotateLocked swaps epochs when the window has elapsed. Counters from
+// two windows ago are cleared, not summed — that is what bounds the
+// estimate to a sliding window.
+func (s *Sketch) rotateLocked(now time.Time) {
+	for now.Sub(s.curStart) >= s.cfg.Window {
+		s.cur, s.prev = s.prev, s.cur
+		clear(s.cur)
+		s.curStart = s.curStart.Add(s.cfg.Window)
+		s.rotations++
+		s.curTouches = 0
+		if now.Sub(s.curStart) >= 2*s.cfg.Window {
+			// Idle gap longer than the whole window: both epochs are
+			// dead. Reset the clock instead of spinning through it.
+			clear(s.prev)
+			s.curStart = now
+		}
+	}
+}
+
+// Touch records one observation of key and returns its new windowed
+// estimate (so callers gating on a threshold pay a single lock).
+func (s *Sketch) Touch(key string) uint32 {
+	h1, h2 := hash2(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rotateLocked(time.Now())
+	s.touches++
+	s.curTouches++
+	est := ^uint32(0)
+	for d := 0; d < s.cfg.Depth; d++ {
+		i := d*s.cfg.Width + int((h1+uint32(d)*h2)&s.mask)
+		s.cur[i]++
+		if v := s.cur[i] + s.prev[i]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Estimate returns the windowed count-min estimate for key: the
+// minimum over rows of current+previous epoch counters. It never
+// underestimates a key's true windowed count; it overestimates with
+// probability ≤ e^-Depth by more than (e/Width)·N where N is the
+// window's touch total.
+func (s *Sketch) Estimate(key string) uint32 {
+	h1, h2 := hash2(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rotateLocked(time.Now())
+	est := ^uint32(0)
+	for d := 0; d < s.cfg.Depth; d++ {
+		i := d*s.cfg.Width + int((h1+uint32(d)*h2)&s.mask)
+		if v := s.cur[i] + s.prev[i]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// SketchStats is a point-in-time counter snapshot.
+type SketchStats struct {
+	Touches     int64 // lifetime touches
+	Rotations   int64 // epoch swaps
+	EpochLoad   int64 // touches in the current epoch
+	Depth       int
+	Width       int
+	WindowNanos int64
+}
+
+// Stats snapshots the sketch's counters.
+func (s *Sketch) Stats() SketchStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SketchStats{
+		Touches:     s.touches,
+		Rotations:   s.rotations,
+		EpochLoad:   s.curTouches,
+		Depth:       s.cfg.Depth,
+		Width:       s.cfg.Width,
+		WindowNanos: int64(s.cfg.Window),
+	}
+}

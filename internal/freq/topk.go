@@ -1,0 +1,123 @@
+package freq
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+)
+
+// TopK tracks the approximately-k hottest keys with the space-saving
+// algorithm (Metwally et al.): a bounded set of counters; an arriving
+// key that has a counter increments it, otherwise it evicts the
+// minimum counter and inherits its count as error. Guarantees: any key
+// whose true frequency exceeds N/capacity is present, and a counter's
+// true count lies in [count-err, count].
+type TopK struct {
+	k int
+
+	mu       sync.Mutex
+	counters map[string]*tkCounter
+	h        tkHeap
+	offers   int64
+	churn    int64 // evict-and-replace events (top-k instability signal)
+}
+
+type tkCounter struct {
+	key   string
+	count uint64
+	err   uint64
+	idx   int // heap index
+}
+
+// KeyCount is one ranked key.
+type KeyCount struct {
+	Key   string
+	Count uint64
+	Err   uint64
+}
+
+// NewTopK tracks the hottest keys with 4*k counters (headroom keeps
+// the guaranteed-present bound loose enough for Zipf tails).
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		k = 8
+	}
+	return &TopK{k: k, counters: make(map[string]*tkCounter, 4*k)}
+}
+
+// K returns the configured k.
+func (t *TopK) K() int { return t.k }
+
+// Offer records one observation of key.
+func (t *TopK) Offer(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.offers++
+	if c, ok := t.counters[key]; ok {
+		c.count++
+		heap.Fix(&t.h, c.idx)
+		return
+	}
+	if len(t.counters) < 4*t.k {
+		c := &tkCounter{key: key, count: 1}
+		t.counters[key] = c
+		heap.Push(&t.h, c)
+		return
+	}
+	// Space-saving replacement: the minimum counter's key is evicted
+	// and the newcomer inherits its count as upper bound.
+	min := t.h[0]
+	delete(t.counters, min.key)
+	t.churn++
+	min.key = key
+	min.err = min.count
+	min.count++
+	t.counters[key] = min
+	heap.Fix(&t.h, 0)
+}
+
+// Tracked reports whether key currently holds a counter. A tracked key
+// is either genuinely hot or recently arrived; callers use this as a
+// cheap pre-filter for per-key bookkeeping that must stay O(k).
+func (t *TopK) Tracked(key string) bool {
+	t.mu.Lock()
+	_, ok := t.counters[key]
+	t.mu.Unlock()
+	return ok
+}
+
+// Top returns up to k keys, hottest first.
+func (t *TopK) Top() []KeyCount {
+	t.mu.Lock()
+	out := make([]KeyCount, 0, len(t.counters))
+	for _, c := range t.counters {
+		out = append(out, KeyCount{Key: c.key, Count: c.count, Err: c.err})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > t.k {
+		out = out[:t.k]
+	}
+	return out
+}
+
+// Stats returns (offers, churn).
+func (t *TopK) Stats() (int64, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.offers, t.churn
+}
+
+// tkHeap is a min-heap over counters by count.
+type tkHeap []*tkCounter
+
+func (h tkHeap) Len() int           { return len(h) }
+func (h tkHeap) Less(i, j int) bool { return h[i].count < h[j].count }
+func (h tkHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *tkHeap) Push(x any)        { c := x.(*tkCounter); c.idx = len(*h); *h = append(*h, c) }
+func (h *tkHeap) Pop() any          { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }

@@ -18,21 +18,28 @@ type classifier struct {
 	interval  time.Duration
 	cur, prev map[string]int
 	rotated   time.Time
+	// est, when non-nil, is the frequency plane's read-side popularity
+	// estimate (Config.Estimator); it extends the write-touch window so
+	// a key hammered by readers classifies heavy even before its writes
+	// alone would.
+	est func(string) uint32
 }
 
-func newClassifier(threshold int, interval time.Duration) *classifier {
+func newClassifier(threshold int, interval time.Duration, est func(string) uint32) *classifier {
 	return &classifier{
 		threshold: threshold,
 		interval:  interval,
 		cur:       make(map[string]int),
 		prev:      make(map[string]int),
 		rotated:   time.Now(),
+		est:       est,
 	}
 }
 
 // heavy records one touch of key and reports whether it currently
-// classifies as heavy (touched at least threshold times across the
-// sliding window, counting this touch).
+// classifies as heavy: touched at least threshold times across the
+// sliding window (counting this touch), or — with a shared estimator
+// attached — read at least that often in the frequency plane's window.
 func (c *classifier) heavy(key string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -42,5 +49,8 @@ func (c *classifier) heavy(key string) bool {
 		c.rotated = now
 	}
 	c.cur[key]++
-	return c.cur[key]+c.prev[key] >= c.threshold
+	if c.cur[key]+c.prev[key] >= c.threshold {
+		return true
+	}
+	return c.est != nil && c.est(key) >= uint32(c.threshold)
 }

@@ -43,6 +43,7 @@ import (
 
 	"pmv/internal/core"
 	"pmv/internal/engine"
+	"pmv/internal/freq"
 	"pmv/internal/keycodec"
 	"pmv/internal/obs"
 	"pmv/internal/value"
@@ -75,6 +76,14 @@ type Config struct {
 	HeavyThreshold int
 	// WindowInterval is the classifier's bucket rotation (default 1s).
 	WindowInterval time.Duration
+	// Estimator, when set, supplies a read-side popularity estimate for
+	// a bcp key; the classifier treats a key as heavy when either its
+	// own write-touch count or the estimate clears HeavyThreshold, so a
+	// read-hot key's writes take the gen-bump path instead of purging
+	// under an X-lock its readers are contending for. Left nil, New
+	// derives one from the views' frequency planes when present, so
+	// both thresholds share one sliding estimator.
+	Estimator func(key string) uint32
 	// Logf receives plane lifecycle messages (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -181,11 +190,30 @@ func New(cfg Config) (*Plane, error) {
 	}
 	views := append([]*core.View(nil), cfg.Source.Views()...)
 	sort.Slice(views, func(i, j int) bool { return views[i].Name() < views[j].Name() })
+	if cfg.Estimator == nil {
+		var freqs []*freq.ViewFreq
+		for _, v := range views {
+			if f := v.Freq(); f != nil {
+				freqs = append(freqs, f)
+			}
+		}
+		if len(freqs) > 0 {
+			cfg.Estimator = func(key string) uint32 {
+				var m uint32
+				for _, f := range freqs {
+					if e := f.Sketch.Estimate(key); e > m {
+						m = e
+					}
+				}
+				return m
+			}
+		}
+	}
 	p := &Plane{
 		cfg:     cfg,
 		eng:     cfg.Source.Engine(),
 		views:   views,
-		class:   newClassifier(cfg.HeavyThreshold, cfg.WindowInterval),
+		class:   newClassifier(cfg.HeavyThreshold, cfg.WindowInterval, cfg.Estimator),
 		queue:   make(chan *request, cfg.QueueDepth),
 		closing: make(chan struct{}),
 	}

@@ -88,6 +88,19 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		p.Counter("pmvd_maint_purge_degrades_total", "Purges degraded to generation bumps on lock failure.", float64(ms.PurgeDegrades))
 	}
 
+	if fs := s.freqStats(); fs != nil {
+		p.Counter("pmvd_freq_probes_suppressed_total", "O2 probes skipped because the presence filter proved the key absent.", float64(fs.ProbesSuppressed))
+		p.Counter("pmvd_freq_filter_positives_total", "Probes the presence filter let through.", float64(fs.FilterPositives))
+		p.Counter("pmvd_freq_filter_false_positives_total", "Filter positives that found no live entry.", float64(fs.FilterFalsePositives))
+		p.Counter("pmvd_freq_admit_gate_rejects_total", "Cache admissions declined by the popularity gate.", float64(fs.AdmitGateRejects))
+		p.Counter("pmvd_freq_hot_set_keys_total", "Hot keys replicated into the cache via MsgHotSet.", float64(fs.HotSetKeys))
+		p.Counter("pmvd_freq_hot_set_tuples_total", "Tuples cached from MsgHotSet pushes.", float64(fs.HotSetTuples))
+		p.Counter("pmvd_freq_hot_inval_keys_total", "Replicated keys invalidated via MsgHotInval.", float64(fs.HotInvalKeys))
+		p.Counter("pmvd_freq_sketch_touches_total", "Popularity observations absorbed by the count-min sketches.", float64(fs.SketchTouches))
+		p.Counter("pmvd_freq_sketch_rotations_total", "Sketch epoch rotations (window expiries).", float64(fs.SketchRotations))
+		p.Gauge("pmvd_freq_sketch_load", "Highest per-view sketch epoch load (touches this window).", fs.SketchLoad)
+	}
+
 	p.Header("pmvd_query_seconds", "histogram", "Query latency by phase (partial = O1+O2, exec = O3, total = whole query).")
 	for _, ph := range []struct {
 		name string

@@ -551,6 +551,12 @@ func (s *Server) dispatch(sess *session, typ byte, payload []byte) error {
 		return s.handleUpdate(sess, payload)
 	case wire.MsgInvalidate:
 		return s.handleInvalidate(sess, payload)
+	case wire.MsgHotSet:
+		return s.handleHotSet(sess, payload)
+	case wire.MsgHotInval:
+		return s.handleHotInval(sess, payload)
+	case wire.MsgFilter:
+		return s.handleFilter(sess, payload)
 	case wire.MsgTraced:
 		return s.handleTraced(sess, payload)
 	case wire.MsgShards:
@@ -776,37 +782,44 @@ func (s *Server) viewStatsReply() []wire.ViewStatsEntry {
 			occ = float64(entries) / float64(maxE)
 		}
 		out = append(out, wire.ViewStatsEntry{
-			Name:               v.Name(),
-			Queries:            st.Queries,
-			QueryHits:          st.QueryHits,
-			HitProb:            st.HitProbability(),
-			PartsProbed:        st.PartsProbed,
-			PartHits:           st.PartHits,
-			PartialTuples:      st.PartialTuples,
-			EntriesCreated:     st.EntriesCreated,
-			EntriesEvicted:     st.EntriesEvicted,
-			TuplesCached:       st.TuplesCached,
-			TuplesEvicted:      st.TuplesEvicted,
-			TuplesPurged:       st.TuplesPurged,
-			InsertsSeen:        st.InsertsSeen,
-			DeletesSeen:        st.DeletesSeen,
-			UpdatesSeen:        st.UpdatesSeen,
-			UpdatesSkipped:     st.UpdatesSkipped,
-			EntriesInvalidated: st.EntriesInvalidated,
-			TuplesInvalidated:  st.TuplesInvalidated,
-			KeyGenBumps:        st.KeyGenBumps,
-			ViewGenBumps:       st.ViewGenBumps,
-			MaintTimeNs:        int64(st.MaintTime),
-			LockWaitTimeNs:     int64(st.LockWaitTime),
-			O3TimeNs:           int64(st.O3Time),
-			DegradedQueries:    st.DegradedQueries,
-			DeadlineQueries:    st.DeadlineQueries,
-			PartialOnlyQueries: st.PartialOnlyQueries,
-			Entries:            entries,
-			MaxEntries:         maxE,
-			Occupancy:          occ,
-			Tuples:             v.TupleCount(),
-			Bytes:              v.SizeBytes(),
+			Name:                 v.Name(),
+			Queries:              st.Queries,
+			QueryHits:            st.QueryHits,
+			HitProb:              st.HitProbability(),
+			PartsProbed:          st.PartsProbed,
+			PartHits:             st.PartHits,
+			PartialTuples:        st.PartialTuples,
+			EntriesCreated:       st.EntriesCreated,
+			EntriesEvicted:       st.EntriesEvicted,
+			TuplesCached:         st.TuplesCached,
+			TuplesEvicted:        st.TuplesEvicted,
+			TuplesPurged:         st.TuplesPurged,
+			InsertsSeen:          st.InsertsSeen,
+			DeletesSeen:          st.DeletesSeen,
+			UpdatesSeen:          st.UpdatesSeen,
+			UpdatesSkipped:       st.UpdatesSkipped,
+			EntriesInvalidated:   st.EntriesInvalidated,
+			TuplesInvalidated:    st.TuplesInvalidated,
+			KeyGenBumps:          st.KeyGenBumps,
+			ViewGenBumps:         st.ViewGenBumps,
+			MaintTimeNs:          int64(st.MaintTime),
+			LockWaitTimeNs:       int64(st.LockWaitTime),
+			O3TimeNs:             int64(st.O3Time),
+			DegradedQueries:      st.DegradedQueries,
+			DeadlineQueries:      st.DeadlineQueries,
+			PartialOnlyQueries:   st.PartialOnlyQueries,
+			ProbesSuppressed:     st.ProbesSuppressed,
+			FilterPositives:      st.FilterPositives,
+			FilterFalsePositives: st.FilterFalsePositives,
+			AdmitGateRejects:     st.AdmitGateRejects,
+			HotSetKeys:           st.HotSetKeys,
+			HotSetTuples:         st.HotSetTuples,
+			HotInvalKeys:         st.HotInvalKeys,
+			Entries:              entries,
+			MaxEntries:           maxE,
+			Occupancy:            occ,
+			Tuples:               v.TupleCount(),
+			Bytes:                v.SizeBytes(),
 		})
 	}
 	return out
@@ -832,6 +845,7 @@ func (s *Server) statsReply() wire.StatsReply {
 		},
 		Snapshot: s.snapshotStats(),
 		Maint:    s.maintStats(),
+		Freq:     s.freqStats(),
 	}
 }
 

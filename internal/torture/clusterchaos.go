@@ -31,6 +31,7 @@ import (
 	"pmv/internal/cluster"
 	"pmv/internal/netfault"
 	"pmv/internal/server"
+	"pmv/internal/workload"
 )
 
 // ClusterOptions configures one cluster-chaos run.
@@ -50,6 +51,25 @@ type ClusterOptions struct {
 	// and flap events to the chaos schedule, so the exactly-once oracle
 	// is proved with hedging racing duplicate row streams.
 	Tail bool
+	// Hot enables the frequency plane end to end — shard sketches and
+	// presence filters, router top-k replication and suppression — and
+	// adds hot-replica invalidation chaos: a dedicated writer hammers
+	// one sacrificial pair's reads until the router replicates it, then
+	// overwrites one of its rows with writechaos's monotone version
+	// sequence while the chaos schedule runs. That pair leaves the
+	// static oracle; every read of it is bracketed with an acked floor
+	// and a sent ceiling instead, so the full write path is exercised
+	// against live replicas — drops before the ack, MsgHotInval fan-out
+	// racing concurrent MsgHotSet pushes, epoch retries against killed
+	// shards, the degradation ladder down to a view-wide invalidation —
+	// and a replica resurrected past an invalidation, a duplicated
+	// replica tuple, or a fabricated suppression all fail loudly. The
+	// remaining pairs keep the exact static multiset oracle.
+	Hot bool
+	// ZipfAlpha skews the query key choice (0 = uniform) so a stable
+	// hot set emerges for the router to replicate; absent-key probes
+	// are mixed in to exercise suppression under chaos.
+	ZipfAlpha float64
 }
 
 // ClusterReport summarizes one run.
@@ -68,6 +88,20 @@ type ClusterReport struct {
 	ResetBursts int
 	GrayRamps   int
 	Flaps       int
+	// Hot-plane activity (zero unless Options.Hot). HotWrites counts
+	// acked overwrites of the sacrificial hot row; HotReads counts
+	// floor/ceiling-bracketed reads of the hot pair; AuditFailures
+	// counts queries the DS audit failed typed — with real writes in
+	// the mix these are the audit doing its job (a read racing a write,
+	// or a stale replica pending repair), not duplicates.
+	HotWrites      int
+	HotReads       int
+	AbsentQueries  int
+	AuditFailures  int64
+	HotPushes      int64
+	HotInvals      int64
+	HotReplicaHits int64
+	HotSuppressed  int64
 	// Tail-tolerance counters (zero unless Options.Tail).
 	Hedges       int64
 	HedgeWins    int64
@@ -83,6 +117,61 @@ type ClusterReport struct {
 }
 
 const clusterShards = 3
+
+// The sacrificial hot pair for Options.Hot runs: the hot writer
+// hammers its reads until the router replicates it, then overwrites
+// hotChaosPid under a monotone version sequence. Workload clients and
+// the static convergence sweep skip this pair — the version-timeline
+// oracle owns it.
+var hotChaosPair = [2]int64{7, 4}
+
+const hotChaosPid = 39
+
+// hotChaosPids returns the static pid membership of hotChaosPair.
+func hotChaosPids() []int64 {
+	var pids []int64
+	for pid := int64(0); pid < 400; pid++ {
+		if pid%chaosCategories == hotChaosPair[0] && (pid/chaosCategories)%chaosStores == hotChaosPair[1] {
+			pids = append(pids, pid)
+		}
+	}
+	return pids
+}
+
+// hotCheckRead is checkRead for the sacrificial hot pair. Clean reads
+// keep the full exact contract. Non-clean reads relax uniqueness to
+// "distinct versions": a read racing a write may legitimately stream a
+// pre-write partial AND the post-write execution row for the same pid
+// — the router's DS audit detects the mismatch and closes the query
+// flagged or typed, which is exactly this bucket — but the same
+// version twice is still a duplicate-delivery bug, and any version
+// above the ceiling is still fabricated.
+func hotCheckRead(pair [2]int64, pids []int64, got map[int64][]int64, floor, ceil map[int64]int64, clean bool) error {
+	if clean {
+		return checkRead(pair, pids, got, floor, ceil, true)
+	}
+	for pid, vals := range got {
+		c, ok := ceil[pid]
+		if !ok {
+			return fmt.Errorf("pair %v: fabricated pid %d delivered", pair, pid)
+		}
+		if len(vals) > 2 {
+			return fmt.Errorf("pair %v: pid %d delivered %d times", pair, pid, len(vals))
+		}
+		seen := make(map[int64]struct{}, len(vals))
+		for _, v := range vals {
+			if _, dup := seen[v]; dup {
+				return fmt.Errorf("pair %v: pid %d delivered discount %d twice", pair, pid, v)
+			}
+			seen[v] = struct{}{}
+			if seq := seqOf(pid, v); seq < 0 || seq > c {
+				return fmt.Errorf("pair %v: pid %d delivered discount %d (seq %d), never written (ceiling %d)",
+					pair, pid, v, seq, c)
+			}
+		}
+	}
+	return nil
+}
 
 // armBackground installs the always-on low-grade chaos every shard link
 // carries between targeted events.
@@ -148,6 +237,11 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 			return fail("shard %d setup: %v", i, err)
 		}
 		defer db.Close()
+		if opts.Hot {
+			// The shard half of the frequency plane: a short window so
+			// admission clears within the run's first queries.
+			db.EnableFreq(pmv.FreqConfig{Window: 300 * time.Millisecond})
+		}
 		dbs[i] = db
 		if i == 0 {
 			want = w
@@ -195,6 +289,13 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 		routerCfg.TailTolerance = true
 		routerCfg.Hedge = true
 		routerCfg.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if opts.Hot {
+		// Fast push/refresh so replicas and bitsets form, churn, and get
+		// invalidated many times within one short run.
+		routerCfg.Hot = true
+		routerCfg.HotPushInterval = 100 * time.Millisecond
+		routerCfg.FilterRefreshInterval = 100 * time.Millisecond
 	}
 	r, err := cluster.NewRouter(routerCfg)
 	if err != nil {
@@ -319,6 +420,111 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 		*field++
 		mu.Unlock()
 	}
+	violated := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return violation != nil
+	}
+
+	// The hot writer/auditor: hammer the sacrificial pair's reads so the
+	// router tracks, captures, and replicates it, and interleave monotone
+	// overwrites of hotChaosPid so every MsgHotInval path runs against a
+	// live replica. Each read is bracketed writechaos-style — floor = the
+	// last sequence acked before the read, ceiling = the last submitted
+	// anywhere before it ended. A replica resurrected past an
+	// invalidation is a STALE tuple; a duplicate replica tuple is a
+	// double delivery; a suppression that swallowed a present row is a
+	// missing pid on a clean read.
+	var (
+		hotTL   pidTimeline
+		hotWG   sync.WaitGroup
+		stopHot = make(chan struct{})
+	)
+	if opts.Hot {
+		hotPids := hotChaosPids()
+		hw := client.NewConfig(client.Config{
+			Addr:        r.Addr().String(),
+			DialTimeout: 2 * time.Second,
+			MaxRetries:  4,
+			BackoffBase: 5 * time.Millisecond,
+			BackoffMax:  100 * time.Millisecond,
+			Seed:        opts.Seed + 500,
+		})
+		hotWG.Add(1)
+		go func() {
+			defer hotWG.Done()
+			defer hw.Close()
+			rng := rand.New(rand.NewSource(opts.Seed ^ 0x407))
+			conds := []client.Cond{
+				{Values: []client.Value{client.Int(hotChaosPair[0])}},
+				{Values: []client.Value{client.Int(hotChaosPair[1])}},
+			}
+			for !violated() {
+				select {
+				case <-stopHot:
+					return
+				case <-time.After(time.Duration(2+rng.Intn(8)) * time.Millisecond):
+				}
+				if rng.Intn(4) == 0 {
+					// Overwrite: bump the version clock first, then land
+					// the idempotent op. An unacked attempt only widens
+					// the read window; the post-chaos drain converges it.
+					seq := hotTL.sent.Load() + 1
+					hotTL.sent.Store(seq)
+					op := client.Set("sale", "pid", client.Int(hotChaosPid),
+						"discount", client.Int(discountOf(hotChaosPid, seq)))
+					for att := 0; att < 10; att++ {
+						ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+						_, werr := hw.Update(ctx, true, op)
+						cancel()
+						if werr == nil {
+							hotTL.acked.Store(seq)
+							bump(&rep.HotWrites)
+							break
+						}
+						if !errors.Is(werr, client.ErrRemote) && !errors.Is(werr, client.ErrUnavailable) &&
+							!errors.Is(werr, context.DeadlineExceeded) && !errors.Is(werr, context.Canceled) {
+							abort(fmt.Errorf("hot write seq %d: untyped error %v", seq, werr))
+							return
+						}
+						time.Sleep(time.Duration(5+rng.Intn(20)) * time.Millisecond)
+					}
+					continue
+				}
+				floor := hotTL.acked.Load()
+				got := make(map[int64][]int64)
+				ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				qrep, err := hw.ExecutePartial(ctx, "pmv_on_sale", conds, func(row client.Row) error {
+					got[row.Tuple[0].Int64()] = append(got[row.Tuple[0].Int64()], row.Tuple[1].Int64())
+					return nil
+				})
+				cancel()
+				ceil := hotTL.sent.Load()
+				switch {
+				case err == nil, errors.Is(err, client.ErrInterrupted), errors.Is(err, client.ErrUnavailable),
+					errors.Is(err, client.ErrRemote), errors.Is(err, context.DeadlineExceeded),
+					errors.Is(err, context.Canceled):
+				default:
+					abort(fmt.Errorf("hot read: untyped error %v", err))
+					return
+				}
+				// Only hotChaosPid moves; the pair's other pids stay at
+				// their loader values (sequence 0).
+				fm := make(map[int64]int64, len(hotPids))
+				cm := make(map[int64]int64, len(hotPids))
+				for _, pid := range hotPids {
+					fm[pid], cm[pid] = 0, 0
+				}
+				fm[hotChaosPid], cm[hotChaosPid] = floor, ceil
+				clean := err == nil && !flagged(qrep)
+				if verr := hotCheckRead(hotChaosPair, hotPids, got, fm, cm, clean); verr != nil {
+					abort(fmt.Errorf("hot read: %w", verr))
+					return
+				}
+				bump(&rep.HotReads)
+			}
+		}()
+	}
 
 	clients := make([]*client.Client, opts.Clients)
 	for i := range clients {
@@ -338,12 +544,34 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 		go func(id int, c *client.Client) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(opts.Seed ^ int64(id)<<16))
+			var zipf *workload.Zipf
+			if opts.ZipfAlpha > 0 {
+				zipf = workload.NewZipf(rng, chaosCategories*chaosStores, opts.ZipfAlpha)
+			}
 			for q := 0; q < opts.Queries; q++ {
 				// Pace the workload so the chaos schedule genuinely
 				// interleaves with it instead of firing into an idle
 				// cluster.
 				time.Sleep(time.Duration(5+rng.Intn(15)) * time.Millisecond)
-				pair := [2]int64{rng.Int63n(chaosCategories), rng.Int63n(chaosStores)}
+				var pair [2]int64
+				switch {
+				case opts.Hot && rng.Intn(10) == 0:
+					// Absent key: no product row carries this category, so
+					// the ground truth is the empty multiset and a
+					// suppression that fabricated a row would be caught.
+					pair = [2]int64{chaosCategories + rng.Int63n(100), rng.Int63n(chaosStores)}
+					bump(&rep.AbsentQueries)
+				case zipf != nil:
+					rank := int64(zipf.Draw())
+					pair = [2]int64{rank % chaosCategories, rank / chaosCategories}
+				default:
+					pair = [2]int64{rng.Int63n(chaosCategories), rng.Int63n(chaosStores)}
+				}
+				if opts.Hot && pair == hotChaosPair {
+					// The sacrificial pair belongs to the version-timeline
+					// auditor; the static oracle no longer covers it.
+					pair[1] = (pair[1] + 1) % chaosStores
+				}
 				conds := []client.Cond{
 					{Values: []client.Value{client.Int(pair[0])}},
 					{Values: []client.Value{client.Int(pair[1])}},
@@ -396,6 +624,8 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 		}(i, c)
 	}
 	wg.Wait()
+	close(stopHot)
+	hotWG.Wait()
 	close(stopChaos)
 	<-chaosDone
 
@@ -406,11 +636,6 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 	// re-teach path before the run can pass.
 	for _, inj := range injs {
 		inj.Clear()
-	}
-	violated := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return violation != nil
 	}
 	chaosMu.Lock()
 	cerr := chaosErr
@@ -425,6 +650,11 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 		for cat := int64(0); cat < chaosCategories && !violated(); cat++ {
 			for st := int64(0); st < chaosStores && !violated(); st++ {
 				pair := [2]int64{cat, st}
+				if opts.Hot && pair == hotChaosPair {
+					// Drained and converged separately below, under the
+					// version oracle.
+					continue
+				}
 				conds := []client.Cond{
 					{Values: []client.Value{client.Int(cat)}},
 					{Values: []client.Value{client.Int(st)}},
@@ -483,6 +713,83 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 		sweep.Close()
 	}
 
+	// The sacrificial pair converges under the version oracle: drain any
+	// un-acked overwrite over the healed links, then demand one clean
+	// exact answer at the final sequence — proving no shard 2Q entry and
+	// no router hot replica still serves a pre-drain value.
+	if opts.Hot && cerr == nil && !violated() {
+		hotPids := hotChaosPids()
+		drain := client.NewConfig(client.Config{
+			Addr:        r.Addr().String(),
+			DialTimeout: 2 * time.Second,
+			MaxRetries:  4,
+			Seed:        opts.Seed + 900,
+		})
+		if s := hotTL.sent.Load(); s != hotTL.acked.Load() {
+			op := client.Set("sale", "pid", client.Int(hotChaosPid),
+				"discount", client.Int(discountOf(hotChaosPid, s)))
+			landed := false
+			for att := 0; att < 50 && !landed; att++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_, werr := drain.Update(ctx, true, op)
+				cancel()
+				switch {
+				case werr == nil:
+					hotTL.acked.Store(s)
+					landed = true
+				case errors.Is(werr, client.ErrRemote), errors.Is(werr, client.ErrUnavailable),
+					errors.Is(werr, context.DeadlineExceeded), errors.Is(werr, context.Canceled):
+					time.Sleep(50 * time.Millisecond)
+				default:
+					abort(fmt.Errorf("hot drain seq %d: untyped error %v", s, werr))
+					landed = true // typed-violation path; stop retrying
+				}
+			}
+			if !landed {
+				abort(fmt.Errorf("hot drain: seq %d never acked", s))
+			}
+		}
+		final := make(map[int64]int64, len(hotPids))
+		for _, pid := range hotPids {
+			final[pid] = 0
+		}
+		final[hotChaosPid] = hotTL.acked.Load()
+		converged := false
+		var lastErr error
+		for att := 0; att < 40 && !converged && !violated(); att++ {
+			if att > 0 {
+				time.Sleep(250 * time.Millisecond)
+			}
+			got := make(map[int64][]int64)
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			qrep, err := drain.ExecutePartial(ctx, "pmv_on_sale",
+				[]client.Cond{
+					{Values: []client.Value{client.Int(hotChaosPair[0])}},
+					{Values: []client.Value{client.Int(hotChaosPair[1])}},
+				},
+				func(row client.Row) error {
+					got[row.Tuple[0].Int64()] = append(got[row.Tuple[0].Int64()], row.Tuple[1].Int64())
+					return nil
+				})
+			cancel()
+			clean := err == nil && !flagged(qrep)
+			if verr := hotCheckRead(hotChaosPair, hotPids, got, final, final, clean); verr != nil {
+				abort(fmt.Errorf("hot converge attempt %d: %w", att, verr))
+				break
+			}
+			if clean {
+				converged = true
+			} else {
+				lastErr = err
+			}
+		}
+		if !converged && !violated() {
+			abort(fmt.Errorf("hot pair %v never converged at final seq %d (last: %v)",
+				hotChaosPair, hotTL.acked.Load(), lastErr))
+		}
+		drain.Close()
+	}
+
 	for _, c := range clients {
 		rep.Retries += c.Counters().Retries
 		rep.Redials += c.Counters().Redials
@@ -507,6 +814,16 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 		rep.BreakerTrips += sm.BreakerTrips.Load()
 		rep.BreakerSkips += sm.BreakerSkips.Load()
 	}
+	if opts.Hot {
+		sc := client.New(r.Addr().String())
+		if st, serr := sc.Stats(context.Background()); serr == nil && st.Hot != nil {
+			rep.HotPushes = st.Hot.Pushes
+			rep.HotInvals = st.Hot.Invals
+			rep.HotReplicaHits = st.Hot.ReplicaHits
+			rep.HotSuppressed = st.Hot.Suppressed
+		}
+		sc.Close()
+	}
 
 	if cerr != nil {
 		return fail("chaos driver: %v", cerr)
@@ -520,8 +837,19 @@ func RunCluster(opts ClusterOptions) (ClusterReport, error) {
 	// Hedging must never confuse the duplicate-multiset audit: a hedge
 	// and its primary both answering is the common case under chaos, and
 	// the arbiter has to keep DS consumption exactly-once regardless.
-	if n := r.Metrics().DSLeftover.Load(); n != 0 {
-		return fail("%d queries failed the duplicate-multiset audit", n)
+	// With hot writes in the mix, leftovers are expected — a read racing
+	// a write, or a stale replica pending repair, fails typed by design
+	// and was classified into the workload buckets above.
+	rep.AuditFailures = r.Metrics().DSLeftover.Load()
+	if !opts.Hot && rep.AuditFailures != 0 {
+		return fail("%d queries failed the duplicate-multiset audit", rep.AuditFailures)
+	}
+	// A hot run that never replicated, served, suppressed, or
+	// invalidated anything held the oracle vacuously.
+	if opts.Hot && (rep.HotPushes == 0 || rep.HotInvals == 0 ||
+		rep.HotReplicaHits == 0 || rep.HotSuppressed == 0) {
+		return fail("hot-plane counters never moved: pushes=%d invals=%d replicahits=%d suppressed=%d",
+			rep.HotPushes, rep.HotInvals, rep.HotReplicaHits, rep.HotSuppressed)
 	}
 
 	// Teardown must leave nothing behind. Order matters: the router

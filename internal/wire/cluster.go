@@ -21,12 +21,14 @@ import (
 // 3 added the observability plane (MsgTraced trace contexts, MsgSpans
 // span piggybacks, MsgTraceGet/MsgFleet router commands); version 4
 // added the tail-tolerance plane (MsgPing/MsgPong heartbeats and the
-// optional deadline-budget tail on probe/refill payloads). Peers
-// announcing any other version get MsgErrVersion and a closed session
-// instead of a CRC/decode failure mid-stream — which is what gates the
-// newer frames: an old peer never negotiates a session that could
-// carry them.
-const ProtocolVersion byte = 4
+// optional deadline-budget tail on probe/refill payloads); version 5
+// added the frequency plane (MsgHotSet/MsgHotInval replication frames
+// and the MsgFilter snapshot command). Peers announcing any other
+// version get MsgErrVersion and a closed session instead of a
+// CRC/decode failure mid-stream — which is what gates the newer
+// frames: an old peer never negotiates a session that could carry
+// them.
+const ProtocolVersion byte = 5
 
 // Cluster-plane message types (requests continue the 0x0c sequence,
 // responses the 0x84 one).
@@ -406,4 +408,3 @@ func EncodeExec(req ExecRequest) ([]byte, error) { return EncodeQuery(req) }
 
 // DecodeExec parses a MsgExec payload.
 func DecodeExec(b []byte) (ExecRequest, error) { return DecodeQuery(b) }
-

@@ -1,0 +1,243 @@
+// hot.go defines the frequency-plane wire surface: hot-entry
+// replication pushes (MsgHotSet), hot-key invalidation fan-out
+// (MsgHotInval), and presence-filter snapshot fetch (MsgFilter). The
+// first two are binary frames in the cluster-plane idiom — strict
+// decoding, typed errors, no allocation driven by unvalidated peer
+// sizes — because routers push them to shards over the same hostile
+// network the probe path uses. MsgFilter answers with a JSON
+// FilterReply inside MsgReply like the other admin commands.
+//
+// Ordering contract: every HotSet/HotInval a router emits for a view
+// carries a strictly increasing Seq. A shard records the highest
+// invalidation Seq per key as a floor and drops any HotSet at or
+// below it, so a push racing an invalidation can never resurrect a
+// stale replica. Staleness beyond that degrades to a flagged
+// owner-probe via invalidation generations — never a wrong answer.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pmv/internal/value"
+)
+
+// Frequency-plane message types (requests continue the 0x18 sequence).
+const (
+	// MsgHotSet pushes replica tuples for the hottest bcp keys from the
+	// router to every shard (HotSetRequest payload). Answered with a
+	// MsgReply HotSetReply.
+	MsgHotSet byte = 0x19
+	// MsgHotInval invalidates hot-key replicas on every shard after a
+	// write touched their bcps (HotInvalRequest payload). Answered with
+	// a MsgReply HotInvalReply.
+	MsgHotInval byte = 0x1a
+	// MsgFilter reads a view's presence-filter snapshot (payload: view
+	// name, u16 length prefix). Answered with a MsgReply FilterReply.
+	MsgFilter byte = 0x1b
+)
+
+// HotKey is one replicated bcp key with its full cached tuple set.
+type HotKey struct {
+	Key    string
+	Tuples []value.Tuple
+}
+
+// HotSetRequest is the decoded MsgHotSet payload: the router's
+// current top-k hottest entries for one view, replicated to shards
+// that do not own them so any shard can answer the probe.
+type HotSetRequest struct {
+	View  string
+	Epoch uint64
+	// Seq orders pushes against invalidations (see package doc).
+	Seq  uint64
+	Keys []HotKey
+}
+
+// EncodeHotSet encodes a HotSetRequest as a MsgHotSet payload.
+func EncodeHotSet(req HotSetRequest) ([]byte, error) {
+	if len(req.View) > 0xffff {
+		return nil, fmt.Errorf("wire: view name too long")
+	}
+	if len(req.Keys) > 0xffff {
+		return nil, fmt.Errorf("wire: too many hot keys")
+	}
+	b := make([]byte, 0, 256)
+	b = binary.BigEndian.AppendUint64(b, req.Epoch)
+	b = binary.BigEndian.AppendUint64(b, req.Seq)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(req.View)))
+	b = append(b, req.View...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(req.Keys)))
+	for _, hk := range req.Keys {
+		if len(hk.Key) > 0xffff {
+			return nil, fmt.Errorf("wire: bcp key too long")
+		}
+		if len(hk.Tuples) > 0xffff {
+			return nil, fmt.Errorf("wire: too many tuples for hot key")
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(len(hk.Key)))
+		b = append(b, hk.Key...)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(hk.Tuples)))
+		for _, t := range hk.Tuples {
+			b = value.EncodeTuple(b, t)
+		}
+	}
+	if len(b)+1 > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	return b, nil
+}
+
+// DecodeHotSet parses a MsgHotSet payload.
+func DecodeHotSet(b []byte) (HotSetRequest, error) {
+	var req HotSetRequest
+	if len(b) < 20 {
+		return req, fmt.Errorf("wire: short hot-set header")
+	}
+	req.Epoch = binary.BigEndian.Uint64(b)
+	req.Seq = binary.BigEndian.Uint64(b[8:])
+	b = b[16:]
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return req, fmt.Errorf("wire: truncated view name")
+	}
+	req.View = string(b[:n])
+	b = b[n:]
+	if len(b) < 2 {
+		return req, fmt.Errorf("wire: truncated hot-key count")
+	}
+	nk := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	req.Keys = make([]HotKey, 0, min(nk, 1024))
+	for i := 0; i < nk; i++ {
+		if len(b) < 2 {
+			return req, fmt.Errorf("wire: truncated hot key %d length", i)
+		}
+		kl := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < kl+2 {
+			return req, fmt.Errorf("wire: truncated hot key %d", i)
+		}
+		var hk HotKey
+		hk.Key = string(b[:kl])
+		b = b[kl:]
+		nt := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		hk.Tuples = make([]value.Tuple, 0, min(nt, 1024))
+		for j := 0; j < nt; j++ {
+			t, used, err := value.DecodeTuple(b)
+			if err != nil {
+				return req, fmt.Errorf("wire: hot key %d tuple %d: %w", i, j, err)
+			}
+			b = b[used:]
+			hk.Tuples = append(hk.Tuples, t)
+		}
+		req.Keys = append(req.Keys, hk)
+	}
+	if len(b) != 0 {
+		return req, fmt.Errorf("wire: %d trailing bytes after hot set", len(b))
+	}
+	return req, nil
+}
+
+// HotInvalRequest is the decoded MsgHotInval payload: bcp keys whose
+// replicas every shard must invalidate after a write touched them.
+type HotInvalRequest struct {
+	View  string
+	Epoch uint64
+	// Seq orders this invalidation against pushes (see package doc).
+	Seq  uint64
+	Keys []string
+}
+
+// EncodeHotInval encodes a HotInvalRequest as a MsgHotInval payload.
+func EncodeHotInval(req HotInvalRequest) ([]byte, error) {
+	if len(req.View) > 0xffff {
+		return nil, fmt.Errorf("wire: view name too long")
+	}
+	if len(req.Keys) > 0xffff {
+		return nil, fmt.Errorf("wire: too many hot-inval keys")
+	}
+	b := make([]byte, 0, 128)
+	b = binary.BigEndian.AppendUint64(b, req.Epoch)
+	b = binary.BigEndian.AppendUint64(b, req.Seq)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(req.View)))
+	b = append(b, req.View...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(req.Keys)))
+	for _, k := range req.Keys {
+		if len(k) > 0xffff {
+			return nil, fmt.Errorf("wire: bcp key too long")
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(len(k)))
+		b = append(b, k...)
+	}
+	if len(b)+1 > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	return b, nil
+}
+
+// DecodeHotInval parses a MsgHotInval payload.
+func DecodeHotInval(b []byte) (HotInvalRequest, error) {
+	var req HotInvalRequest
+	if len(b) < 20 {
+		return req, fmt.Errorf("wire: short hot-inval header")
+	}
+	req.Epoch = binary.BigEndian.Uint64(b)
+	req.Seq = binary.BigEndian.Uint64(b[8:])
+	b = b[16:]
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return req, fmt.Errorf("wire: truncated view name")
+	}
+	req.View = string(b[:n])
+	b = b[n:]
+	if len(b) < 2 {
+		return req, fmt.Errorf("wire: truncated key count")
+	}
+	nk := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	req.Keys = make([]string, 0, min(nk, 1024))
+	for i := 0; i < nk; i++ {
+		if len(b) < 2 {
+			return req, fmt.Errorf("wire: truncated key %d length", i)
+		}
+		kl := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < kl {
+			return req, fmt.Errorf("wire: truncated key %d", i)
+		}
+		req.Keys = append(req.Keys, string(b[:kl]))
+		b = b[kl:]
+	}
+	if len(b) != 0 {
+		return req, fmt.Errorf("wire: %d trailing bytes after hot inval", len(b))
+	}
+	return req, nil
+}
+
+// EncodeFilterReq encodes a MsgFilter payload (the view whose
+// presence-filter snapshot is wanted).
+func EncodeFilterReq(view string) ([]byte, error) {
+	if len(view) > 0xffff {
+		return nil, fmt.Errorf("wire: view name too long")
+	}
+	b := make([]byte, 0, 2+len(view))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(view)))
+	return append(b, view...), nil
+}
+
+// DecodeFilterReq parses a MsgFilter payload.
+func DecodeFilterReq(b []byte) (string, error) {
+	if len(b) < 2 {
+		return "", fmt.Errorf("wire: short filter request")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) != n {
+		return "", fmt.Errorf("wire: filter request view length %d, have %d bytes", n, len(b))
+	}
+	return string(b), nil
+}

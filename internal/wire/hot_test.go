@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"pmv/internal/value"
+)
+
+func TestHotSetRoundTrip(t *testing.T) {
+	req := HotSetRequest{
+		View:  "pmv_on_sale",
+		Epoch: 7,
+		Seq:   42,
+		Keys: []HotKey{
+			{Key: "a", Tuples: []value.Tuple{
+				{value.Int(1), value.Str("x"), value.Int(3)},
+				{value.Int(2), value.Null(), value.Int(3)},
+			}},
+			{Key: "b", Tuples: []value.Tuple{{value.Int(9)}}},
+		},
+	}
+	b, err := EncodeHotSet(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHotSet(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("hot set round trip changed request:\n got  %+v\n want %+v", got, req)
+	}
+	for i := 0; i < len(b); i++ {
+		if _, err := DecodeHotSet(b[:i]); err == nil {
+			t.Fatalf("hot set truncated to %d/%d bytes decoded cleanly", i, len(b))
+		}
+	}
+}
+
+func TestHotInvalRoundTrip(t *testing.T) {
+	req := HotInvalRequest{View: "v", Epoch: 3, Seq: 9, Keys: []string{"a", "", "c"}}
+	b, err := EncodeHotInval(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHotInval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("hot inval round trip changed request:\n got  %+v\n want %+v", got, req)
+	}
+	for i := 0; i < len(b); i++ {
+		if _, err := DecodeHotInval(b[:i]); err == nil {
+			t.Fatalf("hot inval truncated to %d/%d bytes decoded cleanly", i, len(b))
+		}
+	}
+}
+
+// TestStatsOmitFrequencyPlaneWhenOff pins the zero-overhead contract's
+// wire half: a node running without the frequency plane serializes
+// stats byte-identically to a build that predates it — the freq and
+// hot sections only exist when the plane is on.
+func TestStatsOmitFrequencyPlaneWhenOff(t *testing.T) {
+	b, err := json.Marshal(StatsReply{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range [][]byte{[]byte(`"freq"`), []byte(`"hot"`)} {
+		if bytes.Contains(b, key) {
+			t.Fatalf("disabled-plane stats carry %s: %s", key, b)
+		}
+	}
+	on, err := json.Marshal(StatsReply{Freq: &FreqStats{}, Hot: &HotStats{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(on, []byte(`"freq"`)) || !bytes.Contains(on, []byte(`"hot"`)) {
+		t.Fatalf("enabled-plane stats dropped their sections: %s", on)
+	}
+}

@@ -221,6 +221,10 @@ type StatsReply struct {
 	Snapshot *SnapshotStats `json:"snapshot,omitempty"`
 	// Maint is nil when the node runs without the write plane.
 	Maint *MaintStats `json:"maint,omitempty"`
+	// Freq is nil when the node runs without the frequency plane.
+	Freq *FreqStats `json:"freq,omitempty"`
+	// Hot is nil except on routers running hot-entry replication.
+	Hot *HotStats `json:"hot,omitempty"`
 }
 
 // TraceRequest is the MsgTrace payload (JSON). Nil fields leave the
@@ -320,6 +324,82 @@ type UpdateReply struct {
 	Wide map[string]bool `json:"wide,omitempty"`
 }
 
+// HotSetReply answers MsgHotSet: how many keys the shard replicated
+// and how many it dropped as stale (push Seq at or below the key's
+// recorded invalidation floor).
+type HotSetReply struct {
+	Replicated int `json:"replicated"`
+	Stale      int `json:"stale"`
+	Tuples     int `json:"tuples"`
+}
+
+// HotInvalReply answers MsgHotInval.
+type HotInvalReply struct {
+	// Keys is how many keys had their replica floor raised (all of
+	// them — the floor also gates future pushes for keys not cached).
+	Keys int `json:"keys"`
+}
+
+// FilterReply answers MsgFilter with one view's presence-filter
+// snapshot: the plain-bloom bitset (bit i set ⇔ counter i nonzero),
+// the hash count, and the filter generation the snapshot was taken
+// at. A router holds the bitset read-only and suppresses probes for
+// keys it proves absent; Gen lets it discard the bitset when the
+// shard resets the filter. Bits is empty when the view runs without
+// the frequency plane.
+type FilterReply struct {
+	View   string `json:"view"`
+	Bits   []byte `json:"bits,omitempty"`
+	Hashes int    `json:"hashes,omitempty"`
+	Gen    uint64 `json:"gen"`
+	Keys   int    `json:"keys"`
+}
+
+// FreqStats is a node's frequency-plane counter snapshot, summed
+// across views (nil in StatsReply when the plane is off).
+type FreqStats struct {
+	ProbesSuppressed     int64 `json:"probes_suppressed"`
+	FilterPositives      int64 `json:"filter_positives"`
+	FilterFalsePositives int64 `json:"filter_false_positives"`
+	AdmitGateRejects     int64 `json:"admit_gate_rejects"`
+	HotSetKeys           int64 `json:"hot_set_keys"`
+	HotSetTuples         int64 `json:"hot_set_tuples"`
+	HotInvalKeys         int64 `json:"hot_inval_keys"`
+	// Sketch health (summed / maxed across views).
+	SketchTouches   int64   `json:"sketch_touches"`
+	SketchRotations int64   `json:"sketch_rotations"`
+	SketchLoad      float64 `json:"sketch_load"`
+}
+
+// HotStats is a router's hot-replication counter snapshot (nil in
+// FleetReply/StatsReply when the plane is off).
+type HotStats struct {
+	// Pushes / PushKeys / PushTuples count MsgHotSet fan-out.
+	Pushes     int64 `json:"pushes"`
+	PushKeys   int64 `json:"push_keys"`
+	PushTuples int64 `json:"push_tuples"`
+	PushFails  int64 `json:"push_fails"`
+	// Invals / InvalKeys count MsgHotInval fan-out; InvalFails are
+	// sends that failed after retry and degraded to a view-wide bump.
+	Invals     int64 `json:"invals"`
+	InvalKeys  int64 `json:"inval_keys"`
+	InvalFails int64 `json:"inval_fails"`
+	// ReplicaHits counts probes answered from the router's replica
+	// cache without touching the owner shard.
+	ReplicaHits   int64 `json:"replica_hits"`
+	ReplicaKeys   int64 `json:"replica_keys"`
+	ReplicaEvicts int64 `json:"replica_evicts"`
+	// Suppressed counts owner probes skipped because the shard's
+	// presence-filter bitset proved the key absent; FilterRefreshes
+	// counts bitset refetches.
+	Suppressed      int64 `json:"suppressed"`
+	FilterRefreshes int64 `json:"filter_refreshes"`
+	// TopKChurn is the space-saving tracker's eviction count — a
+	// measure of how unstable the hot set is.
+	TopKOffers int64 `json:"topk_offers"`
+	TopKChurn  int64 `json:"topk_churn"`
+}
+
 // InvalidateReply answers MsgInvalidate.
 type InvalidateReply struct {
 	// Keys is how many per-key generations were bumped; Wide is true
@@ -399,10 +479,10 @@ type TraceGetReply struct {
 // or not, its shard-map epoch, and — when up — its full stats reply so
 // snapshot freshness and maint backlog federate through one endpoint.
 type FleetShard struct {
-	Addr  string `json:"addr"`
-	Up    bool   `json:"up"`
-	Error string `json:"error,omitempty"`
-	Epoch uint64 `json:"epoch"`
+	Addr  string      `json:"addr"`
+	Up    bool        `json:"up"`
+	Error string      `json:"error,omitempty"`
+	Epoch uint64      `json:"epoch"`
 	Stats *StatsReply `json:"stats,omitempty"`
 	// Health is the router's live tail-tolerance score for this shard;
 	// absent when the plane is disabled.
@@ -433,14 +513,16 @@ type FleetReply struct {
 	VNodes int          `json:"vnodes"`
 	Router ServerStats  `json:"router"`
 	Shards []FleetShard `json:"shards"`
+	// Hot is the router's hot-replication counters (nil when off).
+	Hot *HotStats `json:"hot,omitempty"`
 	// Aggregates across reachable shards.
-	ShardsUp        int   `json:"shards_up"`
-	ShardsDown      int   `json:"shards_down"`
-	ShardsStale     int   `json:"shards_stale"`      // epoch behind the router's
-	FleetQueries    int64 `json:"fleet_queries"`     // sum of shard query counts
-	FleetRows       int64 `json:"fleet_rows"`        // sum of shard row counts
-	FleetErrors     int64 `json:"fleet_errors"`      // sum of shard error counts
-	MaintBacklog    int64 `json:"maint_backlog"`     // sum of shard ingest queue depths
+	ShardsUp        int     `json:"shards_up"`
+	ShardsDown      int     `json:"shards_down"`
+	ShardsStale     int     `json:"shards_stale"`      // epoch behind the router's
+	FleetQueries    int64   `json:"fleet_queries"`     // sum of shard query counts
+	FleetRows       int64   `json:"fleet_rows"`        // sum of shard row counts
+	FleetErrors     int64   `json:"fleet_errors"`      // sum of shard error counts
+	MaintBacklog    int64   `json:"maint_backlog"`     // sum of shard ingest queue depths
 	OldestSnapshotS float64 `json:"oldest_snapshot_s"` // stalest shard snapshot age (-1 = a shard never wrote one)
 }
 
@@ -474,6 +556,14 @@ type ViewStatsEntry struct {
 	DegradedQueries    int64   `json:"degraded_queries"`
 	DeadlineQueries    int64   `json:"deadline_queries"`
 	PartialOnlyQueries int64   `json:"partial_only_queries"`
+	// Frequency plane (zero when off).
+	ProbesSuppressed     int64 `json:"probes_suppressed,omitempty"`
+	FilterPositives      int64 `json:"filter_positives,omitempty"`
+	FilterFalsePositives int64 `json:"filter_false_positives,omitempty"`
+	AdmitGateRejects     int64 `json:"admit_gate_rejects,omitempty"`
+	HotSetKeys           int64 `json:"hot_set_keys,omitempty"`
+	HotSetTuples         int64 `json:"hot_set_tuples,omitempty"`
+	HotInvalKeys         int64 `json:"hot_inval_keys,omitempty"`
 	// Occupancy state: live entries/tuples/bytes against the L bound.
 	Entries    int     `json:"entries"`
 	MaxEntries int     `json:"max_entries"`

@@ -139,22 +139,23 @@ func TestSpansStrict(t *testing.T) {
 }
 
 // TestVersionNegotiationGatesTraceFrames pins the negotiation story the
-// trace and tail-tolerance planes rely on: this build announces v4,
-// and the handshake is exact-match, so a peer that would not
-// understand MsgTraced/MsgSpans (v3) or MsgPing/MsgPong and budget
-// tails (v4) never gets a session.
+// trace, tail-tolerance, and frequency planes rely on: this build
+// announces v5, and the handshake is exact-match, so a peer that
+// would not understand MsgTraced/MsgSpans (v3), MsgPing/MsgPong and
+// budget tails (v4), or MsgHotSet/MsgHotInval/MsgFilter (v5) never
+// gets a session.
 func TestVersionNegotiationGatesTraceFrames(t *testing.T) {
-	if ProtocolVersion != 4 {
-		t.Fatalf("ProtocolVersion = %d, want 4 (heartbeat/budget frames are v4)", ProtocolVersion)
+	if ProtocolVersion != 5 {
+		t.Fatalf("ProtocolVersion = %d, want 5 (hot-replication frames are v5)", ProtocolVersion)
 	}
 	hello := EncodeHello()
 	v, err := DecodeHello(hello)
-	if err != nil || v != 4 {
+	if err != nil || v != 5 {
 		t.Fatalf("hello advertises %d (%v)", v, err)
 	}
 	// An older peer's hello must decode (so the server can answer
 	// MsgErrVersion) but not match.
-	for _, oldV := range []byte{2, 3} {
+	for _, oldV := range []byte{2, 3, 4} {
 		old, err := DecodeHello([]byte{oldV})
 		if err != nil {
 			t.Fatal(err)
@@ -164,7 +165,7 @@ func TestVersionNegotiationGatesTraceFrames(t *testing.T) {
 		}
 	}
 	rej, err := DecodeVersionErr(EncodeVersionErr(ProtocolVersion))
-	if err != nil || rej != 4 {
+	if err != nil || rej != 5 {
 		t.Fatalf("version-error round trip: %d, %v", rej, err)
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"pmv/internal/engine"
 	"pmv/internal/exec"
 	"pmv/internal/expr"
+	"pmv/internal/freq"
 	"pmv/internal/lock"
 	"pmv/internal/obs"
 	"pmv/internal/value"
@@ -191,10 +192,33 @@ type Options struct {
 	FS FS
 }
 
+// FreqConfig tunes the frequency plane (see internal/freq).
+type FreqConfig = freq.Config
+
 // DB is one open database.
 type DB struct {
 	eng   *engine.Engine
 	views map[string]*View
+	// freqCfg, when set, attaches a frequency plane to every view —
+	// existing and future.
+	freqCfg *FreqConfig
+}
+
+// EnableFreq attaches a frequency plane (windowed popularity sketch,
+// presence filter, admission gate) to every view, including ones
+// created later. Call once after Open, before serving traffic.
+func (db *DB) EnableFreq(cfg FreqConfig) {
+	db.freqCfg = &cfg
+	for _, v := range db.views {
+		v.EnableFreq(cfg)
+	}
+}
+
+// FreqEnabled reports whether EnableFreq was called on this database —
+// views created later will carry a frequency plane even if none exists
+// yet.
+func (db *DB) FreqEnabled() bool {
+	return db.freqCfg != nil
 }
 
 // Open opens (creating if needed) a database directory.
@@ -323,6 +347,9 @@ func (db *DB) CreatePartialView(tpl *Template, opts ViewOptions) (*View, error) 
 		return nil, fmt.Errorf("pmv: view %q already exists", v.Name())
 	}
 	db.views[v.Name()] = v
+	if db.freqCfg != nil {
+		v.EnableFreq(*db.freqCfg)
+	}
 	if err := db.saveViews(); err != nil {
 		return nil, err
 	}
